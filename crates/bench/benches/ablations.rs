@@ -1,0 +1,114 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Criterion measures the wall-clock cost of each ablated configuration;
+//! the *simulated-cycle* findings (the ablation verdicts themselves) are
+//! printed once per benchmark so they appear in the bench log:
+//!
+//! * magnifier amplification with vs without path prefetching (§6.3.1);
+//! * racing gadget with vs without the §4.1 cache-miss synchronization head;
+//! * PLRU magnifier on the intended policy vs true LRU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hacky_racers::layout::Layout;
+use hacky_racers::machine::Machine;
+use hacky_racers::magnify::{ArbitraryReplacementMagnifier, PlruInput, PlruMagnifier};
+use hacky_racers::path::{emit_sync_head, PathSpec};
+use racer_cpu::CpuConfig;
+use racer_isa::{AluOp, Asm};
+use racer_mem::{CacheConfig, HierarchyConfig, ReplacementKind};
+use std::hint::black_box;
+
+fn ablation_prefetching(c: &mut Criterion) {
+    let amp_with = |dist: usize| {
+        let mut mag = ArbitraryReplacementMagnifier::new(Layout::default());
+        mag.repeats = 8;
+        mag.prefetch_dist = dist;
+        let mut m = Machine::random_l1(9);
+        mag.amplification(&mut m, 30)
+    };
+    eprintln!(
+        "# ablation_prefetch: amplification with prefetch = {} cycles, without = {} cycles",
+        amp_with(22),
+        amp_with(0)
+    );
+    let mut group = c.benchmark_group("ablation_prefetch");
+    group.sample_size(10);
+    for (name, dist) in [("with_prefetch", 22usize), ("no_prefetch", 0usize)] {
+        group.bench_function(name, |b| b.iter(|| black_box(amp_with(dist))));
+    }
+    group.finish();
+}
+
+fn sync_head_gap(with_head: bool) -> u64 {
+    let mut m = Machine::baseline();
+    let layout = m.layout();
+    let mut asm = Asm::new();
+    let seed = if with_head {
+        emit_sync_head(&mut asm, layout.sync)
+    } else {
+        let r = asm.reg();
+        asm.mov_imm(r, 0);
+        r
+    };
+    let rm = PathSpec::op_chain(AluOp::Add, 20).emit(&mut asm, seed);
+    let rb = PathSpec::op_chain(AluOp::Add, 20).emit(&mut asm, seed);
+    let va = asm.reg();
+    asm.load(va, racer_isa::MemOperand::base_disp(rm, 0x0700_0000));
+    let vb = asm.reg();
+    asm.load(vb, racer_isa::MemOperand::base_disp(rb, 0x0700_2000));
+    asm.halt();
+    let prog = asm.assemble().expect("ablation program assembles");
+    m.flush(layout.sync);
+    let r = m.run(&prog);
+    let issue = |addr: u64| {
+        r.loads.iter().find(|l| l.addr == addr).map(|l| l.issue_cycle).unwrap_or(0)
+    };
+    issue(0x0700_0000).abs_diff(issue(0x0700_2000))
+}
+
+fn ablation_sync_head(c: &mut Criterion) {
+    eprintln!(
+        "# ablation_sync_head: equal-path terminal-issue gap with head = {} cycles, without = {} cycles",
+        sync_head_gap(true),
+        sync_head_gap(false)
+    );
+    let mut group = c.benchmark_group("ablation_sync_head");
+    group.sample_size(10);
+    for (name, with_head) in [("with_sync_head", true), ("without_sync_head", false)] {
+        group.bench_function(name, |b| b.iter(|| black_box(sync_head_gap(with_head))));
+    }
+    group.finish();
+}
+
+fn plru_margin(kind: ReplacementKind) -> u64 {
+    let mut hier = HierarchyConfig::small_plru();
+    hier.l1d = CacheConfig { replacement: kind, ..hier.l1d };
+    let mut m = Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier);
+    let mag = PlruMagnifier::with(m.layout(), 5, 300);
+    mag.prepare(&mut m);
+    let absent = mag.measure(&mut m, PlruInput::PresenceAbsence);
+    mag.prepare(&mut m);
+    let a = mag.line_a(&m);
+    m.warm(a);
+    let present = mag.measure(&mut m, PlruInput::PresenceAbsence);
+    present.saturating_sub(absent)
+}
+
+fn ablation_plru_vs_lru(c: &mut Criterion) {
+    eprintln!(
+        "# ablation_plru_policy: P/A margin on tree-PLRU = {} cycles, on true LRU = {} cycles",
+        plru_margin(ReplacementKind::TreePlru),
+        plru_margin(ReplacementKind::Lru)
+    );
+    let mut group = c.benchmark_group("ablation_plru_policy");
+    group.sample_size(10);
+    for (name, kind) in
+        [("tree_plru", ReplacementKind::TreePlru), ("true_lru", ReplacementKind::Lru)]
+    {
+        group.bench_function(name, |b| b.iter(|| black_box(plru_margin(kind))));
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, ablation_prefetching, ablation_sync_head, ablation_plru_vs_lru);
+criterion_main!(ablations);

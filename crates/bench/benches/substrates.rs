@@ -1,0 +1,87 @@
+//! Substrate throughput benchmarks: how fast the simulator itself runs.
+//! Useful for judging the cost of paper-scale sweeps and for regression
+//! tracking of the simulation core.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use racer_cpu::{Cpu, CpuConfig};
+use racer_isa::{Asm, Cond, MemOperand};
+use racer_mem::{Addr, Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementKind};
+use std::hint::black_box;
+
+/// Simulated cycles per wall second on a tight dependent-add loop.
+fn bench_cpu_loop(c: &mut Criterion) {
+    let mut asm = Asm::new();
+    let (i, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(i, 2_000);
+    let top = asm.here();
+    asm.add(acc, acc, i);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    let mut group = c.benchmark_group("cpu");
+    group.throughput(Throughput::Elements(6_000)); // ~dynamic instructions
+    group.bench_function("ooo_core_loop_6k_instructions", |b| {
+        let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+        b.iter(|| black_box(cpu.execute(&prog).cycles))
+    });
+    group.finish();
+}
+
+fn bench_cpu_memory_traffic(c: &mut Criterion) {
+    let mut asm = Asm::new();
+    let d = asm.reg();
+    for k in 0..256u64 {
+        asm.load(d, MemOperand::abs(0x10000 + k * 64));
+    }
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    let mut group = c.benchmark_group("cpu");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("ooo_core_256_independent_loads", |b| {
+        let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+        b.iter(|| black_box(cpu.execute(&prog).cycles))
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("hierarchy_4k_mixed_accesses", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::coffee_lake());
+        b.iter(|| {
+            for k in 0..4096u64 {
+                black_box(h.load(Addr((k * 67) % (1 << 20) * 64)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement");
+    group.throughput(Throughput::Elements(10_000));
+    for kind in [ReplacementKind::TreePlru, ReplacementKind::Lru, ReplacementKind::Random] {
+        group.bench_function(format!("{kind}_10k_fills"), |b| {
+            let mut cache = Cache::new(CacheConfig {
+                sets: 64,
+                ways: 8,
+                hit_latency: 4,
+                replacement: kind,
+                seed: 1,
+            });
+            b.iter(|| {
+                for k in 0..10_000u64 {
+                    black_box(cache.fill(racer_mem::LineAddr(k * 131)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(substrates, bench_cpu_loop, bench_cpu_memory_traffic, bench_hierarchy, bench_policies);
+criterion_main!(substrates);

@@ -1,0 +1,11 @@
+//! §8 evaluation: which racing gadgets survive which hardware defences.
+
+use hacky_racers::experiments::countermeasures::{countermeasure_matrix, render};
+use racer_bench::header;
+
+fn main() {
+    header("§8", "countermeasure matrix: gadget vs defence");
+    println!("{}", render(&countermeasure_matrix()));
+    println!("# paper: Spectre-class defences stop transient P/A races only;");
+    println!("# the branch-free reorder race requires actual in-order execution.");
+}

@@ -1,0 +1,14 @@
+//! §7.4 evaluation: eviction-set profiling success rate with the
+//! Hacky-Racers timer.
+
+use hacky_racers::experiments::ev_eval::{evaluate, render};
+use racer_bench::{header, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let trials = scale.pick(3, 12);
+    header("§7.4", "LLC eviction-set generation success rate");
+    let eval = evaluate(trials, 48);
+    println!("{}", render(&eval));
+    println!("# paper: 100% success after replacing the SharedArrayBuffer timer.");
+}

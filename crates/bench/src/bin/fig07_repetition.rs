@@ -1,0 +1,16 @@
+//! Figure 7: repetition-gadget stage-time stacks, bare (7a) and with a
+//! racing gadget making the load stage constant-time (7b).
+
+use hacky_racers::experiments::repetition_figure::figure7;
+use racer_bench::{header, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iterations = scale.pick(30, 200);
+    header("Figure 7", "repetition gadgets need racing gadgets to show a difference");
+
+    for racing in [false, true] {
+        let fig = figure7(racing, iterations);
+        println!("\n{}", fig.render());
+    }
+}

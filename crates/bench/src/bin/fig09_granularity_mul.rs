@@ -1,0 +1,13 @@
+//! Figure 9: target operations measured by a reference path of MULs.
+
+use hacky_racers::experiments::granularity::figure9;
+use racer_bench::{header, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (max_target, step) = scale.pick((40, 8), (145, 4));
+    header("Figure 9", "targets (add, div) vs MUL reference path");
+    for series in figure9(max_target, step, 60) {
+        println!("{}", series.render());
+    }
+}

@@ -1,0 +1,273 @@
+//! LLC eviction-set generation with a Hacky-Racers timer (paper §7.4).
+//!
+//! The profiling algorithm only needs a timer that distinguishes "target
+//! still cached (≤ LLC hit)" from "target evicted (DRAM)". The paper
+//! replaces the SharedArrayBuffer timer of Purnal et al.'s profiling with a
+//! transient P/A racing gadget whose reference path is a MUL chain — which
+//! "can provide a fine enough granularity" — keeping the algorithm's 100%
+//! success rate. This module reproduces exactly that composition, plus the
+//! group-testing reduction of Vila et al. to shrink a candidate pool to a
+//! minimal eviction set.
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::magnify::{PlruInput, PlruMagnifier};
+use crate::path::PathSpec;
+use crate::racing::TransientPaRace;
+use racer_isa::AluOp;
+use racer_mem::Addr;
+use racer_time::Timer;
+
+/// Driver for §7.4 eviction-set profiling.
+#[derive(Clone, Debug)]
+pub struct EvictionSetAttack {
+    layout: Layout,
+    /// Reference-path MUL count: must out-last an LLC hit and under-last a
+    /// DRAM access (default 30 ⇒ 90 cycles, between ~40 and ~240).
+    pub ref_muls: usize,
+    /// Magnifier rounds for the coarse-timer readout mode.
+    pub magnifier_rounds: usize,
+}
+
+impl EvictionSetAttack {
+    /// A driver with the default MUL reference.
+    pub fn new(layout: Layout) -> Self {
+        EvictionSetAttack { layout, ref_muls: 30, magnifier_rounds: 2400 }
+    }
+
+    fn race_for(&self, target: Addr) -> (TransientPaRace, PathSpec, PathSpec) {
+        let race = TransientPaRace::new(self.layout);
+        let reference = PathSpec::op_chain(AluOp::Mul, self.ref_muls);
+        let measured = PathSpec::load_chain([target]);
+        (race, reference, measured)
+    }
+
+    /// The Hacky-Racers timer (omniscient readout): prime `target`, access
+    /// `candidates`, then decide via the racing gadget whether re-accessing
+    /// `target` is slower than the MUL reference — i.e. whether the
+    /// candidates evicted it.
+    pub fn evicts(&self, m: &mut Machine, target: Addr, candidates: &[Addr]) -> bool {
+        let (race, reference, measured) = self.race_for(target);
+        let prog = race.program(&reference, &measured);
+        // Training incidentally warms the target; priming follows, so the
+        // measurement below still reflects the candidates' effect.
+        race.train(m, &prog);
+        m.warm(target);
+        // Several passes over the candidates: unlike true LRU, tree-PLRU
+        // does not guarantee that W fresh fills displace a W-way set's
+        // prior content in one pass, so real eviction-set algorithms
+        // traverse their sets repeatedly.
+        for _ in 0..3 {
+            for &c in candidates {
+                m.warm(c);
+            }
+        }
+        race.detect(m, &prog);
+        // Probe present ⇒ the target load beat the MUL reference ⇒ fast ⇒
+        // the candidates did NOT evict it. Absent ⇒ evicted.
+        m.cpu().hierarchy().probe(self.layout.probe) == racer_mem::HitLevel::Memory
+    }
+
+    /// Same measurement, but the verdict is read through `timer` via a PLRU
+    /// magnifier — the full §7.4 composition with no omniscient access.
+    pub fn evicts_observed(
+        &self,
+        m: &mut Machine,
+        target: Addr,
+        candidates: &[Addr],
+        timer: &mut dyn Timer,
+        threshold_ns: f64,
+    ) -> bool {
+        let mag = PlruMagnifier::with(self.layout, 5, self.magnifier_rounds);
+        let probe = mag.line_a(m);
+        let (race, reference, measured) = {
+            let race = TransientPaRace::new(self.layout).with_probe(probe);
+            let reference = PathSpec::op_chain(AluOp::Mul, self.ref_muls);
+            let measured = PathSpec::load_chain([target]);
+            (race, reference, measured)
+        };
+        let prog = race.program(&reference, &measured);
+        race.train(m, &prog);
+        m.warm(target);
+        for _ in 0..3 {
+            for &c in candidates {
+                m.warm(c);
+            }
+        }
+        mag.prepare(m);
+        race.detect(m, &prog);
+        let observed = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        // Slow magnifier ⇒ probe present ⇒ target was fast ⇒ not evicted.
+        observed < threshold_ns
+    }
+
+    /// Calibrate the observed-mode threshold (midpoint of the magnifier's
+    /// two states).
+    pub fn calibrate(&self, m: &mut Machine, timer: &mut dyn Timer) -> f64 {
+        let mag = PlruMagnifier::with(self.layout, 5, self.magnifier_rounds);
+        mag.prepare(m);
+        let absent = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        mag.prepare(m);
+        let a = mag.line_a(m);
+        m.warm(a);
+        let present = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        (absent + present) / 2.0
+    }
+
+    /// Reduce `pool` to a minimal eviction set for `target` (Vila et al.
+    /// group-testing): returns `ways` addresses that still evict the target,
+    /// or `None` if the pool never evicted it in the first place.
+    pub fn build_minimal_set(
+        &self,
+        m: &mut Machine,
+        target: Addr,
+        pool: &[Addr],
+        ways: usize,
+    ) -> Option<Vec<Addr>> {
+        let mut set: Vec<Addr> = pool.to_vec();
+        if !self.evicts(m, target, &set) {
+            return None;
+        }
+        while set.len() > ways {
+            // Split into *exactly* ways+1 (near-equal) groups: with at most
+            // `ways` essential (congruent) members, the pigeonhole argument
+            // guarantees some group holds none and is safely removable
+            // (Vila et al.'s reduction invariant).
+            let groups = ways + 1;
+            let mut removed = false;
+            for g in 0..groups {
+                let lo = g * set.len() / groups;
+                let hi = (g + 1) * set.len() / groups;
+                if lo == hi {
+                    continue;
+                }
+                let candidate: Vec<Addr> = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i < lo || *i >= hi)
+                    .map(|(_, &a)| a)
+                    .collect();
+                if self.evicts(m, target, &candidate) {
+                    set = candidate;
+                    removed = true;
+                    break;
+                }
+            }
+            if !removed {
+                // Cannot shrink further: fewer congruent members than
+                // expected — fail loudly rather than return a bloated set.
+                return None;
+            }
+        }
+        Some(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racer_mem::candidate_pool;
+
+    /// A machine with the scaled-down LLC plus a target and candidate pool
+    /// where every second page is L3-congruent with the target.
+    ///
+    /// The page offset (0x800) steers the profiled set away from LLC set 0,
+    /// where the gadget's own infrastructure lines (sync head, probe,
+    /// inputs) live — the same discipline a real attacker applies so their
+    /// timer's working set does not pollute the set being profiled.
+    fn setup() -> (Machine, Addr, Vec<Addr>) {
+        let m = Machine::small_llc();
+        let pool_base = m.layout().ev_pool_base;
+        let target = Addr(pool_base.0 + 0x800);
+        let pool: Vec<Addr> = candidate_pool(Addr(pool_base.0 + 4096), 48, 0x800);
+        (m, target, pool)
+    }
+
+    #[test]
+    fn timer_distinguishes_cached_from_evicted() {
+        let (mut m, target, pool) = setup();
+        let atk = EvictionSetAttack::new(m.layout());
+        // No candidates: target stays cached → not evicted.
+        assert!(!atk.evicts(&mut m, target, &[]));
+        // The whole pool contains ≥ 8 congruent lines → evicted.
+        assert!(atk.evicts(&mut m, target, &pool));
+    }
+
+    #[test]
+    fn non_congruent_candidates_do_not_evict() {
+        let (mut m, target, pool) = setup();
+        let atk = EvictionSetAttack::new(m.layout());
+        let l3 = m.cpu().hierarchy().l3();
+        let tset = l3.set_index(target.line());
+        let non_congruent: Vec<Addr> =
+            pool.iter().copied().filter(|a| l3.set_index(a.line()) != tset).collect();
+        assert!(non_congruent.len() >= 16);
+        assert!(!atk.evicts(&mut m, target, &non_congruent));
+    }
+
+    #[test]
+    fn builds_a_minimal_congruent_set() {
+        let (mut m, target, pool) = setup();
+        let atk = EvictionSetAttack::new(m.layout());
+        let ways = m.cpu().hierarchy().l3().config().ways;
+        let set = atk
+            .build_minimal_set(&mut m, target, &pool, ways)
+            .expect("pool must reduce to a minimal eviction set");
+        assert_eq!(set.len(), ways);
+        // Ground truth: every member is L3-congruent with the target.
+        let l3 = m.cpu().hierarchy().l3();
+        let tset = l3.set_index(target.line());
+        for a in &set {
+            assert_eq!(
+                l3.set_index(a.line()),
+                tset,
+                "non-congruent member {a} in the reduced set"
+            );
+        }
+        // And it still evicts.
+        assert!(atk.evicts(&mut m, target, &set));
+    }
+
+    #[test]
+    fn observed_mode_matches_omniscient_mode() {
+        use racer_time::CoarseTimer;
+        let (mut m, target, pool) = setup();
+        let atk = EvictionSetAttack::new(m.layout());
+        let mut timer = CoarseTimer::browser_5us();
+        let threshold = atk.calibrate(&mut m, &mut timer);
+        assert!(
+            atk.evicts_observed(&mut m, target, &pool, &mut timer, threshold),
+            "full pool must read as evicting through the coarse timer"
+        );
+        assert!(
+            !atk.evicts_observed(&mut m, target, &[], &mut timer, threshold),
+            "empty candidate set must read as not evicting"
+        );
+    }
+
+    #[test]
+    fn profiling_succeeds_across_page_offsets() {
+        // The §7.4 success-rate claim: repeat profiling for several targets.
+        let mut successes = 0;
+        let trials = 4;
+        for t in 0..trials {
+            let mut m = Machine::small_llc();
+            let base = m.layout().ev_pool_base;
+            // Distinct line offsets per trial, clear of LLC set 0 where the
+            // gadget's own lines live.
+            let offset = 0x800 + (t as u64) * 128;
+            let target = Addr(base.0 + offset);
+            let pool = candidate_pool(Addr(base.0 + 4096), 48, offset);
+            let atk = EvictionSetAttack::new(m.layout());
+            let ways = m.cpu().hierarchy().l3().config().ways;
+            if let Some(set) = atk.build_minimal_set(&mut m, target, &pool, ways) {
+                let l3 = m.cpu().hierarchy().l3();
+                let tset = l3.set_index(target.line());
+                if set.iter().all(|a| l3.set_index(a.line()) == tset) {
+                    successes += 1;
+                }
+            }
+        }
+        assert_eq!(successes, trials, "profiling must succeed every time (paper: 100%)");
+    }
+}

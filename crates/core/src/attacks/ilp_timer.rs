@@ -1,0 +1,193 @@
+//! The library's headline product: a fine-grained timer built from coarse
+//! parts (racing gadget + magnifier gadget + coarse timer).
+//!
+//! [`IlpTimer`] answers "does this expression take longer than N reference
+//! operations?" — and, by sweeping N, measures execution time in
+//! reference-op units — using nothing the paper's §3 threat model forbids:
+//! arithmetic, branches, loads, and a ≥5 µs timer.
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::magnify::{PlruInput, PlruMagnifier};
+use crate::path::PathSpec;
+use crate::racing::TransientPaRace;
+use racer_isa::AluOp;
+use racer_time::Timer;
+
+/// A fine-grained comparator/timer for arbitrary target expressions.
+///
+/// Two readout modes:
+///
+/// * [`IlpTimer::exceeds`] — omniscient readout of the racing gadget's probe
+///   (used by the granularity experiments of Figures 8–9);
+/// * [`IlpTimer::exceeds_observed`] — the full attacker pipeline: the race
+///   leaves its verdict in a PLRU-magnifier set and the decision is made
+///   from a *coarse timer reading alone*.
+#[derive(Clone, Debug)]
+pub struct IlpTimer {
+    layout: Layout,
+    /// Operation the reference path is chained from (`Add` ⇒ 1-cycle
+    /// granularity ticks, `Mul` ⇒ 3-cycle ticks with longer reach — §7.2).
+    pub ref_op: AluOp,
+    /// Largest reference length to try (the §7.2 window limit).
+    pub max_ref_ops: usize,
+    /// Rounds the magnifier runs in observed mode.
+    pub magnifier_rounds: usize,
+}
+
+impl IlpTimer {
+    /// An ADD-referenced timer (finest granularity).
+    pub fn new(layout: Layout) -> Self {
+        IlpTimer { layout, ref_op: AluOp::Add, max_ref_ops: 80, magnifier_rounds: 1500 }
+    }
+
+    /// Use `op` for the reference path (e.g. `Mul` for a longer reach).
+    pub fn with_ref_op(mut self, op: AluOp) -> Self {
+        self.ref_op = op;
+        self
+    }
+
+    /// Does `target` take *longer* than `ref_ops` chained reference ops?
+    /// (Omniscient probe readout.)
+    pub fn exceeds(&self, m: &mut Machine, target: &PathSpec, ref_ops: usize) -> bool {
+        let race = TransientPaRace::new(self.layout);
+        let reference = PathSpec::op_chain(self.ref_op, ref_ops);
+        !race.target_beats_ref(m, target, &reference)
+    }
+
+    /// Measure `target`'s execution time in reference-op units: the minimal
+    /// reference length that still out-lasts the target. Returns `None` when
+    /// the target exceeds the measurable window (paper §7.2: the window
+    /// limits "the largest execution time that we can time").
+    pub fn measure_ref_ops(&self, m: &mut Machine, target: &PathSpec) -> Option<usize> {
+        if self.exceeds(m, target, self.max_ref_ops) {
+            return None;
+        }
+        // Monotone predicate: binary search the flip point.
+        let (mut lo, mut hi) = (0usize, self.max_ref_ops);
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.exceeds(m, target, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Measure `target` in (approximate) nanoseconds: reference-op units
+    /// scaled by the reference op's latency and the machine clock. `None`
+    /// past the measurable window.
+    pub fn measure_ns(&self, m: &mut Machine, target: &PathSpec) -> Option<f64> {
+        let ops = self.measure_ref_ops(m, target)?;
+        let lat = m.cpu().config().latencies;
+        let per_op = match self.ref_op {
+            AluOp::Mul => lat.mul,
+            AluOp::Div => lat.div_min + 1,
+            _ => lat.alu,
+        };
+        Some(m.cpu().config().cycles_to_ns(ops as u64 * per_op))
+    }
+
+    /// Full coarse-timer pipeline: race `target` against the reference,
+    /// leave the outcome in a PLRU set, magnify, and decide from `timer`
+    /// readings only. `threshold_ns` comes from [`IlpTimer::calibrate`].
+    pub fn exceeds_observed(
+        &self,
+        m: &mut Machine,
+        target: &PathSpec,
+        ref_ops: usize,
+        timer: &mut dyn Timer,
+        threshold_ns: f64,
+    ) -> bool {
+        let mag = PlruMagnifier::with(self.layout, 5, self.magnifier_rounds);
+        let race = TransientPaRace::new(self.layout).with_probe(mag.line_a(m));
+        let reference = PathSpec::op_chain(self.ref_op, ref_ops);
+        let prog = race.program(&reference, target);
+        race.train(m, &prog);
+        mag.prepare(m);
+        race.detect(m, &prog);
+        let observed = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        // Probe present (slow magnifier) ⇒ target finished first ⇒ target
+        // does NOT exceed the reference.
+        observed < threshold_ns
+    }
+
+    /// Calibrate the observed-mode decision threshold: run the magnifier in
+    /// both known states and return the midpoint of the observed times.
+    pub fn calibrate(&self, m: &mut Machine, timer: &mut dyn Timer) -> f64 {
+        let mag = PlruMagnifier::with(self.layout, 5, self.magnifier_rounds);
+        mag.prepare(m);
+        let absent = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        mag.prepare(m);
+        let a = mag.line_a(m);
+        m.warm(a);
+        let present = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+        (absent + present) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racer_time::CoarseTimer;
+
+    #[test]
+    fn measures_add_chains_to_single_op_accuracy() {
+        let timer = IlpTimer::new(Layout::default());
+        for target_len in [8usize, 20, 33] {
+            let mut m = Machine::baseline();
+            let target = PathSpec::op_chain(AluOp::Add, target_len);
+            let measured = timer.measure_ref_ops(&mut m, &target).expect("in window");
+            assert!(
+                measured.abs_diff(target_len) <= 4,
+                "measured {measured} ref-ops for a {target_len}-add target"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_targets_measure_at_three_adds_each() {
+        let timer = IlpTimer::new(Layout::default());
+        let mut m = Machine::baseline();
+        let t5 = timer
+            .measure_ref_ops(&mut m, &PathSpec::op_chain(AluOp::Mul, 5))
+            .expect("in window");
+        let t10 = timer
+            .measure_ref_ops(&mut m, &PathSpec::op_chain(AluOp::Mul, 10))
+            .expect("in window");
+        let slope = (t10 as f64 - t5 as f64) / 5.0;
+        assert!(
+            (2.5..=3.5).contains(&slope),
+            "MUL targets should cost ~3 ADD-units each, slope {slope:.2}"
+        );
+    }
+
+    #[test]
+    fn too_long_targets_exceed_the_window() {
+        let timer = IlpTimer::new(Layout::default());
+        let mut m = Machine::baseline();
+        let huge = PathSpec::op_chain(AluOp::Div, 40); // ≈ 560 cycles
+        assert_eq!(timer.measure_ref_ops(&mut m, &huge), None);
+    }
+
+    #[test]
+    fn observed_mode_agrees_with_omniscient_mode() {
+        let timer = IlpTimer::new(Layout::default());
+        let mut m = Machine::baseline();
+        let mut coarse = CoarseTimer::browser_5us();
+        let threshold = timer.calibrate(&mut m, &mut coarse);
+
+        let short = PathSpec::op_chain(AluOp::Add, 8);
+        let long = PathSpec::op_chain(AluOp::Add, 50);
+        assert!(
+            !timer.exceeds_observed(&mut m, &short, 25, &mut coarse, threshold),
+            "8 adds must not exceed a 25-add reference (coarse-timer readout)"
+        );
+        assert!(
+            timer.exceeds_observed(&mut m, &long, 25, &mut coarse, threshold),
+            "50 adds must exceed a 25-add reference (coarse-timer readout)"
+        );
+    }
+}

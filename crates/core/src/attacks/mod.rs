@@ -1,0 +1,40 @@
+//! End-to-end attacks built from racing + magnifier gadgets (paper §7),
+//! plus the application attacks the paper's introduction motivates.
+//!
+//! * [`ilp_timer`] — the generic fine-grained timer API (§7.2's measurement
+//!   capability productized);
+//! * [`cache_free_timer`] — the same capability with zero cache use
+//!   (§8's within-core-contention transmission);
+//! * [`repetition`] — repetition gadgets with and without racing gadgets
+//!   (§7.1, Figure 7);
+//! * [`spectre_back`] — the backwards-in-time Spectre attack (§7.3);
+//! * [`spectre_v1`] — the classic leaky.page-style baseline it defeats
+//!   rollback defences relative to;
+//! * [`eviction_set`] — LLC eviction-set generation without
+//!   SharedArrayBuffer (§7.4);
+//! * [`probe`] — the reusable racing-gadget L1 residency probe;
+//! * [`aes_recovery`], [`rsa_bit_leak`], [`fingerprint`] — the §2.1
+//!   motivations (AES, RSA-style exponentiation, website fingerprinting)
+//!   resurrected without fine timers.
+
+pub mod aes_recovery;
+pub mod cache_free_timer;
+pub mod eviction_set;
+pub mod fingerprint;
+pub mod ilp_timer;
+pub mod probe;
+pub mod repetition;
+pub mod rsa_bit_leak;
+pub mod spectre_back;
+pub mod spectre_v1;
+
+pub use aes_recovery::{AesAttack, AesRecovery};
+pub use cache_free_timer::CacheFreeTimer;
+pub use eviction_set::EvictionSetAttack;
+pub use fingerprint::{FingerprintAttack, Website};
+pub use ilp_timer::IlpTimer;
+pub use probe::L1Probe;
+pub use repetition::{run_repetition, RepetitionConfig, StageBreakdown};
+pub use rsa_bit_leak::{ExponentLeak, RsaBitLeak};
+pub use spectre_back::{LeakReport, SpectreBack};
+pub use spectre_v1::SpectreV1;

@@ -1,0 +1,114 @@
+//! A reusable L1 residency probe built from a racing gadget.
+//!
+//! Answers "is this line still in the L1?" — a 4-vs-12-cycle question no
+//! coarse timer can ask — via a transient P/A race whose measurement path
+//! dereferences a *pointer held in attacker memory*
+//! ([`PathSpec::IndirectLoad`]). One program therefore serves every probed
+//! line: its branch is trained against a dummy subject and each detection
+//! re-points the pointer, so training never touches the probed state and
+//! the predictor never saturates.
+//!
+//! Used by the AES recovery (§2.1 motivation) and the website-fingerprint
+//! demo; the readout is the gadget's standard presence/absence probe line.
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::path::PathSpec;
+use crate::racing::TransientPaRace;
+use racer_isa::AluOp;
+use racer_mem::{Addr, HitLevel};
+
+/// The racing-gadget L1 residency probe.
+#[derive(Clone, Debug)]
+pub struct L1Probe {
+    layout: Layout,
+    /// Reference ADD-chain length separating the L1-hit body (~10 cycles:
+    /// pointer hop + hit) from the L1-miss body (~17).
+    pub ref_adds: usize,
+    /// Attacker-memory cell holding the subject address.
+    pub ptr: Addr,
+    /// Always-warm dummy subject used for branch training.
+    pub dummy: Addr,
+}
+
+impl L1Probe {
+    /// A probe with default plumbing cells (L1 sets 33/34 on a 64-set L1,
+    /// clear of the sets most experiments monitor).
+    pub fn new(layout: Layout) -> Self {
+        L1Probe {
+            layout,
+            ref_adds: 11,
+            ptr: Addr(layout.x_flag.0 + 0x840),
+            dummy: Addr(layout.x_flag.0 + 0x880),
+        }
+    }
+
+    /// Probe whether `line` has been evicted from the L1.
+    ///
+    /// Perturbation: the detection reloads `line` (fill-at-issue), so a
+    /// probed line reads as resident afterwards — like any real
+    /// reload-style probe, each line should be probed once per round.
+    pub fn was_evicted(&self, m: &mut Machine, line: Addr) -> bool {
+        let race = TransientPaRace::new(self.layout);
+        let reference = PathSpec::op_chain(AluOp::Add, self.ref_adds);
+        let measured = PathSpec::IndirectLoad { ptr: self.ptr.0 };
+        let prog = race.program(&reference, &measured);
+        m.cpu_mut().mem_mut().write(self.ptr.0, self.dummy.0);
+        m.warm(self.ptr);
+        m.warm(self.dummy);
+        race.train(m, &prog);
+        m.cpu_mut().mem_mut().write(self.ptr.0, line.0);
+        race.detect(m, &prog);
+        m.cpu().hierarchy().probe(self.layout.probe) == HitLevel::Memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racer_cpu::CpuConfig;
+    use racer_mem::HierarchyConfig;
+
+    fn machine() -> Machine {
+        Machine::with(
+            CpuConfig::coffee_lake().with_load_recording(),
+            HierarchyConfig::coffee_lake(),
+        )
+    }
+
+    #[test]
+    fn distinguishes_resident_from_evicted() {
+        let mut m = machine();
+        let probe = L1Probe::new(m.layout());
+        let subject = Addr(0x0A00_0000);
+        m.warm(subject);
+        assert!(!probe.was_evicted(&mut m, subject));
+        m.evict_from_l1(subject);
+        assert!(probe.was_evicted(&mut m, subject));
+    }
+
+    #[test]
+    fn repeated_probes_stay_accurate() {
+        let mut m = machine();
+        let probe = L1Probe::new(m.layout());
+        let subject = Addr(0x0A10_0000);
+        for round in 0..6 {
+            m.warm(subject);
+            assert!(!probe.was_evicted(&mut m, subject), "round {round}: false positive");
+            m.evict_from_l1(subject);
+            assert!(probe.was_evicted(&mut m, subject), "round {round}: false negative");
+        }
+    }
+
+    #[test]
+    fn works_for_l2_resident_and_dram_cold_subjects() {
+        let mut m = machine();
+        let probe = L1Probe::new(m.layout());
+        let l2_subject = Addr(0x0A20_0000);
+        m.warm(l2_subject);
+        m.evict_from_l1(l2_subject);
+        assert!(probe.was_evicted(&mut m, l2_subject), "L2-resident = evicted from L1");
+        let cold = Addr(0x0A30_0000);
+        assert!(probe.was_evicted(&mut m, cold), "never-touched = not L1-resident");
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 10: execution-time distributions of the reorder magnifier after
+//! its access pattern is repeated thousands of times, for transmit-0 vs
+//! transmit-1 — "there is still almost no overlap between the two
+//! transmissions".
+
+use crate::machine::Machine;
+use crate::magnify::{PlruInput, PlruMagnifier};
+use racer_time::stats::{best_threshold, overlap_coefficient, Summary};
+use serde::{Deserialize, Serialize};
+
+/// The two sampled distributions plus separation metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistributionResult {
+    /// Observed milliseconds per transmit-1 trial (A inserted before B).
+    pub transmit1_ms: Vec<f64>,
+    /// Observed milliseconds per transmit-0 trial (B inserted before A).
+    pub transmit0_ms: Vec<f64>,
+    /// Histogram overlap coefficient in [0, 1].
+    pub overlap: f64,
+    /// Best-threshold classification accuracy in [0.5, 1].
+    pub accuracy: f64,
+}
+
+/// Run `trials` reorder-magnifier transmissions per bit value on noisy
+/// machines, with the magnifier pattern repeated `rounds` times (the paper
+/// uses 4000).
+pub fn figure10(trials: usize, rounds: usize) -> DistributionResult {
+    let mut transmit1_ms = Vec::with_capacity(trials);
+    let mut transmit0_ms = Vec::with_capacity(trials);
+    for t in 0..trials {
+        for a_first in [true, false] {
+            // Fresh noisy machine per trial: DRAM jitter varies run times.
+            let mut m = Machine::noisy(0xF1660 + t as u64 * 7 + u64::from(a_first));
+            let mag = PlruMagnifier::with(m.layout(), 5, rounds);
+            mag.prepare(&mut m);
+            let (a, b) = (mag.line_a(&m), mag.line_b(&m));
+            if a_first {
+                m.warm(a);
+                m.warm(b);
+            } else {
+                m.warm(b);
+                m.warm(a);
+            }
+            let cycles = mag.measure(&mut m, PlruInput::Reorder);
+            let ms = m.cpu().config().cycles_to_ns(cycles) / 1e6;
+            if a_first {
+                transmit1_ms.push(ms);
+            } else {
+                transmit0_ms.push(ms);
+            }
+        }
+    }
+    let overlap = overlap_coefficient(&transmit1_ms, &transmit0_ms, 40);
+    let (_, accuracy) = best_threshold(&transmit0_ms, &transmit1_ms);
+    DistributionResult { transmit1_ms, transmit0_ms, overlap, accuracy }
+}
+
+impl DistributionResult {
+    /// Summary statistics of both distributions.
+    pub fn summaries(&self) -> (Summary, Summary) {
+        (Summary::of(&self.transmit0_ms), Summary::of(&self.transmit1_ms))
+    }
+
+    /// Plot-ready rendering: per-trial values then metrics.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("# transmit\tms\n");
+        for v in &self.transmit0_ms {
+            let _ = writeln!(s, "0\t{v:.4}");
+        }
+        for v in &self.transmit1_ms {
+            let _ = writeln!(s, "1\t{v:.4}");
+        }
+        let (s0, s1) = self.summaries();
+        let _ = writeln!(s, "# transmit0: {s0}");
+        let _ = writeln!(s, "# transmit1: {s1}");
+        let _ = writeln!(s, "# overlap={:.4} accuracy={:.4}", self.overlap, self.accuracy);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmissions_are_cleanly_separable() {
+        let r = figure10(8, 400);
+        assert_eq!(r.transmit0_ms.len(), 8);
+        assert_eq!(r.transmit1_ms.len(), 8);
+        assert!(
+            r.overlap < 0.1,
+            "Figure 10: almost no overlap between transmissions, got {:.3}",
+            r.overlap
+        );
+        assert!(r.accuracy > 0.95, "accuracy {:.3}", r.accuracy);
+    }
+
+    #[test]
+    fn transmit1_is_the_slow_distribution() {
+        let r = figure10(4, 400);
+        let (s0, s1) = r.summaries();
+        assert!(
+            s1.mean > s0.mean,
+            "A-first (transmit 1) must run slower: {} vs {}",
+            s1.mean,
+            s0.mean
+        );
+    }
+
+    #[test]
+    fn render_contains_metrics() {
+        let r = figure10(2, 100);
+        assert!(r.render().contains("overlap="));
+    }
+}

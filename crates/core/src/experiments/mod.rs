@@ -1,0 +1,31 @@
+//! Experiment drivers regenerating every figure and table of the paper's
+//! evaluation (§7), plus the countermeasure study (§8).
+//!
+//! | Paper artefact | Driver |
+//! |---|---|
+//! | Figure 7 (repetition time stacks) | [`repetition_figure`] |
+//! | Figures 8–9 (racing-gadget granularity) | [`granularity`] |
+//! | §7.2 granularity summary | [`granularity::granularity_table`] |
+//! | Figure 10 (reorder-magnifier distributions) | [`distribution`] |
+//! | Figure 11 (arbitrary-replacement sweep) | [`magnifier_sweeps::figure11`] |
+//! | Figure 12 (arithmetic-magnifier sweep) | [`magnifier_sweeps::figure12`] |
+//! | §7.3 SpectreBack rate/accuracy | [`spectre_eval`] |
+//! | §7.4 eviction-set success rate | [`ev_eval`] |
+//! | §6.3.3 SEQ/PAR miss probability | [`par_seq`] |
+//! | §8 countermeasure matrix | [`countermeasures`] |
+//!
+//! Every driver takes explicit scale parameters so tests can run shrunken
+//! versions while the `racer-bench` binaries run paper-scale sweeps.
+
+pub mod countermeasures;
+pub mod detection;
+pub mod distribution;
+pub mod ev_eval;
+pub mod granularity;
+pub mod magnifier_sweeps;
+pub mod noise_sensitivity;
+pub mod par_seq;
+pub mod repetition_figure;
+pub mod spectre_eval;
+pub mod timer_mitigations;
+pub mod window_ablation;

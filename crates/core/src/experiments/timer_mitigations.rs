@@ -1,0 +1,137 @@
+//! Timer-mitigation sweep: how much magnification defeats each historical
+//! browser timer mitigation (paper §2.2 and §8's "some of our magnifiers
+//! ... could be defeated via further coarsening, whereas others (the PLRU
+//! gadgets) are unlikely to be limited without removing any source of
+//! coarse-grained time completely").
+//!
+//! For each timer model and each magnifier round count, transmit a bit
+//! through the PLRU reorder magnifier many times and report the
+//! classification accuracy. Because PLRU magnification is unbounded, there
+//! is a round count that defeats *every* finite resolution.
+
+use crate::machine::Machine;
+use crate::magnify::{PlruInput, PlruMagnifier};
+use racer_time::{stats, CoarseTimer, FuzzyTimer, Timer};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the mitigation sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MitigationPoint {
+    /// Timer model name.
+    pub timer: String,
+    /// Magnifier rounds per transmission.
+    pub rounds: usize,
+    /// Bit-classification accuracy in [0.5, 1].
+    pub accuracy: f64,
+}
+
+fn build_timer(name: &str, seed: u64) -> Box<dyn Timer> {
+    match name {
+        "5us" => Box::new(CoarseTimer::new(5_000.0)),
+        "100us" => Box::new(CoarseTimer::new(100_000.0)),
+        "5us+jitter" => Box::new(CoarseTimer::with_jitter(5_000.0, 5_000.0, seed)),
+        "fuzzy-5us" => Box::new(FuzzyTimer::new(5_000.0, seed)),
+        "1ms" => Box::new(CoarseTimer::new(1_000_000.0)),
+        other => panic!("unknown timer model {other}"),
+    }
+}
+
+/// Transmit `trials` known bits per (timer, rounds) cell; score accuracy.
+pub fn sweep(timers: &[&str], round_counts: &[usize], trials: usize) -> Vec<MitigationPoint> {
+    let mut out = Vec::new();
+    for &tname in timers {
+        for &rounds in round_counts {
+            let mut timer = build_timer(tname, 0xBEEF);
+            let mut zeros = Vec::new();
+            let mut ones = Vec::new();
+            for t in 0..trials {
+                for bit in [false, true] {
+                    let mut m = Machine::noisy(t as u64 * 31 + u64::from(bit));
+                    let mag = PlruMagnifier::with(m.layout(), 5, rounds);
+                    mag.prepare(&mut m);
+                    let (a, b) = (mag.line_a(&m), mag.line_b(&m));
+                    if bit {
+                        m.warm(a);
+                        m.warm(b);
+                    } else {
+                        m.warm(b);
+                        m.warm(a);
+                    }
+                    let obs =
+                        m.run_timed(&mag.program(&m, PlruInput::Reorder), timer.as_mut());
+                    if bit {
+                        ones.push(obs);
+                    } else {
+                        zeros.push(obs);
+                    }
+                }
+            }
+            let (_, accuracy) = stats::best_threshold(&zeros, &ones);
+            out.push(MitigationPoint { timer: tname.to_string(), rounds, accuracy });
+        }
+    }
+    out
+}
+
+/// Render the sweep as a table (rows = timers, columns = round counts).
+pub fn render(points: &[MitigationPoint], round_counts: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("timer");
+    for r in round_counts {
+        let _ = write!(s, "\t{r} rounds");
+    }
+    s.push('\n');
+    let mut timers: Vec<&str> = points.iter().map(|p| p.timer.as_str()).collect();
+    timers.dedup();
+    for t in timers {
+        let _ = write!(s, "{t}");
+        for r in round_counts {
+            let p = points
+                .iter()
+                .find(|p| p.timer == t && p.rounds == *r)
+                .expect("cell present");
+            let _ = write!(s, "\t{:.2}", p.accuracy);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enough_rounds_defeat_every_finite_resolution() {
+        // 100 µs resolution: 1500 rounds (~18 µs diff) fail, 20000 rounds
+        // (~240 µs) succeed — coarsening only raises the bar, never closes.
+        let pts = sweep(&["100us"], &[1_500, 20_000], 4);
+        let low = pts.iter().find(|p| p.rounds == 1_500).unwrap();
+        let high = pts.iter().find(|p| p.rounds == 20_000).unwrap();
+        assert!(
+            high.accuracy > low.accuracy || high.accuracy == 1.0,
+            "more magnification must help: {low:?} vs {high:?}"
+        );
+        assert!(high.accuracy > 0.9, "20k rounds must defeat 100 µs: {:.2}", high.accuracy);
+    }
+
+    #[test]
+    fn five_microsecond_variants_all_fall_to_moderate_rounds() {
+        let pts = sweep(&["5us", "5us+jitter", "fuzzy-5us"], &[4_000], 4);
+        for p in &pts {
+            assert!(
+                p.accuracy > 0.85,
+                "{} should fall to 4000 rounds: accuracy {:.2}",
+                p.timer,
+                p.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_all_cells() {
+        let pts = sweep(&["5us"], &[500, 1000], 2);
+        let s = render(&pts, &[500, 1000]);
+        assert!(s.contains("5us") && s.contains("500 rounds"));
+    }
+}

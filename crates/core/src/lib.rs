@@ -1,0 +1,71 @@
+//! # hacky-racers — ILP-race timing gadgets
+//!
+//! A faithful reproduction of *"Hacky Racers: Exploiting Instruction-Level
+//! Parallelism to Generate Stealthy Fine-Grained Timers"* (Xiao & Ainsworth,
+//! ASPLOS 2023), built on the `racer-cpu`/`racer-mem` simulation substrate.
+//!
+//! The paper's thesis: even with every browser timer coarsened to 5 µs and
+//! SharedArrayBuffer removed, an attacker can *time* fine-grained events by
+//! racing two independent instruction sequences (**paths**, §4) against each
+//! other on an out-of-order core, converting the race outcome into cache
+//! state (**racing gadgets**, §5), and amplifying that state difference into
+//! a coarse-timer-visible delay (**magnifier gadgets**, §6).
+//!
+//! Module map (paper section → module):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4 path construction | [`path`] |
+//! | §5.1 transient P/A racing gadget | [`racing::TransientPaRace`] |
+//! | §5.2 non-transient reorder racing gadget | [`racing::ReorderRace`] |
+//! | §6.1 PLRU magnifier (P/A input) | [`magnify::PlruMagnifier`] |
+//! | §6.2 PLRU magnifier (reorder input) | [`magnify::PlruMagnifier`] |
+//! | §6.3 arbitrary-replacement magnifier | [`magnify::ArbitraryReplacementMagnifier`] |
+//! | §6.4 arithmetic-operation-only magnifier | [`magnify::ArithmeticMagnifier`] |
+//! | §7.1 repetition gadgets | [`attacks::repetition`] |
+//! | §7.2 racing-gadget granularity | [`experiments::granularity`] |
+//! | §7.3 SpectreBack | [`attacks::spectre_back`] |
+//! | §7.4 LLC eviction-set generation | [`attacks::eviction_set`] |
+//! | §8 countermeasures | [`experiments::countermeasures`] |
+//!
+//! ## Quickstart: a fine-grained timer from coarse parts
+//!
+//! ```
+//! use hacky_racers::prelude::*;
+//!
+//! // A machine with a 5 µs browser timer.
+//! let mut machine = Machine::baseline();
+//!
+//! // Race a 12-op ADD chain (the "target expression") against a reference
+//! // path of ADDs; the race outcome tells us which was longer, with
+//! // single-cycle-scale granularity — no fine timer anywhere.
+//! let target = PathSpec::op_chain(AluOp::Add, 12);
+//! let longer_ref = PathSpec::op_chain(AluOp::Add, 40);
+//! let shorter_ref = PathSpec::op_chain(AluOp::Add, 3);
+//!
+//! let race = TransientPaRace::new(machine.layout());
+//! assert!(race.target_beats_ref(&mut machine, &target, &longer_ref));
+//! assert!(!race.target_beats_ref(&mut machine, &target, &shorter_ref));
+//! ```
+
+pub mod attacks;
+pub mod experiments;
+pub mod layout;
+pub mod machine;
+pub mod magnify;
+pub mod path;
+pub mod racing;
+
+/// Convenient glob imports for examples and downstream code.
+pub mod prelude {
+    pub use crate::layout::Layout;
+    pub use crate::machine::Machine;
+    pub use crate::magnify::{
+        ArbitraryReplacementMagnifier, ArithmeticMagnifier, PlruMagnifier,
+    };
+    pub use crate::path::PathSpec;
+    pub use crate::racing::{RaceOutcome, ReorderRace, TransientPaRace};
+    pub use racer_cpu::{Countermeasure, Cpu, CpuConfig};
+    pub use racer_isa::AluOp;
+    pub use racer_mem::{Addr, HierarchyConfig, HitLevel};
+}

@@ -1,0 +1,30 @@
+//! Magnifier gadgets (paper §6): amplify a one-bit micro-architectural
+//! state difference into a timing difference visible through an arbitrarily
+//! coarse timer.
+//!
+//! Three families, in increasing generality:
+//!
+//! * [`PlruMagnifier`] — exploits tree-PLRU replacement (§6.1/§6.2,
+//!   Figures 3–4). Accepts either a presence/absence input (was line A
+//!   inserted at all?) or a reorder input (was A inserted before B?).
+//!   Magnification is unbounded: every 6-access round adds three L1 misses
+//!   in the "1" state and none in the "0" state, forever.
+//! * [`ArbitraryReplacementMagnifier`] — works for *any* per-set
+//!   replacement policy including random (§6.3, Figure 5): two racing
+//!   paths traverse per-set eviction sets; a misalignment between them
+//!   cascades into misses round after round, optionally sustained forever
+//!   by in-path prefetching (§6.3.1).
+//! * [`ArithmeticMagnifier`] — no cache use whatsoever (§6.4, Figure 6):
+//!   contention on a non-fully-pipelined divider turns a start-time offset
+//!   into a growing delay, bounded only by the OS timer-interrupt interval
+//!   (§7.5, Figure 12).
+
+mod arbitrary;
+mod arithmetic;
+pub mod pattern;
+mod plru;
+
+pub use arbitrary::ArbitraryReplacementMagnifier;
+pub use arithmetic::ArithmeticMagnifier;
+pub use pattern::{derive_pattern, GeneralPlruMagnifier, PlruPattern};
+pub use plru::{PlruInput, PlruMagnifier};

@@ -1,0 +1,200 @@
+//! The non-transient reorder racing gadget (paper §5.2).
+//!
+//! ```text
+//!     path_m() ↦ access[A];
+//!     path_b() ↦ access[B];
+//! ```
+//!
+//! No branch, no misspeculation, nothing to squash: both paths execute
+//! architecturally, and the only secret is *which terminal load issued
+//! first* — visible in the relative cache-insertion order of lines A and B.
+//! Because every instruction here is non-speculative, defences that police
+//! transient execution (delay-on-miss, invisible speculation, rollback
+//! cleanup) "mark them as being safe to execute in any order" (paper §8)
+//! and the race transmits regardless.
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::path::{emit_sync_head, PathSpec};
+use crate::racing::{warm_path, RaceOutcome};
+use racer_isa::{Asm, MemOperand, Program};
+use racer_mem::Addr;
+
+/// Builder/driver for §5.2 reorder races.
+#[derive(Clone, Debug)]
+pub struct ReorderRace {
+    layout: Layout,
+}
+
+impl ReorderRace {
+    /// A race driver over `layout`.
+    pub fn new(layout: Layout) -> Self {
+        ReorderRace { layout }
+    }
+
+    /// Build the gadget program:
+    ///
+    /// ```text
+    /// seed = load [sync] & 0       ; flushed head, §4.1
+    /// rm   = path_m.emit(seed)     ; measurement path
+    /// rb   = path_b.emit(seed)     ; baseline path (independent registers)
+    /// load [rm + A]                ; terminal access of path_m
+    /// load [rb + B]                ; terminal access of path_b
+    /// halt
+    /// ```
+    ///
+    /// Program order of the two terminal loads is irrelevant: each issues
+    /// the cycle its own path's terminator resolves.
+    pub fn program(&self, path_m: &PathSpec, path_b: &PathSpec, a: Addr, b: Addr) -> Program {
+        let mut asm = Asm::new();
+        let seed = emit_sync_head(&mut asm, self.layout.sync);
+        let rm = path_m.emit(&mut asm, seed);
+        let rb = path_b.emit(&mut asm, seed);
+        let va = asm.reg();
+        asm.load(va, MemOperand::base_disp(rm, a.0 as i64));
+        let vb = asm.reg();
+        asm.load(vb, MemOperand::base_disp(rb, b.0 as i64));
+        asm.halt();
+        asm.assemble().expect("reorder gadget assembles")
+    }
+
+    /// Run the race once (flushing the sync head first) and report which
+    /// terminal access issued first, from recorded load events.
+    pub fn run(
+        &self,
+        m: &mut Machine,
+        path_m: &PathSpec,
+        path_b: &PathSpec,
+        a: Addr,
+        b: Addr,
+    ) -> RaceOutcome {
+        let prog = self.program(path_m, path_b, a, b);
+        warm_path(m, path_m);
+        warm_path(m, path_b);
+        m.flush(self.layout.sync);
+        let r = m.run(&prog);
+        let a_ev = r.loads.iter().find(|l| l.addr == a.0).expect("A access recorded");
+        let b_ev = r.loads.iter().find(|l| l.addr == b.0).expect("B access recorded");
+        RaceOutcome {
+            measurement_won: a_ev.issue_cycle <= b_ev.issue_cycle,
+            measurement_issue: Some(a_ev.issue_cycle),
+            baseline_issue: Some(b_ev.issue_cycle),
+            cycles: r.cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racer_cpu::Countermeasure;
+    use racer_isa::AluOp;
+
+    const A: Addr = Addr(0x0700_0000);
+    const B: Addr = Addr(0x0700_2000);
+
+    #[test]
+    fn shorter_measurement_path_issues_first() {
+        let mut m = Machine::baseline();
+        let race = ReorderRace::new(m.layout());
+        let out = race.run(
+            &mut m,
+            &PathSpec::op_chain(AluOp::Add, 10),
+            &PathSpec::op_chain(AluOp::Add, 30),
+            A,
+            B,
+        );
+        assert!(out.measurement_won);
+        let out = race.run(
+            &mut m,
+            &PathSpec::op_chain(AluOp::Add, 30),
+            &PathSpec::op_chain(AluOp::Add, 10),
+            A,
+            B,
+        );
+        assert!(!out.measurement_won);
+    }
+
+    #[test]
+    fn issue_gap_tracks_path_length_difference() {
+        let mut m = Machine::baseline();
+        let race = ReorderRace::new(m.layout());
+        let out = race.run(
+            &mut m,
+            &PathSpec::op_chain(AluOp::Add, 10),
+            &PathSpec::op_chain(AluOp::Add, 34),
+            A,
+            B,
+        );
+        let gap = out.baseline_issue.unwrap() - out.measurement_issue.unwrap();
+        assert!(
+            (20..=28).contains(&gap),
+            "24-add difference should give a ~24-cycle issue gap, got {gap}"
+        );
+    }
+
+    #[test]
+    fn single_op_difference_is_resolvable() {
+        // §7.2: "the overall minimal granularity of racing gadgets is 1–6
+        // cycles". With deterministic issue, a single extra ADD flips order.
+        let mut m = Machine::baseline();
+        let race = ReorderRace::new(m.layout());
+        let shorter = PathSpec::op_chain(AluOp::Add, 20);
+        let longer = PathSpec::op_chain(AluOp::Add, 21);
+        let out = race.run(&mut m, &shorter, &longer, A, B);
+        assert!(out.measurement_won);
+        let out = race.run(&mut m, &longer, &shorter, A, B);
+        assert!(!out.measurement_won);
+    }
+
+    /// The §8 claim: the reorder race has no speculative component, so
+    /// transient-execution defences leave it fully functional.
+    #[test]
+    fn reorder_race_survives_spectre_defences() {
+        for cm in [
+            Countermeasure::DelayOnMiss,
+            Countermeasure::InvisibleSpec,
+            Countermeasure::GhostMinion,
+        ] {
+            let mut m = Machine::baseline();
+            m.set_countermeasure(cm);
+            let race = ReorderRace::new(m.layout());
+            let out = race.run(
+                &mut m,
+                &PathSpec::op_chain(AluOp::Add, 8),
+                &PathSpec::op_chain(AluOp::Add, 28),
+                A,
+                B,
+            );
+            assert!(out.measurement_won, "{cm}: race must still resolve correctly");
+            let out = race.run(
+                &mut m,
+                &PathSpec::op_chain(AluOp::Add, 28),
+                &PathSpec::op_chain(AluOp::Add, 8),
+                A,
+                B,
+            );
+            assert!(!out.measurement_won, "{cm}: race must transmit both directions");
+        }
+    }
+
+    /// In-order execution is the defence that works (paper §8): the paths
+    /// serialize and the "race" degenerates to program order.
+    #[test]
+    fn in_order_execution_destroys_the_race() {
+        let mut m = Machine::baseline();
+        m.set_countermeasure(Countermeasure::InOrder);
+        let race = ReorderRace::new(m.layout());
+        // path_m is much shorter, but in-order issue means A still goes
+        // first only because of *program order*, not timing: flipping the
+        // lengths must NOT flip the outcome.
+        let short_first =
+            race.run(&mut m, &PathSpec::op_chain(AluOp::Add, 5), &PathSpec::op_chain(AluOp::Add, 30), A, B);
+        let long_first =
+            race.run(&mut m, &PathSpec::op_chain(AluOp::Add, 30), &PathSpec::op_chain(AluOp::Add, 5), A, B);
+        assert_eq!(
+            short_first.measurement_won, long_first.measurement_won,
+            "under in-order issue the outcome is timing-independent"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The transient presence/absence racing gadget (paper §5.1).
+//!
+//! ```text
+//!     if (path_m(x))            // branch condition = one path
+//!         path_b() ↦ access[A]  // branch body = the other, ending in a probe
+//! ```
+//!
+//! Trained with `x = 0` (condition true, body executes architecturally),
+//! then flipped to `x = 1`: the predictor still runs the body — but only
+//! *transiently*, until the condition path resolves and squashes it. The
+//! probe access `access[A]` therefore lands in the cache **iff the body
+//! path finishes before the condition path** — converting a cycle-scale
+//! timing relation into persistent cache state.
+
+use crate::layout::Layout;
+use crate::machine::Machine;
+use crate::path::{emit_sync_head, PathSpec};
+use crate::racing::{warm_path, RaceOutcome};
+use racer_isa::{Asm, Cond, MemOperand, Program};
+use racer_mem::HitLevel;
+
+/// Builder/driver for §5.1 races. See the module docs for the construction.
+///
+/// The *condition* path is the reference (`path_b()` in the paper's §7.2
+/// granularity experiments: a chain of known-latency ops); the *body* path
+/// carries the target expression and ends with the probe access.
+#[derive(Clone, Debug)]
+pub struct TransientPaRace {
+    layout: Layout,
+    /// Training iterations before each detection (default 4: enough to
+    /// saturate a 2-bit counter from any state).
+    pub train_iters: usize,
+    /// The probe line `A` that the body's terminal access touches
+    /// (defaults to [`Layout::probe`]; attacks point it at a magnifier's
+    /// protected line).
+    pub probe: racer_mem::Addr,
+}
+
+impl TransientPaRace {
+    /// A race driver over `layout`.
+    pub fn new(layout: Layout) -> Self {
+        TransientPaRace { layout, train_iters: 4, probe: layout.probe }
+    }
+
+    /// Use a custom probe line (e.g. a magnifier's line A).
+    pub fn with_probe(mut self, probe: racer_mem::Addr) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Build the gadget program.
+    ///
+    /// Shape (everything hangs off the flushed synchronization head, §4.1):
+    ///
+    /// ```text
+    /// rx   = load [x_flag]          ; warm: resolves immediately
+    /// seed = load [sync] & 0        ; flushed: both paths wait on this
+    /// rc   = cond.emit(seed)        ; condition path (reference)
+    /// c    = (rc + 1) - rx          ; c = 1 - x, data-dependent on rc
+    /// br c == 0 → skip              ; taken iff x == 1 (detection)
+    /// rb   = body.emit(seed)        ; measurement path (target)
+    /// probe_load [rb + probe]       ; the presence/absence transmitter
+    /// skip: halt
+    /// ```
+    pub fn program(&self, cond: &PathSpec, body: &PathSpec) -> Program {
+        let mut asm = Asm::new();
+        let rx = asm.reg();
+        asm.load(rx, MemOperand::abs(self.layout.x_flag.0));
+        let seed = emit_sync_head(&mut asm, self.layout.sync);
+        let rc = cond.emit(&mut asm, seed);
+        let t = asm.reg();
+        asm.addi(t, rc, 1);
+        let c = asm.reg();
+        asm.sub(c, t, rx);
+        let skip = asm.fwd_label();
+        asm.br(Cond::Eq, c, 0i64, skip);
+        let rb = body.emit(&mut asm, seed);
+        let probe_val = asm.reg();
+        asm.load(probe_val, MemOperand::base_disp(rb, self.probe.0 as i64));
+        asm.bind(skip);
+        asm.halt();
+        asm.assemble().expect("transient P/A gadget assembles")
+    }
+
+    /// Train the branch with `x = 0` (body architecturally executed).
+    pub fn train(&self, m: &mut Machine, prog: &Program) {
+        m.cpu_mut().mem_mut().write(self.layout.x_flag.0, 0);
+        m.warm(self.layout.x_flag);
+        for _ in 0..self.train_iters {
+            m.flush(self.layout.sync);
+            m.run(prog);
+        }
+    }
+
+    /// One trained detection run (`x = 1`): returns the race outcome,
+    /// including whether the probe access issued before the squash.
+    pub fn detect(&self, m: &mut Machine, prog: &Program) -> RaceOutcome {
+        m.cpu_mut().mem_mut().write(self.layout.x_flag.0, 1);
+        m.flush(self.layout.sync);
+        m.flush(self.probe);
+        let r = m.run(prog);
+        debug_assert!(r.mispredicts >= 1, "detection must mispredict");
+        let probe_ev = r.loads.iter().find(|l| l.addr == self.probe.0);
+        RaceOutcome {
+            measurement_won: probe_ev.is_some(),
+            measurement_issue: probe_ev.map(|l| l.issue_cycle),
+            baseline_issue: None,
+            cycles: r.cycles,
+        }
+    }
+
+    /// Full train-then-detect: does the probe line end up cached — i.e. did
+    /// the body (target) path beat the condition (reference) path?
+    ///
+    /// This is the omniscient readout used by granularity experiments; full
+    /// attacks read the same state via a magnifier gadget and coarse timer.
+    pub fn probe_present_after(
+        &self,
+        m: &mut Machine,
+        cond: &PathSpec,
+        body: &PathSpec,
+    ) -> bool {
+        let prog = self.program(cond, body);
+        warm_path(m, cond);
+        warm_path(m, body);
+        self.train(m, &prog);
+        self.detect(m, &prog);
+        m.cpu().hierarchy().probe(self.probe) != HitLevel::Memory
+    }
+
+    /// §7.2 framing: does `target` (in the transient body) complete before
+    /// `reference` (the branch condition) resolves?
+    pub fn target_beats_ref(
+        &self,
+        m: &mut Machine,
+        target: &PathSpec,
+        reference: &PathSpec,
+    ) -> bool {
+        self.probe_present_after(m, reference, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racer_isa::AluOp;
+
+    fn machine() -> Machine {
+        Machine::baseline()
+    }
+
+    #[test]
+    fn long_reference_lets_target_win() {
+        let mut m = machine();
+        let race = TransientPaRace::new(m.layout());
+        let target = PathSpec::op_chain(AluOp::Add, 10);
+        let reference = PathSpec::op_chain(AluOp::Add, 45);
+        assert!(race.target_beats_ref(&mut m, &target, &reference));
+    }
+
+    #[test]
+    fn short_reference_squashes_target() {
+        let mut m = machine();
+        let race = TransientPaRace::new(m.layout());
+        let target = PathSpec::op_chain(AluOp::Add, 45);
+        let reference = PathSpec::op_chain(AluOp::Add, 5);
+        assert!(!race.target_beats_ref(&mut m, &target, &reference));
+    }
+
+    #[test]
+    fn race_flip_point_tracks_target_length() {
+        // The minimal reference length where the target stops winning grows
+        // with the target length — the §7.2 measurement principle.
+        let mut flip_points = Vec::new();
+        for target_len in [5usize, 15, 25] {
+            let mut m = machine();
+            let race = TransientPaRace::new(m.layout());
+            let target = PathSpec::op_chain(AluOp::Add, target_len);
+            let mut flip = None;
+            for ref_len in 1..70 {
+                let reference = PathSpec::op_chain(AluOp::Add, ref_len);
+                if race.target_beats_ref(&mut m, &target, &reference) {
+                    flip = Some(ref_len);
+                    break;
+                }
+            }
+            flip_points.push(flip.expect("some reference length must flip"));
+        }
+        assert!(
+            flip_points[0] < flip_points[1] && flip_points[1] < flip_points[2],
+            "flip points must be monotone in target length: {flip_points:?}"
+        );
+    }
+
+    #[test]
+    fn mul_reference_times_div_targets() {
+        // Fig 9: a MUL reference can distinguish DIV-chain lengths.
+        let mut m = machine();
+        let race = TransientPaRace::new(m.layout());
+        let divs = PathSpec::op_chain(AluOp::Div, 4); // ≈ 4 × 14 = 56 cycles
+        let short_mul = PathSpec::op_chain(AluOp::Mul, 10); // 30 cycles
+        let long_mul = PathSpec::op_chain(AluOp::Mul, 25); // 75 cycles
+        assert!(!race.target_beats_ref(&mut m, &divs, &short_mul));
+        assert!(race.target_beats_ref(&mut m, &divs, &long_mul));
+    }
+
+    #[test]
+    fn detection_actually_mispredicts_and_squashes() {
+        let mut m = machine();
+        let race = TransientPaRace::new(m.layout());
+        let prog = race.program(
+            &PathSpec::op_chain(AluOp::Add, 30),
+            &PathSpec::op_chain(AluOp::Add, 5),
+        );
+        race.train(&mut m, &prog);
+        let out = race.detect(&mut m, &prog);
+        assert!(out.measurement_won, "5-add body beats a 30-add condition");
+        assert!(out.measurement_issue.is_some());
+    }
+}

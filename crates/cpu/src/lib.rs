@@ -1,0 +1,56 @@
+//! # racer-cpu — cycle-level out-of-order core for Hacky Racers
+//!
+//! This crate is the substitute for the paper's physical evaluation machines
+//! (Intel i7-8750H / AMD Ryzen 5900HX): a dynamically scheduled core with a
+//! reorder buffer, register renaming, a unified scheduler, per-class
+//! functional-unit ports (including the non-fully-pipelined divider the §6.4
+//! magnifier leans on), a trainable branch predictor, and misspeculation
+//! recovery that — like real hardware — leaves speculative cache fills in
+//! place.
+//!
+//! The architectural contract is simple: for every program, committed
+//! results equal the in-order reference interpreter in
+//! [`racer_isa::interp`]. Speculation and out-of-order issue may only change
+//! *timing* and *microarchitectural state*. The Hacky Racers attack surface
+//! lives entirely in that gap.
+//!
+//! ## Countermeasures
+//!
+//! [`Countermeasure`] models the §8 defence landscape: in-order issue,
+//! delay-on-miss, invisible speculation and GhostMinion-style strictness
+//! ordering, so the paper's claims about which gadgets survive which
+//! defences become testable.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use racer_cpu::{Cpu, CpuConfig};
+//! use racer_isa::{Asm, MemOperand};
+//! use racer_mem::HierarchyConfig;
+//!
+//! let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+//! cpu.mem_mut().write(0x1000, 7);
+//!
+//! let mut asm = Asm::new();
+//! let r = asm.reg();
+//! asm.load(r, MemOperand::abs(0x1000));
+//! asm.halt();
+//! let prog = asm.assemble()?;
+//!
+//! let cold = cpu.execute(&prog);
+//! let warm = cpu.execute(&prog);
+//! assert_eq!(cold.regs[r.index()], 7);
+//! assert!(warm.cycles < cold.cycles, "second run hits the warm cache");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod predictor;
+pub mod stats;
+pub mod trace;
+
+pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind};
+pub use core::Cpu;
+pub use stats::{LoadEvent, RunResult};
+pub use trace::{render_pipeline, TraceRecord};

@@ -1,0 +1,172 @@
+//! Branch predictors.
+//!
+//! The transient presence/absence racing gadget (paper §5.1) relies on a
+//! *trainable* predictor: the attacker first executes the gadget with inputs
+//! that make the branch resolve one way, then flips the input so the
+//! (now-mistrained) predictor speculatively executes the wrong path. The
+//! [`TwoBit`] predictor reproduces that behaviour; the static predictors
+//! exist for controlled experiments.
+
+use crate::config::PredictorKind;
+
+/// A direction predictor for conditional branches.
+///
+/// Predictor state persists across [`Cpu::execute`](crate::Cpu::execute)
+/// calls — training in one run carries into the next, exactly like real
+/// hardware observed by a JavaScript attacker re-invoking a function.
+pub trait Predictor: std::fmt::Debug + Send {
+    /// Predict the direction of the branch at `pc`.
+    fn predict(&self, pc: usize) -> bool;
+    /// Record the resolved direction of the branch at `pc`.
+    fn train(&mut self, pc: usize, taken: bool);
+    /// Forget all history.
+    fn reset(&mut self);
+}
+
+/// Build the predictor selected by `kind`.
+pub fn build(kind: PredictorKind) -> Box<dyn Predictor> {
+    match kind {
+        PredictorKind::TwoBit { entries } => Box::new(TwoBit::new(entries)),
+        PredictorKind::AlwaysTaken => Box::new(Static { taken: true }),
+        PredictorKind::AlwaysNotTaken => Box::new(Static { taken: false }),
+    }
+}
+
+/// Classic 2-bit saturating-counter bimodal predictor indexed by PC.
+///
+/// Counters: 0,1 → predict not-taken; 2,3 → predict taken. Initialised to 1
+/// (weakly not-taken).
+///
+/// ```
+/// use racer_cpu::predictor::{Predictor, TwoBit};
+/// let mut p = TwoBit::new(64);
+/// p.train(5, true);
+/// p.train(5, true);
+/// assert!(p.predict(5));
+/// p.train(5, false);
+/// assert!(p.predict(5), "one contrary outcome does not flip a saturated counter");
+/// p.train(5, false);
+/// assert!(!p.predict(5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoBit {
+    table: Vec<u8>,
+    mask: usize,
+}
+
+impl TwoBit {
+    /// Create a table of `entries` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "predictor table size must be a power of two");
+        TwoBit { table: vec![1; entries], mask: entries - 1 }
+    }
+
+    fn idx(&self, pc: usize) -> usize {
+        pc & self.mask
+    }
+}
+
+impl Predictor for TwoBit {
+    fn predict(&self, pc: usize) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+
+    fn train(&mut self, pc: usize, taken: bool) {
+        let i = self.idx(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.iter_mut().for_each(|c| *c = 1);
+    }
+}
+
+/// Statically predicts one direction, ignoring history.
+#[derive(Copy, Clone, Debug)]
+pub struct Static {
+    taken: bool,
+}
+
+impl Predictor for Static {
+    fn predict(&self, _pc: usize) -> bool {
+        self.taken
+    }
+
+    fn train(&mut self, _pc: usize, _taken: bool) {}
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_saturates_both_ways() {
+        let mut p = TwoBit::new(16);
+        for _ in 0..10 {
+            p.train(3, true);
+        }
+        assert!(p.predict(3));
+        p.train(3, false);
+        assert!(p.predict(3), "3→2 still predicts taken");
+        p.train(3, false);
+        assert!(!p.predict(3), "2→1 flips to not-taken");
+        for _ in 0..10 {
+            p.train(3, false);
+        }
+        p.train(3, true);
+        assert!(!p.predict(3), "0→1 still predicts not-taken");
+    }
+
+    #[test]
+    fn pcs_alias_by_mask() {
+        let mut p = TwoBit::new(8);
+        p.train(1, true);
+        p.train(1, true);
+        assert!(p.predict(9), "pc 9 aliases pc 1 in an 8-entry table");
+        assert!(!p.predict(2));
+    }
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        let p = TwoBit::new(8);
+        for pc in 0..8 {
+            assert!(!p.predict(pc));
+        }
+    }
+
+    #[test]
+    fn reset_forgets_training() {
+        let mut p = TwoBit::new(8);
+        p.train(0, true);
+        p.train(0, true);
+        p.reset();
+        assert!(!p.predict(0));
+    }
+
+    #[test]
+    fn static_predictors() {
+        let t = build(PredictorKind::AlwaysTaken);
+        let nt = build(PredictorKind::AlwaysNotTaken);
+        assert!(t.predict(123));
+        assert!(!nt.predict(123));
+    }
+
+    #[test]
+    fn factory_builds_two_bit() {
+        let mut p = build(PredictorKind::TwoBit { entries: 32 });
+        p.train(4, true);
+        p.train(4, true);
+        assert!(p.predict(4));
+    }
+}

@@ -1,0 +1,267 @@
+//! Differential testing: the out-of-order core must produce exactly the
+//! architectural results of the in-order reference interpreter, for every
+//! program. Speculation and reordering may only change timing and cache
+//! state — this is the invariant that makes Hacky Racers "correct execution"
+//! attacks (paper §9: "even correct execution results in information
+//! leakage").
+
+use proptest::prelude::*;
+use racer_cpu::{Cpu, CpuConfig, PredictorKind};
+use racer_isa::{interp, Asm, Cond, DataMemory, Instr, MemOperand, Operand, Program, Reg};
+use racer_mem::HierarchyConfig;
+
+fn fresh_cpu() -> Cpu {
+    Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake())
+}
+
+/// Run `prog` on both engines from the same initial memory; compare final
+/// registers, memory and dynamic instruction count.
+fn differential(prog: &Program, init_mem: &DataMemory) {
+    let mut ref_mem = init_mem.clone();
+    let reference = interp::run(prog, &mut ref_mem, 5_000_000).expect("reference terminates");
+
+    let mut cpu = fresh_cpu();
+    *cpu.mem_mut() = init_mem.clone();
+    let result = cpu.execute(prog);
+    assert!(!result.limit_hit, "core hit its cycle limit");
+
+    assert_eq!(result.regs, reference.regs, "register files diverge");
+    assert_eq!(cpu.mem(), &ref_mem, "memory contents diverge");
+    assert_eq!(result.committed, reference.steps, "dynamic instruction counts diverge");
+    assert_eq!(result.halted, reference.halted);
+}
+
+#[test]
+fn arithmetic_loop_matches_reference() {
+    let mut asm = Asm::new();
+    let (i, acc, t) = (asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(i, 25);
+    let top = asm.here();
+    asm.mul(t, i, i);
+    asm.add(acc, acc, t);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    differential(&asm.assemble().unwrap(), &DataMemory::new());
+}
+
+#[test]
+fn memory_dataflow_matches_reference() {
+    let mut asm = Asm::new();
+    let (p, v, s) = (asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(p, 0x1000);
+    for _ in 0..5 {
+        asm.load(v, MemOperand::base_disp(p, 0)); // pointer chase
+        asm.add(s, s, v);
+        asm.mov(p, v);
+    }
+    asm.store(s, MemOperand::abs(0x5000));
+    asm.load(v, MemOperand::abs(0x5000)); // read back through the store
+    asm.add(s, s, v);
+    asm.halt();
+
+    let mut mem = DataMemory::new();
+    // 0x1000 -> 0x2000 -> 0x3000 -> 0x2000 ... a small pointer cycle.
+    mem.write(0x1000, 0x2000);
+    mem.write(0x2000, 0x3000);
+    mem.write(0x3000, 0x2000);
+    differential(&asm.assemble().unwrap(), &mem);
+}
+
+#[test]
+fn store_to_load_same_address_is_ordered() {
+    // A load must observe an older store to the same address even though
+    // the core has no forwarding (it stalls instead).
+    let mut asm = Asm::new();
+    let (a, b) = (asm.reg(), asm.reg());
+    asm.mov_imm(a, 123);
+    asm.store(a, MemOperand::abs(0x40));
+    asm.load(b, MemOperand::abs(0x40));
+    asm.add(b, b, Operand::Imm(1));
+    asm.halt();
+    differential(&asm.assemble().unwrap(), &DataMemory::new());
+}
+
+#[test]
+fn data_dependent_branches_match_reference() {
+    // Branch direction depends on loaded data — exercises mispredict/squash
+    // paths while the architectural result must stay exact.
+    let mut asm = Asm::new();
+    let (i, v, acc, base) = (asm.reg(), asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(base, 0x100);
+    asm.mov_imm(i, 16);
+    let top = asm.here();
+    asm.load(v, MemOperand::base_index(base, i, 8, 0));
+    let skip = asm.fwd_label();
+    asm.br(Cond::Eq, v, 0, skip);
+    asm.add(acc, acc, v);
+    asm.bind(skip);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+
+    let mut mem = DataMemory::new();
+    for k in 0..=16u64 {
+        // Irregular pattern: some zeros, some values.
+        let val = if k % 3 == 0 { 0 } else { k * 10 };
+        mem.write(0x100 + k * 8, val);
+    }
+    differential(&asm.assemble().unwrap(), &mem);
+}
+
+#[test]
+fn wrong_path_stores_never_commit() {
+    // Train a branch one way, then flip it: the wrong-path store must not
+    // reach memory.
+    let mut asm = Asm::new();
+    let (x, sentinel) = (asm.reg(), asm.reg());
+    asm.load(x, MemOperand::abs(0x10));
+    let skip = asm.fwd_label();
+    asm.br(Cond::Eq, x, 0, skip);
+    asm.mov_imm(sentinel, 0xDEAD);
+    asm.store(sentinel, MemOperand::abs(0x999));
+    asm.bind(skip);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    let mut cpu = fresh_cpu();
+    // Train: x != 0 so the store executes architecturally several times.
+    cpu.mem_mut().write(0x10, 1);
+    for _ in 0..4 {
+        cpu.execute(&prog);
+    }
+    assert_eq!(cpu.mem().read(0x999), 0xDEAD);
+    // Reset the canary, flip the condition: predictor now expects the
+    // not-taken (store) path, so the store executes transiently…
+    cpu.mem_mut().write(0x999, 0);
+    cpu.mem_mut().write(0x10, 0);
+    let r = cpu.execute(&prog);
+    assert!(r.mispredicts >= 1, "the flipped branch must mispredict");
+    assert_eq!(cpu.mem().read(0x999), 0, "transient store must never commit");
+}
+
+#[test]
+fn division_by_zero_is_saturating_everywhere() {
+    let mut asm = Asm::new();
+    let (a, b) = (asm.reg(), asm.reg());
+    asm.mov_imm(a, 7);
+    asm.div(b, a, Operand::Imm(0));
+    asm.halt();
+    differential(&asm.assemble().unwrap(), &DataMemory::new());
+}
+
+#[test]
+fn all_predictors_preserve_architecture() {
+    let mut asm = Asm::new();
+    let (i, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(i, 12);
+    let top = asm.here();
+    asm.add(acc, acc, i);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    let mut ref_mem = DataMemory::new();
+    let reference = interp::run(&prog, &mut ref_mem, 100_000).unwrap();
+
+    for kind in [
+        PredictorKind::TwoBit { entries: 512 },
+        PredictorKind::AlwaysTaken,
+        PredictorKind::AlwaysNotTaken,
+    ] {
+        let cfg = CpuConfig { predictor: kind, ..CpuConfig::coffee_lake() };
+        let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+        let r = cpu.execute(&prog);
+        assert_eq!(r.regs, reference.regs, "{kind:?} diverged");
+        assert_eq!(r.committed, reference.steps);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based differential testing over random programs.
+// ---------------------------------------------------------------------------
+
+/// Generate a random terminating program: straight-line ALU/memory ops plus
+/// forward-only branches (guaranteeing termination), ending with `halt`.
+fn arb_program(len: usize) -> impl Strategy<Value = Program> {
+    let instr = |at: usize, len: usize| {
+        let r = 0..8usize;
+        (0..8u8, r.clone(), r.clone(), r, 0..16u64, (at + 1)..(len + 1)).prop_map(
+            move |(kind, d, a, b, slot, tgt)| {
+                let reg = |i: usize| Reg::new(i);
+                let addr = 0x100 + slot * 8;
+                match kind {
+                    0 => Instr::Alu {
+                        op: racer_isa::AluOp::Add,
+                        dst: reg(d),
+                        a: Operand::Reg(reg(a)),
+                        b: Operand::Reg(reg(b)),
+                    },
+                    1 => Instr::Alu {
+                        op: racer_isa::AluOp::Mul,
+                        dst: reg(d),
+                        a: Operand::Reg(reg(a)),
+                        b: Operand::Imm(3),
+                    },
+                    2 => Instr::Alu {
+                        op: racer_isa::AluOp::Sub,
+                        dst: reg(d),
+                        a: Operand::Reg(reg(a)),
+                        b: Operand::Imm(1),
+                    },
+                    3 => Instr::Load { dst: reg(d), mem: MemOperand::abs(addr) },
+                    4 => Instr::Store { src: Operand::Reg(reg(a)), mem: MemOperand::abs(addr) },
+                    5 => Instr::Alu {
+                        op: racer_isa::AluOp::Div,
+                        dst: reg(d),
+                        a: Operand::Reg(reg(a)),
+                        b: Operand::Imm(7),
+                    },
+                    6 => Instr::Branch {
+                        cond: Cond::Lt,
+                        a: reg(a),
+                        b: Operand::Imm(50),
+                        target: tgt.min(len),
+                    },
+                    _ => Instr::Alu {
+                        op: racer_isa::AluOp::Xor,
+                        dst: reg(d),
+                        a: Operand::Reg(reg(a)),
+                        b: Operand::Reg(reg(b)),
+                    },
+                }
+            },
+        )
+    };
+    let strategies: Vec<_> = (0..len).map(|at| instr(at, len)).collect();
+    strategies.prop_map(move |mut instrs| {
+        instrs.push(Instr::Halt);
+        Program::from_instrs(instrs).expect("generated program is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_match_reference(
+        prog in arb_program(24),
+        seeds in proptest::collection::vec(0u64..100, 16),
+    ) {
+        let mut mem = DataMemory::new();
+        for (i, s) in seeds.iter().enumerate() {
+            mem.write(0x100 + i as u64 * 8, *s);
+        }
+        let mut ref_mem = mem.clone();
+        let reference = interp::run(&prog, &mut ref_mem, 1_000_000).expect("terminates");
+
+        let mut cpu = fresh_cpu();
+        *cpu.mem_mut() = mem;
+        let result = cpu.execute(&prog);
+        prop_assert!(!result.limit_hit);
+        prop_assert_eq!(&result.regs, &reference.regs);
+        prop_assert_eq!(cpu.mem(), &ref_mem);
+        prop_assert_eq!(result.committed, reference.steps);
+    }
+}

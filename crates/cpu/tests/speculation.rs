@@ -1,0 +1,351 @@
+//! Speculation semantics: branch training, squash, transient cache traces,
+//! and the countermeasure modes of paper §8.
+//!
+//! These tests pin down the exact properties the racing gadgets exploit:
+//! a mistrained branch transiently executes the wrong path, wrong-path loads
+//! change cache state before the squash, and only some defences remove that
+//! trace.
+
+use racer_cpu::{Countermeasure, Cpu, CpuConfig};
+use racer_isa::{Asm, Cond, MemOperand, Program};
+use racer_mem::{Addr, HierarchyConfig, HitLevel};
+
+fn cpu_with(cm: Countermeasure) -> Cpu {
+    let cfg = CpuConfig::coffee_lake().with_countermeasure(cm).with_load_recording();
+    Cpu::new(cfg, HierarchyConfig::coffee_lake())
+}
+
+/// A minimal Spectre-v1-style gadget:
+///
+/// ```text
+///   x    = mem[X_ADDR]          (slow: flushed before the run)
+///   if x < 1:                   (trained taken; actually not-taken when x=1)
+///       y = mem[SECRET_DEP]     (transient load — the trace)
+/// ```
+///
+/// Returns the program; `SECRET_DEP` is the probe address.
+const X_ADDR: u64 = 0x1_0000;
+const PROBE: u64 = 0x2_0040;
+
+fn spectre_like() -> Program {
+    spectre_like_delayed(0)
+}
+
+/// Like [`spectre_like`], but the body load sits behind a chain of
+/// `body_delay` dependent adds — giving the branch a chance to resolve and
+/// squash the body before the load issues (the §5.1 race, from the other
+/// side).
+fn spectre_like_delayed(body_delay: usize) -> Program {
+    let mut asm = Asm::new();
+    let (x, y) = (asm.reg(), asm.reg());
+    let skip = asm.fwd_label();
+    asm.load(x, MemOperand::abs(X_ADDR));
+    asm.br(Cond::Ge, x, 1, skip); // taken (skip) when x >= 1
+    let mut idx = asm.reg();
+    asm.mov_imm(idx, 0);
+    for _ in 0..body_delay {
+        let n = asm.reg();
+        asm.addi(n, idx, 0);
+        idx = n;
+    }
+    // Address PROBE + idx*1 where idx == 0: reached only when x == 0.
+    asm.load(y, MemOperand::base_index(idx, idx, 1, PROBE as i64));
+    asm.bind(skip);
+    asm.halt();
+    asm.assemble().expect("valid gadget")
+}
+
+/// Train the predictor so the body (`x == 0` path) is predicted.
+fn train(cpu: &mut Cpu, prog: &Program, runs: usize) {
+    cpu.mem_mut().write(X_ADDR, 0);
+    for _ in 0..runs {
+        cpu.execute(prog);
+    }
+}
+
+#[test]
+fn two_bit_training_eliminates_mispredicts() {
+    let mut cpu = cpu_with(Countermeasure::None);
+    let prog = spectre_like();
+    cpu.mem_mut().write(X_ADDR, 0);
+    cpu.execute(&prog); // first run may mispredict
+    let trained = cpu.execute(&prog);
+    assert_eq!(trained.mispredicts, 0, "trained branch must predict correctly");
+}
+
+#[test]
+fn mistrained_branch_leaves_transient_cache_trace() {
+    let mut cpu = cpu_with(Countermeasure::None);
+    let prog = spectre_like();
+    train(&mut cpu, &prog, 4);
+
+    // Flip the condition; evict x so the branch resolves slowly; the body
+    // load issues transiently in the meantime.
+    cpu.mem_mut().write(X_ADDR, 1);
+    cpu.hierarchy_mut().flush(Addr(X_ADDR));
+    cpu.hierarchy_mut().flush(Addr(PROBE));
+    let r = cpu.execute(&prog);
+
+    assert_eq!(r.mispredicts, 1, "flipped branch must mispredict exactly once");
+    assert!(r.squashed_instrs >= 1);
+    assert!(r.transient_touched(PROBE), "wrong-path load must have issued");
+    assert_eq!(
+        cpu.hierarchy().probe(Addr(PROBE)),
+        HitLevel::L1,
+        "the transient fill must persist after the squash — the Spectre property"
+    );
+}
+
+#[test]
+fn resolved_fast_branch_squashes_before_the_body_load_issues() {
+    // The branch condition is an L1 hit (fast resolve) while the body load
+    // sits behind a 40-add dependence chain: the squash wins the race and
+    // the load never issues.
+    let mut cpu = cpu_with(Countermeasure::None);
+    let prog = spectre_like_delayed(40);
+    train(&mut cpu, &prog, 4);
+
+    cpu.mem_mut().write(X_ADDR, 1);
+    // x stays cached (no flush): branch resolves at ~L1 speed.
+    cpu.hierarchy_mut().flush(Addr(PROBE));
+    let r = cpu.execute(&prog);
+
+    assert_eq!(r.mispredicts, 1);
+    assert!(
+        !r.transient_touched(PROBE),
+        "fast-resolving branch must squash the body before its load issues"
+    );
+    assert_eq!(cpu.hierarchy().probe(Addr(PROBE)), HitLevel::Memory);
+}
+
+#[test]
+fn delay_on_miss_blocks_speculative_miss_trace() {
+    let mut cpu = cpu_with(Countermeasure::DelayOnMiss);
+    let prog = spectre_like();
+    train(&mut cpu, &prog, 4);
+
+    cpu.mem_mut().write(X_ADDR, 1);
+    cpu.hierarchy_mut().flush(Addr(X_ADDR));
+    cpu.hierarchy_mut().flush(Addr(PROBE));
+    let r = cpu.execute(&prog);
+
+    assert_eq!(r.mispredicts, 1);
+    assert!(
+        !r.transient_touched(PROBE),
+        "DoM must hold the speculative L1-missing load until resolution"
+    );
+    assert_eq!(
+        cpu.hierarchy().probe(Addr(PROBE)),
+        HitLevel::Memory,
+        "no transient fill under delay-on-miss"
+    );
+}
+
+#[test]
+fn delay_on_miss_still_allows_speculative_l1_hits() {
+    let mut cpu = cpu_with(Countermeasure::DelayOnMiss);
+    let prog = spectre_like();
+    train(&mut cpu, &prog, 4);
+
+    cpu.mem_mut().write(X_ADDR, 1);
+    cpu.hierarchy_mut().flush(Addr(X_ADDR));
+    // PROBE is L1-resident: DoM lets the speculative hit proceed.
+    cpu.hierarchy_mut().load(Addr(PROBE));
+    let r = cpu.execute(&prog);
+    assert!(
+        r.transient_touched(PROBE),
+        "DoM only delays misses; speculative L1 hits proceed"
+    );
+}
+
+#[test]
+fn invisible_speculation_leaves_no_trace() {
+    for cm in [Countermeasure::InvisibleSpec, Countermeasure::GhostMinion] {
+        let mut cpu = cpu_with(cm);
+        let prog = spectre_like();
+        train(&mut cpu, &prog, 4);
+
+        cpu.mem_mut().write(X_ADDR, 1);
+        cpu.hierarchy_mut().flush(Addr(X_ADDR));
+        cpu.hierarchy_mut().flush(Addr(PROBE));
+        let r = cpu.execute(&prog);
+
+        assert_eq!(r.mispredicts, 1);
+        // The load may *issue* (timing side), but its fill must never land.
+        assert_eq!(
+            cpu.hierarchy().probe(Addr(PROBE)),
+            HitLevel::Memory,
+            "{cm}: squashed speculative fill must be invisible"
+        );
+    }
+}
+
+#[test]
+fn invisible_speculation_applies_fill_at_commit_for_correct_paths() {
+    let mut cpu = cpu_with(Countermeasure::InvisibleSpec);
+    // Branch correctly predicted (after training) and taken path loads PROBE.
+    let mut asm = Asm::new();
+    let (x, y) = (asm.reg(), asm.reg());
+    let body = asm.fwd_label();
+    asm.load(x, MemOperand::abs(X_ADDR));
+    asm.br(Cond::Eq, x, 0, body);
+    asm.bind(body);
+    asm.load(y, MemOperand::abs(PROBE));
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    cpu.mem_mut().write(X_ADDR, 0);
+    cpu.execute(&prog);
+    cpu.execute(&prog);
+    assert_eq!(
+        cpu.hierarchy().probe(Addr(PROBE)),
+        HitLevel::L1,
+        "committed loads must still fill the cache"
+    );
+}
+
+#[test]
+fn in_order_mode_serializes_independent_chains() {
+    let build = || {
+        let mut asm = Asm::new();
+        // Two independent 40-add chains.
+        for _ in 0..2 {
+            let mut prev = asm.reg();
+            asm.mov_imm(prev, 1);
+            for _ in 0..40 {
+                let n = asm.reg();
+                asm.addi(n, prev, 1);
+                prev = n;
+            }
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let mut ooo = cpu_with(Countermeasure::None);
+    let mut ino = cpu_with(Countermeasure::InOrder);
+    let ooo_cycles = ooo.execute(&build()).cycles;
+    let ino_cycles = ino.execute(&build()).cycles;
+    assert!(
+        ino_cycles >= ooo_cycles + 25,
+        "in-order issue must destroy the overlap: ooo={ooo_cycles} inorder={ino_cycles}"
+    );
+}
+
+#[test]
+fn in_order_mode_preserves_architectural_results() {
+    let mut asm = Asm::new();
+    let (i, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(i, 9);
+    let top = asm.here();
+    asm.add(acc, acc, i);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let mut cpu = cpu_with(Countermeasure::InOrder);
+    let r = cpu.execute(&prog);
+    assert_eq!(r.regs[acc.index()], (1..=9).sum::<u64>());
+}
+
+#[test]
+fn fence_serializes_execution() {
+    let measure = |with_fence: bool| {
+        let mut cpu = cpu_with(Countermeasure::None);
+        let mut asm = Asm::new();
+        let mut prev = asm.reg();
+        asm.mov_imm(prev, 1);
+        for _ in 0..20 {
+            let n = asm.reg();
+            asm.addi(n, prev, 1);
+            prev = n;
+        }
+        if with_fence {
+            asm.fence();
+        }
+        let mut prev2 = asm.reg();
+        asm.mov_imm(prev2, 2);
+        for _ in 0..20 {
+            let n = asm.reg();
+            asm.addi(n, prev2, 1);
+            prev2 = n;
+        }
+        asm.halt();
+        cpu.execute(&asm.assemble().unwrap()).cycles
+    };
+    let without = measure(false);
+    let with = measure(true);
+    assert!(
+        with > without + 10,
+        "fence must stop the chains overlapping: with={with} without={without}"
+    );
+}
+
+#[test]
+fn interrupt_drain_counts_and_preserves_results() {
+    let mut cfg = CpuConfig::coffee_lake();
+    cfg.interrupt_interval = Some(200);
+    let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+    let mut asm = Asm::new();
+    let (i, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(i, 900);
+    let top = asm.here();
+    asm.add(acc, acc, i);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let r = cpu.execute(&prog);
+    assert!(r.interrupts >= 2, "a long run must cross several interrupt boundaries");
+    assert_eq!(r.regs[acc.index()], (1..=900).sum::<u64>());
+
+    let mut quiet = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let fast = quiet.execute(&prog);
+    assert!(r.cycles > fast.cycles, "drains must cost cycles");
+}
+
+#[test]
+fn nested_misspeculation_recovers_to_the_oldest_branch() {
+    // Two branches, both mistrained: recovery must rewind to the *older*
+    // mispredicted branch, and results must stay architectural.
+    let mut asm = Asm::new();
+    let (x, y, acc) = (asm.reg(), asm.reg(), asm.reg());
+    let l1 = asm.fwd_label();
+    let l2 = asm.fwd_label();
+    asm.load(x, MemOperand::abs(X_ADDR));
+    asm.load(y, MemOperand::abs(X_ADDR + 8));
+    asm.br(Cond::Ge, x, 1, l1);
+    asm.addi(acc, acc, 10); // only when x == 0
+    asm.bind(l1);
+    asm.br(Cond::Ge, y, 1, l2);
+    asm.addi(acc, acc, 100); // only when y == 0
+    asm.bind(l2);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    let mut cpu = cpu_with(Countermeasure::None);
+    // Train both branches not-taken (x = y = 0).
+    cpu.mem_mut().write(X_ADDR, 0);
+    cpu.mem_mut().write(X_ADDR + 8, 0);
+    for _ in 0..4 {
+        let r = cpu.execute(&prog);
+        assert_eq!(r.regs[acc.index()], 110);
+    }
+    // Flip both; flush both conditions so resolution is slow.
+    cpu.mem_mut().write(X_ADDR, 1);
+    cpu.mem_mut().write(X_ADDR + 8, 1);
+    cpu.hierarchy_mut().flush(Addr(X_ADDR));
+    cpu.hierarchy_mut().flush(Addr(X_ADDR + 8));
+    let r = cpu.execute(&prog);
+    assert_eq!(r.regs[acc.index()], 0, "both additions were wrong-path");
+    assert!(r.mispredicts >= 1);
+}
+
+#[test]
+fn squashed_instructions_are_counted() {
+    let mut cpu = cpu_with(Countermeasure::None);
+    let prog = spectre_like();
+    train(&mut cpu, &prog, 4);
+    cpu.mem_mut().write(X_ADDR, 1);
+    cpu.hierarchy_mut().flush(Addr(X_ADDR));
+    let r = cpu.execute(&prog);
+    assert!(r.squashed_instrs >= 1, "wrong-path body must be squashed");
+}

@@ -1,0 +1,292 @@
+//! Timing-model tests: the properties the racing/magnifier gadgets rely on.
+//!
+//! Instruction-level parallelism must be real (independent chains overlap),
+//! latencies must match the configured values, the divider must be
+//! non-fully-pipelined, and cache hit/miss latencies must show through.
+
+use racer_cpu::{Cpu, CpuConfig};
+use racer_isa::{Asm, MemOperand, Reg};
+use racer_mem::HierarchyConfig;
+
+fn cpu() -> Cpu {
+    Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake())
+}
+
+/// Cycles to execute a program consisting of `body` instructions plus halt.
+fn run_cycles(cpu: &mut Cpu, build: impl FnOnce(&mut Asm)) -> u64 {
+    let mut asm = Asm::new();
+    build(&mut asm);
+    asm.halt();
+    let prog = asm.assemble().expect("valid program");
+    let r = cpu.execute(&prog);
+    assert!(r.halted && !r.limit_hit);
+    r.cycles
+}
+
+/// Emit a chain of `n` dependent adds seeded from `seed`, returning the tail.
+fn add_chain(asm: &mut Asm, seed: Reg, n: usize) -> Reg {
+    let mut prev = seed;
+    for _ in 0..n {
+        let next = asm.reg();
+        asm.addi(next, prev, 1);
+        prev = next;
+    }
+    prev
+}
+
+#[test]
+fn dependent_add_chain_costs_one_cycle_per_op() {
+    let mut c = cpu();
+    let base = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        add_chain(asm, s, 10);
+    });
+    let longer = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        add_chain(asm, s, 60);
+    });
+    // 50 extra chained adds ⇒ exactly 50 extra cycles (1-cycle ALU).
+    assert_eq!(longer - base, 50, "chained adds must serialize at 1 cycle each");
+}
+
+#[test]
+fn independent_chains_run_in_parallel() {
+    let mut c = cpu();
+    let one_chain = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        add_chain(asm, s, 80);
+    });
+    let two_chains = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        add_chain(asm, s, 80);
+        let s2 = asm.reg();
+        asm.mov_imm(s2, 5);
+        add_chain(asm, s2, 80);
+    });
+    // ILP: the second 80-add chain overlaps the first almost entirely.
+    let overhead = two_chains.saturating_sub(one_chain);
+    assert!(
+        overhead < 25,
+        "two independent 80-op chains should overlap (extra {overhead} cycles)"
+    );
+}
+
+#[test]
+fn mul_chain_is_three_cycles_per_op() {
+    let mut c = cpu();
+    let short = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        asm.mov_imm(s, 3);
+        let mut prev = s;
+        for _ in 0..5 {
+            let n = asm.reg();
+            asm.mul(n, prev, prev);
+            prev = n;
+        }
+    });
+    let long = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        asm.mov_imm(s, 3);
+        let mut prev = s;
+        for _ in 0..25 {
+            let n = asm.reg();
+            asm.mul(n, prev, prev);
+            prev = n;
+        }
+    });
+    assert_eq!(long - short, 60, "20 extra chained muls at 3 cycles each");
+}
+
+#[test]
+fn div_latency_is_operand_dependent_13_or_14() {
+    let mut c = cpu();
+    // Chains of 8 dependent divides; operand parity controls 13 vs 14.
+    let lo = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        asm.mov_imm(s, 1 << 20);
+        let mut prev = s;
+        for _ in 0..8 {
+            let n = asm.reg();
+            asm.div(n, prev, prev); // a == b → a^b = 0 → even → 13 cycles
+            prev = n;
+        }
+    });
+    let hi = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        let odd = asm.reg();
+        asm.mov_imm(s, 1 << 20);
+        asm.mov_imm(odd, (1 << 20) + 1);
+        let mut prev = s;
+        for _ in 0..8 {
+            let n = asm.reg();
+            asm.div(n, prev, odd); // a^b odd → 14 cycles
+            prev = n;
+        }
+    });
+    assert_eq!(hi - lo, 8, "one extra cycle for each of the 8 dependent divides");
+}
+
+#[test]
+fn parallel_divides_contend_for_the_single_divider() {
+    let mut c = cpu();
+    // 8 *independent* divides: fully pipelined hardware would take
+    // ~latency + 7; a unit with 4-cycle reciprocal throughput takes
+    // ~latency + 7*4.
+    let cycles = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        asm.mov_imm(s, 999);
+        for _ in 0..8 {
+            let d = asm.reg();
+            asm.div(d, s, s);
+        }
+    });
+    let baseline = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        asm.mov_imm(s, 999);
+        let d = asm.reg();
+        asm.div(d, s, s);
+    });
+    let extra = cycles - baseline;
+    assert!(
+        (26..=30).contains(&extra),
+        "7 extra divides at 4-cycle reciprocal throughput, got {extra}"
+    );
+}
+
+#[test]
+fn independent_adds_exploit_all_alu_ports() {
+    let mut c = cpu();
+    let few = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        for _ in 0..4 {
+            let d = asm.reg();
+            asm.addi(d, s, 1);
+        }
+    });
+    let many = run_cycles(&mut c, |asm| {
+        let s = asm.reg();
+        for _ in 0..84 {
+            let d = asm.reg();
+            asm.addi(d, s, 1);
+        }
+    });
+    // 80 extra independent adds on 4 ALU ports, bounded by the 4-wide front
+    // end ⇒ ~20 extra cycles; far below the 80 a serial machine would take.
+    let extra = many - few;
+    assert!((18..=30).contains(&extra), "expected ~20 extra cycles, got {extra}");
+}
+
+#[test]
+fn cache_miss_vs_hit_shows_in_cycles() {
+    let mut c = cpu();
+    let miss = run_cycles(&mut c, |asm| {
+        let d = asm.reg();
+        asm.load(d, MemOperand::abs(0x8000));
+        // Make the run time depend on the load.
+        let e = asm.reg();
+        asm.addi(e, d, 1);
+    });
+    let hit = run_cycles(&mut c, |asm| {
+        let d = asm.reg();
+        asm.load(d, MemOperand::abs(0x8000));
+        let e = asm.reg();
+        asm.addi(e, d, 1);
+    });
+    assert!(
+        miss >= hit + 200,
+        "DRAM (~240 cycles) vs L1 (4 cycles): miss={miss} hit={hit}"
+    );
+}
+
+#[test]
+fn mshr_merges_same_line_misses() {
+    let mut c = cpu();
+    // Two loads to the same (cold) line: the second merges into the first's
+    // MSHR and both complete together.
+    let merged = run_cycles(&mut c, |asm| {
+        let (a, b) = (asm.reg(), asm.reg());
+        asm.load(a, MemOperand::abs(0x20000));
+        asm.load(b, MemOperand::abs(0x20008)); // same 64-byte line
+        let s = asm.reg();
+        asm.add(s, a, b);
+    });
+    c.hierarchy_mut().clear();
+    let serial = run_cycles(&mut c, |asm| {
+        let (a, b) = (asm.reg(), asm.reg());
+        asm.load(a, MemOperand::abs(0x30000));
+        asm.load(b, MemOperand::base_disp(a, 0x40000)); // dependent, different line
+        let s = asm.reg();
+        asm.add(s, a, b);
+    });
+    assert!(
+        serial > merged + 150,
+        "merged misses ({merged}) must beat serial misses ({serial})"
+    );
+}
+
+#[test]
+fn pointer_chase_serializes_at_memory_latency() {
+    let mut c = cpu();
+    // 4-deep dependent chase through cold lines: ~4 × DRAM latency.
+    for (i, next) in [(0x50000u64, 0x60000u64), (0x60000, 0x70000), (0x70000, 0x80000)] {
+        c.mem_mut().write(i, next);
+    }
+    let cycles = run_cycles(&mut c, |asm| {
+        let p = asm.reg();
+        asm.mov_imm(p, 0x50000);
+        for _ in 0..4 {
+            asm.load(p, MemOperand::base_disp(p, 0));
+        }
+    });
+    assert!(
+        cycles >= 4 * 240,
+        "four dependent cold loads must serialize: {cycles} cycles"
+    );
+}
+
+#[test]
+fn warm_cache_speeds_up_reruns() {
+    let mut c = cpu();
+    let mut asm = Asm::new();
+    let d = asm.reg();
+    for k in 0..16u64 {
+        asm.load(d, MemOperand::abs(0x9000 + k * 64));
+    }
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let cold = c.execute(&prog).cycles;
+    let warm = c.execute(&prog).cycles;
+    assert!(warm < cold / 2, "warm rerun ({warm}) should be far cheaper than cold ({cold})");
+}
+
+#[test]
+fn ipc_is_sane_on_wide_independent_code() {
+    let mut c = cpu();
+    let mut asm = Asm::new();
+    let s = asm.reg();
+    // Reuse destinations from a pool: renaming makes the WAW hazards free.
+    let pool = asm.regs(64);
+    for k in 0..400 {
+        asm.addi(pool[k % 64], s, 1);
+    }
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let r = c.execute(&prog);
+    let ipc = r.ipc();
+    assert!(ipc > 2.0, "4-wide machine should sustain >2 IPC on independent adds: {ipc:.2}");
+}
+
+#[test]
+fn run_result_memory_stats_are_deltas() {
+    let mut c = cpu();
+    let mut asm = Asm::new();
+    let d = asm.reg();
+    asm.load(d, MemOperand::abs(0xA000));
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let first = c.execute(&prog);
+    assert_eq!(first.mem_stats.l1d.misses, 1);
+    let second = c.execute(&prog);
+    assert_eq!(second.mem_stats.l1d.misses, 0, "stats must be per-run deltas");
+    assert_eq!(second.mem_stats.l1d.hits, 1);
+}

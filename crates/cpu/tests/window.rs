@@ -1,0 +1,242 @@
+//! Structural-limit tests: scheduler, ROB, MSHRs, ports and widths must
+//! bound performance exactly the way the gadget analyses assume.
+
+use racer_cpu::{Cpu, CpuConfig};
+use racer_isa::{Asm, Cond, MemOperand};
+use racer_mem::HierarchyConfig;
+
+fn cpu_with(f: impl FnOnce(&mut CpuConfig)) -> Cpu {
+    let mut cfg = CpuConfig::coffee_lake();
+    f(&mut cfg);
+    Cpu::new(cfg, HierarchyConfig::coffee_lake())
+}
+
+/// Two chains behind a slow head: visible overlap requires both to fit in
+/// the scheduler; a tiny scheduler serializes them.
+#[test]
+fn scheduler_size_bounds_racing_window() {
+    let build = || {
+        let mut asm = Asm::new();
+        let seed = asm.reg();
+        asm.load(seed, MemOperand::abs(0x4_0000)); // cold head
+        let a = asm.reg();
+        asm.add(a, seed, 0i64);
+        for _ in 0..40 {
+            asm.add(a, a, 1i64);
+        }
+        let b = asm.reg();
+        asm.add(b, seed, 0i64);
+        for _ in 0..40 {
+            asm.add(b, b, 1i64);
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let wide = cpu_with(|c| c.rs_size = 120).execute(&build()).cycles;
+    let narrow = cpu_with(|c| c.rs_size = 16).execute(&build()).cycles;
+    assert!(
+        narrow > wide + 10,
+        "a 16-entry scheduler cannot hold both 40-op chains: wide={wide} narrow={narrow}"
+    );
+}
+
+/// Independent cold loads are limited by MSHR count: with 2 MSHRs, 8 cold
+/// loads take ~4 DRAM rounds; with 10, ~1.
+#[test]
+fn mshr_count_bounds_memory_parallelism() {
+    let build = || {
+        let mut asm = Asm::new();
+        let d = asm.regs(8);
+        for (k, r) in d.iter().enumerate() {
+            asm.load(*r, MemOperand::abs(0x10_0000 + k as u64 * 4096));
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let many = cpu_with(|c| c.mshrs = 10).execute(&build()).cycles;
+    let few = cpu_with(|c| c.mshrs = 2).execute(&build()).cycles;
+    assert!(
+        few > many + 400,
+        "2 MSHRs must serialize 8 cold loads into ~4 rounds: many={many} few={few}"
+    );
+}
+
+/// Load ports bound L1-hit throughput. The warm-up runs as its own program
+/// so the measured storm is pure hits.
+#[test]
+fn load_ports_bound_hit_bandwidth() {
+    let storm = |lines: u64, passes: usize| {
+        let mut asm = Asm::new();
+        let d = asm.regs(4);
+        for p in 0..passes {
+            for k in 0..lines {
+                asm.load(d[(p + k as usize) % 4], MemOperand::abs(0x20_0000 + (k % 64) * 64));
+            }
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let measure = |ports: usize| {
+        let mut cpu = cpu_with(|c| c.load_ports = ports);
+        cpu.execute(&storm(64, 1)); // warm the 64 lines
+        cpu.execute(&storm(64, 4)).cycles // 256 pure hits
+    };
+    let two = measure(2);
+    let one = measure(1);
+    assert!(
+        one > two + 80,
+        "halving load ports must slow a 256-hit storm: two={two} one={one}"
+    );
+}
+
+/// Dispatch width bounds front-end throughput on wide independent code.
+#[test]
+fn dispatch_width_bounds_frontend() {
+    let build = || {
+        let mut asm = Asm::new();
+        let s = asm.reg();
+        let pool = asm.regs(16);
+        for k in 0..240 {
+            asm.addi(pool[k % 16], s, 1);
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let four = cpu_with(|c| c.dispatch_width = 4).execute(&build()).cycles;
+    let one = cpu_with(|c| {
+        c.dispatch_width = 1;
+        c.fetch_width = 1;
+    })
+    .execute(&build())
+    .cycles;
+    assert!(
+        one as f64 > four as f64 * 2.5,
+        "1-wide front end must be ≫ slower on independent adds: four={four} one={one}"
+    );
+}
+
+/// Commit width bounds retirement of bursty completions.
+#[test]
+fn commit_width_bounds_retirement() {
+    let build = || {
+        let mut asm = Asm::new();
+        let (slow, dep) = (asm.reg(), asm.reg());
+        asm.load(slow, MemOperand::abs(0x30_0000)); // everything commits after this
+        let pool = asm.regs(8);
+        for k in 0..160 {
+            asm.addi(pool[k % 8], dep, 1); // independent, complete early
+        }
+        asm.addi(dep, slow, 1);
+        asm.halt();
+        asm.assemble().unwrap()
+    };
+    let wide = cpu_with(|c| c.commit_width = 8).execute(&build()).cycles;
+    let narrow = cpu_with(|c| c.commit_width = 1).execute(&build()).cycles;
+    assert!(
+        narrow > wide + 100,
+        "1-wide commit must drain 160 completed adds slowly: wide={wide} narrow={narrow}"
+    );
+}
+
+/// A fence between a branch and its shadow kills transient side effects:
+/// dispatch stops at the fence, so the wrong-path load never enters the ROB.
+#[test]
+fn fence_blocks_transient_dispatch() {
+    let mut cpu = Cpu::new(
+        CpuConfig::coffee_lake().with_load_recording(),
+        HierarchyConfig::coffee_lake(),
+    );
+    let mut asm = Asm::new();
+    let (x, y) = (asm.reg(), asm.reg());
+    let skip = asm.fwd_label();
+    asm.load(x, MemOperand::abs(0x100));
+    asm.br(Cond::Ge, x, 1, skip);
+    asm.fence();
+    asm.load(y, MemOperand::abs(0x5_0000)); // would-be transient probe
+    asm.bind(skip);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    cpu.mem_mut().write(0x100, 0);
+    for _ in 0..4 {
+        cpu.execute(&prog); // train not-taken (fence path is architectural)
+    }
+    cpu.mem_mut().write(0x100, 1);
+    cpu.hierarchy_mut().flush(racer_mem::Addr(0x100));
+    cpu.hierarchy_mut().flush(racer_mem::Addr(0x5_0000));
+    let r = cpu.execute(&prog);
+    assert!(r.mispredicts >= 1);
+    assert!(
+        !r.loads.iter().any(|l| l.addr == 0x5_0000),
+        "the fence must stop the wrong-path load from ever issuing"
+    );
+}
+
+/// Wrong-path fetch into a loop must not wedge the core: the mispredicted
+/// branch still resolves and redirects.
+#[test]
+fn wrong_path_loop_recovers() {
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let mut asm = Asm::new();
+    let (x, y) = (asm.reg(), asm.reg());
+    let done = asm.fwd_label();
+    asm.load(x, MemOperand::abs(0x100)); // slow condition
+    asm.br(Cond::Ge, x, 1, done);
+    // Wrong path: an infinite self-loop.
+    let spin = asm.here();
+    asm.addi(y, y, 1);
+    asm.jump(spin);
+    asm.bind(done);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+
+    cpu.mem_mut().write(0x100, 1); // branch is taken; wrong path = the loop
+    // Force a not-taken prediction by training on x = 0… which would
+    // actually loop forever architecturally. Instead rely on the default
+    // not-taken prediction of a cold 2-bit counter.
+    cpu.hierarchy_mut().flush(racer_mem::Addr(0x100));
+    let r = cpu.execute(&prog);
+    assert!(r.halted, "core must recover from wrong-path spinning");
+    assert!(r.mispredicts >= 1);
+    assert!(!r.limit_hit);
+}
+
+/// The cycle-limit safety valve triggers on a genuinely infinite program.
+#[test]
+fn run_limit_bounds_infinite_loops() {
+    let mut cfg = CpuConfig::coffee_lake();
+    cfg.max_run_cycles = 5_000;
+    let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+    let mut asm = Asm::new();
+    let spin = asm.here();
+    asm.jump(spin);
+    let r = cpu.execute(&asm.assemble().unwrap());
+    assert!(r.limit_hit);
+    assert!(!r.halted);
+}
+
+/// Branch-heavy code with a mix of taken/not-taken trains per-PC counters
+/// independently.
+#[test]
+fn per_pc_predictor_state_is_independent(){
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let mut asm = Asm::new();
+    let (a, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(a, 1);
+    // Branch 1: always taken. Branch 2: always not-taken.
+    let l1 = asm.fwd_label();
+    asm.br(Cond::Eq, a, 1, l1);
+    asm.addi(acc, acc, 100); // skipped
+    asm.bind(l1);
+    let l2 = asm.fwd_label();
+    asm.br(Cond::Eq, a, 0, l2); // never taken
+    asm.addi(acc, acc, 1);
+    asm.bind(l2);
+    asm.halt();
+    let prog = asm.assemble().unwrap();
+    let mut last = 0;
+    for _ in 0..6 {
+        last = cpu.execute(&prog).mispredicts;
+    }
+    assert_eq!(last, 0, "both branches must end up correctly predicted");
+}

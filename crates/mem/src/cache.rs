@@ -1,0 +1,245 @@
+//! A single set-associative cache level.
+
+use crate::addr::LineAddr;
+use crate::replacement::ReplacementKind;
+use crate::set::{CacheSet, FillOutcome};
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and policy of one cache level.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Load-to-use latency in cycles when this level hits.
+    pub hit_latency: u64,
+    /// Replacement policy for every set.
+    pub replacement: ReplacementKind,
+    /// Base RNG seed (per-set seeds are derived from it; only meaningful for
+    /// stochastic policies).
+    pub seed: u64,
+}
+
+impl CacheConfig {
+    /// 32 KB, 8-way, 64-set L1D with tree-PLRU at 4-cycle latency — the
+    /// paper's Coffee Lake evaluation machine.
+    pub fn l1d_coffee_lake() -> Self {
+        CacheConfig { sets: 64, ways: 8, hit_latency: 4, replacement: ReplacementKind::TreePlru, seed: 0x11d }
+    }
+
+    /// 256 KB, 4-way, 1024-set unified L2 at 12-cycle latency.
+    pub fn l2_coffee_lake() -> Self {
+        CacheConfig { sets: 1024, ways: 4, hit_latency: 12, replacement: ReplacementKind::TreePlru, seed: 0x12 }
+    }
+
+    /// Shared L3 at 40-cycle latency. The paper's machine has a 9 MB 12-way
+    /// LLC; we round to 8 MB / 16-way / 8192 sets to keep power-of-two
+    /// indexing and tree-PLRU's power-of-two way requirement. Capacity class
+    /// and inclusivity — the properties the attacks rely on — are preserved.
+    pub fn l3_coffee_lake() -> Self {
+        CacheConfig { sets: 8192, ways: 16, hit_latency: 40, replacement: ReplacementKind::TreePlru, seed: 0x13 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * crate::LINE_BYTES
+    }
+}
+
+/// A single cache level: tag arrays, per-set replacement state and counters.
+///
+/// ```
+/// use racer_mem::{Cache, CacheConfig, LineAddr};
+/// let mut l1 = Cache::new(CacheConfig::l1d_coffee_lake());
+/// let line = LineAddr(0x40);
+/// assert!(!l1.access(line));      // cold miss
+/// l1.fill(line);
+/// assert!(l1.access(line));       // now hits
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.sets` is not a power of two or `cfg.ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.ways >= 1, "need at least one way");
+        let sets = (0..cfg.sets)
+            .map(|i| {
+                let seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                CacheSet::new(cfg.replacement.build(cfg.ways, seed))
+            })
+            .collect();
+        Cache { cfg, sets, stats: CacheStats::default() }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// Set index for `line`.
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        line.set_index(self.cfg.sets)
+    }
+
+    /// Whether `line` is resident, without touching replacement state.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].contains(line)
+    }
+
+    /// Demand access: returns `true` on hit (updating replacement state),
+    /// `false` on miss (*without* filling — the hierarchy decides fills).
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        if self.sets[idx].touch(line) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Insert `line`, returning the eviction outcome.
+    pub fn fill(&mut self, line: LineAddr) -> FillOutcome {
+        let idx = self.set_index(line);
+        let out = self.sets[idx].fill(line);
+        self.stats.fills += 1;
+        if out.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        out
+    }
+
+    /// Insert `line` with a non-temporal hint (placed at eviction-candidate
+    /// priority; paper §6.3.1 footnote 7).
+    pub fn fill_low_priority(&mut self, line: LineAddr) -> FillOutcome {
+        let idx = self.set_index(line);
+        let out = self.sets[idx].fill_low_priority(line);
+        self.stats.fills += 1;
+        if out.evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        out
+    }
+
+    /// Remove `line` if resident (flush / back-invalidation).
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        let hit = self.sets[idx].invalidate(line);
+        if hit {
+            self.stats.invalidations += 1;
+        }
+        hit
+    }
+
+    /// Direct read access to a set, for diagnostics and tests.
+    pub fn set(&self, index: usize) -> &CacheSet {
+        &self.sets[index]
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.cfg.sets
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset counters (cache contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Empty every set and reset all replacement state and counters.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_coffee_lake() {
+        assert_eq!(CacheConfig::l1d_coffee_lake().capacity_bytes(), 32 * 1024);
+        assert_eq!(CacheConfig::l2_coffee_lake().capacity_bytes(), 256 * 1024);
+        assert_eq!(CacheConfig::l3_coffee_lake().capacity_bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn lines_map_to_disjoint_sets() {
+        let c = Cache::new(CacheConfig::l1d_coffee_lake());
+        // Lines differing only above the index bits share a set.
+        assert_eq!(c.set_index(LineAddr(5)), c.set_index(LineAddr(5 + 64)));
+        assert_ne!(c.set_index(LineAddr(5)), c.set_index(LineAddr(6)));
+    }
+
+    #[test]
+    fn access_fill_probe_roundtrip() {
+        let mut c = Cache::new(CacheConfig::l1d_coffee_lake());
+        let l = LineAddr(0x123);
+        assert!(!c.probe(l));
+        assert!(!c.access(l));
+        c.fill(l);
+        assert!(c.probe(l));
+        assert!(c.access(l));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn conflict_evictions_counted() {
+        let cfg = CacheConfig { sets: 2, ways: 2, hit_latency: 1, replacement: ReplacementKind::Lru, seed: 0 };
+        let mut c = Cache::new(cfg);
+        // Three lines in the same set of a 2-way cache.
+        for i in 0..3u64 {
+            c.fill(LineAddr(i * 2));
+        }
+        assert_eq!(c.stats().evictions, 1);
+        assert!(!c.probe(LineAddr(0)), "LRU victim was line 0");
+    }
+
+    #[test]
+    fn invalidate_then_probe_misses() {
+        let mut c = Cache::new(CacheConfig::l1d_coffee_lake());
+        let l = LineAddr(0x55);
+        c.fill(l);
+        assert!(c.invalidate(l));
+        assert!(!c.probe(l));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = Cache::new(CacheConfig::l1d_coffee_lake());
+        c.fill(LineAddr(1));
+        c.access(LineAddr(1));
+        c.clear();
+        assert!(!c.probe(LineAddr(1)));
+        assert_eq!(c.stats(), &CacheStats::default());
+    }
+}

@@ -1,0 +1,105 @@
+//! Ground-truth eviction-set helpers.
+//!
+//! The §7.4 attack *discovers* eviction sets using only the Hacky-Racers
+//! timer; these helpers construct congruent address groups from the
+//! simulator's omniscient view, so tests can validate what the attack found.
+
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
+use crate::cache::Cache;
+
+/// Page size used when emulating the attacker's knowledge boundary: inside a
+/// page the attacker knows the address bits (page offset), above it they do
+/// not (JavaScript heap virtual-physical mapping is opaque).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Generate `count` byte addresses whose lines all map to `set` of `cache`,
+/// starting at `base` and walking upward in whole cache-size strides.
+///
+/// Useful for preparing the exact per-set states that the PLRU and
+/// arbitrary-replacement magnifiers need.
+///
+/// ```
+/// use racer_mem::{same_l1_set_addresses, Cache, CacheConfig, Addr};
+/// let l1 = Cache::new(CacheConfig::l1d_coffee_lake());
+/// let addrs = same_l1_set_addresses(&l1, 5, 10, Addr(0));
+/// for a in &addrs {
+///     assert_eq!(l1.set_index(a.line()), 5);
+/// }
+/// ```
+pub fn same_l1_set_addresses(cache: &Cache, set: usize, count: usize, base: Addr) -> Vec<Addr> {
+    assert!(set < cache.num_sets(), "set index out of range");
+    let stride_lines = cache.num_sets() as u64;
+    let base_line = base.line().0 - (base.line().0 % stride_lines) + set as u64;
+    (0..count as u64)
+        .map(|i| LineAddr(base_line + i * stride_lines).base_addr())
+        .collect()
+}
+
+/// Generate `count` addresses mapping to L3 set `set`, spaced a whole L3
+/// index-range apart, starting at or above `base`.
+pub fn addresses_mapping_to_l3_set(l3: &Cache, set: usize, count: usize, base: Addr) -> Vec<Addr> {
+    same_l1_set_addresses(l3, set, count, base)
+}
+
+/// Build the candidate pool an attacker realistically starts from when
+/// profiling LLC eviction sets (paper §7.4): `count` page-aligned addresses
+/// with identical page offset `offset`, at consecutive page-sized strides
+/// from `base`. Their page-offset bits are known to the attacker; their
+/// upper bits (and therefore LLC set) are not.
+///
+/// # Panics
+///
+/// Panics if `offset >= PAGE_BYTES` or `offset` is not line-aligned.
+pub fn candidate_pool(base: Addr, count: usize, offset: u64) -> Vec<Addr> {
+    assert!(offset < PAGE_BYTES, "offset must lie within a page");
+    assert_eq!(offset % LINE_BYTES, 0, "offset must be line-aligned");
+    let page_base = base.0 - (base.0 % PAGE_BYTES);
+    (0..count as u64).map(|i| Addr(page_base + i * PAGE_BYTES + offset)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    #[test]
+    fn l1_set_addresses_are_congruent_and_distinct() {
+        let l1 = Cache::new(CacheConfig::l1d_coffee_lake());
+        let addrs = same_l1_set_addresses(&l1, 17, 12, Addr(0x4_0000));
+        assert_eq!(addrs.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for a in &addrs {
+            assert_eq!(l1.set_index(a.line()), 17);
+            assert!(seen.insert(a.line()), "lines must be distinct");
+        }
+    }
+
+    #[test]
+    fn l3_set_addresses_map_correctly() {
+        let l3 = Cache::new(CacheConfig::l3_coffee_lake());
+        let addrs = addresses_mapping_to_l3_set(&l3, 1234, 20, Addr(0));
+        for a in &addrs {
+            assert_eq!(l3.set_index(a.line()), 1234);
+        }
+    }
+
+    #[test]
+    fn candidate_pool_shares_page_offset() {
+        let pool = candidate_pool(Addr(0x12345000), 64, 0x240);
+        assert_eq!(pool.len(), 64);
+        for a in &pool {
+            assert_eq!(a.0 % PAGE_BYTES, 0x240);
+        }
+        // Pool addresses spread across multiple L3 sets.
+        let l3 = Cache::new(CacheConfig::l3_coffee_lake());
+        let sets: std::collections::HashSet<_> =
+            pool.iter().map(|a| l3.set_index(a.line())).collect();
+        assert!(sets.len() > 1, "candidates must straddle several LLC sets");
+    }
+
+    #[test]
+    #[should_panic]
+    fn candidate_pool_rejects_unaligned_offset() {
+        let _ = candidate_pool(Addr(0), 4, 33);
+    }
+}

@@ -1,0 +1,61 @@
+//! # racer-mem — cache hierarchy substrate for Hacky Racers
+//!
+//! A set-associative cache-hierarchy simulator with pluggable replacement
+//! policies, built to reproduce the cache-state arguments of the ASPLOS 2023
+//! paper *"Hacky Racers: Exploiting Instruction-Level Parallelism to Generate
+//! Stealthy Fine-Grained Timers"* (Xiao & Ainsworth).
+//!
+//! The paper's magnifier gadgets are, at their heart, arguments about cache
+//! replacement state machines:
+//!
+//! * the **tree-PLRU magnifiers** (paper §6.1, §6.2, Figures 3 and 4) rely on
+//!   the binary-tree pseudo-LRU policy never evicting a *protected* line while
+//!   a carefully chosen access pattern misses every other access;
+//! * the **arbitrary-replacement magnifier** (paper §6.3, Figure 5) relies
+//!   only on "filling `PAR_i` probably evicts a member of `SEQ_i`", which
+//!   holds for *any* policy including random replacement;
+//! * the **LLC eviction-set attack** (paper §7.4) relies on an inclusive
+//!   last-level cache back-invalidating lines from the L1.
+//!
+//! This crate provides exactly those mechanisms:
+//!
+//! * [`replacement`] — the [`ReplacementPolicy`] trait and five concrete
+//!   policies: [`TreePlru`], [`Lru`], [`RandomReplacement`], [`Fifo`],
+//!   [`Srrip`].
+//! * [`set`] / [`cache`] — a single set-associative cache level.
+//! * [`hierarchy`] — a three-level hierarchy (L1D → L2 → inclusive L3 → DRAM)
+//!   with flush, prefetch and back-invalidation.
+//! * [`eviction`] — ground-truth helpers for constructing congruent address
+//!   sets (used to *validate* the attack-generated eviction sets).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use racer_mem::{Addr, Hierarchy, HierarchyConfig, HitLevel};
+//!
+//! let mut hier = Hierarchy::new(HierarchyConfig::coffee_lake());
+//! let a = Addr(0x1000);
+//! let first = hier.load(a);
+//! assert_eq!(first.level, HitLevel::Memory); // cold miss goes to DRAM
+//! let second = hier.load(a);
+//! assert_eq!(second.level, HitLevel::L1);    // now L1-resident
+//! assert!(second.latency < first.latency);
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod eviction;
+pub mod hierarchy;
+pub mod replacement;
+pub mod set;
+pub mod stats;
+
+pub use addr::{Addr, LineAddr, LINE_BYTES};
+pub use cache::{Cache, CacheConfig};
+pub use eviction::{addresses_mapping_to_l3_set, candidate_pool, same_l1_set_addresses};
+pub use hierarchy::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, HitLevel};
+pub use replacement::{
+    Fifo, Lru, RandomReplacement, ReplacementKind, ReplacementPolicy, Srrip, TreePlru,
+};
+pub use set::{CacheSet, FillOutcome};
+pub use stats::{CacheStats, HierarchyStats};

@@ -1,0 +1,116 @@
+//! First-in first-out (round-robin) replacement.
+
+use super::ReplacementPolicy;
+
+/// FIFO replacement: lines are evicted in the order they were filled,
+/// regardless of hits.
+///
+/// Included to demonstrate the paper's claim that the arbitrary-replacement
+/// magnifier (§6.3) does not depend on recency state at all.
+///
+/// ```
+/// use racer_mem::{Fifo, ReplacementPolicy};
+/// let mut p = Fifo::new(4);
+/// for w in 0..4 { p.on_fill(w); }
+/// p.on_hit(0); // hits do not refresh FIFO order
+/// assert_eq!(p.peek_victim(), 0);
+/// ```
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Fifo {
+    /// `queue[0]` is the oldest fill (the victim).
+    queue: Vec<usize>,
+}
+
+impl Fifo {
+    /// Create a FIFO instance for `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways >= 1, "FIFO needs at least one way");
+        Fifo { queue: (0..ways).collect() }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn ways(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn on_hit(&mut self, _way: usize) {
+        // FIFO ignores hits by definition.
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        let pos = self
+            .queue
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range for this FIFO instance");
+        self.queue.remove(pos);
+        self.queue.push(way); // newest at the back
+    }
+
+    fn victim(&mut self) -> usize {
+        self.queue[0]
+    }
+
+    fn peek_victim(&self) -> usize {
+        self.queue[0]
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        // Invalidated ways should be refilled first: move to victim position.
+        let pos = self
+            .queue
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range for this FIFO instance");
+        self.queue.remove(pos);
+        self.queue.insert(0, way);
+    }
+
+    fn reset(&mut self) {
+        let ways = self.queue.len();
+        self.queue = (0..ways).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_fill_order() {
+        let mut p = Fifo::new(3);
+        p.on_fill(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        assert_eq!(p.victim(), 2);
+        p.on_fill(2); // refill 2; now oldest is 0
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn hits_do_not_matter() {
+        let mut p = Fifo::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        for _ in 0..10 {
+            p.on_hit(0);
+        }
+        assert_eq!(p.peek_victim(), 0);
+    }
+
+    #[test]
+    fn invalidate_moves_to_front() {
+        let mut p = Fifo::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_invalidate(2);
+        assert_eq!(p.peek_victim(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! True least-recently-used replacement.
+
+use super::ReplacementPolicy;
+
+/// Exact LRU: the victim is always the way touched longest ago.
+///
+/// Used as a reference policy for differential testing against
+/// [`TreePlru`](super::TreePlru) (with which it agrees for 2 ways) and to
+/// show which magnifier gadgets survive a switch away from tree-PLRU.
+///
+/// ```
+/// use racer_mem::{Lru, ReplacementPolicy};
+/// let mut p = Lru::new(4);
+/// for w in 0..4 { p.on_fill(w); }
+/// p.on_hit(0);
+/// assert_eq!(p.peek_victim(), 1); // way 1 is now the coldest
+/// ```
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Lru {
+    /// `order[0]` is most-recently-used; `order.last()` is the victim.
+    order: Vec<usize>,
+}
+
+impl Lru {
+    /// Create an LRU instance for `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways >= 1, "LRU needs at least one way");
+        Lru { order: (0..ways).collect() }
+    }
+
+    fn promote(&mut self, way: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range for this LRU instance");
+        self.order.remove(pos);
+        self.order.insert(0, way);
+    }
+
+    fn demote(&mut self, way: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range for this LRU instance");
+        self.order.remove(pos);
+        self.order.push(way);
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn ways(&self) -> usize {
+        self.order.len()
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.promote(way);
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.promote(way);
+    }
+
+    fn on_fill_low_priority(&mut self, way: usize) {
+        // Non-temporal data is inserted at LRU position (classic NT hint).
+        self.demote(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        *self.order.last().expect("LRU always has at least one way")
+    }
+
+    fn peek_victim(&self) -> usize {
+        *self.order.last().expect("LRU always has at least one way")
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        // An invalidated way becomes the coldest so it is reused first if
+        // the set layer ever consults the policy with empty ways around.
+        self.demote(way);
+    }
+
+    fn reset(&mut self) {
+        let ways = self.order.len();
+        self.order = (0..ways).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_least_recently_used() {
+        let mut p = Lru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // MRU order now 3,2,1,0; victim = 0.
+        assert_eq!(p.peek_victim(), 0);
+        p.on_hit(0);
+        assert_eq!(p.peek_victim(), 1);
+        p.on_hit(1);
+        p.on_hit(2);
+        assert_eq!(p.peek_victim(), 3);
+    }
+
+    #[test]
+    fn fill_promotes_to_mru() {
+        let mut p = Lru::new(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        assert_eq!(p.victim(), 0);
+        p.on_fill(0);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn low_priority_fill_is_immediate_victim() {
+        let mut p = Lru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_fill_low_priority(2);
+        assert_eq!(p.peek_victim(), 2);
+    }
+
+    #[test]
+    fn invalidate_demotes() {
+        let mut p = Lru::new(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_invalidate(3); // 3 was MRU
+        assert_eq!(p.peek_victim(), 3);
+    }
+
+    #[test]
+    fn agrees_with_tree_plru_for_two_ways() {
+        use crate::replacement::TreePlru;
+        let mut lru = Lru::new(2);
+        let mut plru = TreePlru::new(2);
+        let seq = [0usize, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+        for &w in &seq {
+            lru.on_hit(w);
+            plru.on_hit(w);
+            assert_eq!(lru.peek_victim(), plru.peek_victim());
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_order() {
+        let mut p = Lru::new(3);
+        p.on_hit(2);
+        p.reset();
+        assert_eq!(p, Lru::new(3));
+    }
+}

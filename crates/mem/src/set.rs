@@ -1,0 +1,235 @@
+//! A single set of a set-associative cache.
+
+use crate::addr::LineAddr;
+use crate::replacement::ReplacementPolicy;
+
+/// Result of inserting a line into a [`CacheSet`].
+#[derive(Copy, Clone, Debug, Eq, PartialEq)]
+pub struct FillOutcome {
+    /// Way the line was placed in.
+    pub way: usize,
+    /// Valid line displaced to make room, if any.
+    pub evicted: Option<LineAddr>,
+}
+
+/// One cache set: per-way tags plus a replacement-policy instance.
+///
+/// The set prefers empty ways for fills; only a full set consults the policy
+/// for a victim. All policy bookkeeping (`on_hit`/`on_fill`/`on_invalidate`)
+/// happens here so callers cannot desynchronize tags and policy state.
+#[derive(Debug)]
+pub struct CacheSet {
+    lines: Vec<Option<LineAddr>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl CacheSet {
+    /// Create a set managed by `policy`, with `policy.ways()` ways, all empty.
+    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        let ways = policy.ways();
+        CacheSet { lines: vec![None; ways], policy }
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Way currently holding `line`, if resident.
+    pub fn way_of(&self, line: LineAddr) -> Option<usize> {
+        self.lines.iter().position(|&l| l == Some(line))
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.way_of(line).is_some()
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// The resident lines, in way order.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().filter_map(|&l| l)
+    }
+
+    /// Record a demand hit on `line`.
+    ///
+    /// Returns `true` if the line was resident (and the policy was updated).
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        match self.way_of(line) {
+            Some(w) => {
+                self.policy.on_hit(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert `line`, evicting a victim if the set is full.
+    ///
+    /// If `line` is already resident this degenerates to a touch (hardware
+    /// never double-fills a line).
+    pub fn fill(&mut self, line: LineAddr) -> FillOutcome {
+        self.fill_inner(line, false)
+    }
+
+    /// Insert `line` with a low-priority (non-temporal) hint: the policy
+    /// places it at, or near, the eviction-candidate position.
+    pub fn fill_low_priority(&mut self, line: LineAddr) -> FillOutcome {
+        self.fill_inner(line, true)
+    }
+
+    fn fill_inner(&mut self, line: LineAddr, low_priority: bool) -> FillOutcome {
+        if let Some(way) = self.way_of(line) {
+            self.policy.on_hit(way);
+            return FillOutcome { way, evicted: None };
+        }
+        let (way, evicted) = match self.lines.iter().position(|l| l.is_none()) {
+            Some(empty) => (empty, None),
+            None => {
+                let victim = self.policy.victim();
+                (victim, self.lines[victim])
+            }
+        };
+        self.lines[way] = Some(line);
+        if low_priority {
+            self.policy.on_fill_low_priority(way);
+        } else {
+            self.policy.on_fill(way);
+        }
+        FillOutcome { way, evicted }
+    }
+
+    /// Remove `line` if resident; returns `true` if it was.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        match self.way_of(line) {
+            Some(w) => {
+                self.lines[w] = None;
+                self.policy.on_invalidate(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The line the policy would evict next if a fill arrived now (only
+    /// meaningful when the set is full).
+    pub fn eviction_candidate(&self) -> Option<LineAddr> {
+        if self.occupancy() < self.ways() {
+            return None;
+        }
+        self.lines[self.policy.peek_victim()]
+    }
+
+    /// Empty the set and reset the policy.
+    pub fn clear(&mut self) {
+        self.lines.iter_mut().for_each(|l| *l = None);
+        self.policy.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementKind;
+
+    fn set(kind: ReplacementKind, ways: usize) -> CacheSet {
+        CacheSet::new(kind.build(ways, 11))
+    }
+
+    #[test]
+    fn fills_prefer_empty_ways() {
+        let mut s = set(ReplacementKind::TreePlru, 4);
+        for i in 0..4 {
+            let out = s.fill(LineAddr(i));
+            assert_eq!(out.evicted, None, "no eviction while empty ways remain");
+        }
+        assert_eq!(s.occupancy(), 4);
+        let out = s.fill(LineAddr(100));
+        assert!(out.evicted.is_some(), "full set must evict");
+        assert_eq!(s.occupancy(), 4);
+    }
+
+    #[test]
+    fn refill_of_resident_line_is_touch() {
+        let mut s = set(ReplacementKind::Lru, 2);
+        s.fill(LineAddr(1));
+        s.fill(LineAddr(2));
+        let out = s.fill(LineAddr(1)); // already resident
+        assert_eq!(out.evicted, None);
+        assert_eq!(s.occupancy(), 2);
+        // 1 is now MRU, so filling a new line evicts 2.
+        let out = s.fill(LineAddr(3));
+        assert_eq!(out.evicted, Some(LineAddr(2)));
+    }
+
+    #[test]
+    fn touch_reports_residency() {
+        let mut s = set(ReplacementKind::TreePlru, 2);
+        assert!(!s.touch(LineAddr(9)));
+        s.fill(LineAddr(9));
+        assert!(s.touch(LineAddr(9)));
+    }
+
+    #[test]
+    fn invalidate_frees_way_for_next_fill() {
+        let mut s = set(ReplacementKind::Lru, 2);
+        s.fill(LineAddr(1));
+        s.fill(LineAddr(2));
+        assert!(s.invalidate(LineAddr(1)));
+        assert!(!s.invalidate(LineAddr(1)));
+        let out = s.fill(LineAddr(3));
+        assert_eq!(out.evicted, None, "fill must reuse the invalidated way");
+        assert!(s.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn eviction_candidate_only_when_full() {
+        let mut s = set(ReplacementKind::Lru, 2);
+        assert_eq!(s.eviction_candidate(), None);
+        s.fill(LineAddr(1));
+        assert_eq!(s.eviction_candidate(), None);
+        s.fill(LineAddr(2));
+        assert_eq!(s.eviction_candidate(), Some(LineAddr(1)));
+    }
+
+    #[test]
+    fn clear_empties_set() {
+        let mut s = set(ReplacementKind::Srrip, 4);
+        for i in 0..4 {
+            s.fill(LineAddr(i));
+        }
+        s.clear();
+        assert_eq!(s.occupancy(), 0);
+        assert!(!s.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn resident_lines_iterates_in_way_order() {
+        let mut s = set(ReplacementKind::Fifo, 4);
+        s.fill(LineAddr(7));
+        s.fill(LineAddr(3));
+        let lines: Vec<_> = s.resident_lines().collect();
+        assert_eq!(lines, vec![LineAddr(7), LineAddr(3)]);
+    }
+
+    #[test]
+    fn random_policy_set_never_loses_lines_silently() {
+        let mut s = set(ReplacementKind::Random, 8);
+        let mut resident = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            let out = s.fill(LineAddr(i));
+            resident.insert(LineAddr(i));
+            if let Some(e) = out.evicted {
+                resident.remove(&e);
+            }
+            assert_eq!(s.occupancy(), resident.len().min(8));
+            for l in s.resident_lines() {
+                assert!(resident.contains(&l), "set holds a line the model does not");
+            }
+        }
+    }
+}

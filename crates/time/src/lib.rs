@@ -1,0 +1,35 @@
+//! # racer-time — browser timer models and side-channel statistics
+//!
+//! The paper's threat model (§3) gives the attacker *"any valid JavaScript
+//! code"* but only timers of **5 µs or coarser** — the post-Spectre
+//! `performance.now()` landscape surveyed in §2.2. Whether an attack
+//! succeeds is a question about what survives quantization, jitter and
+//! fuzzing; this crate provides those observation models plus the statistics
+//! used to score the channels they carry.
+//!
+//! * [`timer`] — [`Timer`] implementations: [`CoarseTimer`] (quantization +
+//!   optional jitter, i.e. `performance.now()`), [`FuzzyTimer`] (randomly
+//!   perturbed clock edges, the fuzzy-time countermeasure), [`SabCounterTimer`]
+//!   (the removed SharedArrayBuffer counting-thread timer, as the fine-grained
+//!   baseline) and [`PerfectTimer`].
+//! * [`stats`] — histograms, distribution overlap, threshold classifiers and
+//!   leak-rate computation for scoring transmissions (Figures 7 and 10, and
+//!   the §7.3 bit-rate/accuracy numbers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use racer_time::{CoarseTimer, Timer};
+//!
+//! // A 5 µs browser timer cannot see a 100 ns difference directly…
+//! let mut t = CoarseTimer::new(5_000.0);
+//! assert_eq!(t.now(0.0), t.now(100.0));
+//! // …but it can see a magnified 100 µs difference.
+//! assert!(t.now(100_000.0) > t.now(0.0));
+//! ```
+
+pub mod stats;
+pub mod timer;
+
+pub use stats::{best_threshold, overlap_coefficient, Histogram, Summary};
+pub use timer::{CoarseTimer, FuzzyTimer, PerfectTimer, SabCounterTimer, Timer};

@@ -1,0 +1,47 @@
+//! Recover an AES-style key nibble with prime+probe, timed entirely by
+//! ILP races — the cache attack the paper's §2.1 says needs a fine timer,
+//! running without one.
+//!
+//! Run with: `cargo run --release -p hr-examples --bin aes_key_recovery`
+
+use hacky_racers::attacks::AesAttack;
+use hacky_racers::machine::Machine;
+use racer_cpu::CpuConfig;
+use racer_mem::HierarchyConfig;
+
+fn main() {
+    println!("=== AES first-round key recovery via ILP-race prime+probe ===\n");
+
+    let mut machine = Machine::with(
+        CpuConfig::coffee_lake().with_load_recording(),
+        HierarchyConfig::coffee_lake(),
+    );
+    let attack = AesAttack::new(machine.layout());
+
+    let secret_key: u8 = 0xD6; // the victim's key byte
+    attack.plant_key(&mut machine, secret_key);
+    println!("victim key byte (hidden from attacker): {secret_key:#04x}");
+    println!("victim: one T-table lookup at T[(p ^ k) >> 4]\n");
+
+    let plaintexts = [0x0u8, 0x3, 0x7, 0xC];
+    let recovery = attack.recover_key_nibble(&mut machine, &plaintexts);
+
+    for (p, line) in recovery.plaintexts.iter().zip(&recovery.observed_lines) {
+        match line {
+            Some(l) => println!(
+                "plaintext {p:#03x}_ → victim touched table line {l:2} → key nibble guess {:#x}",
+                l ^ p
+            ),
+            None => println!("plaintext {p:#03x}_ → no line observed"),
+        }
+    }
+
+    match recovery.key_nibble {
+        Some(n) => {
+            println!("\nrecovered key high nibble: {n:#x} (truth: {:#x})", secret_key >> 4);
+            println!("match: {}", n == secret_key >> 4);
+        }
+        None => println!("\nrecovery failed"),
+    }
+    println!("\nEvery hit/miss decision above was made by a racing gadget, not a timer.");
+}

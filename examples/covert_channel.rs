@@ -1,0 +1,75 @@
+//! A covert channel through the reorder race + PLRU magnifier: transmit an
+//! arbitrary message one bit at a time using only ILP races and a 5 µs
+//! timer — the composition that makes §7.3's channel tick, isolated.
+//!
+//! Run with: `cargo run --release -p hr-examples --bin covert_channel`
+
+use hacky_racers::magnify::{PlruInput, PlruMagnifier};
+use hacky_racers::prelude::*;
+use racer_time::{CoarseTimer, Timer};
+
+/// Send one bit: insert the magnifier's A and B lines in bit-dependent
+/// order (this is what a racing gadget does from a timing difference).
+fn send_bit(m: &mut Machine, mag: &PlruMagnifier, bit: bool) {
+    mag.prepare(m);
+    let (a, b) = (mag.line_a(m), mag.line_b(m));
+    if bit {
+        m.warm(a);
+        m.warm(b);
+    } else {
+        m.warm(b);
+        m.warm(a);
+    }
+}
+
+/// Receive one bit through the coarse timer.
+fn recv_bit(m: &mut Machine, mag: &PlruMagnifier, timer: &mut dyn Timer, threshold: f64) -> bool {
+    let observed = m.run_timed(&mag.program(m, PlruInput::Reorder), timer);
+    observed > threshold
+}
+
+fn main() {
+    println!("=== ILP covert channel (reorder race → PLRU magnifier → 5 µs timer) ===\n");
+
+    let message = b"OoO leaks";
+    let mut m = Machine::noisy(7);
+    let mag = PlruMagnifier::with(m.layout(), 5, 1500);
+    let mut timer = CoarseTimer::browser_5us();
+
+    // Calibrate the decision threshold from two known transmissions.
+    send_bit(&mut m, &mag, false);
+    let zero = m.run_timed(&mag.program(&m, PlruInput::Reorder), &mut timer);
+    send_bit(&mut m, &mag, true);
+    let one = m.run_timed(&mag.program(&m, PlruInput::Reorder), &mut timer);
+    let threshold = (zero + one) / 2.0;
+    println!("calibration: bit0 ≈ {zero:.0} ns, bit1 ≈ {one:.0} ns, threshold {threshold:.0} ns\n");
+
+    let start_ns = m.elapsed_ns();
+    let mut received = Vec::with_capacity(message.len());
+    let mut errors = 0u32;
+    for &byte in message {
+        let mut out = 0u8;
+        for bit in 0..8 {
+            let tx = (byte >> bit) & 1 == 1;
+            send_bit(&mut m, &mag, tx);
+            let rx = recv_bit(&mut m, &mag, &mut timer, threshold);
+            if rx {
+                out |= 1 << bit;
+            }
+            if rx != tx {
+                errors += 1;
+            }
+        }
+        received.push(out);
+    }
+    let elapsed = m.elapsed_ns() - start_ns;
+    let bits = (message.len() * 8) as f64;
+
+    println!("sent    : {:?}", String::from_utf8_lossy(message));
+    println!("received: {:?}", String::from_utf8_lossy(&received));
+    println!("bit errors: {errors}/{bits}");
+    println!(
+        "throughput: {:.1} kbit/s of simulated time",
+        bits / (elapsed * 1e-9) / 1000.0
+    );
+}

@@ -1,0 +1,46 @@
+//! LLC eviction-set generation without SharedArrayBuffer (§7.4).
+//!
+//! Profile a pool of candidate addresses down to a minimal last-level-cache
+//! eviction set, using only the Hacky-Racers timer (MUL-referenced racing
+//! gadget + PLRU magnifier) for every timing decision.
+//!
+//! Run with: `cargo run --release -p hr-examples --bin eviction_set`
+
+use hacky_racers::attacks::EvictionSetAttack;
+use hacky_racers::prelude::*;
+use racer_mem::candidate_pool;
+
+fn main() {
+    println!("=== Eviction-set generation with an ILP-race timer ===\n");
+
+    let mut machine = Machine::small_llc();
+    let l3_cfg = *machine.cpu().hierarchy().l3().config();
+    println!(
+        "LLC: {} sets x {} ways, inclusive (scaled-down for demonstration)",
+        l3_cfg.sets, l3_cfg.ways
+    );
+
+    let base = machine.layout().ev_pool_base;
+    let target = Addr(base.0 + 0x800);
+    let pool = candidate_pool(Addr(base.0 + 4096), 48, 0x800);
+    println!("target: {target}");
+    println!("candidate pool: {} page-stride addresses, L3 set unknown to the attacker\n", pool.len());
+
+    let attack = EvictionSetAttack::new(machine.layout());
+    match attack.build_minimal_set(&mut machine, target, &pool, l3_cfg.ways) {
+        Some(set) => {
+            println!("minimal eviction set found ({} members):", set.len());
+            let l3set = machine.cpu().hierarchy().l3().set_index(target.line());
+            for a in &set {
+                let s = machine.cpu().hierarchy().l3().set_index(a.line());
+                println!(
+                    "  {a}  (L3 set {s}{})",
+                    if s == l3set { ", congruent ✓" } else { ", NOT congruent ✗" }
+                );
+            }
+            let still = attack.evicts(&mut machine, target, &set);
+            println!("\nverification: minimal set evicts the target: {still}");
+        }
+        None => println!("profiling failed — pool did not evict the target"),
+    }
+}

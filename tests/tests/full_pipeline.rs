@@ -1,0 +1,130 @@
+//! End-to-end pipeline tests spanning every crate: ISA → OoO core → cache
+//! hierarchy → gadgets → coarse timer → statistics.
+
+use hacky_racers::attacks::{IlpTimer, SpectreBack};
+use hacky_racers::machine::Machine;
+use hacky_racers::magnify::{PlruInput, PlruMagnifier};
+use hacky_racers::path::PathSpec;
+use hr_integration_tests::bit_accuracy;
+use racer_isa::AluOp;
+use racer_time::{stats, CoarseTimer, FuzzyTimer, SabCounterTimer, Timer};
+
+/// The paper's whole premise in one test: a timing difference invisible to
+/// the 5 µs browser timer is recovered through the racing+magnifier stack,
+/// and the recovered verdicts agree with what a (forbidden)
+/// SharedArrayBuffer-grade timer would have said directly.
+#[test]
+fn coarse_timer_pipeline_matches_fine_timer_ground_truth() {
+    let mut m = Machine::baseline();
+    let ilp = IlpTimer::new(m.layout());
+    let mut coarse = CoarseTimer::browser_5us();
+    let threshold = ilp.calibrate(&mut m, &mut coarse);
+
+    let mut sab = SabCounterTimer::typical();
+    for target_len in [5usize, 15, 30, 45] {
+        let target = PathSpec::op_chain(AluOp::Add, target_len);
+        // Ground truth via the (removed) fine-grained timer model:
+        // does the chain exceed 25 cycles?
+        let fine_says = {
+            let cycles = target_len as f64; // 1 cycle per chained add
+            sab.measure(0.0, cycles * 0.5) > 25.0 * 0.5 - 1.0
+        };
+        let hacky_says = ilp.exceeds_observed(&mut m, &target, 25, &mut coarse, threshold);
+        assert_eq!(
+            hacky_says, fine_says,
+            "{target_len}-add chain: ILP pipeline disagrees with fine-timer ground truth"
+        );
+    }
+}
+
+/// The magnified difference survives even 100 ms timers with 100 ms jitter
+/// (Chrome 2018) when enough rounds accumulate — "no such restrictions can
+/// be designed to limit Hacky Racers" (§1).
+#[test]
+fn magnification_defeats_chrome_2018_coarsening() {
+    let mut m = Machine::baseline();
+    // 700k rounds ≈ 8.4 ms of difference: still below 100 ms resolution,
+    // so single-shot detection needs repetition at this coarseness; what we
+    // verify here is the *unbounded* scaling of the PLRU magnifier: the
+    // difference grows linearly as far as we care to run it.
+    let diff_at = |m: &mut Machine, rounds: usize| {
+        let mag = PlruMagnifier::with(m.layout(), 5, rounds);
+        mag.prepare(m);
+        let absent = mag.measure(m, PlruInput::PresenceAbsence);
+        mag.prepare(m);
+        let a = mag.line_a(m);
+        m.warm(a);
+        let present = mag.measure(m, PlruInput::PresenceAbsence);
+        present.saturating_sub(absent)
+    };
+    let d1 = diff_at(&mut m, 2_000);
+    let d2 = diff_at(&mut m, 20_000);
+    let ratio = d2 as f64 / d1 as f64;
+    assert!(
+        (8.0..=12.0).contains(&ratio),
+        "magnification must scale linearly without bound: {d1} → {d2}"
+    );
+}
+
+/// Fuzzy time (the §2.2 countermeasure) does not stop the attack either:
+/// with a magnified difference several ticks wide, wobbling edges only add
+/// noise, not safety.
+#[test]
+fn magnified_difference_survives_fuzzy_time() {
+    let mut m = Machine::noisy(3);
+    let mag = PlruMagnifier::with(m.layout(), 5, 4_000); // ~48 µs difference
+    let mut fuzzy = FuzzyTimer::new(5_000.0, 99);
+
+    let mut absent_obs = Vec::new();
+    let mut present_obs = Vec::new();
+    for _ in 0..6 {
+        mag.prepare(&mut m);
+        absent_obs.push(m.run_timed(&mag.program(&m, PlruInput::PresenceAbsence), &mut fuzzy));
+        mag.prepare(&mut m);
+        let a = mag.line_a(&m);
+        m.warm(a);
+        present_obs.push(m.run_timed(&mag.program(&m, PlruInput::PresenceAbsence), &mut fuzzy));
+    }
+    let (_, acc) = stats::best_threshold(&absent_obs, &present_obs);
+    assert!(
+        acc > 0.9,
+        "fuzzy 5 µs timer must not defeat a ~50 µs magnified signal: accuracy {acc:.2}"
+    );
+}
+
+/// SpectreBack across machines with different noise seeds: accuracy holds.
+#[test]
+fn spectre_back_is_robust_across_noise_seeds() {
+    let secret = b"OoO";
+    for seed in [1u64, 77, 4242] {
+        let mut m = Machine::noisy(seed);
+        let atk = SpectreBack::new(m.layout());
+        atk.plant_secret(&mut m, secret);
+        let mut timer = CoarseTimer::browser_5us();
+        let report = atk.leak_bytes(&mut m, secret.len(), &mut timer);
+        let acc = bit_accuracy(secret, &report.recovered);
+        assert!(acc > 0.88, "seed {seed}: accuracy {acc:.2} below the paper's 88%");
+    }
+}
+
+/// The full measurement pipeline is reusable: one machine, many
+/// measurements, no cross-contamination.
+#[test]
+fn repeated_measurements_do_not_contaminate_each_other() {
+    let mut m = Machine::baseline();
+    let ilp = IlpTimer::new(m.layout());
+    let mut coarse = CoarseTimer::browser_5us();
+    let threshold = ilp.calibrate(&mut m, &mut coarse);
+    let short = PathSpec::op_chain(AluOp::Add, 6);
+    let long = PathSpec::op_chain(AluOp::Add, 48);
+    for round in 0..4 {
+        assert!(
+            !ilp.exceeds_observed(&mut m, &short, 25, &mut coarse, threshold),
+            "round {round}: short chain misread"
+        );
+        assert!(
+            ilp.exceeds_observed(&mut m, &long, 25, &mut coarse, threshold),
+            "round {round}: long chain misread"
+        );
+    }
+}
