@@ -80,18 +80,17 @@ pub fn figure11(repeat_points: &[usize], delay: usize) -> Vec<SweepSeries> {
         };
         Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier)
     };
+    // Each point runs on a fresh machine, so the sweep parallelizes across
+    // host cores with bit-identical results (see `racer_cpu::batch`).
     let run = |kind: ReplacementKind, prefetch: usize, label: &str| {
-        let points = repeat_points
-            .iter()
-            .map(|&repeats| {
-                let mut mag = ArbitraryReplacementMagnifier::new(Layout::default());
-                mag.repeats = repeats;
-                mag.prefetch_dist = prefetch;
-                let mut m = machine(kind, 0x5EED + repeats as u64);
-                let amp = mag.amplification(&mut m, delay).max(0);
-                SweepPoint { repeats, diff_us: amp as f64 * 0.5 / 1000.0 }
-            })
-            .collect();
+        let points = racer_cpu::batch::par_map(repeat_points, |&repeats| {
+            let mut mag = ArbitraryReplacementMagnifier::new(Layout::default());
+            mag.repeats = repeats;
+            mag.prefetch_dist = prefetch;
+            let mut m = machine(kind, 0x5EED + repeats as u64);
+            let amp = mag.amplification(&mut m, delay).max(0);
+            SweepPoint { repeats, diff_us: amp as f64 * 0.5 / 1000.0 }
+        });
         SweepSeries { label: label.to_string(), points }
     };
     vec![
@@ -111,18 +110,16 @@ pub fn figure12(
     delay: usize,
     interrupt_cycles: Option<u64>,
 ) -> SweepSeries {
-    let points = repeat_points
-        .iter()
-        .map(|&stages| {
-            let mut cfg = CpuConfig::coffee_lake();
-            cfg.interrupt_interval = interrupt_cycles;
-            let mut m = Machine::with(cfg, HierarchyConfig::small_plru());
-            let mut mag = ArithmeticMagnifier::new(Layout::default());
-            mag.stages = stages;
-            let amp = mag.amplification(&mut m, delay).max(0);
-            SweepPoint { repeats: stages, diff_us: amp as f64 * 0.5 / 1000.0 }
-        })
-        .collect();
+    // Independent per-stage machines: fan out across host cores.
+    let points = racer_cpu::batch::par_map(repeat_points, |&stages| {
+        let mut cfg = CpuConfig::coffee_lake();
+        cfg.interrupt_interval = interrupt_cycles;
+        let mut m = Machine::with(cfg, HierarchyConfig::small_plru());
+        let mut mag = ArithmeticMagnifier::new(Layout::default());
+        mag.stages = stages;
+        let amp = mag.amplification(&mut m, delay).max(0);
+        SweepPoint { repeats: stages, diff_us: amp as f64 * 0.5 / 1000.0 }
+    });
     SweepSeries {
         label: format!(
             "arithmetic-magnifier interrupts={}",

@@ -1,0 +1,123 @@
+//! Host-parallel batch driver for independent simulations.
+//!
+//! Paper-scale experiments are embarrassingly parallel: a granularity sweep
+//! runs one fresh [`Cpu`](crate::Cpu) per target length, a magnifier sweep
+//! one per repeat count. Each simulation is single-threaded and
+//! deterministic, so fanning the *configurations* out across host cores
+//! scales linearly without perturbing any simulated timing.
+//!
+//! [`par_map`] is the whole API: order-preserving, panic-propagating, and
+//! work-stealing over a shared index so uneven per-item costs (short vs.
+//! long targets) balance automatically. It is built on `std::thread::scope`
+//! rather than rayon so the workspace keeps building with no external
+//! dependencies; the signature matches rayon's
+//! `par_iter().map().collect()` shape closely enough that swapping the
+//! implementation later is local to this file.
+//!
+//! ```
+//! use racer_cpu::batch;
+//!
+//! let squares = batch::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on a pool of host threads, returning results in
+/// input order. Uses up to [`max_threads`] workers (capped by the item
+/// count); with one item or one available core it degrades to a plain map
+/// with no thread spawn.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed index")
+        })
+        .collect()
+}
+
+/// Worker-thread cap: the `RACER_BATCH_THREADS` environment variable if set
+/// and positive, else the host's available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("RACER_BATCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let out = par_map(&input, |&x| x * 3);
+        assert_eq!(out, input.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still come back in order.
+        let input: Vec<u64> = (0..64).collect();
+        let out = par_map(&input, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_panics() {
+        let _ = par_map(&[1, 2, 3], |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -103,6 +103,46 @@ impl Default for Latencies {
     }
 }
 
+/// How much per-instruction event data a run records.
+///
+/// Recording costs both memory (the `loads`/`trace` vectors grow with the
+/// dynamic instruction count) and time (every load / every dispatch takes a
+/// bookkeeping branch plus a push). Paper-scale sweeps that only consume
+/// [`RunResult::cycles`](crate::RunResult::cycles) and aggregate
+/// [`mem_stats`](crate::RunResult::mem_stats) should run at
+/// [`RecordLevel::Counters`] (the default), which skips both vectors
+/// entirely; gadget debugging and the probe-based attacks opt into the
+/// richer levels.
+///
+/// Levels are cumulative: `Trace` implies `Loads` implies `Counters`.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub enum RecordLevel {
+    /// Aggregate counters only (`cycles`, `committed`, `mem_stats`, …);
+    /// the `loads` and `trace` vectors stay empty and unallocated.
+    #[default]
+    Counters,
+    /// Also record one [`LoadEvent`](crate::LoadEvent) per issued load
+    /// (the probe/attack readout path).
+    Loads,
+    /// Also record the full per-instruction pipeline trace
+    /// (fetch/dispatch/issue/complete/commit cycles; the most expensive).
+    Trace,
+}
+
+impl RecordLevel {
+    /// Whether per-load events are recorded at this level.
+    #[inline]
+    pub fn loads(self) -> bool {
+        self >= RecordLevel::Loads
+    }
+
+    /// Whether the full pipeline trace is recorded at this level.
+    #[inline]
+    pub fn trace(self) -> bool {
+        self == RecordLevel::Trace
+    }
+}
+
 /// Out-of-order core configuration.
 ///
 /// Defaults model a Coffee-Lake-class core at 2 GHz (the paper's i7-8750H):
@@ -156,12 +196,8 @@ pub struct CpuConfig {
     pub interrupt_interval: Option<u64>,
     /// Safety valve: a single `execute` aborts after this many cycles.
     pub max_run_cycles: u64,
-    /// Record per-load events in the run result (costs memory; used by
-    /// experiments and tests).
-    pub record_loads: bool,
-    /// Record a full per-instruction pipeline trace in the run result
-    /// (fetch/dispatch/issue/complete/commit cycles; costs memory).
-    pub record_trace: bool,
+    /// Event-recording level for run results (see [`RecordLevel`]).
+    pub record: RecordLevel,
 }
 
 impl Default for CpuConfig {
@@ -187,8 +223,7 @@ impl Default for CpuConfig {
             clock_mhz: 2000,
             interrupt_interval: None,
             max_run_cycles: 50_000_000,
-            record_loads: false,
-            record_trace: false,
+            record: RecordLevel::Counters,
         }
     }
 }
@@ -215,15 +250,23 @@ impl CpuConfig {
         self
     }
 
-    /// Builder-style: enable per-load event recording.
+    /// Builder-style: record per-load events (raises the level to at least
+    /// [`RecordLevel::Loads`]).
     pub fn with_load_recording(mut self) -> Self {
-        self.record_loads = true;
+        self.record = self.record.max(RecordLevel::Loads);
         self
     }
 
-    /// Builder-style: enable full pipeline tracing.
+    /// Builder-style: record the full pipeline trace
+    /// ([`RecordLevel::Trace`], which includes load events).
     pub fn with_trace(mut self) -> Self {
-        self.record_trace = true;
+        self.record = RecordLevel::Trace;
+        self
+    }
+
+    /// Builder-style: set the event-recording level explicitly.
+    pub fn with_record_level(mut self, level: RecordLevel) -> Self {
+        self.record = level;
         self
     }
 
@@ -270,7 +313,22 @@ mod tests {
             .with_countermeasure(Countermeasure::DelayOnMiss)
             .with_load_recording();
         assert_eq!(cfg.countermeasure, Countermeasure::DelayOnMiss);
-        assert!(cfg.record_loads);
+        assert!(cfg.record.loads());
+        assert!(!cfg.record.trace());
+    }
+
+    #[test]
+    fn record_levels_are_cumulative() {
+        assert!(!RecordLevel::Counters.loads());
+        assert!(!RecordLevel::Counters.trace());
+        assert!(RecordLevel::Loads.loads());
+        assert!(!RecordLevel::Loads.trace());
+        assert!(RecordLevel::Trace.loads());
+        assert!(RecordLevel::Trace.trace());
+        // with_trace never lowers the level; with_load_recording never
+        // erases tracing.
+        let cfg = CpuConfig::default().with_trace().with_load_recording();
+        assert!(cfg.record.trace());
     }
 
     #[test]

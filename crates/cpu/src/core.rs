@@ -16,13 +16,50 @@
 //!    therefore visible in the cache, which is precisely what the racing
 //!    gadgets (§5) transmit through and the countermeasure modes
 //!    (`Countermeasure`) selectively suppress.
+//!
+//! # Scheduling implementation
+//!
+//! Every paper experiment funnels millions of simulated cycles through this
+//! file, so the scheduler is **event-driven** rather than scan-based (the
+//! original scan-based implementation survives, cycle-exactly equivalent, as
+//! [`crate::reference`]):
+//!
+//! * **Tag-broadcast wakeup.** Each in-flight producer keeps a list of the
+//!   (consumer, operand-slot) pairs that renamed against it; when it
+//!   completes, only those dependents are woken. There is no per-cycle
+//!   ROB-wide source refresh and no commit-time broadcast scan — a consumer
+//!   that dispatches after its producer completed reads the value straight
+//!   from the producer's ROB slot.
+//! * **Ring-buffer ROB.** Entries live in fixed slots of a pre-sized ring;
+//!   a `(sequence, slot)` pair is a validated O(1) handle, replacing the
+//!   `VecDeque` + `binary_search` lookups. Squash invalidates the tail
+//!   lazily: stale handles in the scheduling heaps are dropped on pop.
+//! * **Ready heaps per functional-unit class.** Issue merges the per-class
+//!   min-sequence heaps, skipping classes whose ports are exhausted — the
+//!   same instructions the reference scheduler picks by scanning the whole
+//!   ROB in program order, at O(issued · log window) instead of O(ROB).
+//! * **Undo-log rename recovery.** Each entry records the RAT mapping its
+//!   destination displaced; a squash walks the squashed suffix youngest-
+//!   first restoring them — no per-branch RAT clone, no checkpoint
+//!   `HashMap`.
+//! * **O(1) order checks.** Load speculation status ("any older unresolved
+//!   branch?") and conservative store disambiguation come from small
+//!   in-flight queues (`spec_branches`, `store_q`) instead of prefix walks
+//!   of the ROB.
+//! * **No steady-state allocation.** All scheduling structures live in
+//!   the private `Scheduler` struct, owned by [`Cpu`] and reused across
+//!   `execute` calls;
+//!   sources use inline `[(Reg, Src); 3]` storage (no instruction has more
+//!   than three), and the `loads`/`trace` vectors are only touched when
+//!   [`CpuConfig::record`](crate::CpuConfig) asks for them.
 
 use crate::config::{Countermeasure, CpuConfig};
 use crate::predictor::{self, Predictor};
 use crate::stats::{LoadEvent, RunResult};
 use racer_isa::{AluOp, DataMemory, FuClass, Instr, MemOperand, Program, Reg, NUM_REGS};
 use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Dynamic-instruction sequence number.
 type Seq = u64;
@@ -43,13 +80,48 @@ enum Src {
     Tag(Seq),
 }
 
+/// Completion time-wheel size in cycles (power of two, comfortably above
+/// the worst memory latency the hierarchy model produces).
+const WHEEL: usize = 512;
+
+/// Functional-unit classes as dense indices for the per-class ready heaps.
+const CLS_ALU: usize = 0;
+const CLS_MUL: usize = 1;
+const CLS_DIV: usize = 2;
+const CLS_LOAD: usize = 3;
+const CLS_STORE: usize = 4;
+const CLS_BRANCH: usize = 5;
+const CLS_NONE: usize = 6;
+const NUM_CLASSES: usize = 7;
+
+#[inline]
+fn class_idx(fu: FuClass) -> usize {
+    match fu {
+        FuClass::Alu => CLS_ALU,
+        FuClass::Mul => CLS_MUL,
+        FuClass::Div => CLS_DIV,
+        FuClass::Load => CLS_LOAD,
+        FuClass::Store => CLS_STORE,
+        FuClass::Branch => CLS_BRANCH,
+        FuClass::None => CLS_NONE,
+    }
+}
+
+/// One ROB ring slot. Slots are overwritten in place at dispatch; the
+/// `consumers` vector keeps its capacity across reuse, so a warmed-up
+/// pipeline dispatches without touching the allocator.
 #[derive(Clone, Debug)]
-struct RobEntry {
+struct Slot {
     seq: Seq,
     pc: usize,
     instr: Instr,
     state: EntryState,
-    srcs: Vec<(Reg, Src)>,
+    /// Number of sources (`srcs[..nsrcs]` are live).
+    nsrcs: u8,
+    /// Sources still waiting on a producer tag.
+    pending: u8,
+    /// Inline source storage — no instruction reads more than 3 registers.
+    srcs: [(Reg, Src); 3],
     result: u64,
     completion: u64,
     predicted_taken: bool,
@@ -58,17 +130,206 @@ struct RobEntry {
     /// Cache fill deferred to commit (invisible-speculation modes).
     deferred_fill: bool,
     /// Index into the run's load-event vector, if recorded.
-    load_event: Option<usize>,
+    load_event: Option<u32>,
     /// Index into the run's trace vector, if recorded.
-    trace_idx: Option<usize>,
+    trace_idx: Option<u32>,
+    /// RAT mapping this entry's destination displaced at rename (the squash
+    /// undo-log entry).
+    prev_rat: Option<(Seq, u32)>,
+    /// For branches: resolution (train + possible squash) already happened.
+    resolved: bool,
+    /// Dependents to wake at completion: (consumer seq, slot, source index).
+    consumers: Vec<(Seq, u32, u8)>,
 }
 
-#[derive(Clone, Debug)]
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: 0,
+            pc: 0,
+            instr: Instr::Nop,
+            state: EntryState::Done,
+            nsrcs: 0,
+            pending: 0,
+            srcs: [(Reg::new(0), Src::Ready(0)); 3],
+            result: 0,
+            completion: 0,
+            predicted_taken: false,
+            mem_addr: None,
+            deferred_fill: false,
+            load_event: None,
+            trace_idx: None,
+            prev_rat: None,
+            resolved: false,
+            consumers: Vec::new(),
+        }
+    }
+}
+
+/// A fetch-queue entry. Deliberately lean — the instruction itself is
+/// re-read from program memory at dispatch rather than copied through the
+/// queue (the front end moves `fetch_width` of these every cycle).
+#[derive(Copy, Clone, Debug)]
 struct FetchedInstr {
-    pc: usize,
-    instr: Instr,
+    pc: u32,
     predicted_taken: bool,
     ready_cycle: u64,
+}
+
+/// Reusable scheduling state, owned by [`Cpu`] so consecutive
+/// [`Cpu::execute`] calls (the shape of every sweep) run allocation-free
+/// once capacities have warmed up.
+#[derive(Debug)]
+struct Scheduler {
+    /// ROB ring storage (capacity = `rob_size`).
+    slots: Vec<Slot>,
+    /// Ring position of the oldest entry.
+    head: usize,
+    /// Occupied ring length.
+    len: usize,
+    /// Per-class min-seq heaps of ready-to-issue entries.
+    ready: [BinaryHeap<Reverse<(Seq, u32)>>; NUM_CLASSES],
+    /// Bitmask of classes whose ready heap is non-empty (issue's class
+    /// merge skips empty heaps without touching them).
+    ready_mask: u8,
+    /// Completion time wheel: in-flight entries bucketed by completion
+    /// cycle modulo [`WHEEL`] — O(1) insert and O(arrivals) drain, replacing
+    /// a binary heap on the two hottest per-instruction edges.
+    wheel: Vec<Vec<(Seq, u32)>>,
+    /// Scratch bucket swapped in while draining the current wheel slot.
+    wheel_scratch: Vec<(Seq, u32)>,
+    /// Completions further than [`WHEEL`] cycles out (DRAM-latency outliers;
+    /// re-homed into the wheel as their arrival approaches).
+    far: Vec<(u64, Seq, u32)>,
+    /// Completed branches awaiting resolution, oldest first.
+    resolve_q: BinaryHeap<Reverse<(Seq, u32)>>,
+    /// Failed issue attempts to re-queue after the cycle's issue loop.
+    retry: Vec<(usize, Seq, u32)>,
+    /// Wakeup scratch (swapped with a completing producer's consumer list).
+    wake: Vec<(Seq, u32, u8)>,
+    /// Front-end queue between fetch and dispatch.
+    fetch_q: VecDeque<FetchedInstr>,
+    /// Register alias table: architectural register → youngest in-flight
+    /// producer handle.
+    rat: Vec<Option<(Seq, u32)>>,
+    /// Architectural register file.
+    arch_regs: Vec<u64>,
+    /// In-flight stores in program order: (seq, address once resolved).
+    store_q: VecDeque<(Seq, Option<u64>)>,
+    /// In-flight conditional branches in program order (resolved ones are
+    /// popped lazily from the front).
+    spec_branches: VecDeque<(Seq, u32)>,
+    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model; at most
+    /// `mshrs` entries, so linear scans beat hashing).
+    inflight: Vec<(u64, u64)>,
+    /// Entries in `Waiting` state (reservation-station occupancy).
+    waiting_count: usize,
+    /// In-order mode: window positions before this offset hold no Waiting
+    /// entry (monotone cursor, reset on squash).
+    inorder_skip: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            slots: Vec::new(),
+            head: 0,
+            len: 0,
+            ready: std::array::from_fn(|_| BinaryHeap::new()),
+            ready_mask: 0,
+            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
+            wheel_scratch: Vec::new(),
+            far: Vec::new(),
+            resolve_q: BinaryHeap::new(),
+            retry: Vec::new(),
+            wake: Vec::new(),
+            fetch_q: VecDeque::new(),
+            rat: Vec::new(),
+            arch_regs: Vec::new(),
+            store_q: VecDeque::new(),
+            spec_branches: VecDeque::new(),
+            inflight: Vec::new(),
+            waiting_count: 0,
+            inorder_skip: 0,
+        }
+    }
+}
+
+impl Scheduler {
+    fn reset(&mut self, rob_size: usize) {
+        if self.slots.len() != rob_size {
+            self.slots.clear();
+            self.slots.resize_with(rob_size, Slot::empty);
+        }
+        self.head = 0;
+        self.len = 0;
+        for h in &mut self.ready {
+            h.clear();
+        }
+        self.ready_mask = 0;
+        for b in &mut self.wheel {
+            b.clear();
+        }
+        self.wheel_scratch.clear();
+        self.far.clear();
+        self.resolve_q.clear();
+        self.retry.clear();
+        self.wake.clear();
+        self.fetch_q.clear();
+        if self.rat.len() != NUM_REGS {
+            self.rat.resize(NUM_REGS, None);
+            self.arch_regs.resize(NUM_REGS, 0);
+        }
+        self.rat.fill(None);
+        self.arch_regs.fill(0);
+        self.store_q.clear();
+        self.spec_branches.clear();
+        self.inflight.clear();
+        self.waiting_count = 0;
+        self.inorder_skip = 0;
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `x mod cap` for `x < 2*cap` without an integer division (the ROB
+    /// capacity is not a power of two, and these run several times per
+    /// simulated instruction).
+    #[inline]
+    fn wrap(&self, x: usize) -> usize {
+        let cap = self.cap();
+        if x >= cap {
+            x - cap
+        } else {
+            x
+        }
+    }
+
+    /// Ring position of `slot` relative to the window head.
+    #[inline]
+    fn pos(&self, slot: u32) -> usize {
+        self.wrap(slot as usize + self.cap() - self.head)
+    }
+
+    /// Is this (seq, slot) handle still a live ROB entry?
+    #[inline]
+    fn valid(&self, seq: Seq, slot: u32) -> bool {
+        self.pos(slot) < self.len && self.slots[slot as usize].seq == seq
+    }
+
+    /// Ring index of the youngest entry (window must be non-empty).
+    #[inline]
+    fn tail_slot(&self) -> usize {
+        self.wrap(self.head + self.len - 1)
+    }
+
+    /// Ring index the next dispatch will use.
+    #[inline]
+    fn alloc_slot(&self) -> usize {
+        self.wrap(self.head + self.len)
+    }
 }
 
 /// The simulated core, owning its memory hierarchy, data memory and branch
@@ -99,6 +360,7 @@ pub struct Cpu {
     hier: Hierarchy,
     mem: DataMemory,
     predictor: Box<dyn Predictor>,
+    sched: Scheduler,
 }
 
 impl Cpu {
@@ -114,6 +376,7 @@ impl Cpu {
             cfg,
             hier: Hierarchy::new(hier_cfg),
             mem: DataMemory::new(),
+            sched: Scheduler::default(),
         }
     }
 
@@ -159,26 +422,59 @@ impl Cpu {
     /// Pipeline state is fresh per call; caches, data memory and predictor
     /// state persist from previous calls.
     pub fn execute(&mut self, prog: &Program) -> RunResult {
-        Pipeline::new(self, prog).run()
+        self.sched.reset(self.cfg.rob_size);
+        Pipeline {
+            cfg: self.cfg,
+            hier: &mut self.hier,
+            mem: &mut self.mem,
+            predictor: self.predictor.as_mut(),
+            prog,
+            s: &mut self.sched,
+            cycle: 0,
+            next_seq: 0,
+            fetch_pc: 0,
+            fetch_stopped: false,
+            fence_active: None,
+            draining: false,
+            div_free_at: 0,
+            committed: 0,
+            mispredicts: 0,
+            squashed: 0,
+            interrupts: 0,
+            halted: false,
+            loads: Vec::new(),
+            trace: Vec::new(),
+        }
+        .run()
+    }
+
+    /// Run `prog` on the retained scan-based **reference scheduler**
+    /// ([`crate::reference`]), which the event-driven scheduler must match
+    /// cycle-exactly. Orders of magnitude slower; exists for differential
+    /// testing and as the `perf_baseline` speedup denominator.
+    pub fn execute_reference(&mut self, prog: &Program) -> RunResult {
+        crate::reference::RefPipeline::new(
+            self.cfg,
+            &mut self.hier,
+            &mut self.mem,
+            self.predictor.as_mut(),
+            prog,
+        )
+        .run()
     }
 }
 
-/// Per-run pipeline state (constructed fresh for every [`Cpu::execute`]).
+/// Per-run pipeline state (the reusable parts live in [`Scheduler`]).
 struct Pipeline<'a> {
     cfg: CpuConfig,
     hier: &'a mut Hierarchy,
     mem: &'a mut DataMemory,
     predictor: &'a mut dyn Predictor,
     prog: &'a Program,
+    s: &'a mut Scheduler,
 
     cycle: u64,
-    rob: VecDeque<RobEntry>,
-    fetch_q: VecDeque<FetchedInstr>,
-    arch_regs: Vec<u64>,
-    rat: Vec<Option<Seq>>,
-    checkpoints: HashMap<Seq, Vec<Option<Seq>>>,
     next_seq: Seq,
-
     fetch_pc: usize,
     fetch_stopped: bool,
     fence_active: Option<Seq>,
@@ -186,8 +482,6 @@ struct Pipeline<'a> {
 
     /// Divider next-free cycle (non-fully-pipelined unit).
     div_free_at: u64,
-    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model).
-    inflight: HashMap<u64, u64>,
 
     // Results under construction.
     committed: u64,
@@ -200,36 +494,6 @@ struct Pipeline<'a> {
 }
 
 impl<'a> Pipeline<'a> {
-    fn new(cpu: &'a mut Cpu, prog: &'a Program) -> Self {
-        Pipeline {
-            cfg: cpu.cfg,
-            hier: &mut cpu.hier,
-            mem: &mut cpu.mem,
-            predictor: cpu.predictor.as_mut(),
-            prog,
-            cycle: 0,
-            rob: VecDeque::with_capacity(cpu.cfg.rob_size),
-            fetch_q: VecDeque::new(),
-            arch_regs: vec![0; NUM_REGS],
-            rat: vec![None; NUM_REGS],
-            checkpoints: HashMap::new(),
-            next_seq: 0,
-            fetch_pc: 0,
-            fetch_stopped: false,
-            fence_active: None,
-            draining: false,
-            div_free_at: 0,
-            inflight: HashMap::new(),
-            committed: 0,
-            mispredicts: 0,
-            squashed: 0,
-            interrupts: 0,
-            halted: false,
-            loads: Vec::new(),
-            trace: Vec::new(),
-        }
-    }
-
     fn run(mut self) -> RunResult {
         let stats_before = self.hier.stats();
         let mut limit_hit = false;
@@ -252,7 +516,7 @@ impl<'a> Pipeline<'a> {
                     self.interrupts += 1;
                 }
             }
-            if self.draining && self.rob.is_empty() {
+            if self.draining && self.s.len == 0 {
                 self.draining = false;
             }
             if self.cycle >= self.cfg.max_run_cycles {
@@ -275,42 +539,30 @@ impl<'a> Pipeline<'a> {
             mispredicts: self.mispredicts,
             squashed_instrs: self.squashed,
             interrupts: self.interrupts,
-            regs: self.arch_regs,
+            regs: self.s.arch_regs.clone(),
             mem_stats,
             loads: self.loads,
             trace: self.trace,
         }
     }
 
+    /// With ROB and fetch queue empty and fetch stopped (or the program
+    /// exhausted), nothing can restart the machine: a stopped fetch either
+    /// means the program fell off its end (a committed `halt` would have set
+    /// `halted` instead), or a wrong-path `halt` was fetched — and the
+    /// mispredicted branch that caused it must already have resolved and
+    /// redirected fetch, since the ROB has drained.
     fn finished(&self) -> bool {
-        self.rob.is_empty()
-            && self.fetch_q.is_empty()
+        self.s.len == 0
+            && self.s.fetch_q.is_empty()
             && (self.fetch_stopped || self.fetch_pc >= self.prog.len())
             && !self.halted
-            && self.fetch_stopped_is_terminal()
-    }
-
-    /// `fetch_stopped` is terminal only when it is not going to be undone by
-    /// a squash — with an empty ROB there is nothing left to squash.
-    fn fetch_stopped_is_terminal(&self) -> bool {
-        // With rob and fetch_q empty, a stopped fetch can only mean the
-        // program fell off its end (halt would have committed and set
-        // `halted`), or a wrong-path halt was fetched and the ROB already
-        // drained — impossible, since the mispredicted branch would have
-        // redirected fetch when it resolved.
-        true
     }
 
     // ---- helpers -----------------------------------------------------------
 
-    fn entry_index(&self, seq: Seq) -> Option<usize> {
-        // Sequence numbers are strictly increasing along the ROB but not
-        // contiguous (squashes leave gaps), so search rather than offset.
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
-    }
-
-    fn src_value(entry: &RobEntry, reg: Reg) -> u64 {
-        for (r, s) in &entry.srcs {
+    fn src_value(slot: &Slot, reg: Reg) -> u64 {
+        for (r, s) in &slot.srcs[..slot.nsrcs as usize] {
             if *r == reg {
                 match s {
                     Src::Ready(v) => return *v,
@@ -318,144 +570,198 @@ impl<'a> Pipeline<'a> {
                 }
             }
         }
-        panic!("register {reg} is not a source of {:?}", entry.instr)
+        panic!("register {reg} is not a source of {:?}", slot.instr)
     }
 
-    fn operand_value(entry: &RobEntry, op: racer_isa::Operand) -> u64 {
+    fn operand_value(slot: &Slot, op: racer_isa::Operand) -> u64 {
         match op {
-            racer_isa::Operand::Reg(r) => Self::src_value(entry, r),
+            racer_isa::Operand::Reg(r) => Self::src_value(slot, r),
             racer_isa::Operand::Imm(v) => v as u64,
         }
     }
 
-    fn mem_operand_addr(entry: &RobEntry, m: &MemOperand) -> u64 {
-        let base = m.base.map_or(0, |r| Self::src_value(entry, r));
-        let index = m.index.map_or(0, |r| Self::src_value(entry, r));
+    fn mem_operand_addr(slot: &Slot, m: &MemOperand) -> u64 {
+        let base = m.base.map_or(0, |r| Self::src_value(slot, r));
+        let index = m.index.map_or(0, |r| Self::src_value(slot, r));
         base.wrapping_add(index.wrapping_mul(m.scale as u64)).wrapping_add(m.disp as u64)
     }
 
-    /// Resolve any tags whose producers are now done.
-    fn refresh_srcs(&mut self, idx: usize) {
-        let entry = &self.rob[idx];
-        let mut updates: Vec<(usize, u64)> = Vec::new();
-        for (i, (_, s)) in entry.srcs.iter().enumerate() {
-            if let Src::Tag(seq) = s {
-                if let Some(pidx) = self.entry_index(*seq) {
-                    let p = &self.rob[pidx];
-                    if p.state == EntryState::Done {
-                        updates.push((i, p.result));
-                    }
-                } else {
-                    // Producer committed; its broadcast should have resolved
-                    // this tag already.
-                    unreachable!("dangling source tag {seq}");
-                }
+    /// Is the entry with sequence number `seq` speculative, i.e. does an
+    /// older unresolved conditional branch exist? O(1) amortized: resolved
+    /// and retired branches are popped from the front lazily, so the front
+    /// is always the oldest in-flight unresolved branch.
+    fn is_speculative(&mut self, seq: Seq) -> bool {
+        while let Some(&(bseq, bslot)) = self.s.spec_branches.front() {
+            if !self.s.valid(bseq, bslot)
+                || self.s.slots[bslot as usize].state == EntryState::Done
+            {
+                self.s.spec_branches.pop_front();
+                continue;
             }
+            break;
         }
-        let entry = &mut self.rob[idx];
-        for (i, v) in updates {
-            entry.srcs[i].1 = Src::Ready(v);
-        }
-    }
-
-    fn srcs_ready(entry: &RobEntry) -> bool {
-        entry.srcs.iter().all(|(_, s)| matches!(s, Src::Ready(_)))
-    }
-
-    /// Does an unresolved older branch exist (is `idx` speculative)?
-    fn is_speculative(&self, idx: usize) -> bool {
-        self.rob.iter().take(idx).any(|e| {
-            matches!(e.instr, Instr::Branch { .. }) && e.state != EntryState::Done
-        })
+        matches!(self.s.spec_branches.front(), Some(&(bseq, _)) if bseq < seq)
     }
 
     // ---- pipeline stages ----------------------------------------------------
 
-    /// Completions and branch resolution.
+    /// Push an entry onto a class ready heap (and flag the class non-empty).
+    #[inline]
+    fn ready_push(&mut self, cls: usize, seq: Seq, slot: u32) {
+        self.s.ready[cls].push(Reverse((seq, slot)));
+        self.s.ready_mask |= 1 << cls;
+    }
+
+    /// Completions, dependency wakeup and branch resolution.
     fn writeback(&mut self) {
-        // Collect completions first (avoid borrowing issues), oldest first so
-        // the oldest mispredicted branch wins the squash.
-        let mut done: Vec<usize> = Vec::new();
-        for (i, e) in self.rob.iter().enumerate() {
-            if e.state == EntryState::Issued && e.completion <= self.cycle {
-                done.push(i);
-            }
-        }
-        for &i in &done {
-            self.rob[i].state = EntryState::Done;
-            if let Some(t) = self.rob[i].trace_idx {
-                self.trace[t].completed = Some(self.rob[i].completion);
-            }
-        }
-        // Resolve branches oldest-first; a squash may invalidate later ones.
-        loop {
-            let mut resolved_any = false;
-            for i in 0..self.rob.len() {
-                let e = &self.rob[i];
-                if e.state == EntryState::Done {
-                    if let Instr::Branch { .. } = e.instr {
-                        if self.checkpoints.contains_key(&e.seq) {
-                            let seq = e.seq;
-                            let taken = e.result != 0;
-                            let predicted = e.predicted_taken;
-                            let pc = e.pc;
-                            self.predictor.train(pc, taken);
-                            let checkpoint = self
-                                .checkpoints
-                                .remove(&seq)
-                                .expect("checkpoint present for unresolved branch");
-                            if taken != predicted {
-                                self.mispredict(i, seq, taken, checkpoint);
-                                resolved_any = true;
-                                break; // rob changed; rescan
-                            }
-                        }
-                    }
+        // Re-home far-out completions (DRAM outliers) whose arrival is now
+        // inside the wheel horizon.
+        if !self.s.far.is_empty() {
+            let mut i = 0;
+            while i < self.s.far.len() {
+                let (comp, seq, slot) = self.s.far[i];
+                if comp - self.cycle < WHEEL as u64 {
+                    self.s.far.swap_remove(i);
+                    self.s.wheel[comp as usize & (WHEEL - 1)].push((seq, slot));
+                } else {
+                    i += 1;
                 }
             }
-            if !resolved_any {
-                break;
+        }
+        // Drain this cycle's wheel bucket: everything whose functional-unit
+        // latency has elapsed.
+        let mut bucket = std::mem::take(&mut self.s.wheel_scratch);
+        std::mem::swap(&mut bucket, &mut self.s.wheel[self.cycle as usize & (WHEEL - 1)]);
+        for &(seq, slot) in &bucket {
+            if !self.s.valid(seq, slot) {
+                continue; // squashed while in flight
+            }
+            let e = &mut self.s.slots[slot as usize];
+            debug_assert_eq!(e.state, EntryState::Issued, "completion of non-issued entry");
+            e.state = EntryState::Done;
+            let result = e.result;
+            if let Some(t) = e.trace_idx {
+                self.trace[t as usize].completed = Some(e.completion);
+            }
+            // Tag broadcast: wake exactly the registered dependents.
+            if self.s.slots[slot as usize].consumers.is_empty() {
+                if let Instr::Branch { .. } = self.s.slots[slot as usize].instr {
+                    self.s.resolve_q.push(Reverse((seq, slot)));
+                }
+                continue;
+            }
+            let mut wake = std::mem::take(&mut self.s.wake);
+            std::mem::swap(&mut wake, &mut self.s.slots[slot as usize].consumers);
+            for &(cseq, cslot, si) in &wake {
+                if !self.s.valid(cseq, cslot) {
+                    continue; // consumer squashed
+                }
+                let c = &mut self.s.slots[cslot as usize];
+                debug_assert!(
+                    matches!(c.srcs[si as usize].1, Src::Tag(t) if t == seq),
+                    "consumer source does not hold the producer tag"
+                );
+                c.srcs[si as usize].1 = Src::Ready(result);
+                c.pending -= 1;
+                let now_ready = c.pending == 0
+                    && c.state == EntryState::Waiting
+                    && self.cfg.countermeasure != Countermeasure::InOrder;
+                let cls = class_idx(c.instr.fu_class());
+                if now_ready {
+                    self.ready_push(cls, cseq, cslot);
+                }
+            }
+            wake.clear();
+            self.s.wake = wake;
+            if let Instr::Branch { .. } = self.s.slots[slot as usize].instr {
+                self.s.resolve_q.push(Reverse((seq, slot)));
+            }
+        }
+        bucket.clear();
+        self.s.wheel_scratch = bucket;
+        // Resolve branches oldest-first; a squash invalidates younger ones,
+        // whose stale handles are dropped by the validity check.
+        while let Some(Reverse((seq, slot))) = self.s.resolve_q.pop() {
+            if !self.s.valid(seq, slot) {
+                continue;
+            }
+            let e = &self.s.slots[slot as usize];
+            if e.resolved {
+                continue;
+            }
+            let taken = e.result != 0;
+            let predicted = e.predicted_taken;
+            let pc = e.pc;
+            self.predictor.train(pc, taken);
+            self.s.slots[slot as usize].resolved = true;
+            if taken != predicted {
+                self.mispredict(slot, seq, taken);
             }
         }
     }
 
-    fn mispredict(&mut self, idx: usize, seq: Seq, taken: bool, checkpoint: Vec<Option<Seq>>) {
+    fn mispredict(&mut self, slot: u32, seq: Seq, taken: bool) {
         self.mispredicts += 1;
-        // Squash everything younger than the branch.
-        while self.rob.len() > idx + 1 {
-            let victim = self.rob.pop_back().expect("rob non-empty");
-            self.checkpoints.remove(&victim.seq);
-            if let Some(li) = victim.load_event {
-                // Leave the event recorded; `committed` stays false.
-                debug_assert!(!self.loads[li].committed);
+        // Squash everything younger than the branch, youngest first,
+        // restoring the displaced RAT mappings as we go (undo log). Walking
+        // youngest-to-oldest makes the sequence of `prev_rat` restores
+        // reconstruct exactly the rename state at the branch's dispatch.
+        while self.s.len > 0 {
+            let t = self.s.tail_slot();
+            if self.s.slots[t].seq <= seq {
+                break;
+            }
+            let v = &mut self.s.slots[t];
+            if let Some(dst) = v.instr.dst() {
+                self.s.rat[dst.index()] = v.prev_rat;
+            }
+            if v.state == EntryState::Waiting {
+                self.s.waiting_count -= 1;
+            }
+            if let Some(li) = v.load_event {
+                // Invariant: a load being squashed can never have committed.
+                assert!(
+                    !self.loads[li as usize].committed,
+                    "squashed load marked committed"
+                );
             }
             // CleanupSpec: undo the squashed load's cache fill. The *state*
             // is repaired — but any timing difference it caused has already
             // been consumed by older instructions (SpectreBack's point).
             if self.cfg.countermeasure == Countermeasure::CleanupSpec {
-                if let Instr::Load { .. } = victim.instr {
-                    if victim.state != EntryState::Waiting {
-                        if let Some(addr) = victim.mem_addr {
+                let v = &self.s.slots[t];
+                if let Instr::Load { .. } = v.instr {
+                    if v.state != EntryState::Waiting {
+                        if let Some(addr) = v.mem_addr {
                             self.hier.flush(Addr(addr));
                         }
                     }
                 }
             }
             self.squashed += 1;
+            self.s.len -= 1;
         }
-        self.rat = checkpoint;
+        while matches!(self.s.store_q.back(), Some(&(sseq, _)) if sseq > seq) {
+            self.s.store_q.pop_back();
+        }
+        while matches!(self.s.spec_branches.back(), Some(&(bseq, _)) if bseq > seq) {
+            self.s.spec_branches.pop_back();
+        }
+        if self.s.inorder_skip > self.s.len {
+            self.s.inorder_skip = self.s.len;
+        }
         // Redirect fetch down the correct path.
-        let target = match self.rob[idx].instr {
+        let target = match self.s.slots[slot as usize].instr {
             Instr::Branch { target, .. } => {
                 if taken {
                     target
                 } else {
-                    self.rob[idx].pc + 1
+                    self.s.slots[slot as usize].pc + 1
                 }
             }
             _ => unreachable!("mispredict on non-branch"),
         };
-        self.fetch_q.clear();
+        self.s.fetch_q.clear();
         self.fetch_pc = target;
         self.fetch_stopped = target >= self.prog.len();
         // A squashed fence no longer blocks dispatch.
@@ -466,44 +772,49 @@ impl<'a> Pipeline<'a> {
         }
     }
 
-    /// In-order retirement.
+    /// In-order retirement. (No commit-time tag broadcast is needed: the
+    /// completion-time wakeup resolved every registered consumer, and later
+    /// consumers rename straight to the ready value.)
     fn commit(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if head.state != EntryState::Done {
+            if self.s.len == 0 {
                 break;
             }
-            let entry = self.rob.pop_front().expect("head exists");
+            let h = self.s.head;
+            if self.s.slots[h].state != EntryState::Done {
+                break;
+            }
+            self.s.head = self.s.wrap(h + 1);
+            self.s.len -= 1;
+            self.s.inorder_skip = self.s.inorder_skip.saturating_sub(1);
             self.committed += 1;
-            if let Some(t) = entry.trace_idx {
-                self.trace[t].committed = Some(self.cycle);
+            let e = &self.s.slots[h];
+            let (seq, instr, result, mem_addr) = (e.seq, e.instr, e.result, e.mem_addr);
+            if let Some(t) = e.trace_idx {
+                self.trace[t as usize].committed = Some(self.cycle);
             }
             // Architectural register update + RAT release.
-            if let Some(dst) = entry.instr.dst() {
-                self.arch_regs[dst.index()] = entry.result;
-                if self.rat[dst.index()] == Some(entry.seq) {
-                    self.rat[dst.index()] = None;
+            if let Some(dst) = instr.dst() {
+                self.s.arch_regs[dst.index()] = result;
+                if matches!(self.s.rat[dst.index()], Some((rseq, _)) if rseq == seq) {
+                    self.s.rat[dst.index()] = None;
                 }
             }
-            // Broadcast the result to any consumers still holding the tag.
-            for e in self.rob.iter_mut() {
-                for (_, s) in e.srcs.iter_mut() {
-                    if let Src::Tag(t) = s {
-                        if *t == entry.seq {
-                            *s = Src::Ready(entry.result);
-                        }
-                    }
-                }
-            }
-            match entry.instr {
+            match instr {
                 Instr::Store { .. } => {
-                    let addr = entry.mem_addr.expect("store address resolved at issue");
-                    self.mem.write(addr, entry.result);
+                    let addr = mem_addr.expect("store address resolved at issue");
+                    self.mem.write(addr, result);
                     self.hier.access(Addr(addr), AccessKind::Store);
+                    debug_assert_eq!(
+                        self.s.store_q.front().map(|&(s, _)| s),
+                        Some(seq),
+                        "stores commit in store-queue order"
+                    );
+                    self.s.store_q.pop_front();
                 }
-                Instr::Load { .. } if entry.deferred_fill => {
+                Instr::Load { .. } if self.s.slots[h].deferred_fill => {
                     // Invisible-speculation modes: apply the fill now.
-                    let addr = entry.mem_addr.expect("load address resolved at issue");
+                    let addr = mem_addr.expect("load address resolved at issue");
                     self.hier.access(Addr(addr), AccessKind::Load);
                 }
                 Instr::Fence => {
@@ -515,125 +826,127 @@ impl<'a> Pipeline<'a> {
                 }
                 _ => {}
             }
-            if let Some(li) = entry.load_event {
-                self.loads[li].committed = true;
+            if let Some(li) = self.s.slots[h].load_event {
+                self.loads[li as usize].committed = true;
             }
         }
     }
 
-    /// Data-driven issue to functional units.
+    /// Data-driven issue to functional units: merge the per-class ready
+    /// heaps in global sequence order, skipping classes with exhausted
+    /// ports — selecting exactly the instructions the reference scheduler's
+    /// program-order ROB scan would pick.
     fn issue(&mut self) {
+        if self.cfg.countermeasure == Countermeasure::InOrder {
+            self.issue_in_order();
+            return;
+        }
+        let mut used = [0usize; NUM_CLASSES];
         let mut issued = 0usize;
-        let mut alu_used = 0usize;
-        let mut mul_used = 0usize;
-        let mut div_used = 0usize;
-        let mut load_used = 0usize;
-        let mut store_used = 0usize;
-        let mut branch_used = 0usize;
+        let mut retry = std::mem::take(&mut self.s.retry);
+        retry.clear();
+        while issued < self.cfg.issue_width {
+            // Pick the oldest ready entry among classes with a free port,
+            // visiting only classes whose heap is non-empty.
+            let mut best: Option<(Seq, u32, usize)> = None;
+            let mut mask = self.s.ready_mask;
+            while mask != 0 {
+                let cls = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if !self.port_available(cls, &used) {
+                    continue;
+                }
+                // Drop stale (squashed) handles while peeking.
+                let top = loop {
+                    let candidate = match self.s.ready[cls].peek() {
+                        Some(&Reverse((seq, slot))) => (seq, slot),
+                        None => {
+                            self.s.ready_mask &= !(1 << cls);
+                            break None;
+                        }
+                    };
+                    if self.s.valid(candidate.0, candidate.1) {
+                        break Some(candidate);
+                    }
+                    self.s.ready[cls].pop();
+                };
+                if let Some((seq, slot)) = top {
+                    if best.is_none_or(|(bseq, _, _)| seq < bseq) {
+                        best = Some((seq, slot, cls));
+                    }
+                }
+            }
+            let Some((seq, slot, cls)) = best else { break };
+            self.s.ready[cls].pop();
+            if self.s.ready[cls].is_empty() {
+                self.s.ready_mask &= !(1 << cls);
+            }
+            if self.try_issue(slot as usize, cls, &mut used) {
+                issued += 1;
+            } else {
+                // Loads can fail on disambiguation / MSHRs / delay-on-miss;
+                // they stay ready and retry next cycle.
+                retry.push((cls, seq, slot));
+            }
+        }
+        while let Some((cls, seq, slot)) = retry.pop() {
+            self.ready_push(cls, seq, slot);
+        }
+        self.s.retry = retry;
+    }
 
-        for idx in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
-                break;
-            }
-            if self.rob[idx].state != EntryState::Waiting {
-                continue;
-            }
-            self.refresh_srcs(idx);
-            let ready = Self::srcs_ready(&self.rob[idx]);
-            if self.cfg.countermeasure == Countermeasure::InOrder {
-                // Strict in-order issue: the oldest unissued instruction
-                // must go first; if it cannot, nothing younger may.
-                if !ready || !self.try_issue(idx, &mut alu_used, &mut mul_used, &mut div_used, &mut load_used, &mut store_used, &mut branch_used) {
+    /// Strict in-order issue (the `Countermeasure::InOrder` mode): the
+    /// oldest unissued instruction must go first; if it cannot, nothing
+    /// younger may. `inorder_skip` remembers how much of the window front is
+    /// already issued, so the scan is O(1) amortized.
+    fn issue_in_order(&mut self) {
+        let mut used = [0usize; NUM_CLASSES];
+        let mut issued = 0usize;
+        while issued < self.cfg.issue_width {
+            while self.s.inorder_skip < self.s.len {
+                let slot = self.s.wrap(self.s.head + self.s.inorder_skip);
+                if self.s.slots[slot].state == EntryState::Waiting {
                     break;
                 }
-                self.mark_issued(idx);
-                issued += 1;
-                continue;
+                self.s.inorder_skip += 1;
             }
-            if !ready {
-                continue;
+            if self.s.inorder_skip >= self.s.len {
+                break;
             }
-            if self.try_issue(
-                idx,
-                &mut alu_used,
-                &mut mul_used,
-                &mut div_used,
-                &mut load_used,
-                &mut store_used,
-                &mut branch_used,
-            ) {
-                self.mark_issued(idx);
-                issued += 1;
+            let slot = self.s.wrap(self.s.head + self.s.inorder_skip);
+            if self.s.slots[slot].pending > 0 {
+                break; // oldest unissued not ready ⇒ stall everything
             }
+            let cls = class_idx(self.s.slots[slot].instr.fu_class());
+            if !self.port_available(cls, &used) || !self.try_issue(slot, cls, &mut used) {
+                break;
+            }
+            issued += 1;
         }
     }
 
-    /// Record the issue timestamp of a just-issued entry, if tracing.
-    fn mark_issued(&mut self, idx: usize) {
-        if let Some(t) = self.rob[idx].trace_idx {
-            self.trace[t].issued = Some(self.cycle);
+    /// Does class `cls` still have an issue port this cycle?
+    fn port_available(&self, cls: usize, used: &[usize; NUM_CLASSES]) -> bool {
+        match cls {
+            CLS_ALU => used[CLS_ALU] < self.cfg.alu_ports,
+            CLS_MUL => used[CLS_MUL] < self.cfg.mul_ports,
+            CLS_DIV => used[CLS_DIV] < self.cfg.div_ports && self.cycle >= self.div_free_at,
+            CLS_LOAD => used[CLS_LOAD] < self.cfg.load_ports,
+            CLS_STORE => used[CLS_STORE] < self.cfg.store_ports,
+            CLS_BRANCH => used[CLS_BRANCH] < self.cfg.branch_ports,
+            _ => true,
         }
     }
 
-    /// Attempt to issue the entry at `idx`; returns success.
-    #[allow(clippy::too_many_arguments)]
-    fn try_issue(
-        &mut self,
-        idx: usize,
-        alu_used: &mut usize,
-        mul_used: &mut usize,
-        div_used: &mut usize,
-        load_used: &mut usize,
-        store_used: &mut usize,
-        branch_used: &mut usize,
-    ) -> bool {
-        let fu = self.rob[idx].instr.fu_class();
+    /// Execute the issue of the entry in `slot` (port availability already
+    /// checked); returns false only for loads that must retry later.
+    fn try_issue(&mut self, slot: usize, cls: usize, used: &mut [usize; NUM_CLASSES]) -> bool {
         let lat = self.cfg.latencies;
-        match fu {
-            FuClass::Alu => {
-                if *alu_used >= self.cfg.alu_ports {
-                    return false;
-                }
-                *alu_used += 1;
-            }
-            FuClass::Mul => {
-                if *mul_used >= self.cfg.mul_ports {
-                    return false;
-                }
-                *mul_used += 1;
-            }
-            FuClass::Div => {
-                if *div_used >= self.cfg.div_ports || self.cycle < self.div_free_at {
-                    return false;
-                }
-                *div_used += 1;
-            }
-            FuClass::Load => {
-                if *load_used >= self.cfg.load_ports {
-                    return false;
-                }
-                // Port is charged only if the load actually issues below.
-            }
-            FuClass::Store => {
-                if *store_used >= self.cfg.store_ports {
-                    return false;
-                }
-                *store_used += 1;
-            }
-            FuClass::Branch => {
-                if *branch_used >= self.cfg.branch_ports {
-                    return false;
-                }
-                *branch_used += 1;
-            }
-            FuClass::None => {}
-        }
-
         let now = self.cycle;
-        match self.rob[idx].instr {
+        match self.s.slots[slot].instr {
             Instr::Alu { op, a, b, .. } => {
-                let av = Self::operand_value(&self.rob[idx], a);
-                let bv = Self::operand_value(&self.rob[idx], b);
+                let av = Self::operand_value(&self.s.slots[slot], a);
+                let bv = Self::operand_value(&self.s.slots[slot], b);
                 let latency = match op {
                     AluOp::Mul => lat.mul,
                     AluOp::Div => {
@@ -642,107 +955,133 @@ impl<'a> Pipeline<'a> {
                     }
                     _ => lat.alu,
                 };
-                let e = &mut self.rob[idx];
-                e.result = op.eval(av, bv);
-                e.state = EntryState::Issued;
-                e.completion = now + latency;
+                self.finish_issue(slot, cls, used, op.eval(av, bv), now + latency);
             }
             Instr::Lea { mem, .. } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
-                let e = &mut self.rob[idx];
-                e.result = addr;
-                e.state = EntryState::Issued;
-                e.completion = now + lat.alu;
+                let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
+                self.finish_issue(slot, cls, used, addr, now + lat.alu);
             }
             Instr::Load { mem, .. } => {
-                if !self.issue_load(idx, mem, load_used) {
+                if !self.issue_load(slot, mem, used) {
                     return false;
                 }
             }
             Instr::Store { src, mem } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
-                let val = Self::operand_value(&self.rob[idx], src);
-                let e = &mut self.rob[idx];
+                let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
+                let val = Self::operand_value(&self.s.slots[slot], src);
+                let e = &mut self.s.slots[slot];
                 e.mem_addr = Some(addr);
-                e.result = val;
-                e.state = EntryState::Issued;
-                e.completion = now + lat.store;
+                let seq = e.seq;
+                // Publish the now-known address for load disambiguation.
+                if let Some(entry) =
+                    self.s.store_q.iter_mut().rev().find(|(sseq, _)| *sseq == seq)
+                {
+                    entry.1 = Some(addr);
+                }
+                self.finish_issue(slot, cls, used, val, now + lat.store);
             }
             Instr::Prefetch { mem, nta } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
                 let kind = if nta { AccessKind::PrefetchNta } else { AccessKind::Prefetch };
                 self.hier.access(Addr(addr), kind);
-                *load_used += 1;
-                let e = &mut self.rob[idx];
-                e.mem_addr = Some(addr);
-                e.state = EntryState::Issued;
-                e.completion = now + 1;
+                self.s.slots[slot].mem_addr = Some(addr);
+                self.finish_issue(slot, cls, used, 0, now + 1);
             }
             Instr::Flush { mem } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
                 self.hier.flush(Addr(addr));
-                *load_used += 1;
-                let e = &mut self.rob[idx];
-                e.mem_addr = Some(addr);
-                e.state = EntryState::Issued;
-                e.completion = now + 1;
+                self.s.slots[slot].mem_addr = Some(addr);
+                self.finish_issue(slot, cls, used, 0, now + 1);
             }
             Instr::Branch { cond, a, b, .. } => {
-                let av = Self::src_value(&self.rob[idx], a);
-                let bv = Self::operand_value(&self.rob[idx], b);
-                let e = &mut self.rob[idx];
-                e.result = u64::from(cond.eval(av, bv));
-                e.state = EntryState::Issued;
-                e.completion = now + lat.branch;
+                let av = Self::src_value(&self.s.slots[slot], a);
+                let bv = Self::operand_value(&self.s.slots[slot], b);
+                let result = u64::from(cond.eval(av, bv));
+                self.finish_issue(slot, cls, used, result, now + lat.branch);
             }
             Instr::Jump { .. } | Instr::Nop | Instr::Fence | Instr::Halt => {
-                let e = &mut self.rob[idx];
-                e.state = EntryState::Issued;
-                e.completion = now;
+                self.finish_issue(slot, cls, used, 0, now);
             }
         }
         true
     }
 
+    /// Common successful-issue bookkeeping: state transition, port charge,
+    /// completion event, trace stamp.
+    fn finish_issue(
+        &mut self,
+        slot: usize,
+        cls: usize,
+        used: &mut [usize; NUM_CLASSES],
+        result: u64,
+        completion: u64,
+    ) {
+        used[cls] += 1;
+        let e = &mut self.s.slots[slot];
+        debug_assert_eq!(e.state, EntryState::Waiting);
+        e.result = result;
+        e.state = EntryState::Issued;
+        e.completion = completion;
+        let seq = e.seq;
+        self.s.waiting_count -= 1;
+        // Writeback processes arrivals strictly after the issuing cycle, so
+        // zero-latency completions land in the next cycle's bucket.
+        let arrival = completion.max(self.cycle + 1);
+        if arrival - self.cycle < WHEEL as u64 {
+            self.s.wheel[arrival as usize & (WHEEL - 1)].push((seq, slot as u32));
+        } else {
+            self.s.far.push((arrival, seq, slot as u32));
+        }
+        if let Some(t) = self.s.slots[slot].trace_idx {
+            self.trace[t as usize].issued = Some(self.cycle);
+        }
+    }
+
     /// Issue a load, honouring store ordering, MSHRs and countermeasures.
     /// Returns false if the load must retry later.
-    fn issue_load(&mut self, idx: usize, mem_op: MemOperand, load_used: &mut usize) -> bool {
-        let addr = Self::mem_operand_addr(&self.rob[idx], &mem_op);
+    fn issue_load(&mut self, slot: usize, mem_op: MemOperand, used: &mut [usize; NUM_CLASSES]) -> bool {
+        let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem_op);
+        let seq = self.s.slots[slot].seq;
         // Conservative memory disambiguation: an older in-flight store with
         // an unknown address, or a known address matching this word, blocks
-        // the load until the store commits.
-        for older in self.rob.iter().take(idx) {
-            if let Instr::Store { .. } = older.instr {
-                match older.mem_addr {
-                    None => return false,
-                    Some(saddr) if saddr == addr => return false,
-                    _ => {}
-                }
+        // the load until the store commits. The store queue holds only
+        // in-flight stores, so this scan is tiny (vs. the reference
+        // scheduler's walk of the whole ROB prefix).
+        for &(sseq, saddr) in &self.s.store_q {
+            if sseq > seq {
+                break;
+            }
+            match saddr {
+                None => return false,
+                Some(sa) if sa == addr => return false,
+                _ => {}
             }
         }
 
-        let speculative = self.is_speculative(idx);
+        let speculative = self.is_speculative(seq);
         let now = self.cycle;
         let line = Addr(addr).line().0;
 
         // Prune arrived fills.
-        self.inflight.retain(|_, &mut done| done > now);
+        self.s.inflight.retain(|&(_, done)| done > now);
 
         let cm = self.cfg.countermeasure;
         let shield = match cm {
             Countermeasure::InvisibleSpec | Countermeasure::GhostMinion => speculative,
             _ => false,
         };
+        let inflight_done =
+            self.s.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, done)| done);
         if cm == Countermeasure::DelayOnMiss
             && speculative
             && self.hier.probe(Addr(addr)) != HitLevel::L1
-            && !self.inflight.contains_key(&line)
+            && inflight_done.is_none()
         {
             // Speculative L1 miss: delay until non-speculative.
             return false;
         }
 
-        let (latency, level) = if let Some(&done) = self.inflight.get(&line) {
+        let (latency, level) = if let Some(done) = inflight_done {
             // Merge into the outstanding miss (MSHR hit).
             (done.saturating_sub(now).max(self.cfg.latencies.alu), HitLevel::L2)
         } else if shield {
@@ -751,24 +1090,20 @@ impl<'a> Pipeline<'a> {
         } else {
             // Normal path: check MSHR capacity for misses.
             let probed = self.hier.probe(Addr(addr));
-            if probed != HitLevel::L1 && self.inflight.len() >= self.cfg.mshrs {
+            if probed != HitLevel::L1 && self.s.inflight.len() >= self.cfg.mshrs {
                 return false;
             }
             let out = self.hier.access(Addr(addr), AccessKind::Load);
             if out.level != HitLevel::L1 {
-                self.inflight.insert(line, now + out.latency);
+                self.s.inflight.push((line, now + out.latency));
             }
             (out.latency, out.level)
         };
 
-        *load_used += 1;
         let value = self.mem.read(addr);
-        let record = self.cfg.record_loads;
-        let e = &mut self.rob[idx];
+        let record = self.cfg.record.loads();
+        let e = &mut self.s.slots[slot];
         e.mem_addr = Some(addr);
-        e.result = value;
-        e.state = EntryState::Issued;
-        e.completion = now + latency;
         e.deferred_fill = shield;
         if record {
             let ev = LoadEvent {
@@ -781,9 +1116,10 @@ impl<'a> Pipeline<'a> {
                 speculative,
                 committed: false,
             };
-            e.load_event = Some(self.loads.len());
+            e.load_event = Some(self.loads.len() as u32);
             self.loads.push(ev);
         }
+        self.finish_issue(slot, CLS_LOAD, used, value, now + latency);
         true
     }
 
@@ -796,80 +1132,110 @@ impl<'a> Pipeline<'a> {
             if self.fence_active.is_some() {
                 break;
             }
-            if self.rob.len() >= self.cfg.rob_size {
+            if self.s.len >= self.cfg.rob_size {
                 break;
             }
-            let waiting = self.rob.iter().filter(|e| e.state == EntryState::Waiting).count();
-            if waiting >= self.cfg.rs_size {
+            if self.s.waiting_count >= self.cfg.rs_size {
                 break;
             }
-            let Some(front) = self.fetch_q.front() else { break };
+            let Some(front) = self.s.fetch_q.front() else { break };
             if front.ready_cycle > self.cycle {
                 break;
             }
-            let fetched = self.fetch_q.pop_front().expect("front exists");
+            let fetched = self.s.fetch_q.pop_front().expect("front exists");
+            let pc = fetched.pc as usize;
+            let instr = *self.prog.get(pc).expect("fetched pc in range");
             let seq = self.next_seq;
             self.next_seq += 1;
+            let slot = self.s.alloc_slot();
 
-            let srcs: Vec<(Reg, Src)> = fetched
-                .instr
-                .srcs()
-                .into_iter()
-                .map(|r| {
-                    let s = match self.rat[r.index()] {
-                        None => Src::Ready(self.arch_regs[r.index()]),
-                        Some(pseq) => match self.entry_index(pseq) {
-                            Some(pidx) if self.rob[pidx].state == EntryState::Done => {
-                                Src::Ready(self.rob[pidx].result)
+            // Rename: resolve each source against the RAT. A live producer
+            // that is already Done hands over its value immediately; an
+            // in-flight one gets this entry appended to its consumer list.
+            let (src_regs, nsrcs) = instr.srcs_fixed();
+            let mut srcs = [(Reg::new(0), Src::Ready(0)); 3];
+            let mut pending = 0u8;
+            for (i, &r) in src_regs[..nsrcs].iter().enumerate() {
+                let src = match self.s.rat[r.index()] {
+                    None => Src::Ready(self.s.arch_regs[r.index()]),
+                    Some((pseq, pslot)) => {
+                        if self.s.valid(pseq, pslot) {
+                            let p = &mut self.s.slots[pslot as usize];
+                            if p.state == EntryState::Done {
+                                Src::Ready(p.result)
+                            } else {
+                                p.consumers.push((seq, slot as u32, i as u8));
+                                pending += 1;
+                                Src::Tag(pseq)
                             }
-                            Some(_) => Src::Tag(pseq),
-                            None => Src::Ready(self.arch_regs[r.index()]),
-                        },
-                    };
-                    (r, s)
-                })
-                .collect();
+                        } else {
+                            // Producer already committed.
+                            Src::Ready(self.s.arch_regs[r.index()])
+                        }
+                    }
+                };
+                srcs[i] = (r, src);
+            }
 
-            if let Instr::Branch { .. } = fetched.instr {
-                self.checkpoints.insert(seq, self.rat.clone());
+            let prev_rat = match instr.dst() {
+                Some(dst) => {
+                    let prev = self.s.rat[dst.index()];
+                    self.s.rat[dst.index()] = Some((seq, slot as u32));
+                    prev
+                }
+                None => None,
+            };
+            if let Instr::Branch { .. } = instr {
+                self.s.spec_branches.push_back((seq, slot as u32));
             }
-            if let Some(dst) = fetched.instr.dst() {
-                self.rat[dst.index()] = Some(seq);
-            }
-            if let Instr::Fence = fetched.instr {
+            if let Instr::Fence = instr {
                 self.fence_active = Some(seq);
             }
 
-            let trace_idx = if self.cfg.record_trace {
+            let trace_idx = if self.cfg.record.trace() {
                 let fetched_cycle =
                     fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
                 let mut rec = crate::trace::TraceRecord::new(
                     seq,
-                    fetched.pc,
-                    &fetched.instr,
+                    pc,
+                    &instr,
                     fetched_cycle,
                 );
                 rec.dispatched = self.cycle;
                 self.trace.push(rec);
-                Some(self.trace.len() - 1)
+                Some((self.trace.len() - 1) as u32)
             } else {
                 None
             };
 
-            self.rob.push_back(RobEntry {
-                seq,
-                pc: fetched.pc,
-                instr: fetched.instr,
-                state: EntryState::Waiting,
-                srcs,
-                result: 0,
-                completion: 0,
-                predicted_taken: fetched.predicted_taken,
-                mem_addr: None,
-                deferred_fill: false,
-                load_event: None,
-                trace_idx,
-            });
+            let e = &mut self.s.slots[slot];
+            e.seq = seq;
+            e.pc = pc;
+            e.instr = instr;
+            e.state = EntryState::Waiting;
+            e.nsrcs = nsrcs as u8;
+            e.pending = pending;
+            e.srcs = srcs;
+            e.result = 0;
+            e.completion = 0;
+            e.predicted_taken = fetched.predicted_taken;
+            e.mem_addr = None;
+            e.deferred_fill = false;
+            e.load_event = None;
+            e.trace_idx = trace_idx;
+            e.prev_rat = prev_rat;
+            e.resolved = false;
+            e.consumers.clear();
+            self.s.len += 1;
+            self.s.waiting_count += 1;
+
+            if let Instr::Store { .. } = instr {
+                self.s.store_q.push_back((seq, None));
+            }
+            if pending == 0 && self.cfg.countermeasure != Countermeasure::InOrder {
+                let cls = class_idx(instr.fu_class());
+                self.ready_push(cls, seq, slot as u32);
+            }
         }
     }
 
@@ -883,14 +1249,14 @@ impl<'a> Pipeline<'a> {
                 self.fetch_stopped = true;
                 break;
             }
-            if self.fetch_q.len() >= self.cfg.rob_size {
+            if self.s.fetch_q.len() >= self.cfg.rob_size {
                 break;
             }
             let pc = self.fetch_pc;
-            let instr = *self.prog.get(pc).expect("pc in range");
+            let instr = self.prog.get(pc).expect("pc in range");
             let mut predicted_taken = false;
             let mut next = pc + 1;
-            match instr {
+            match *instr {
                 Instr::Branch { target, .. } => {
                     predicted_taken = self.predictor.predict(pc);
                     if predicted_taken {
@@ -906,9 +1272,8 @@ impl<'a> Pipeline<'a> {
                 }
                 _ => {}
             }
-            self.fetch_q.push_back(FetchedInstr {
-                pc,
-                instr,
+            self.s.fetch_q.push_back(FetchedInstr {
+                pc: pc as u32,
                 predicted_taken,
                 ready_cycle: self.cycle + self.cfg.front_end_depth,
             });

@@ -21,6 +21,16 @@
 //! ordering, so the paper's claims about which gadgets survive which
 //! defences become testable.
 //!
+//! ## Throughput
+//!
+//! Scheduling is event-driven ([`core`]) and allocation-free in steady
+//! state; the original scan-based scheduler survives as the
+//! cycle-exact golden model in [`mod@reference`] (see
+//! [`Cpu::execute_reference`]). [`RecordLevel`] controls how much event
+//! data a run records, and [`batch::par_map`] fans independent
+//! simulations out across host cores. `BENCH_pipeline.json` at the repo
+//! root records measured throughput for both schedulers.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -44,13 +54,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod core;
 pub mod predictor;
+pub mod reference;
 pub mod stats;
 pub mod trace;
 
-pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind};
+pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel};
 pub use core::Cpu;
 pub use stats::{LoadEvent, RunResult};
 pub use trace::{render_pipeline, TraceRecord};

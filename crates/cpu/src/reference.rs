@@ -1,0 +1,826 @@
+//! The original scan-based pipeline scheduler, kept as a **golden model**.
+//!
+//! [`crate::core`] reimplements scheduling event-driven (tag-broadcast
+//! wakeup, ring-buffer ROB, no steady-state allocation) for throughput;
+//! this module preserves the straightforward O(ROB)-scans-per-cycle
+//! implementation it must match **cycle-exactly**. The differential test
+//! suite (`crates/cpu/tests/differential.rs`) runs randomized programs
+//! through both and asserts identical [`RunResult`]s; the
+//! `perf_baseline` binary uses this model as the speedup denominator.
+//!
+//! Algorithmic cost (the reason it was replaced): every cycle scans the
+//! whole ROB at issue, refreshes sources with per-tag binary searches,
+//! re-walks the ROB for speculation/disambiguation checks per load, and
+//! commits with a full-ROB tag broadcast; every dispatch allocates a source
+//! vector and every branch clones the whole RAT into a `HashMap`.
+
+use crate::config::{Countermeasure, CpuConfig};
+use crate::predictor::Predictor;
+use crate::stats::{LoadEvent, RunResult};
+use racer_isa::{AluOp, DataMemory, FuClass, Instr, MemOperand, Program, Reg, NUM_REGS};
+use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
+use std::collections::{HashMap, VecDeque};
+
+/// Dynamic-instruction sequence number.
+type Seq = u64;
+
+#[derive(Copy, Clone, Debug, Eq, PartialEq)]
+enum EntryState {
+    /// Dispatched, waiting for sources / a port.
+    Waiting,
+    /// Executing on a functional unit.
+    Issued,
+    /// Result available.
+    Done,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Src {
+    Ready(u64),
+    Tag(Seq),
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: Seq,
+    pc: usize,
+    instr: Instr,
+    state: EntryState,
+    srcs: Vec<(Reg, Src)>,
+    result: u64,
+    completion: u64,
+    predicted_taken: bool,
+    /// Effective address for memory ops, resolved at issue.
+    mem_addr: Option<u64>,
+    /// Cache fill deferred to commit (invisible-speculation modes).
+    deferred_fill: bool,
+    /// Index into the run's load-event vector, if recorded.
+    load_event: Option<usize>,
+    /// Index into the run's trace vector, if recorded.
+    trace_idx: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedInstr {
+    pc: usize,
+    instr: Instr,
+    predicted_taken: bool,
+    ready_cycle: u64,
+}
+
+/// Per-run pipeline state for the reference (scan-based) scheduler.
+pub(crate) struct RefPipeline<'a> {
+    cfg: CpuConfig,
+    hier: &'a mut Hierarchy,
+    mem: &'a mut DataMemory,
+    predictor: &'a mut dyn Predictor,
+    prog: &'a Program,
+
+    cycle: u64,
+    rob: VecDeque<RobEntry>,
+    fetch_q: VecDeque<FetchedInstr>,
+    arch_regs: Vec<u64>,
+    rat: Vec<Option<Seq>>,
+    checkpoints: HashMap<Seq, Vec<Option<Seq>>>,
+    next_seq: Seq,
+
+    fetch_pc: usize,
+    fetch_stopped: bool,
+    fence_active: Option<Seq>,
+    draining: bool,
+
+    /// Divider next-free cycle (non-fully-pipelined unit).
+    div_free_at: u64,
+    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model).
+    inflight: HashMap<u64, u64>,
+
+    // Results under construction.
+    committed: u64,
+    mispredicts: u64,
+    squashed: u64,
+    interrupts: u64,
+    halted: bool,
+    loads: Vec<LoadEvent>,
+    trace: Vec<crate::trace::TraceRecord>,
+}
+
+impl<'a> RefPipeline<'a> {
+    pub(crate) fn new(
+        cfg: CpuConfig,
+        hier: &'a mut Hierarchy,
+        mem: &'a mut DataMemory,
+        predictor: &'a mut dyn Predictor,
+        prog: &'a Program,
+    ) -> Self {
+        RefPipeline {
+            cfg,
+            hier,
+            mem,
+            predictor,
+            prog,
+            cycle: 0,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            fetch_q: VecDeque::new(),
+            arch_regs: vec![0; NUM_REGS],
+            rat: vec![None; NUM_REGS],
+            checkpoints: HashMap::new(),
+            next_seq: 0,
+            fetch_pc: 0,
+            fetch_stopped: false,
+            fence_active: None,
+            draining: false,
+            div_free_at: 0,
+            inflight: HashMap::new(),
+            committed: 0,
+            mispredicts: 0,
+            squashed: 0,
+            interrupts: 0,
+            halted: false,
+            loads: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) -> RunResult {
+        let stats_before = self.hier.stats();
+        let mut limit_hit = false;
+        loop {
+            self.writeback();
+            self.commit();
+            if self.halted {
+                break;
+            }
+            self.issue();
+            self.dispatch();
+            self.fetch();
+            if self.finished() {
+                break;
+            }
+            self.cycle += 1;
+            if let Some(interval) = self.cfg.interrupt_interval {
+                if self.cycle.is_multiple_of(interval) && !self.draining {
+                    self.draining = true;
+                    self.interrupts += 1;
+                }
+            }
+            if self.draining && self.rob.is_empty() {
+                self.draining = false;
+            }
+            if self.cycle >= self.cfg.max_run_cycles {
+                limit_hit = true;
+                break;
+            }
+        }
+        let mut mem_stats = self.hier.stats();
+        mem_stats.l1d = mem_stats.l1d.since(&stats_before.l1d);
+        mem_stats.l2 = mem_stats.l2.since(&stats_before.l2);
+        mem_stats.l3 = mem_stats.l3.since(&stats_before.l3);
+        mem_stats.memory_accesses -= stats_before.memory_accesses;
+        mem_stats.flushes -= stats_before.flushes;
+        mem_stats.prefetches -= stats_before.prefetches;
+        RunResult {
+            cycles: self.cycle,
+            committed: self.committed,
+            halted: self.halted,
+            limit_hit,
+            mispredicts: self.mispredicts,
+            squashed_instrs: self.squashed,
+            interrupts: self.interrupts,
+            regs: self.arch_regs,
+            mem_stats,
+            loads: self.loads,
+            trace: self.trace,
+        }
+    }
+
+    /// With ROB and fetch queue empty and fetch stopped (or the program
+    /// exhausted), nothing can restart the machine: a stopped fetch either
+    /// means the program fell off its end (a committed `halt` would have set
+    /// `halted` instead), or a wrong-path `halt` was fetched — and the
+    /// mispredicted branch that caused it must already have resolved and
+    /// redirected fetch, since the ROB has drained.
+    fn finished(&self) -> bool {
+        self.rob.is_empty()
+            && self.fetch_q.is_empty()
+            && (self.fetch_stopped || self.fetch_pc >= self.prog.len())
+            && !self.halted
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn entry_index(&self, seq: Seq) -> Option<usize> {
+        // Sequence numbers are strictly increasing along the ROB but not
+        // contiguous (squashes leave gaps), so search rather than offset.
+        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    fn src_value(entry: &RobEntry, reg: Reg) -> u64 {
+        for (r, s) in &entry.srcs {
+            if *r == reg {
+                match s {
+                    Src::Ready(v) => return *v,
+                    Src::Tag(_) => panic!("source {reg} read before ready"),
+                }
+            }
+        }
+        panic!("register {reg} is not a source of {:?}", entry.instr)
+    }
+
+    fn operand_value(entry: &RobEntry, op: racer_isa::Operand) -> u64 {
+        match op {
+            racer_isa::Operand::Reg(r) => Self::src_value(entry, r),
+            racer_isa::Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn mem_operand_addr(entry: &RobEntry, m: &MemOperand) -> u64 {
+        let base = m.base.map_or(0, |r| Self::src_value(entry, r));
+        let index = m.index.map_or(0, |r| Self::src_value(entry, r));
+        base.wrapping_add(index.wrapping_mul(m.scale as u64)).wrapping_add(m.disp as u64)
+    }
+
+    /// Resolve any tags whose producers are now done.
+    fn refresh_srcs(&mut self, idx: usize) {
+        let entry = &self.rob[idx];
+        let mut updates: Vec<(usize, u64)> = Vec::new();
+        for (i, (_, s)) in entry.srcs.iter().enumerate() {
+            if let Src::Tag(seq) = s {
+                if let Some(pidx) = self.entry_index(*seq) {
+                    let p = &self.rob[pidx];
+                    if p.state == EntryState::Done {
+                        updates.push((i, p.result));
+                    }
+                } else {
+                    // Producer committed; its broadcast should have resolved
+                    // this tag already.
+                    unreachable!("dangling source tag {seq}");
+                }
+            }
+        }
+        let entry = &mut self.rob[idx];
+        for (i, v) in updates {
+            entry.srcs[i].1 = Src::Ready(v);
+        }
+    }
+
+    fn srcs_ready(entry: &RobEntry) -> bool {
+        entry.srcs.iter().all(|(_, s)| matches!(s, Src::Ready(_)))
+    }
+
+    /// Does an unresolved older branch exist (is `idx` speculative)?
+    fn is_speculative(&self, idx: usize) -> bool {
+        self.rob.iter().take(idx).any(|e| {
+            matches!(e.instr, Instr::Branch { .. }) && e.state != EntryState::Done
+        })
+    }
+
+    // ---- pipeline stages ----------------------------------------------------
+
+    /// Completions and branch resolution.
+    fn writeback(&mut self) {
+        // Collect completions first (avoid borrowing issues), oldest first so
+        // the oldest mispredicted branch wins the squash.
+        let mut done: Vec<usize> = Vec::new();
+        for (i, e) in self.rob.iter().enumerate() {
+            if e.state == EntryState::Issued && e.completion <= self.cycle {
+                done.push(i);
+            }
+        }
+        for &i in &done {
+            self.rob[i].state = EntryState::Done;
+            if let Some(t) = self.rob[i].trace_idx {
+                self.trace[t].completed = Some(self.rob[i].completion);
+            }
+        }
+        // Resolve branches oldest-first; a squash may invalidate later ones.
+        loop {
+            let mut resolved_any = false;
+            for i in 0..self.rob.len() {
+                let e = &self.rob[i];
+                if e.state == EntryState::Done {
+                    if let Instr::Branch { .. } = e.instr {
+                        if self.checkpoints.contains_key(&e.seq) {
+                            let seq = e.seq;
+                            let taken = e.result != 0;
+                            let predicted = e.predicted_taken;
+                            let pc = e.pc;
+                            self.predictor.train(pc, taken);
+                            let checkpoint = self
+                                .checkpoints
+                                .remove(&seq)
+                                .expect("checkpoint present for unresolved branch");
+                            if taken != predicted {
+                                self.mispredict(i, seq, taken, checkpoint);
+                                resolved_any = true;
+                                break; // rob changed; rescan
+                            }
+                        }
+                    }
+                }
+            }
+            if !resolved_any {
+                break;
+            }
+        }
+    }
+
+    fn mispredict(&mut self, idx: usize, seq: Seq, taken: bool, checkpoint: Vec<Option<Seq>>) {
+        self.mispredicts += 1;
+        // Squash everything younger than the branch.
+        while self.rob.len() > idx + 1 {
+            let victim = self.rob.pop_back().expect("rob non-empty");
+            self.checkpoints.remove(&victim.seq);
+            if let Some(li) = victim.load_event {
+                // Leave the event recorded; `committed` stays false.
+                assert!(!self.loads[li].committed, "squashed load marked committed");
+            }
+            // CleanupSpec: undo the squashed load's cache fill. The *state*
+            // is repaired — but any timing difference it caused has already
+            // been consumed by older instructions (SpectreBack's point).
+            if self.cfg.countermeasure == Countermeasure::CleanupSpec {
+                if let Instr::Load { .. } = victim.instr {
+                    if victim.state != EntryState::Waiting {
+                        if let Some(addr) = victim.mem_addr {
+                            self.hier.flush(Addr(addr));
+                        }
+                    }
+                }
+            }
+            self.squashed += 1;
+        }
+        self.rat = checkpoint;
+        // Redirect fetch down the correct path.
+        let target = match self.rob[idx].instr {
+            Instr::Branch { target, .. } => {
+                if taken {
+                    target
+                } else {
+                    self.rob[idx].pc + 1
+                }
+            }
+            _ => unreachable!("mispredict on non-branch"),
+        };
+        self.fetch_q.clear();
+        self.fetch_pc = target;
+        self.fetch_stopped = target >= self.prog.len();
+        // A squashed fence no longer blocks dispatch.
+        if let Some(fseq) = self.fence_active {
+            if fseq > seq {
+                self.fence_active = None;
+            }
+        }
+    }
+
+    /// In-order retirement.
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != EntryState::Done {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            self.committed += 1;
+            if let Some(t) = entry.trace_idx {
+                self.trace[t].committed = Some(self.cycle);
+            }
+            // Architectural register update + RAT release.
+            if let Some(dst) = entry.instr.dst() {
+                self.arch_regs[dst.index()] = entry.result;
+                if self.rat[dst.index()] == Some(entry.seq) {
+                    self.rat[dst.index()] = None;
+                }
+            }
+            // Broadcast the result to any consumers still holding the tag.
+            for e in self.rob.iter_mut() {
+                for (_, s) in e.srcs.iter_mut() {
+                    if let Src::Tag(t) = s {
+                        if *t == entry.seq {
+                            *s = Src::Ready(entry.result);
+                        }
+                    }
+                }
+            }
+            match entry.instr {
+                Instr::Store { .. } => {
+                    let addr = entry.mem_addr.expect("store address resolved at issue");
+                    self.mem.write(addr, entry.result);
+                    self.hier.access(Addr(addr), AccessKind::Store);
+                }
+                Instr::Load { .. } if entry.deferred_fill => {
+                    // Invisible-speculation modes: apply the fill now.
+                    let addr = entry.mem_addr.expect("load address resolved at issue");
+                    self.hier.access(Addr(addr), AccessKind::Load);
+                }
+                Instr::Fence => {
+                    self.fence_active = None;
+                }
+                Instr::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                _ => {}
+            }
+            if let Some(li) = entry.load_event {
+                self.loads[li].committed = true;
+            }
+        }
+    }
+
+    /// Data-driven issue to functional units.
+    fn issue(&mut self) {
+        let mut issued = 0usize;
+        let mut alu_used = 0usize;
+        let mut mul_used = 0usize;
+        let mut div_used = 0usize;
+        let mut load_used = 0usize;
+        let mut store_used = 0usize;
+        let mut branch_used = 0usize;
+
+        for idx in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            if self.rob[idx].state != EntryState::Waiting {
+                continue;
+            }
+            self.refresh_srcs(idx);
+            let ready = Self::srcs_ready(&self.rob[idx]);
+            if self.cfg.countermeasure == Countermeasure::InOrder {
+                // Strict in-order issue: the oldest unissued instruction
+                // must go first; if it cannot, nothing younger may.
+                if !ready || !self.try_issue(idx, &mut alu_used, &mut mul_used, &mut div_used, &mut load_used, &mut store_used, &mut branch_used) {
+                    break;
+                }
+                self.mark_issued(idx);
+                issued += 1;
+                continue;
+            }
+            if !ready {
+                continue;
+            }
+            if self.try_issue(
+                idx,
+                &mut alu_used,
+                &mut mul_used,
+                &mut div_used,
+                &mut load_used,
+                &mut store_used,
+                &mut branch_used,
+            ) {
+                self.mark_issued(idx);
+                issued += 1;
+            }
+        }
+    }
+
+    /// Record the issue timestamp of a just-issued entry, if tracing.
+    fn mark_issued(&mut self, idx: usize) {
+        if let Some(t) = self.rob[idx].trace_idx {
+            self.trace[t].issued = Some(self.cycle);
+        }
+    }
+
+    /// Attempt to issue the entry at `idx`; returns success.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &mut self,
+        idx: usize,
+        alu_used: &mut usize,
+        mul_used: &mut usize,
+        div_used: &mut usize,
+        load_used: &mut usize,
+        store_used: &mut usize,
+        branch_used: &mut usize,
+    ) -> bool {
+        let fu = self.rob[idx].instr.fu_class();
+        let lat = self.cfg.latencies;
+        match fu {
+            FuClass::Alu => {
+                if *alu_used >= self.cfg.alu_ports {
+                    return false;
+                }
+                *alu_used += 1;
+            }
+            FuClass::Mul => {
+                if *mul_used >= self.cfg.mul_ports {
+                    return false;
+                }
+                *mul_used += 1;
+            }
+            FuClass::Div => {
+                if *div_used >= self.cfg.div_ports || self.cycle < self.div_free_at {
+                    return false;
+                }
+                *div_used += 1;
+            }
+            FuClass::Load => {
+                if *load_used >= self.cfg.load_ports {
+                    return false;
+                }
+                // Port is charged only if the load actually issues below.
+            }
+            FuClass::Store => {
+                if *store_used >= self.cfg.store_ports {
+                    return false;
+                }
+                *store_used += 1;
+            }
+            FuClass::Branch => {
+                if *branch_used >= self.cfg.branch_ports {
+                    return false;
+                }
+                *branch_used += 1;
+            }
+            FuClass::None => {}
+        }
+
+        let now = self.cycle;
+        match self.rob[idx].instr {
+            Instr::Alu { op, a, b, .. } => {
+                let av = Self::operand_value(&self.rob[idx], a);
+                let bv = Self::operand_value(&self.rob[idx], b);
+                let latency = match op {
+                    AluOp::Mul => lat.mul,
+                    AluOp::Div => {
+                        self.div_free_at = now + lat.div_recip;
+                        lat.div_min + ((av ^ bv) & 1)
+                    }
+                    _ => lat.alu,
+                };
+                let e = &mut self.rob[idx];
+                e.result = op.eval(av, bv);
+                e.state = EntryState::Issued;
+                e.completion = now + latency;
+            }
+            Instr::Lea { mem, .. } => {
+                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let e = &mut self.rob[idx];
+                e.result = addr;
+                e.state = EntryState::Issued;
+                e.completion = now + lat.alu;
+            }
+            Instr::Load { mem, .. } => {
+                if !self.issue_load(idx, mem, load_used) {
+                    return false;
+                }
+            }
+            Instr::Store { src, mem } => {
+                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let val = Self::operand_value(&self.rob[idx], src);
+                let e = &mut self.rob[idx];
+                e.mem_addr = Some(addr);
+                e.result = val;
+                e.state = EntryState::Issued;
+                e.completion = now + lat.store;
+            }
+            Instr::Prefetch { mem, nta } => {
+                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let kind = if nta { AccessKind::PrefetchNta } else { AccessKind::Prefetch };
+                self.hier.access(Addr(addr), kind);
+                *load_used += 1;
+                let e = &mut self.rob[idx];
+                e.mem_addr = Some(addr);
+                e.state = EntryState::Issued;
+                e.completion = now + 1;
+            }
+            Instr::Flush { mem } => {
+                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                self.hier.flush(Addr(addr));
+                *load_used += 1;
+                let e = &mut self.rob[idx];
+                e.mem_addr = Some(addr);
+                e.state = EntryState::Issued;
+                e.completion = now + 1;
+            }
+            Instr::Branch { cond, a, b, .. } => {
+                let av = Self::src_value(&self.rob[idx], a);
+                let bv = Self::operand_value(&self.rob[idx], b);
+                let e = &mut self.rob[idx];
+                e.result = u64::from(cond.eval(av, bv));
+                e.state = EntryState::Issued;
+                e.completion = now + lat.branch;
+            }
+            Instr::Jump { .. } | Instr::Nop | Instr::Fence | Instr::Halt => {
+                let e = &mut self.rob[idx];
+                e.state = EntryState::Issued;
+                e.completion = now;
+            }
+        }
+        true
+    }
+
+    /// Issue a load, honouring store ordering, MSHRs and countermeasures.
+    /// Returns false if the load must retry later.
+    fn issue_load(&mut self, idx: usize, mem_op: MemOperand, load_used: &mut usize) -> bool {
+        let addr = Self::mem_operand_addr(&self.rob[idx], &mem_op);
+        // Conservative memory disambiguation: an older in-flight store with
+        // an unknown address, or a known address matching this word, blocks
+        // the load until the store commits.
+        for older in self.rob.iter().take(idx) {
+            if let Instr::Store { .. } = older.instr {
+                match older.mem_addr {
+                    None => return false,
+                    Some(saddr) if saddr == addr => return false,
+                    _ => {}
+                }
+            }
+        }
+
+        let speculative = self.is_speculative(idx);
+        let now = self.cycle;
+        let line = Addr(addr).line().0;
+
+        // Prune arrived fills.
+        self.inflight.retain(|_, &mut done| done > now);
+
+        let cm = self.cfg.countermeasure;
+        let shield = match cm {
+            Countermeasure::InvisibleSpec | Countermeasure::GhostMinion => speculative,
+            _ => false,
+        };
+        if cm == Countermeasure::DelayOnMiss
+            && speculative
+            && self.hier.probe(Addr(addr)) != HitLevel::L1
+            && !self.inflight.contains_key(&line)
+        {
+            // Speculative L1 miss: delay until non-speculative.
+            return false;
+        }
+
+        let (latency, level) = if let Some(&done) = self.inflight.get(&line) {
+            // Merge into the outstanding miss (MSHR hit).
+            (done.saturating_sub(now).max(self.cfg.latencies.alu), HitLevel::L2)
+        } else if shield {
+            // Invisible speculation: timing only, no state change.
+            (self.hier.peek_latency(Addr(addr)), self.hier.probe(Addr(addr)))
+        } else {
+            // Normal path: check MSHR capacity for misses.
+            let probed = self.hier.probe(Addr(addr));
+            if probed != HitLevel::L1 && self.inflight.len() >= self.cfg.mshrs {
+                return false;
+            }
+            let out = self.hier.access(Addr(addr), AccessKind::Load);
+            if out.level != HitLevel::L1 {
+                self.inflight.insert(line, now + out.latency);
+            }
+            (out.latency, out.level)
+        };
+
+        *load_used += 1;
+        let value = self.mem.read(addr);
+        let record = self.cfg.record.loads();
+        let e = &mut self.rob[idx];
+        e.mem_addr = Some(addr);
+        e.result = value;
+        e.state = EntryState::Issued;
+        e.completion = now + latency;
+        e.deferred_fill = shield;
+        if record {
+            let ev = LoadEvent {
+                pc: e.pc,
+                seq: e.seq,
+                addr,
+                issue_cycle: now,
+                complete_cycle: now + latency,
+                level,
+                speculative,
+                committed: false,
+            };
+            e.load_event = Some(self.loads.len());
+            self.loads.push(ev);
+        }
+        true
+    }
+
+    /// Rename and dispatch from the fetch queue into the ROB.
+    fn dispatch(&mut self) {
+        if self.draining {
+            return;
+        }
+        for _ in 0..self.cfg.dispatch_width {
+            if self.fence_active.is_some() {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            let waiting = self.rob.iter().filter(|e| e.state == EntryState::Waiting).count();
+            if waiting >= self.cfg.rs_size {
+                break;
+            }
+            let Some(front) = self.fetch_q.front() else { break };
+            if front.ready_cycle > self.cycle {
+                break;
+            }
+            let fetched = self.fetch_q.pop_front().expect("front exists");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let srcs: Vec<(Reg, Src)> = fetched
+                .instr
+                .srcs()
+                .into_iter()
+                .map(|r| {
+                    let s = match self.rat[r.index()] {
+                        None => Src::Ready(self.arch_regs[r.index()]),
+                        Some(pseq) => match self.entry_index(pseq) {
+                            Some(pidx) if self.rob[pidx].state == EntryState::Done => {
+                                Src::Ready(self.rob[pidx].result)
+                            }
+                            Some(_) => Src::Tag(pseq),
+                            None => Src::Ready(self.arch_regs[r.index()]),
+                        },
+                    };
+                    (r, s)
+                })
+                .collect();
+
+            if let Instr::Branch { .. } = fetched.instr {
+                self.checkpoints.insert(seq, self.rat.clone());
+            }
+            if let Some(dst) = fetched.instr.dst() {
+                self.rat[dst.index()] = Some(seq);
+            }
+            if let Instr::Fence = fetched.instr {
+                self.fence_active = Some(seq);
+            }
+
+            let trace_idx = if self.cfg.record.trace() {
+                let fetched_cycle =
+                    fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
+                let mut rec = crate::trace::TraceRecord::new(
+                    seq,
+                    fetched.pc,
+                    &fetched.instr,
+                    fetched_cycle,
+                );
+                rec.dispatched = self.cycle;
+                self.trace.push(rec);
+                Some(self.trace.len() - 1)
+            } else {
+                None
+            };
+
+            self.rob.push_back(RobEntry {
+                seq,
+                pc: fetched.pc,
+                instr: fetched.instr,
+                state: EntryState::Waiting,
+                srcs,
+                result: 0,
+                completion: 0,
+                predicted_taken: fetched.predicted_taken,
+                mem_addr: None,
+                deferred_fill: false,
+                load_event: None,
+                trace_idx,
+            });
+        }
+    }
+
+    /// Predicted instruction fetch.
+    fn fetch(&mut self) {
+        if self.draining || self.fetch_stopped {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_pc >= self.prog.len() {
+                self.fetch_stopped = true;
+                break;
+            }
+            if self.fetch_q.len() >= self.cfg.rob_size {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let instr = *self.prog.get(pc).expect("pc in range");
+            let mut predicted_taken = false;
+            let mut next = pc + 1;
+            match instr {
+                Instr::Branch { target, .. } => {
+                    predicted_taken = self.predictor.predict(pc);
+                    if predicted_taken {
+                        next = target;
+                    }
+                }
+                Instr::Jump { target } => {
+                    predicted_taken = true;
+                    next = target;
+                }
+                Instr::Halt => {
+                    self.fetch_stopped = true;
+                }
+                _ => {}
+            }
+            self.fetch_q.push_back(FetchedInstr {
+                pc,
+                instr,
+                predicted_taken,
+                ready_cycle: self.cycle + self.cfg.front_end_depth,
+            });
+            if self.fetch_stopped {
+                break;
+            }
+            self.fetch_pc = next;
+        }
+    }
+}

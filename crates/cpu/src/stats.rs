@@ -3,8 +3,8 @@
 use racer_mem::{HierarchyStats, HitLevel};
 use serde::{Deserialize, Serialize};
 
-/// One dynamic load observed during a run (recorded when
-/// [`CpuConfig::record_loads`](crate::CpuConfig::record_loads) is set).
+/// One dynamic load observed during a run (recorded at
+/// [`RecordLevel::Loads`](crate::RecordLevel::Loads) and above).
 ///
 /// Squashed loads — issued on a mispredicted path and later discarded — are
 /// the paper's transient cache transmitters: they appear here with
@@ -50,10 +50,11 @@ pub struct RunResult {
     pub regs: Vec<u64>,
     /// Cache/memory counters accumulated during this run only.
     pub mem_stats: HierarchyStats,
-    /// Per-load events (empty unless `record_loads` is enabled).
+    /// Per-load events (empty below
+    /// [`RecordLevel::Loads`](crate::RecordLevel::Loads)).
     pub loads: Vec<LoadEvent>,
-    /// Per-instruction pipeline trace (empty unless `record_trace` is
-    /// enabled).
+    /// Per-instruction pipeline trace (empty below
+    /// [`RecordLevel::Trace`](crate::RecordLevel::Trace)).
     pub trace: Vec<crate::trace::TraceRecord>,
 }
 

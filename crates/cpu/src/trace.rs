@@ -4,7 +4,8 @@
 //! Tracing exists for gadget engineering: racing gadgets live or die on
 //! issue-cycle relationships, and a pipeline diagram answers "why did this
 //! path lose?" directly. Enable with
-//! [`CpuConfig::record_trace`](crate::CpuConfig::record_trace); rendered
+//! [`RecordLevel::Trace`](crate::RecordLevel::Trace) (e.g. via
+//! [`CpuConfig::with_trace`](crate::CpuConfig::with_trace)); rendered
 //! diagrams come from [`render_pipeline`].
 
 use racer_isa::Instr;

@@ -331,35 +331,57 @@ impl Instr {
 
     /// Source registers read by the instruction.
     pub fn srcs(&self) -> Vec<Reg> {
-        let mut v = Vec::with_capacity(3);
+        let (regs, n) = self.srcs_fixed();
+        regs[..n].to_vec()
+    }
+
+    /// Source registers without allocating: at most 3 for any instruction
+    /// (store: value + base + index). The first `n` array entries are the
+    /// sources, in the same order [`Instr::srcs`] reports them. This is the
+    /// rename-stage fast path — dispatch runs once per dynamic instruction,
+    /// so a `Vec` here would put an allocation on the simulator's hottest
+    /// loop.
+    pub fn srcs_fixed(&self) -> ([Reg; 3], usize) {
+        let mut regs = [Reg::new(0); 3];
+        let mut n = 0usize;
+        let push = |r: Reg, regs: &mut [Reg; 3], n: &mut usize| {
+            regs[*n] = r;
+            *n += 1;
+        };
         match self {
             Instr::Alu { a, b, .. } => {
                 if let Some(r) = a.reg() {
-                    v.push(r);
+                    push(r, &mut regs, &mut n);
                 }
                 if let Some(r) = b.reg() {
-                    v.push(r);
+                    push(r, &mut regs, &mut n);
                 }
             }
             Instr::Lea { mem, .. }
             | Instr::Load { mem, .. }
             | Instr::Prefetch { mem, .. }
-            | Instr::Flush { mem } => v.extend(mem.srcs()),
+            | Instr::Flush { mem } => {
+                for r in mem.srcs() {
+                    push(r, &mut regs, &mut n);
+                }
+            }
             Instr::Store { src, mem } => {
                 if let Some(r) = src.reg() {
-                    v.push(r);
+                    push(r, &mut regs, &mut n);
                 }
-                v.extend(mem.srcs());
+                for r in mem.srcs() {
+                    push(r, &mut regs, &mut n);
+                }
             }
             Instr::Branch { a, b, .. } => {
-                v.push(*a);
+                push(*a, &mut regs, &mut n);
                 if let Some(r) = b.reg() {
-                    v.push(r);
+                    push(r, &mut regs, &mut n);
                 }
             }
             Instr::Jump { .. } | Instr::Fence | Instr::Halt | Instr::Nop => {}
         }
-        v
+        (regs, n)
     }
 
     /// Functional-unit class executing this instruction.

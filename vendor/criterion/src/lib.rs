@@ -1,0 +1,133 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supports the workspace's bench targets: `Criterion::bench_function`,
+//! `benchmark_group` with `throughput`/`sample_size`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Each benchmark is timed
+//! with `std::time::Instant` over a fixed warm-up + measurement loop and the
+//! mean per-iteration time is printed — enough for coarse regression
+//! tracking without the real crate's statistics.
+
+use std::time::Instant;
+
+/// Work-unit annotation for throughput reporting.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then averaging over the measurement runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), None, 10, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup { prefix: name.to_string(), throughput: None, sample_size: 10 }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup {
+    prefix: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Annotate subsequent benchmarks with a work unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the measurement iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.prefix), self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (report-flushing no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, iters: u64, mut f: F) {
+    let mut b = Bencher { iters, mean_ns: 0.0 };
+    f(&mut b);
+    match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            let per_sec = n as f64 / (b.mean_ns * 1e-9);
+            println!("bench {name}: {:.1} ns/iter ({per_sec:.0} elem/s)", b.mean_ns);
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            let per_sec = n as f64 / (b.mean_ns * 1e-9);
+            println!("bench {name}: {:.1} ns/iter ({per_sec:.0} B/s)", b.mean_ns);
+        }
+        _ => println!("bench {name}: {:.1} ns/iter", b.mean_ns),
+    }
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

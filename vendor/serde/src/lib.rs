@@ -1,0 +1,33 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The repository annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so results can be exported once the real serde is
+//! available, but no code path in the workspace performs serialization.
+//! This stub provides the two marker traits and re-exports no-op derives,
+//! which is exactly the surface the workspace consumes. Replace the
+//! `[workspace.dependencies]` path entry with a crates.io version to get
+//! real serialization back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Never implemented or required by
+/// workspace code; present so `use serde::Serialize` resolves.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace parity with the real crate (`serde::de`, `serde::ser`).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with the real crate.
+pub mod ser {
+    pub use crate::Serialize;
+}
