@@ -61,7 +61,11 @@ fn sync_head_gap(with_head: bool) -> u64 {
     m.flush(layout.sync);
     let r = m.run(&prog);
     let issue = |addr: u64| {
-        r.loads.iter().find(|l| l.addr == addr).map(|l| l.issue_cycle).unwrap_or(0)
+        r.loads
+            .iter()
+            .find(|l| l.addr == addr)
+            .map(|l| l.issue_cycle)
+            .unwrap_or(0)
     };
     issue(0x0700_0000).abs_diff(issue(0x0700_2000))
 }
@@ -82,7 +86,10 @@ fn ablation_sync_head(c: &mut Criterion) {
 
 fn plru_margin(kind: ReplacementKind) -> u64 {
     let mut hier = HierarchyConfig::small_plru();
-    hier.l1d = CacheConfig { replacement: kind, ..hier.l1d };
+    hier.l1d = CacheConfig {
+        replacement: kind,
+        ..hier.l1d
+    };
     let mut m = Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier);
     let mag = PlruMagnifier::with(m.layout(), 5, 300);
     mag.prepare(&mut m);
@@ -102,13 +109,19 @@ fn ablation_plru_vs_lru(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation_plru_policy");
     group.sample_size(10);
-    for (name, kind) in
-        [("tree_plru", ReplacementKind::TreePlru), ("true_lru", ReplacementKind::Lru)]
-    {
+    for (name, kind) in [
+        ("tree_plru", ReplacementKind::TreePlru),
+        ("true_lru", ReplacementKind::Lru),
+    ] {
         group.bench_function(name, |b| b.iter(|| black_box(plru_margin(kind))));
     }
     group.finish();
 }
 
-criterion_group!(ablations, ablation_prefetching, ablation_sync_head, ablation_plru_vs_lru);
+criterion_group!(
+    ablations,
+    ablation_prefetching,
+    ablation_sync_head,
+    ablation_plru_vs_lru
+);
 criterion_main!(ablations);

@@ -64,7 +64,11 @@ fn bench_hierarchy(c: &mut Criterion) {
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("replacement");
     group.throughput(Throughput::Elements(10_000));
-    for kind in [ReplacementKind::TreePlru, ReplacementKind::Lru, ReplacementKind::Random] {
+    for kind in [
+        ReplacementKind::TreePlru,
+        ReplacementKind::Lru,
+        ReplacementKind::Random,
+    ] {
         group.bench_function(format!("{kind}_10k_fills"), |b| {
             let mut cache = Cache::new(CacheConfig {
                 sets: 64,
@@ -83,5 +87,11 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(substrates, bench_cpu_loop, bench_cpu_memory_traffic, bench_hierarchy, bench_policies);
+criterion_group!(
+    substrates,
+    bench_cpu_loop,
+    bench_cpu_memory_traffic,
+    bench_hierarchy,
+    bench_policies
+);
 criterion_main!(substrates);

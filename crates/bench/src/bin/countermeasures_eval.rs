@@ -1,11 +1,6 @@
-//! §8 evaluation: which racing gadgets survive which hardware defences.
-
-use hacky_racers::experiments::countermeasures::{countermeasure_matrix, render};
-use racer_bench::header;
+//! Legacy shim: the `countermeasures_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run countermeasures_eval [--quick]`.
 
 fn main() {
-    header("§8", "countermeasure matrix: gadget vs defence");
-    println!("{}", render(&countermeasure_matrix()));
-    println!("# paper: Spectre-class defences stop transient P/A races only;");
-    println!("# the branch-free reorder race requires actual in-order execution.");
+    racer_lab::shim("countermeasures_eval");
 }

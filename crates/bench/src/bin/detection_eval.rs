@@ -1,13 +1,6 @@
-//! Extension: the §8 run-time detection study — performance-counter
-//! profiles of gadget vs benign workloads, with two candidate detectors.
-
-use hacky_racers::experiments::detection::{profile_suite, render};
-use racer_bench::header;
+//! Legacy shim: the `detection_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run detection_eval [--quick]`.
 
 fn main() {
-    header("§8 detection", "hardware-counter profiles: gadgets vs benign workloads");
-    println!("{}", render(&profile_suite()));
-    println!("# paper: the L1-miss counter sees the PLRU magnifier but is a weak");
-    println!("# classifier (benign pointer chasing trips it too); the arithmetic");
-    println!("# gadget has no cache signature and needs a backend-bound detector.");
+    racer_lab::shim("detection_eval");
 }

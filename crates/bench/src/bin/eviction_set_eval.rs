@@ -1,14 +1,6 @@
-//! §7.4 evaluation: eviction-set profiling success rate with the
-//! Hacky-Racers timer.
-
-use hacky_racers::experiments::ev_eval::{evaluate, render};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `eviction_set_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run eviction_set_eval [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let trials = scale.pick(3, 12);
-    header("§7.4", "LLC eviction-set generation success rate");
-    let eval = evaluate(trials, 48);
-    println!("{}", render(&eval));
-    println!("# paper: 100% success after replacing the SharedArrayBuffer timer.");
+    racer_lab::shim("eviction_set_eval");
 }

@@ -1,95 +1,6 @@
-//! Figures 3 & 4: the tree-PLRU magnifier's cache-state walk, printed
-//! step by step — eviction candidate, hit/miss and set contents per access.
-
-use racer_bench::header;
-use racer_mem::{CacheSet, LineAddr, ReplacementKind};
-
-/// Labelled 4-way set mirroring the figures' presentation.
-struct Walk {
-    set: CacheSet,
-    names: Vec<(LineAddr, char)>,
-    ways: [char; 4],
-}
-
-impl Walk {
-    fn new() -> Self {
-        Walk {
-            set: CacheSet::new(ReplacementKind::TreePlru.build(4, 0)),
-            names: Vec::new(),
-            ways: ['-'; 4],
-        }
-    }
-
-    fn line(&mut self, c: char) -> LineAddr {
-        if let Some((l, _)) = self.names.iter().find(|(_, n)| *n == c) {
-            return *l;
-        }
-        let l = LineAddr(100 + self.names.len() as u64);
-        self.names.push((l, c));
-        l
-    }
-
-    fn name(&self, l: LineAddr) -> char {
-        self.names.iter().find(|(x, _)| *x == l).map(|(_, n)| *n).unwrap_or('?')
-    }
-
-    fn access(&mut self, c: char) {
-        let l = self.line(c);
-        if self.set.touch(l) {
-            println!(
-                "access {c}: hit             set=[{}]  EVC={}",
-                self.ways.iter().collect::<String>(),
-                self.evc()
-            );
-        } else {
-            let out = self.set.fill(l);
-            let evicted = out.evicted.map(|e| self.name(e));
-            self.ways[out.way] = c;
-            println!(
-                "access {c}: MISS -> way {}{}  set=[{}]  EVC={}",
-                out.way,
-                evicted.map_or("           ".to_string(), |e| format!(" (evicts {e})")),
-                self.ways.iter().collect::<String>(),
-                self.evc()
-            );
-        }
-    }
-
-    fn evc(&self) -> char {
-        self.set.eviction_candidate().map(|l| self.name(l)).unwrap_or('-')
-    }
-}
+//! Legacy shim: the `fig03_plru_walk` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig03_plru_walk [--quick]`.
 
 fn main() {
-    header("Figures 3 & 4", "tree-PLRU magnifier state walks (4-way set)");
-
-    println!("\n-- Figure 3: A present (inserted first); pattern B,C,E,C,D,C --");
-    let mut w = Walk::new();
-    for c in ['B', 'C', 'E', 'D'] {
-        w.access(c); // initial fill: the Figure 3.1 state
-    }
-    println!("(initial state prepared; EVC = {})", w.evc());
-    w.access('A');
-    for round in 0..3 {
-        println!("-- round {} --", round + 1);
-        for c in ['B', 'C', 'E', 'C', 'D', 'C'] {
-            w.access(c);
-        }
-    }
-    println!("(A survives forever; 3 misses per round — the transmit-1 state)");
-
-    println!("\n-- Figure 4: B touched before A; pattern C,E,C,D,C,B --");
-    let mut w = Walk::new();
-    for c in ['B', 'C', 'E', 'D'] {
-        w.access(c);
-    }
-    w.access('B');
-    w.access('A');
-    for round in 0..3 {
-        println!("-- round {} --", round + 1);
-        for c in ['C', 'E', 'C', 'D', 'C', 'B'] {
-            w.access(c);
-        }
-    }
-    println!("(A is evicted early and the misses stop — the transmit-0 state)");
+    racer_lab::shim("fig03_plru_walk");
 }

@@ -1,16 +1,6 @@
-//! Figure 7: repetition-gadget stage-time stacks, bare (7a) and with a
-//! racing gadget making the load stage constant-time (7b).
-
-use hacky_racers::experiments::repetition_figure::figure7;
-use racer_bench::{header, Scale};
+//! Legacy shim: the `fig07_repetition` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig07_repetition [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let iterations = scale.pick(30, 200);
-    header("Figure 7", "repetition gadgets need racing gadgets to show a difference");
-
-    for racing in [false, true] {
-        let fig = figure7(racing, iterations);
-        println!("\n{}", fig.render());
-    }
+    racer_lab::shim("fig07_repetition");
 }

@@ -1,13 +1,6 @@
-//! Figure 8: target operations measured by a reference path of ADDs.
-
-use hacky_racers::experiments::granularity::figure8;
-use racer_bench::{header, Scale};
+//! Legacy shim: the `fig08_granularity_add` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig08_granularity_add [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let (max_target, step) = scale.pick((16, 4), (35, 1));
-    header("Figure 8", "targets (add, mul, leal) vs ADD reference path");
-    for series in figure8(max_target, step, 80) {
-        println!("{}", series.render());
-    }
+    racer_lab::shim("fig08_granularity_add");
 }

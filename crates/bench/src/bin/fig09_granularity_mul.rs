@@ -1,13 +1,6 @@
-//! Figure 9: target operations measured by a reference path of MULs.
-
-use hacky_racers::experiments::granularity::figure9;
-use racer_bench::{header, Scale};
+//! Legacy shim: the `fig09_granularity_mul` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig09_granularity_mul [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let (max_target, step) = scale.pick((40, 8), (145, 4));
-    header("Figure 9", "targets (add, div) vs MUL reference path");
-    for series in figure9(max_target, step, 60) {
-        println!("{}", series.render());
-    }
+    racer_lab::shim("fig09_granularity_mul");
 }

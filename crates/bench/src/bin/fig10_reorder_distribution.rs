@@ -1,23 +1,6 @@
-//! Figure 10: execution-time distribution of the reorder magnifier after
-//! 4000 pattern repetitions, for transmit-0 vs transmit-1.
-
-use hacky_racers::experiments::distribution::figure10;
-use racer_bench::{header, Scale};
-use racer_time::Histogram;
+//! Legacy shim: the `fig10_reorder_distribution` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig10_reorder_distribution [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let (trials, rounds) = scale.pick((10, 800), (60, 4000));
-    header("Figure 10", "reorder-magnifier distributions (transmit 0 vs 1)");
-    let r = figure10(trials, rounds);
-    println!("{}", r.render());
-
-    // ASCII histograms like the figure.
-    let lo = r.transmit0_ms.iter().chain(&r.transmit1_ms).fold(f64::INFINITY, |a, &b| a.min(b));
-    let hi = r.transmit0_ms.iter().chain(&r.transmit1_ms).fold(0.0f64, |a, &b| a.max(b));
-    let width = ((hi - lo) / 20.0).max(1e-6);
-    println!("\n# transmit 0 histogram (ms):");
-    println!("{}", Histogram::from_samples(&r.transmit0_ms, lo, width, 20).render(40));
-    println!("# transmit 1 histogram (ms):");
-    println!("{}", Histogram::from_samples(&r.transmit1_ms, lo, width, 20).render(40));
+    racer_lab::shim("fig10_reorder_distribution");
 }

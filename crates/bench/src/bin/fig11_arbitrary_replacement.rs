@@ -1,17 +1,6 @@
-//! Figure 11: timing difference magnified by the arbitrary-replacement
-//! gadget with cache-set reuse via prefetching, vs repeat count.
-
-use hacky_racers::experiments::magnifier_sweeps::figure11;
-use racer_bench::{header, Scale};
+//! Legacy shim: the `fig11_arbitrary_replacement` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig11_arbitrary_replacement [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let points: Vec<usize> = scale.pick(
-        vec![2, 4, 8, 12, 16],
-        vec![25, 50, 100, 200, 300, 400, 500, 600, 700, 800],
-    );
-    header("Figure 11", "arbitrary-replacement magnifier sweep (random L1)");
-    for series in figure11(&points, 30) {
-        println!("{}", series.render());
-    }
+    racer_lab::shim("fig11_arbitrary_replacement");
 }

@@ -1,21 +1,6 @@
-//! Figure 12: timing difference magnified by arithmetic operations alone,
-//! saturating when the run spans the timer-interrupt interval.
-
-use hacky_racers::experiments::magnifier_sweeps::figure12;
-use racer_bench::{header, Scale};
+//! Legacy shim: the `fig12_arithmetic` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run fig12_arithmetic [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let points: Vec<usize> = scale.pick(
-        vec![25, 50, 100, 200],
-        vec![100, 250, 500, 1000, 2500, 5000, 7500, 10000, 15000, 20000],
-    );
-    // Interrupt interval scaled so saturation lands inside the sweep, as
-    // the paper's 4 ms tick does for its 15000-repeat knee.
-    let interrupt = scale.pick(Some(20_000), Some(2_000_000));
-    header("Figure 12", "arithmetic-only magnifier sweep (with interrupt bound)");
-    println!("{}", figure12(&points, 20, interrupt).render());
-    println!("# unbounded reference:");
-    let small: Vec<usize> = points.iter().copied().take(4).collect();
-    println!("{}", figure12(&small, 20, None).render());
+    racer_lab::shim("fig12_arithmetic");
 }

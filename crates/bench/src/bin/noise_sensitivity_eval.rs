@@ -1,14 +1,6 @@
-//! Extension: SpectreBack accuracy vs DRAM-jitter magnitude.
-
-use hacky_racers::experiments::noise_sensitivity::{render, sweep};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `noise_sensitivity_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run noise_sensitivity_eval [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let secret: &[u8] = scale.pick(b"OK".as_slice(), b"NOISE".as_slice());
-    let levels: Vec<u64> = scale.pick(vec![0, 60], vec![0, 15, 30, 60, 120, 240, 400]);
-    header("noise sensitivity", "SpectreBack bit accuracy vs DRAM jitter");
-    println!("{}", render(&sweep(secret, &levels)));
-    println!("# paper: >88% accuracy on live hardware; the margin above that bar");
-    println!("# is visible here as jitter grows past realistic levels.");
+    racer_lab::shim("noise_sensitivity_eval");
 }

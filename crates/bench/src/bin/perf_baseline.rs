@@ -1,232 +1,14 @@
-//! Simulator-throughput baseline: committed instructions per host second
-//! for the event-driven scheduler vs. the retained scan-based reference
-//! scheduler, across representative workload shapes.
-//!
-//! Writes `BENCH_pipeline.json` (repo root when run from the workspace) so
-//! every future PR can compare against recorded numbers, and prints a
-//! human-readable table. Pass `--quick` for a CI-sized run.
-//!
-//! Run with: `cargo run --release -p racer-bench --bin perf_baseline`
-
-use racer_bench::Scale;
-use racer_cpu::{Cpu, CpuConfig, RunResult};
-use racer_isa::{Asm, Cond, MemOperand, Program};
-use racer_mem::HierarchyConfig;
-use std::time::Instant;
-
-/// A named program plus the iteration count used when timing it.
-struct Workload {
-    name: &'static str,
-    description: &'static str,
-    prog: Program,
-    reps: usize,
-}
-
-/// Dependent ALU chains inside a counter loop — the paper's reference-path
-/// shape and the purest scheduler stress (every instruction wakes one
-/// dependent).
-fn alu_chain(iters: i64) -> Program {
-    let mut asm = Asm::new();
-    let (i, acc) = (asm.reg(), asm.reg());
-    asm.mov_imm(i, iters);
-    asm.mov_imm(acc, 1);
-    let top = asm.here();
-    for _ in 0..16 {
-        asm.addi(acc, acc, 1);
-    }
-    asm.subi(i, i, 1);
-    asm.br(Cond::Ne, i, 0, top);
-    asm.halt();
-    asm.assemble().expect("valid program")
-}
-
-/// Data-dependent branches: a pseudo-random bit field steers control flow,
-/// giving the ~25% mispredict rate of genuinely branchy integer code
-/// (`mask = 3`), or an adversarial ~70% squash storm (`mask = 1`, the
-/// alternating pattern a 2-bit counter can never learn).
-fn branchy(iters: i64, mask: i64) -> Program {
-    let mut asm = Asm::new();
-    let (i, v, acc) = (asm.reg(), asm.reg(), asm.reg());
-    asm.mov_imm(i, iters);
-    let top = asm.here();
-    asm.mul(v, i, 0x9E37i64);
-    asm.emit(racer_isa::Instr::Alu {
-        op: racer_isa::AluOp::Shr,
-        dst: v,
-        a: racer_isa::Operand::Reg(v),
-        b: racer_isa::Operand::Imm(7),
-    });
-    asm.emit(racer_isa::Instr::Alu {
-        op: racer_isa::AluOp::And,
-        dst: v,
-        a: racer_isa::Operand::Reg(v),
-        b: racer_isa::Operand::Imm(mask),
-    });
-    let skip = asm.fwd_label();
-    asm.br(Cond::Ne, v, 0i64, skip);
-    asm.addi(acc, acc, 3);
-    asm.addi(acc, acc, 5);
-    asm.bind(skip);
-    asm.addi(acc, acc, 1);
-    asm.subi(i, i, 1);
-    asm.br(Cond::Ne, i, 0, top);
-    asm.halt();
-    asm.assemble().expect("valid program")
-}
-
-/// Streaming loads over many lines: MSHR pressure, store ordering and the
-/// cache hierarchy on every issue.
-fn memory_stream(iters: i64) -> Program {
-    let mut asm = Asm::new();
-    let (i, d, addr) = (asm.reg(), asm.reg(), asm.reg());
-    asm.mov_imm(i, iters);
-    let top = asm.here();
-    asm.mul(addr, i, 64);
-    for k in 0..8u64 {
-        asm.load(d, MemOperand::base_disp(addr, 0x10000 + (k * 64) as i64));
-    }
-    asm.store(d, MemOperand::abs(0x9000));
-    asm.subi(i, i, 1);
-    asm.br(Cond::Ne, i, 0, top);
-    asm.halt();
-    asm.assemble().expect("valid program")
-}
-
-/// Racing-gadget shape: a divide chain contended against wide independent
-/// ALU work (the §6.4 arithmetic-magnifier mix).
-fn div_race(iters: i64) -> Program {
-    let mut asm = Asm::new();
-    let (i, x, y) = (asm.reg(), asm.reg(), asm.reg());
-    let pars = asm.regs(4);
-    asm.mov_imm(i, iters);
-    asm.mov_imm(x, 1 << 20);
-    let top = asm.here();
-    asm.div(x, x, 3i64);
-    asm.addi(x, x, 1 << 20);
-    for (k, &p) in pars.iter().enumerate() {
-        asm.mul(y, p, (k + 3) as i64);
-        asm.add(p, p, y);
-    }
-    asm.subi(i, i, 1);
-    asm.br(Cond::Ne, i, 0, top);
-    asm.halt();
-    asm.assemble().expect("valid program")
-}
-
-/// Time `reps` fresh-machine executions; returns (instrs/sec, cycles, IPC).
-fn measure(prog: &Program, reps: usize, reference: bool) -> (f64, RunResult) {
-    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-    // Warm caches/predictor once so both schedulers see identical state.
-    let _ = if reference { cpu.execute_reference(prog) } else { cpu.execute(prog) };
-    let start = Instant::now();
-    let mut committed = 0u64;
-    let mut last = None;
-    for _ in 0..reps {
-        let r = if reference { cpu.execute_reference(prog) } else { cpu.execute(prog) };
-        assert!(r.halted && !r.limit_hit, "workload must run to completion");
-        committed += r.committed;
-        last = Some(r);
-    }
-    let secs = start.elapsed().as_secs_f64();
-    (committed as f64 / secs, last.expect("reps >= 1"))
-}
+//! Legacy shim: the `perf_baseline` scenario now lives in the racer-lab
+//! registry (equivalent to `racer-lab run perf_baseline [--quick]`), with
+//! one extra behavior kept from the original binary: the measured payload
+//! is also written to `BENCH_pipeline.json` (repo root when run from the
+//! workspace) so the committed baseline that `racer-lab perf-check` gates
+//! against can be refreshed with a paper-scale run.
 
 fn main() {
-    let scale = Scale::from_args();
-    let (iters, reps) = scale.pick((2_000i64, 2usize), (12_000i64, 4usize));
-    let workloads = [
-        Workload {
-            name: "alu-chain",
-            description: "dependent 16-add chains in a counter loop",
-            prog: alu_chain(iters),
-            reps,
-        },
-        Workload {
-            name: "branchy",
-            description: "data-dependent branches, ~12% mispredict rate",
-            prog: branchy(iters, 7),
-            reps,
-        },
-        Workload {
-            name: "squash-storm",
-            description: "adversarial alternating branches, ~70% mispredict rate",
-            prog: branchy(iters, 1),
-            reps,
-        },
-        Workload {
-            name: "memory-stream",
-            description: "8 streaming loads/iteration over 64-line footprint",
-            prog: memory_stream(iters),
-            reps,
-        },
-        Workload {
-            name: "div-race",
-            description: "non-pipelined divide chain racing wide mul/add ILP",
-            prog: div_race(iters / 4),
-            reps,
-        },
-    ];
-
-    println!("# pipeline scheduler throughput (committed Minstr/s, higher is better)");
-    println!("# workload            event-driven   reference   speedup   ipc   mispredicts");
-    let mut rows = String::new();
-    for w in &workloads {
-        let (fast_ips, fast_r) = measure(&w.prog, w.reps, false);
-        let (ref_ips, ref_r) = measure(&w.prog, w.reps, true);
-        assert_eq!(
-            (fast_r.cycles, fast_r.committed, &fast_r.regs),
-            (ref_r.cycles, ref_r.committed, &ref_r.regs),
-            "schedulers diverged on {}",
-            w.name
-        );
-        let speedup = fast_ips / ref_ips;
-        println!(
-            "{:<21} {:>10.2}M {:>10.2}M {:>8.1}x {:>6.2} {:>10}",
-            w.name,
-            fast_ips / 1e6,
-            ref_ips / 1e6,
-            speedup,
-            fast_r.ipc(),
-            fast_r.mispredicts,
-        );
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            concat!(
-                "    {{\"workload\": \"{}\", \"description\": \"{}\", ",
-                "\"dyn_instrs_per_run\": {}, \"cycles_per_run\": {}, ",
-                "\"mispredicts_per_run\": {}, \"squashed_per_run\": {}, \"ipc\": {:.3}, ",
-                "\"event_driven_instrs_per_sec\": {:.0}, ",
-                "\"reference_instrs_per_sec\": {:.0}, \"speedup\": {:.2}}}"
-            ),
-            w.name,
-            w.description,
-            fast_r.committed,
-            fast_r.cycles,
-            fast_r.mispredicts,
-            fast_r.squashed_instrs,
-            fast_r.ipc(),
-            fast_ips,
-            ref_ips,
-            speedup,
-        ));
-    }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"pipeline-scheduler-throughput\",\n",
-            "  \"unit\": \"committed instructions per host second\",\n",
-            "  \"scale\": \"{}\",\n",
-            "  \"config\": \"coffee_lake (224-entry ROB, 6-wide issue)\",\n",
-            "  \"reference\": \"racer_cpu::reference (scan-based seed scheduler)\",\n",
-            "  \"workloads\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        if scale == Scale::Quick { "quick" } else { "paper" },
-        rows,
-    );
+    let report = racer_lab::shim("perf_baseline");
+    let payload = report.json.get("results").expect("report has results");
     let path = "BENCH_pipeline.json";
-    std::fs::write(path, &json).expect("write benchmark json");
+    std::fs::write(path, payload.to_pretty()).expect("write benchmark json");
     println!("# wrote {path}");
 }

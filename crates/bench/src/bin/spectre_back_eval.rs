@@ -1,16 +1,6 @@
-//! §7.3 evaluation: SpectreBack leak rate and accuracy through a 5 µs
-//! browser timer on a jittery machine.
-
-use hacky_racers::experiments::spectre_eval::{evaluate, render};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `spectre_back_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run spectre_back_eval [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let secret: &[u8] = scale.pick(b"ASPLOS".as_slice(), b"Hacky Racers leak secrets backwards in time!".as_slice());
-    header("§7.3", "SpectreBack leak rate and accuracy (5 µs timer, DRAM jitter)");
-    let eval = evaluate(secret, 5_000.0, 0xD00D);
-    println!("{}", render(&eval));
-    println!("# paper: 4.3 kbit/s at >88% accuracy in Chrome 88.");
-    println!("# (simulation has no JS/browser overhead, so the rate runs higher;");
-    println!("#  the shape — kbit/s-scale with high accuracy — is what reproduces.)");
+    racer_lab::shim("spectre_back_eval");
 }

@@ -1,17 +1,6 @@
-//! §7.2 summary table: slope, granularity and reach per (reference, target)
-//! operation pair.
-
-use hacky_racers::experiments::granularity::{figure8, figure9, granularity_table};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `table_granularity` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run table_granularity [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let (t8, s8) = scale.pick((16, 4), (35, 1));
-    let (t9, s9) = scale.pick((40, 8), (145, 4));
-    header("§7.2 table", "racing-gadget granularity summary");
-    let mut series = figure8(t8, s8, 80);
-    series.extend(figure9(t9, s9, 60));
-    println!("{}", granularity_table(&series).render());
-    println!("# paper: granularity 1-3 ops (ADD ref), 2-4 ops (MUL ref);");
-    println!("# reach limited by the instruction window (~54 ADD-cycles / ~140 via MUL).");
+    racer_lab::shim("table_granularity");
 }

@@ -1,13 +1,6 @@
-//! §6.3.3: probability that filling PAR_i evicts at least one SEQ_i member,
-//! over the (SEQ, PAR) size grid, under random replacement.
-
-use hacky_racers::experiments::par_seq::{par_seq_table, render};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `table_par_seq` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run table_par_seq [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let trials = scale.pick(2_000, 50_000);
-    header("§6.3.3 table", "SEQ/PAR eviction probability (8-way random set)");
-    println!("{}", render(&par_seq_table(8, trials)));
-    println!("# paper: SEQ=6, PAR=5 gives ≥1 miss with ~96% probability.");
+    racer_lab::shim("table_par_seq");
 }

@@ -1,17 +1,6 @@
-//! Extension: classification accuracy of the PLRU reorder channel across
-//! historical browser timer mitigations × magnification levels (§2.2/§8).
-
-use hacky_racers::experiments::timer_mitigations::{render, sweep};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `timer_mitigations_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run timer_mitigations_eval [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let timers = ["5us", "5us+jitter", "fuzzy-5us", "100us", "1ms"];
-    let rounds: Vec<usize> = scale.pick(vec![1_000, 8_000], vec![500, 2_000, 8_000, 40_000, 200_000]);
-    let trials = scale.pick(3, 8);
-    header("timer mitigations", "channel accuracy per timer model × magnifier rounds");
-    let pts = sweep(&timers, &rounds, trials);
-    println!("{}", render(&pts, &rounds));
-    println!("# paper §8: some magnifiers can be out-coarsened, the PLRU gadgets cannot —");
-    println!("# for every finite resolution there is a round count that restores accuracy.");
+    racer_lab::shim("timer_mitigations_eval");
 }

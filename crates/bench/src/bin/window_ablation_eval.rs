@@ -1,14 +1,6 @@
-//! Extension: measurement-window ablation — the §7.2 window-limit claim
-//! tied to the scheduler capacity.
-
-use hacky_racers::experiments::window_ablation::{render, window_sweep};
-use racer_bench::{header, Scale};
+//! Legacy shim: the `window_ablation_eval` scenario now lives in the racer-lab registry.
+//! Equivalent to `racer-lab run window_ablation_eval [--quick]`.
 
 fn main() {
-    let scale = Scale::from_args();
-    let sizes: Vec<usize> = scale.pick(vec![32, 60], vec![24, 32, 48, 60, 97, 128, 160]);
-    header("§7.2 ablation", "racing-gadget reach vs scheduler window size");
-    println!("{}", render(&window_sweep(&sizes, 160)));
-    println!("# paper: \"the ROB capacity limits the length of the ref path to 54,");
-    println!("# which in turn limits the largest execution time that we can time\".");
+    racer_lab::shim("window_ablation_eval");
 }

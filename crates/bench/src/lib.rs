@@ -1,40 +1,17 @@
-//! Shared plumbing for the figure-regeneration binaries.
+//! Legacy entry points for the figure-regeneration binaries.
 //!
-//! Every binary regenerates one table or figure from the paper's evaluation
-//! and prints plot-ready text. Pass `--quick` to run a shrunken sweep
-//! (useful in CI); the default scale mirrors the paper's.
+//! Since the `racer-lab` experiment runner landed, every binary in
+//! `src/bin/` is a one-line shim over the scenario registry
+//! ([`racer_lab::registry`]): same names, same `--quick` flag, same
+//! plot-ready text on stdout, plus a structured `results/<name>.json`
+//! report. Prefer the CLI for anything new:
+//!
+//! ```text
+//! racer-lab list
+//! racer-lab run fig08_granularity_add --quick
+//! racer-lab run --all --quick
+//! ```
+//!
+//! The substrate benchmarks under `benches/` (criterion) are unaffected.
 
-/// Run scale selected on the command line.
-#[derive(Copy, Clone, Debug, Eq, PartialEq)]
-pub enum Scale {
-    /// Shrunken parameters for smoke runs.
-    Quick,
-    /// Paper-scale parameters.
-    Paper,
-}
-
-impl Scale {
-    /// Parse from `std::env::args`: `--quick` selects [`Scale::Quick`].
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
-    /// Choose between the quick and paper-scale value.
-    pub fn pick<T>(self, quick: T, paper: T) -> T {
-        match self {
-            Scale::Quick => quick,
-            Scale::Paper => paper,
-        }
-    }
-}
-
-/// Print the standard figure header.
-pub fn header(figure: &str, description: &str) {
-    println!("# ============================================================");
-    println!("# {figure}: {description}");
-    println!("# ============================================================");
-}
+pub use racer_lab::{shim, Scale};

@@ -52,7 +52,10 @@ impl AesAttack {
     /// `Machine::with(CpuConfig::coffee_lake().with_load_recording(),
     /// HierarchyConfig::coffee_lake())`).
     pub fn new(layout: Layout) -> Self {
-        AesAttack { layout, ref_adds: 11 }
+        AesAttack {
+            layout,
+            ref_adds: 11,
+        }
     }
 
     /// Base address of the victim's 16-line lookup table (its lines occupy
@@ -97,7 +100,9 @@ impl AesAttack {
         let l1 = m.cpu().hierarchy().l1d();
         let set = (16 + j as usize) % l1.num_sets();
         let ways = l1.config().ways;
-        (8..8 + ways).map(|i| self.layout.plru_line(l1, set, i)).collect()
+        (8..8 + ways)
+            .map(|i| self.layout.plru_line(l1, set, i))
+            .collect()
     }
 
     /// Probe one line with the racing-gadget timer: was it evicted from the
@@ -112,7 +117,9 @@ impl AesAttack {
     /// touch for plaintext `p_high << 4`?
     pub fn observe_victim_line(&self, m: &mut Machine, p_high: u8) -> Option<u8> {
         let victim = self.victim_program(m);
-        m.cpu_mut().mem_mut().write(self.p_addr().0, (p_high as u64) << 4);
+        m.cpu_mut()
+            .mem_mut()
+            .write(self.p_addr().0, (p_high as u64) << 4);
         m.warm(self.p_addr());
         m.warm(self.k_addr());
 
@@ -157,12 +164,18 @@ impl AesAttack {
             .max_by_key(|(_, &v)| v)
             .filter(|(_, &v)| v > 0)
             .map(|(i, _)| i as u8);
-        AesRecovery { plaintexts: plaintexts.to_vec(), observed_lines: observed, key_nibble }
+        AesRecovery {
+            plaintexts: plaintexts.to_vec(),
+            observed_lines: observed,
+            key_nibble,
+        }
     }
 
     /// Plant the victim's key byte.
     pub fn plant_key(&self, m: &mut Machine, key_byte: u8) {
-        m.cpu_mut().mem_mut().write(self.k_addr().0, key_byte as u64);
+        m.cpu_mut()
+            .mem_mut()
+            .write(self.k_addr().0, key_byte as u64);
     }
 }
 
@@ -201,9 +214,15 @@ mod tests {
         let atk = AesAttack::new(m.layout());
         let subject = atk.prime_lines(&m, 3)[0];
         m.warm(subject);
-        assert!(!atk.line_was_evicted(&mut m, subject), "resident line misread as evicted");
+        assert!(
+            !atk.line_was_evicted(&mut m, subject),
+            "resident line misread as evicted"
+        );
         m.evict_from_l1(subject);
-        assert!(atk.line_was_evicted(&mut m, subject), "evicted line misread as resident");
+        assert!(
+            atk.line_was_evicted(&mut m, subject),
+            "evicted line misread as resident"
+        );
     }
 
     #[test]

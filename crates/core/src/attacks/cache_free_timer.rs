@@ -35,7 +35,11 @@ impl CacheFreeTimer {
     pub fn new(layout: Layout) -> Self {
         let mut magnifier = ArithmeticMagnifier::new(layout);
         magnifier.stages = 60;
-        CacheFreeTimer { layout, ref_op: AluOp::Add, magnifier }
+        CacheFreeTimer {
+            layout,
+            ref_op: AluOp::Add,
+            magnifier,
+        }
     }
 
     /// Build the composed program: sync head, then the reference path seeds
@@ -83,12 +87,7 @@ impl CacheFreeTimer {
 
     /// Calibrate the decision threshold from two known targets (well under
     /// and well over the reference).
-    pub fn calibrate(
-        &self,
-        m: &mut Machine,
-        ref_ops: usize,
-        timer: &mut dyn Timer,
-    ) -> f64 {
+    pub fn calibrate(&self, m: &mut Machine, ref_ops: usize, timer: &mut dyn Timer) -> f64 {
         let fast = PathSpec::op_chain(self.ref_op, 1);
         let slow = PathSpec::op_chain(self.ref_op, ref_ops * 2 + 40);
         let lo = self.observe(m, &fast, ref_ops, timer);
@@ -134,11 +133,7 @@ mod tests {
         m.flush(m.layout().sync);
         let prog = timer.program(&PathSpec::op_chain(AluOp::Mul, 20), 40);
         // Static check: the only memory instruction is the sync head.
-        let memory_instrs = prog
-            .instrs()
-            .iter()
-            .filter(|i| i.is_memory())
-            .count();
+        let memory_instrs = prog.instrs().iter().filter(|i| i.is_memory()).count();
         assert_eq!(memory_instrs, 1, "only the §4.1 sync head may touch memory");
         // Dynamic check: one L1 access in the whole run.
         let r = m.run(&prog);
@@ -157,6 +152,9 @@ mod tests {
         timer.observe(&mut warm, &slow, 40, &mut PerfectTimer);
         let warm_obs = timer.observe(&mut warm, &slow, 40, &mut PerfectTimer);
         let rel = (cold_obs - warm_obs).abs() / cold_obs.max(warm_obs);
-        assert!(rel < 0.05, "cache temperature must not affect the verdict: {cold_obs} vs {warm_obs}");
+        assert!(
+            rel < 0.05,
+            "cache temperature must not affect the verdict: {cold_obs} vs {warm_obs}"
+        );
     }
 }

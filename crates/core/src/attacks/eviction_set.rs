@@ -32,7 +32,11 @@ pub struct EvictionSetAttack {
 impl EvictionSetAttack {
     /// A driver with the default MUL reference.
     pub fn new(layout: Layout) -> Self {
-        EvictionSetAttack { layout, ref_muls: 30, magnifier_rounds: 2400 }
+        EvictionSetAttack {
+            layout,
+            ref_muls: 30,
+            magnifier_rounds: 2400,
+        }
     }
 
     fn race_for(&self, target: Addr) -> (TransientPaRace, PathSpec, PathSpec) {
@@ -199,8 +203,11 @@ mod tests {
         let atk = EvictionSetAttack::new(m.layout());
         let l3 = m.cpu().hierarchy().l3();
         let tset = l3.set_index(target.line());
-        let non_congruent: Vec<Addr> =
-            pool.iter().copied().filter(|a| l3.set_index(a.line()) != tset).collect();
+        let non_congruent: Vec<Addr> = pool
+            .iter()
+            .copied()
+            .filter(|a| l3.set_index(a.line()) != tset)
+            .collect();
         assert!(non_congruent.len() >= 16);
         assert!(!atk.evicts(&mut m, target, &non_congruent));
     }
@@ -268,6 +275,9 @@ mod tests {
                 }
             }
         }
-        assert_eq!(successes, trials, "profiling must succeed every time (paper: 100%)");
+        assert_eq!(
+            successes, trials,
+            "profiling must succeed every time (paper: 100%)"
+        );
     }
 }

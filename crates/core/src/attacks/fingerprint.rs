@@ -35,7 +35,9 @@ impl Website {
         let mut state = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         (0..self.lines)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 // Spread over 64 L1 sets within a dedicated region.
                 let set = (state >> 33) % 64;
                 let way_salt = (state >> 40) % 4;
@@ -70,12 +72,18 @@ pub struct FingerprintAttack {
 impl FingerprintAttack {
     /// A 16-set monitor (L1 sets 40..56).
     pub fn new(layout: Layout) -> Self {
-        FingerprintAttack { layout, prime_ways: 8, sets: (40..56).collect() }
+        FingerprintAttack {
+            layout,
+            prime_ways: 8,
+            sets: (40..56).collect(),
+        }
     }
 
     fn prime_lines(&self, m: &Machine, set: usize) -> Vec<Addr> {
         let l1 = m.cpu().hierarchy().l1d();
-        (16..16 + self.prime_ways).map(|i| self.layout.plru_line(l1, set, i)).collect()
+        (16..16 + self.prime_ways)
+            .map(|i| self.layout.plru_line(l1, set, i))
+            .collect()
     }
 
     /// One prime → visit → probe round: the occupancy vector (true = the
@@ -120,9 +128,7 @@ impl FingerprintAttack {
     pub fn classify(references: &[(String, Vec<bool>)], observed: &[bool]) -> String {
         references
             .iter()
-            .min_by_key(|(_, r)| {
-                r.iter().zip(observed).filter(|(a, b)| a != b).count()
-            })
+            .min_by_key(|(_, r)| r.iter().zip(observed).filter(|(a, b)| a != b).count())
             .map(|(name, _)| name.clone())
             .expect("at least one reference")
     }
@@ -143,9 +149,21 @@ mod tests {
 
     fn sites() -> Vec<Website> {
         vec![
-            Website { name: "news".into(), seed: 3, lines: 40 },
-            Website { name: "mail".into(), seed: 17, lines: 12 },
-            Website { name: "bank".into(), seed: 99, lines: 25 },
+            Website {
+                name: "news".into(),
+                seed: 3,
+                lines: 40,
+            },
+            Website {
+                name: "mail".into(),
+                seed: 17,
+                lines: 12,
+            },
+            Website {
+                name: "bank".into(),
+                seed: 99,
+                lines: 25,
+            },
         ]
     }
 
@@ -163,7 +181,10 @@ mod tests {
         let s = sites();
         let a = atk.observe(&mut m, &s[0]);
         let b = atk.observe(&mut m, &s[1]);
-        assert_ne!(a, b, "a 40-line site and a 12-line site must look different");
+        assert_ne!(
+            a, b,
+            "a 40-line site and a 12-line site must look different"
+        );
         assert!(a.iter().filter(|&&x| x).count() > b.iter().filter(|&&x| x).count());
     }
 

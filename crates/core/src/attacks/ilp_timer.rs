@@ -38,7 +38,12 @@ pub struct IlpTimer {
 impl IlpTimer {
     /// An ADD-referenced timer (finest granularity).
     pub fn new(layout: Layout) -> Self {
-        IlpTimer { layout, ref_op: AluOp::Add, max_ref_ops: 80, magnifier_rounds: 1500 }
+        IlpTimer {
+            layout,
+            ref_op: AluOp::Add,
+            max_ref_ops: 80,
+            magnifier_rounds: 1500,
+        }
     }
 
     /// Use `op` for the reference path (e.g. `Mul` for a longer reach).

@@ -94,9 +94,15 @@ mod tests {
         let subject = Addr(0x0A10_0000);
         for round in 0..6 {
             m.warm(subject);
-            assert!(!probe.was_evicted(&mut m, subject), "round {round}: false positive");
+            assert!(
+                !probe.was_evicted(&mut m, subject),
+                "round {round}: false positive"
+            );
             m.evict_from_l1(subject);
-            assert!(probe.was_evicted(&mut m, subject), "round {round}: false negative");
+            assert!(
+                probe.was_evicted(&mut m, subject),
+                "round {round}: false negative"
+            );
         }
     }
 
@@ -107,8 +113,14 @@ mod tests {
         let l2_subject = Addr(0x0A20_0000);
         m.warm(l2_subject);
         m.evict_from_l1(l2_subject);
-        assert!(probe.was_evicted(&mut m, l2_subject), "L2-resident = evicted from L1");
+        assert!(
+            probe.was_evicted(&mut m, l2_subject),
+            "L2-resident = evicted from L1"
+        );
         let cold = Addr(0x0A30_0000);
-        assert!(probe.was_evicted(&mut m, cold), "never-touched = not L1-resident");
+        assert!(
+            probe.was_evicted(&mut m, cold),
+            "never-touched = not L1-resident"
+        );
     }
 }

@@ -38,7 +38,12 @@ pub struct RepetitionConfig {
 
 impl Default for RepetitionConfig {
     fn default() -> Self {
-        RepetitionConfig { iterations: 40, same_addr: true, use_racing: false, baseline_ops: 95 }
+        RepetitionConfig {
+            iterations: 40,
+            same_addr: true,
+            use_racing: false,
+            baseline_ops: 95,
+        }
     }
 }
 
@@ -130,6 +135,17 @@ fn raced_load_program(layout: Layout, victim: Addr, baseline_ops: usize) -> Prog
     asm.add(join, rm, rb); // completion requires both paths
     asm.halt();
     asm.assemble().expect("raced load program assembles")
+}
+
+impl StageBreakdown {
+    /// JSON form: per-stage cycles plus the total.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("load", self.load)
+            .with("reload", self.reload)
+            .with("evict", self.evict)
+            .with("total", self.total())
+    }
 }
 
 #[cfg(test)]

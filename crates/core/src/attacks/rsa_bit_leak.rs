@@ -51,7 +51,12 @@ pub struct RsaBitLeak {
 impl RsaBitLeak {
     /// A leak driver over `layout`.
     pub fn new(layout: Layout) -> Self {
-        RsaBitLeak { layout, ref_adds: 5, magnifier_rounds: 1200, warmups: 2 }
+        RsaBitLeak {
+            layout,
+            ref_adds: 5,
+            magnifier_rounds: 1200,
+            warmups: 2,
+        }
     }
 
     /// Address of exponent bit `i` in victim memory (one word per bit).
@@ -62,7 +67,9 @@ impl RsaBitLeak {
     /// Plant the victim's exponent bits.
     pub fn plant_exponent(&self, m: &mut Machine, bits: &[bool]) {
         for (i, &b) in bits.iter().enumerate() {
-            m.cpu_mut().mem_mut().write(self.bit_addr(i).0, u64::from(b));
+            m.cpu_mut()
+                .mem_mut()
+                .write(self.bit_addr(i).0, u64::from(b));
         }
     }
 
@@ -143,7 +150,9 @@ impl RsaBitLeak {
         let scratch = 62; // bit index reserved for calibration
         let mut readings = [0.0f64; 2];
         for known in [false, true] {
-            m.cpu_mut().mem_mut().write(self.bit_addr(scratch).0, u64::from(known));
+            m.cpu_mut()
+                .mem_mut()
+                .write(self.bit_addr(scratch).0, u64::from(known));
             let prog = self.program(m, scratch);
             let mag = self.magnifier();
             m.warm(self.bit_addr(scratch));
@@ -154,8 +163,7 @@ impl RsaBitLeak {
             mag.prepare(m);
             m.flush(self.layout.sync);
             m.run(&prog);
-            readings[usize::from(known)] =
-                m.run_timed(&mag.program(m, PlruInput::Reorder), timer);
+            readings[usize::from(known)] = m.run_timed(&mag.program(m, PlruInput::Reorder), timer);
         }
         (readings[0] + readings[1]) / 2.0
     }
@@ -164,8 +172,13 @@ impl RsaBitLeak {
     pub fn leak_exponent(&self, m: &mut Machine, n: usize, timer: &mut dyn Timer) -> ExponentLeak {
         let start = m.elapsed_ns();
         let threshold = self.calibrate(m, timer);
-        let bits = (0..n).map(|i| self.leak_bit(m, i, timer, threshold)).collect();
-        ExponentLeak { bits, elapsed_ns: m.elapsed_ns() - start }
+        let bits = (0..n)
+            .map(|i| self.leak_bit(m, i, timer, threshold))
+            .collect();
+        ExponentLeak {
+            bits,
+            elapsed_ns: m.elapsed_ns() - start,
+        }
     }
 }
 
@@ -174,8 +187,9 @@ mod tests {
     use super::*;
     use racer_time::{CoarseTimer, PerfectTimer};
 
-    const EXPONENT: [bool; 12] =
-        [true, false, true, true, false, false, true, false, true, true, true, false];
+    const EXPONENT: [bool; 12] = [
+        true, false, true, true, false, false, true, false, true, true, true, false,
+    ];
 
     #[test]
     fn leaks_the_exponent_with_a_perfect_timer() {
@@ -193,8 +207,12 @@ mod tests {
         atk.plant_exponent(&mut m, &EXPONENT);
         let mut timer = CoarseTimer::browser_5us();
         let leak = atk.leak_exponent(&mut m, EXPONENT.len(), &mut timer);
-        let correct =
-            leak.bits.iter().zip(&EXPONENT).filter(|(a, b)| a == b).count();
+        let correct = leak
+            .bits
+            .iter()
+            .zip(&EXPONENT)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(
             correct as f64 / EXPONENT.len() as f64 > 0.9,
             "coarse-timer recovery must be >90% accurate: {correct}/{}",

@@ -51,7 +51,12 @@ impl SpectreBack {
     /// A driver with the default geometry (4 KiB in-bounds array, 1000
     /// magnifier rounds).
     pub fn new(layout: Layout) -> Self {
-        SpectreBack { layout, array_len: 4096, train_iters: 4, magnifier_rounds: 1000 }
+        SpectreBack {
+            layout,
+            array_len: 4096,
+            train_iters: 4,
+            magnifier_rounds: 1000,
+        }
     }
 
     // Gadget inputs, all in the x-flag region on distinct lines.
@@ -108,7 +113,10 @@ impl SpectreBack {
         let skip = asm.fwd_label();
         asm.br(Cond::Ge, rx, rsz, skip);
         let sv = asm.reg();
-        asm.load(sv, MemOperand::base_disp(rx, self.layout.array_base.0 as i64));
+        asm.load(
+            sv,
+            MemOperand::base_disp(rx, self.layout.array_base.0 as i64),
+        );
         let t1 = asm.reg();
         asm.shr(t1, sv, rk);
         let t2 = asm.reg();
@@ -116,7 +124,10 @@ impl SpectreBack {
         let t3 = asm.reg();
         asm.shl(t3, t2, 8i64);
         let tv = asm.reg();
-        asm.load(tv, MemOperand::base_disp(t3, self.layout.chase_base.0 as i64));
+        asm.load(
+            tv,
+            MemOperand::base_disp(t3, self.layout.chase_base.0 as i64),
+        );
         asm.bind(skip);
         asm.halt();
         asm.assemble().expect("SpectreBack gadget assembles")
@@ -125,7 +136,9 @@ impl SpectreBack {
     /// Write the victim's secret bytes (as one word per byte, the layout the
     /// out-of-bounds read sees) and the bounds value.
     pub fn plant_secret(&self, m: &mut Machine, secret: &[u8]) {
-        m.cpu_mut().mem_mut().write(self.size_addr().0, self.array_len);
+        m.cpu_mut()
+            .mem_mut()
+            .write(self.size_addr().0, self.array_len);
         for (i, &byte) in secret.iter().enumerate() {
             m.cpu_mut()
                 .mem_mut()
@@ -168,7 +181,12 @@ impl SpectreBack {
         m.warm(Addr(self.layout.array_base.0 + x));
 
         mag.prepare(m);
-        for addr in [self.layout.sync, self.off_addr(0), self.off_addr(1), self.size_addr()] {
+        for addr in [
+            self.layout.sync,
+            self.off_addr(0),
+            self.off_addr(1),
+            self.size_addr(),
+        ] {
             m.flush(addr);
         }
         m.run(prog);
@@ -190,8 +208,7 @@ impl SpectreBack {
                 m.flush(addr);
             }
             m.run(prog);
-            readings[known as usize] =
-                m.run_timed(&mag.program(m, PlruInput::Reorder), timer);
+            readings[known as usize] = m.run_timed(&mag.program(m, PlruInput::Reorder), timer);
         }
         (readings[0] + readings[1]) / 2.0
     }
@@ -242,7 +259,10 @@ mod tests {
         let atk = SpectreBack::new(m.layout());
         atk.plant_secret(&mut m, SECRET);
         let report = atk.leak_bytes(&mut m, SECRET.len(), &mut PerfectTimer);
-        assert_eq!(report.recovered, SECRET, "baseline machine must leak perfectly");
+        assert_eq!(
+            report.recovered, SECRET,
+            "baseline machine must leak perfectly"
+        );
         assert!(report.kbps > 0.1);
     }
 
@@ -285,14 +305,23 @@ mod tests {
         m.cpu_mut().mem_mut().write(atk.k_addr().0, 0);
         m.warm(Addr(atk.layout.array_base.0 + x));
         mag.prepare(&mut m);
-        for addr in [atk.layout.sync, atk.off_addr(0), atk.off_addr(1), atk.size_addr()] {
+        for addr in [
+            atk.layout.sync,
+            atk.off_addr(0),
+            atk.off_addr(1),
+            atk.size_addr(),
+        ] {
             m.flush(addr);
         }
         let r = m.run(&prog);
         assert!(r.mispredicts >= 1, "the bounds check must mispredict");
 
         let find = |addr: Addr| {
-            r.loads.iter().find(|l| l.addr == addr.0).map(|l| l.issue_cycle).unwrap()
+            r.loads
+                .iter()
+                .find(|l| l.addr == addr.0)
+                .map(|l| l.issue_cycle)
+                .unwrap()
         };
         // The secret-dependent access sits *after* the race in program
         // order, yet out-of-order execution runs it long before the racing
@@ -329,12 +358,21 @@ mod tests {
             m.cpu_mut().mem_mut().write(atk.k_addr().0, 0);
             m.warm(Addr(atk.layout.array_base.0 + x));
             mag.prepare(&mut m);
-            for addr in [atk.layout.sync, atk.off_addr(0), atk.off_addr(1), atk.size_addr()] {
+            for addr in [
+                atk.layout.sync,
+                atk.off_addr(0),
+                atk.off_addr(1),
+                atk.size_addr(),
+            ] {
                 m.flush(addr);
             }
             let r = m.run(&prog);
             let issue = |addr: Addr| {
-                r.loads.iter().find(|l| l.addr == addr.0).map(|l| l.issue_cycle).unwrap()
+                r.loads
+                    .iter()
+                    .find(|l| l.addr == addr.0)
+                    .map(|l| l.issue_cycle)
+                    .unwrap()
             };
             assert_eq!(
                 issue(a) < issue(b),

@@ -43,7 +43,12 @@ struct Cells {
 impl SpectreV1 {
     /// A driver with the default geometry.
     pub fn new(layout: Layout) -> Self {
-        SpectreV1 { layout, array_len: 4096, train_iters: 4, magnifier_rounds: 1000 }
+        SpectreV1 {
+            layout,
+            array_len: 4096,
+            train_iters: 4,
+            magnifier_rounds: 1000,
+        }
     }
 
     fn cells(&self) -> Cells {
@@ -83,7 +88,10 @@ impl SpectreV1 {
         let skip = asm.fwd_label();
         asm.br(Cond::Ge, rx, rsz, skip);
         let sv = asm.reg();
-        asm.load(sv, MemOperand::base_disp(rx, self.layout.array_base.0 as i64));
+        asm.load(
+            sv,
+            MemOperand::base_disp(rx, self.layout.array_base.0 as i64),
+        );
         let t1 = asm.reg();
         asm.shr(t1, sv, rk);
         let t2 = asm.reg();
@@ -141,8 +149,7 @@ impl SpectreV1 {
             let mut byte = 0u8;
             for bit in 0..8u32 {
                 self.train(m, &prog);
-                let x = self.layout.secret_base.0 - self.layout.array_base.0
-                    + byte_idx as u64 * 8;
+                let x = self.layout.secret_base.0 - self.layout.array_base.0 + byte_idx as u64 * 8;
                 m.cpu_mut().mem_mut().write(cells.x, x);
                 m.cpu_mut().mem_mut().write(cells.k, bit as u64);
                 m.warm(Addr(cells.x));
@@ -152,8 +159,7 @@ impl SpectreV1 {
                 m.flush(Addr(cells.size));
                 m.flush(self.layout.sync);
                 m.run(&prog);
-                let observed =
-                    m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
+                let observed = m.run_timed(&mag.program(m, PlruInput::PresenceAbsence), timer);
                 if observed > threshold {
                     byte |= 1 << bit; // slow magnifier = A present = bit 1
                 }

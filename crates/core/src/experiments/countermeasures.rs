@@ -91,6 +91,21 @@ pub fn render(rows: &[CountermeasureRow]) -> String {
     s
 }
 
+/// JSON form of the §8 matrix: one object per (defence, gadget-outcomes)
+/// row.
+pub fn to_value(rows: &[CountermeasureRow]) -> racer_results::Value {
+    racer_results::Value::Array(
+        rows.iter()
+            .map(|r| {
+                racer_results::Value::object()
+                    .with("countermeasure", r.countermeasure.as_str())
+                    .with("transient_pa_works", r.transient_pa_works)
+                    .with("reorder_works", r.reorder_works)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,15 +121,26 @@ mod tests {
         // Spectre-class defences kill the transient gadget but not the
         // reorder gadget (§8: "an attacker can easily change to use reorder
         // gadgets instead").
-        for name in ["delay-on-miss", "invisible-speculation", "ghostminion", "cleanupspec"] {
+        for name in [
+            "delay-on-miss",
+            "invisible-speculation",
+            "ghostminion",
+            "cleanupspec",
+        ] {
             let row = find(name);
-            assert!(!row.transient_pa_works, "{name} must block the transient P/A race");
+            assert!(
+                !row.transient_pa_works,
+                "{name} must block the transient P/A race"
+            );
             assert!(row.reorder_works, "{name} must NOT block the reorder race");
         }
 
         // Only genuine in-order execution stops the reorder race.
         let inorder = find("in-order");
-        assert!(!inorder.reorder_works, "in-order execution destroys ILP races");
+        assert!(
+            !inorder.reorder_works,
+            "in-order execution destroys ILP races"
+        );
     }
 
     #[test]

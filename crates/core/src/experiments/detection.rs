@@ -141,7 +141,8 @@ pub fn profile_suite() -> Vec<CounterProfile> {
 /// Render the profiles and both detectors' verdicts.
 pub fn render(profiles: &[CounterProfile]) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("workload\tl1_mpki\tipc\tmispredict_pki\tmiss-detector\tbackend-detector\n");
+    let mut s =
+        String::from("workload\tl1_mpki\tipc\tmispredict_pki\tmiss-detector\tbackend-detector\n");
     for p in profiles {
         let _ = writeln!(
             s,
@@ -150,11 +151,38 @@ pub fn render(profiles: &[CounterProfile]) -> String {
             p.l1_mpki,
             p.ipc,
             p.mispredict_pki,
-            if l1_miss_detector(p, 50.0) { "FLAG" } else { "-" },
-            if backend_bound_detector(p) { "FLAG" } else { "-" },
+            if l1_miss_detector(p, 50.0) {
+                "FLAG"
+            } else {
+                "-"
+            },
+            if backend_bound_detector(p) {
+                "FLAG"
+            } else {
+                "-"
+            },
         );
     }
     s
+}
+
+impl CounterProfile {
+    /// JSON form: raw counters plus both detectors' verdicts (the miss
+    /// detector at the render threshold of 50 MPKI).
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("name", self.name.as_str())
+            .with("l1_mpki", self.l1_mpki)
+            .with("ipc", self.ipc)
+            .with("mispredict_pki", self.mispredict_pki)
+            .with("l1_miss_flagged", l1_miss_detector(self, 50.0))
+            .with("backend_bound_flagged", backend_bound_detector(self))
+    }
+}
+
+/// JSON form of the whole profile suite.
+pub fn to_value(profiles: &[CounterProfile]) -> racer_results::Value {
+    racer_results::Value::Array(profiles.iter().map(|p| p.to_value()).collect())
 }
 
 #[cfg(test)]

@@ -52,13 +52,21 @@ pub fn figure10(trials: usize, rounds: usize) -> DistributionResult {
     }
     let overlap = overlap_coefficient(&transmit1_ms, &transmit0_ms, 40);
     let (_, accuracy) = best_threshold(&transmit0_ms, &transmit1_ms);
-    DistributionResult { transmit1_ms, transmit0_ms, overlap, accuracy }
+    DistributionResult {
+        transmit1_ms,
+        transmit0_ms,
+        overlap,
+        accuracy,
+    }
 }
 
 impl DistributionResult {
     /// Summary statistics of both distributions.
     pub fn summaries(&self) -> (Summary, Summary) {
-        (Summary::of(&self.transmit0_ms), Summary::of(&self.transmit1_ms))
+        (
+            Summary::of(&self.transmit0_ms),
+            Summary::of(&self.transmit1_ms),
+        )
     }
 
     /// Plot-ready rendering: per-trial values then metrics.
@@ -74,8 +82,26 @@ impl DistributionResult {
         let (s0, s1) = self.summaries();
         let _ = writeln!(s, "# transmit0: {s0}");
         let _ = writeln!(s, "# transmit1: {s1}");
-        let _ = writeln!(s, "# overlap={:.4} accuracy={:.4}", self.overlap, self.accuracy);
+        let _ = writeln!(
+            s,
+            "# overlap={:.4} accuracy={:.4}",
+            self.overlap, self.accuracy
+        );
         s
+    }
+}
+
+impl DistributionResult {
+    /// JSON form: both sample vectors, separation metrics and summaries.
+    pub fn to_value(&self) -> racer_results::Value {
+        let (s0, s1) = self.summaries();
+        racer_results::Value::object()
+            .with("overlap", self.overlap)
+            .with("accuracy", self.accuracy)
+            .with("transmit0_summary", s0.to_value())
+            .with("transmit1_summary", s1.to_value())
+            .with("transmit0_ms", self.transmit0_ms.as_slice())
+            .with("transmit1_ms", self.transmit1_ms.as_slice())
     }
 }
 

@@ -54,7 +54,11 @@ pub fn evaluate(trials: usize, pool_pages: usize) -> EvEval {
             }
         }
     }
-    EvEval { trials, successes, ways }
+    EvEval {
+        trials,
+        successes,
+        ways,
+    }
 }
 
 /// Render like the paper's §7.4 claim.
@@ -68,6 +72,17 @@ pub fn render(eval: &EvEval) -> String {
     )
 }
 
+impl EvEval {
+    /// JSON form: counts plus the derived success rate.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("trials", self.trials)
+            .with("successes", self.successes)
+            .with("ways", self.ways)
+            .with("success_rate", self.rate())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,12 +90,20 @@ mod tests {
     #[test]
     fn success_rate_is_total() {
         let eval = evaluate(3, 48);
-        assert_eq!(eval.rate(), 1.0, "paper reports a 100% success rate: {eval:?}");
+        assert_eq!(
+            eval.rate(),
+            1.0,
+            "paper reports a 100% success rate: {eval:?}"
+        );
     }
 
     #[test]
     fn renders_rate() {
-        let eval = EvEval { trials: 4, successes: 4, ways: 8 };
+        let eval = EvEval {
+            trials: 4,
+            successes: 4,
+            ways: 8,
+        };
         assert!(render(&eval).contains("100%"));
     }
 }

@@ -69,7 +69,11 @@ impl GranularitySeries {
 
     /// Largest in-window target length (the measurement-reach limit).
     pub fn max_measurable_target(&self) -> Option<usize> {
-        self.points.iter().filter(|p| p.ref_ops.is_some()).map(|p| p.target_ops).max()
+        self.points
+            .iter()
+            .filter(|p| p.ref_ops.is_some())
+            .map(|p| p.target_ops)
+            .max()
     }
 
     /// Tab-separated rendering (x, y per line; `-` past the window).
@@ -120,7 +124,10 @@ pub fn measure_series(
             Some(op) => PathSpec::op_chain(op, n),
             None => PathSpec::lea_chain(n),
         };
-        GranularityPoint { target_ops: n, ref_ops: timer.measure_ref_ops(&mut m, &target) }
+        GranularityPoint {
+            target_ops: n,
+            ref_ops: timer.measure_ref_ops(&mut m, &target),
+        }
     });
     GranularitySeries {
         target_op: target_op.map_or("leal", op_name).to_string(),
@@ -209,6 +216,53 @@ impl GranularityTable {
     }
 }
 
+impl GranularityPoint {
+    /// JSON form: `{"target_ops": N, "ref_ops": N|null}`.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("target_ops", self.target_ops)
+            .with("ref_ops", self.ref_ops)
+    }
+}
+
+impl GranularitySeries {
+    /// JSON form: series identity, derived §7.2 metrics, then the points.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("target_op", self.target_op.as_str())
+            .with("ref_op", self.ref_op.as_str())
+            .with("slope", self.slope())
+            .with("granularity", self.granularity())
+            .with("reach", self.max_measurable_target())
+            .with(
+                "points",
+                racer_results::Value::Array(self.points.iter().map(|p| p.to_value()).collect()),
+            )
+    }
+}
+
+impl GranularityTableRow {
+    /// JSON form of one summary row.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("ref_op", self.ref_op.as_str())
+            .with("target_op", self.target_op.as_str())
+            .with("slope", self.slope)
+            .with("granularity", self.granularity)
+            .with("reach", self.reach)
+    }
+}
+
+impl GranularityTable {
+    /// JSON form: `{"rows": [...]}`.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object().with(
+            "rows",
+            racer_results::Value::Array(self.rows.iter().map(|r| r.to_value()).collect()),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,7 +275,11 @@ mod tests {
             (0.8..=1.3).contains(&slope),
             "ADD-vs-ADD slope should be ~1, got {slope:.2}"
         );
-        assert!(s.granularity() <= 3, "granularity 1–3 ops (paper): {}", s.granularity());
+        assert!(
+            s.granularity() <= 3,
+            "granularity 1–3 ops (paper): {}",
+            s.granularity()
+        );
     }
 
     #[test]
@@ -250,13 +308,21 @@ mod tests {
         // With a 40-op reference cap, long targets become unmeasurable.
         let s = measure_series(AluOp::Add, Some(AluOp::Add), &[10, 30, 60, 90], 40);
         assert!(s.points[0].ref_ops.is_some());
-        assert!(s.points[3].ref_ops.is_none(), "90 adds cannot fit a 40-add window");
+        assert!(
+            s.points[3].ref_ops.is_none(),
+            "90 adds cannot fit a 40-add window"
+        );
         assert!(s.max_measurable_target().unwrap() < 90);
     }
 
     #[test]
     fn table_summarizes_series() {
-        let series = vec![measure_series(AluOp::Add, Some(AluOp::Add), &[4, 8, 12], 70)];
+        let series = vec![measure_series(
+            AluOp::Add,
+            Some(AluOp::Add),
+            &[4, 8, 12],
+            70,
+        )];
         let table = granularity_table(&series);
         assert_eq!(table.rows.len(), 1);
         assert!(table.render().contains("add"));

@@ -89,9 +89,15 @@ pub fn figure11(repeat_points: &[usize], delay: usize) -> Vec<SweepSeries> {
             mag.prefetch_dist = prefetch;
             let mut m = machine(kind, 0x5EED + repeats as u64);
             let amp = mag.amplification(&mut m, delay).max(0);
-            SweepPoint { repeats, diff_us: amp as f64 * 0.5 / 1000.0 }
+            SweepPoint {
+                repeats,
+                diff_us: amp as f64 * 0.5 / 1000.0,
+            }
         });
-        SweepSeries { label: label.to_string(), points }
+        SweepSeries {
+            label: label.to_string(),
+            points,
+        }
     };
     vec![
         run(ReplacementKind::Fifo, 22, "fifo-with-prefetch"),
@@ -118,7 +124,10 @@ pub fn figure12(
         let mut mag = ArithmeticMagnifier::new(Layout::default());
         mag.stages = stages;
         let amp = mag.amplification(&mut m, delay).max(0);
-        SweepPoint { repeats: stages, diff_us: amp as f64 * 0.5 / 1000.0 }
+        SweepPoint {
+            repeats: stages,
+            diff_us: amp as f64 * 0.5 / 1000.0,
+        }
     });
     SweepSeries {
         label: format!(
@@ -126,6 +135,28 @@ pub fn figure12(
             interrupt_cycles.map_or("off".into(), |v| v.to_string())
         ),
         points,
+    }
+}
+
+impl SweepPoint {
+    /// JSON form: `{"repeats": N, "diff_us": F}`.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("repeats", self.repeats)
+            .with("diff_us", self.diff_us)
+    }
+}
+
+impl SweepSeries {
+    /// JSON form: label, peak separation and the sweep points.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("label", self.label.as_str())
+            .with("max_diff_us", self.max_diff_us())
+            .with(
+                "points",
+                racer_results::Value::Array(self.points.iter().map(|p| p.to_value()).collect()),
+            )
     }
 }
 
@@ -155,7 +186,10 @@ mod tests {
     #[test]
     fn figure11_fifo_growth_is_linear() {
         let series = figure11(&[10, 40], 30);
-        let fifo = series.iter().find(|s| s.label == "fifo-with-prefetch").unwrap();
+        let fifo = series
+            .iter()
+            .find(|s| s.label == "fifo-with-prefetch")
+            .unwrap();
         let ratio = fifo.points[1].diff_us / fifo.points[0].diff_us.max(1e-9);
         assert!(
             (3.0..=5.0).contains(&ratio),
@@ -167,15 +201,16 @@ mod tests {
     fn figure12_growth_saturates_under_interrupts() {
         let free = figure12(&[40, 160], 20, None);
         let bounded = figure12(&[40, 160], 20, Some(6_000));
-        let free_growth =
-            free.points[1].diff_us - free.points[0].diff_us;
-        let bounded_growth =
-            bounded.points[1].diff_us - bounded.points[0].diff_us;
+        let free_growth = free.points[1].diff_us - free.points[0].diff_us;
+        let bounded_growth = bounded.points[1].diff_us - bounded.points[0].diff_us;
         assert!(
             free_growth > bounded_growth,
             "interrupts must slow the growth: free {free_growth:.2} vs bounded {bounded_growth:.2}"
         );
-        assert!(free.points[1].diff_us > 1.0, "free accumulation should exceed 1 µs");
+        assert!(
+            free.points[1].diff_us > 1.0,
+            "free accumulation should exceed 1 µs"
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@ pub fn sweep(secret: &[u8], jitter_levels: &[u64]) -> Vec<NoisePoint> {
             let mut hier = HierarchyConfig::small_plru();
             hier.memory_jitter = jitter;
             hier.seed = 0xA11CE ^ jitter;
-            let mut m =
-                Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier);
+            let mut m = Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier);
             let atk = SpectreBack::new(m.layout());
             atk.plant_secret(&mut m, secret);
             let mut timer = CoarseTimer::browser_5us();
@@ -60,6 +59,20 @@ pub fn render(points: &[NoisePoint]) -> String {
     s
 }
 
+/// JSON form of the jitter sweep.
+pub fn to_value(points: &[NoisePoint]) -> racer_results::Value {
+    racer_results::Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                racer_results::Value::object()
+                    .with("jitter_cycles", p.jitter_cycles)
+                    .with("accuracy", p.accuracy)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,7 +95,13 @@ mod tests {
         let pts = sweep(b"OK", &[0, 400]);
         let clean = pts[0].accuracy;
         let noisy = pts[1].accuracy;
-        assert!(clean >= noisy, "noise must not improve accuracy: {clean} vs {noisy}");
-        assert!(noisy >= 0.5, "even extreme noise leaves a coin flip, not worse");
+        assert!(
+            clean >= noisy,
+            "noise must not improve accuracy: {clean} vs {noisy}"
+        );
+        assert!(
+            noisy >= 0.5,
+            "even extreme noise leaves a coin flip, not worse"
+        );
     }
 }

@@ -70,9 +70,28 @@ pub fn render(points: &[ParSeqPoint]) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("seq\tpar\tP(≥1 SEQ evicted)\n");
     for p in points {
-        let _ = writeln!(s, "{}\t{}\t{:.3}", p.seq_len, p.par_len, p.evict_probability);
+        let _ = writeln!(
+            s,
+            "{}\t{}\t{:.3}",
+            p.seq_len, p.par_len, p.evict_probability
+        );
     }
     s
+}
+
+/// JSON form of the (SEQ, PAR) grid.
+pub fn to_value(points: &[ParSeqPoint]) -> racer_results::Value {
+    racer_results::Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                racer_results::Value::object()
+                    .with("seq_len", p.seq_len)
+                    .with("par_len", p.par_len)
+                    .with("evict_probability", p.evict_probability)
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -92,7 +111,10 @@ mod tests {
     fn probability_increases_with_par_size() {
         let p3 = evict_probability(6, 3, 8, 4000);
         let p7 = evict_probability(6, 7, 8, 4000);
-        assert!(p7 > p3, "larger PAR must increase the probability: {p3:.3} vs {p7:.3}");
+        assert!(
+            p7 > p3,
+            "larger PAR must increase the probability: {p3:.3} vs {p7:.3}"
+        );
         assert!(p7 > 0.98, "PAR=7 should be near certainty, got {p7:.3}");
     }
 

@@ -33,9 +33,15 @@ pub fn figure7(racing: bool, iterations: usize) -> RepetitionFigure {
             use_racing: racing,
             baseline_ops: 95,
         };
-        RepetitionBar { same_addr, stages: run_repetition(&mut m, &cfg) }
+        RepetitionBar {
+            same_addr,
+            stages: run_repetition(&mut m, &cfg),
+        }
     };
-    RepetitionFigure { racing, bars: [run(true), run(false)] }
+    RepetitionFigure {
+        racing,
+        bars: [run(true), run(false)],
+    }
 }
 
 impl RepetitionFigure {
@@ -54,7 +60,11 @@ impl RepetitionFigure {
         let mut s = format!(
             "# Figure 7{} ({})\n# case\tload\treload\tevict\ttotal\tload%\treload%\tevict%\n",
             if self.racing { "b" } else { "a" },
-            if self.racing { "racing-gadget load stage" } else { "bare repetition" },
+            if self.racing {
+                "racing-gadget load stage"
+            } else {
+                "bare repetition"
+            },
         );
         for bar in &self.bars {
             let st = &bar.stages;
@@ -71,8 +81,34 @@ impl RepetitionFigure {
                 st.evict as f64 / norm * 100.0,
             );
         }
-        let _ = writeln!(s, "# total separation: {:.2}%", self.total_separation() * 100.0);
+        let _ = writeln!(
+            s,
+            "# total separation: {:.2}%",
+            self.total_separation() * 100.0
+        );
         s
+    }
+}
+
+impl RepetitionBar {
+    /// JSON form: address relationship plus the stage stack.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("same_addr", self.same_addr)
+            .with("stages", self.stages.to_value())
+    }
+}
+
+impl RepetitionFigure {
+    /// JSON form: sub-figure identity, separation metric and both bars.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("racing", self.racing)
+            .with("total_separation", self.total_separation())
+            .with(
+                "bars",
+                racer_results::Value::Array(self.bars.iter().map(|b| b.to_value()).collect()),
+            )
     }
 }
 

@@ -55,6 +55,20 @@ pub fn render(eval: &SpectreEval) -> String {
     )
 }
 
+impl SpectreEval {
+    /// JSON form: secrets as (lossy) text plus rate and accuracy.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("secret", String::from_utf8_lossy(&self.secret).into_owned())
+            .with(
+                "recovered",
+                String::from_utf8_lossy(&self.recovered).into_owned(),
+            )
+            .with("accuracy", self.accuracy)
+            .with("kbps", self.kbps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,7 +82,11 @@ mod tests {
             eval.accuracy,
             eval.recovered
         );
-        assert!(eval.kbps > 1.0, "leak rate should be kbit/s-scale: {:.2}", eval.kbps);
+        assert!(
+            eval.kbps > 1.0,
+            "leak rate should be kbit/s-scale: {:.2}",
+            eval.kbps
+        );
     }
 
     #[test]

@@ -57,8 +57,7 @@ pub fn sweep(timers: &[&str], round_counts: &[usize], trials: usize) -> Vec<Miti
                         m.warm(b);
                         m.warm(a);
                     }
-                    let obs =
-                        m.run_timed(&mag.program(&m, PlruInput::Reorder), timer.as_mut());
+                    let obs = m.run_timed(&mag.program(&m, PlruInput::Reorder), timer.as_mut());
                     if bit {
                         ones.push(obs);
                     } else {
@@ -67,7 +66,11 @@ pub fn sweep(timers: &[&str], round_counts: &[usize], trials: usize) -> Vec<Miti
                 }
             }
             let (_, accuracy) = stats::best_threshold(&zeros, &ones);
-            out.push(MitigationPoint { timer: tname.to_string(), rounds, accuracy });
+            out.push(MitigationPoint {
+                timer: tname.to_string(),
+                rounds,
+                accuracy,
+            });
         }
     }
     out
@@ -97,6 +100,21 @@ pub fn render(points: &[MitigationPoint], round_counts: &[usize]) -> String {
     s
 }
 
+/// JSON form of the timer-model × round-count sweep.
+pub fn to_value(points: &[MitigationPoint]) -> racer_results::Value {
+    racer_results::Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                racer_results::Value::object()
+                    .with("timer", p.timer.as_str())
+                    .with("rounds", p.rounds)
+                    .with("accuracy", p.accuracy)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,7 +130,11 @@ mod tests {
             high.accuracy > low.accuracy || high.accuracy == 1.0,
             "more magnification must help: {low:?} vs {high:?}"
         );
-        assert!(high.accuracy > 0.9, "20k rounds must defeat 100 µs: {:.2}", high.accuracy);
+        assert!(
+            high.accuracy > 0.9,
+            "20k rounds must defeat 100 µs: {:.2}",
+            high.accuracy
+        );
     }
 
     #[test]

@@ -61,6 +61,20 @@ pub fn render(points: &[WindowPoint]) -> String {
     s
 }
 
+/// JSON form of the window sweep.
+pub fn to_value(points: &[WindowPoint]) -> racer_results::Value {
+    racer_results::Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                racer_results::Value::object()
+                    .with("rs_size", p.rs_size)
+                    .with("reach", p.reach)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

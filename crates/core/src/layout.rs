@@ -140,7 +140,11 @@ mod tests {
 
     #[test]
     fn plru_lines_are_congruent_and_distinct() {
-        let l1 = Cache::new(CacheConfig { sets: 16, ways: 4, ..CacheConfig::l1d_coffee_lake() });
+        let l1 = Cache::new(CacheConfig {
+            sets: 16,
+            ways: 4,
+            ..CacheConfig::l1d_coffee_lake()
+        });
         let layout = Layout::default();
         let lines: Vec<Addr> = (0..5).map(|i| layout.plru_line(&l1, 7, i)).collect();
         for a in &lines {
@@ -153,7 +157,11 @@ mod tests {
 
     #[test]
     fn seq_and_par_never_overlap() {
-        let l1 = Cache::new(CacheConfig { sets: 64, ways: 8, ..CacheConfig::l1d_coffee_lake() });
+        let l1 = Cache::new(CacheConfig {
+            sets: 64,
+            ways: 8,
+            ..CacheConfig::l1d_coffee_lake()
+        });
         let layout = Layout::default();
         for set in [0usize, 13, 63] {
             let seq: Vec<Addr> = (0..6).map(|k| layout.seq_line(&l1, set, k)).collect();

@@ -60,9 +60,7 @@ pub mod racing;
 pub mod prelude {
     pub use crate::layout::Layout;
     pub use crate::machine::Machine;
-    pub use crate::magnify::{
-        ArbitraryReplacementMagnifier, ArithmeticMagnifier, PlruMagnifier,
-    };
+    pub use crate::magnify::{ArbitraryReplacementMagnifier, ArithmeticMagnifier, PlruMagnifier};
     pub use crate::path::PathSpec;
     pub use crate::racing::{RaceOutcome, ReorderRace, TransientPaRace};
     pub use racer_cpu::{Countermeasure, Cpu, CpuConfig};

@@ -34,12 +34,19 @@ pub struct Machine {
 impl Machine {
     /// Build from explicit configurations.
     pub fn with(cpu_cfg: CpuConfig, hier_cfg: HierarchyConfig) -> Self {
-        Machine { cpu: Cpu::new(cpu_cfg, hier_cfg), layout: Layout::default(), elapsed_ns: 0.0 }
+        Machine {
+            cpu: Cpu::new(cpu_cfg, hier_cfg),
+            layout: Layout::default(),
+            elapsed_ns: 0.0,
+        }
     }
 
     /// Tree-PLRU 4-way L1 machine (the default attack target).
     pub fn baseline() -> Self {
-        Self::with(CpuConfig::coffee_lake().with_load_recording(), HierarchyConfig::small_plru())
+        Self::with(
+            CpuConfig::coffee_lake().with_load_recording(),
+            HierarchyConfig::small_plru(),
+        )
     }
 
     /// Baseline machine with DRAM jitter for noisy-distribution experiments.
@@ -156,8 +163,13 @@ impl Machine {
     /// Empty the given L1 set entirely (setup helper emulating an attacker
     /// priming pass).
     pub fn clear_l1_set(&mut self, set: usize) {
-        let lines: Vec<_> =
-            self.cpu.hierarchy().l1d().set(set).resident_lines().collect();
+        let lines: Vec<_> = self
+            .cpu
+            .hierarchy()
+            .l1d()
+            .set(set)
+            .resident_lines()
+            .collect();
         for l in lines {
             self.cpu.hierarchy_mut().l1d_mut().invalidate(l);
         }

@@ -85,8 +85,12 @@ impl ArbitraryReplacementMagnifier {
     pub fn prepare(&self, m: &mut Machine) {
         for s in (0..self.num_sets).map(|i| self.set_of(i)) {
             let l1 = m.cpu().hierarchy().l1d();
-            let seqs: Vec<_> = (0..self.seq_len).map(|k| self.layout.seq_line(l1, s, k)).collect();
-            let pars: Vec<_> = (0..self.par_len).map(|k| self.layout.par_line(l1, s, k)).collect();
+            let seqs: Vec<_> = (0..self.seq_len)
+                .map(|k| self.layout.seq_line(l1, s, k))
+                .collect();
+            let pars: Vec<_> = (0..self.par_len)
+                .map(|k| self.layout.par_line(l1, s, k))
+                .collect();
             for &p in &pars {
                 m.warm(p);
                 m.evict_from_l1(p);
@@ -175,7 +179,8 @@ impl ArbitraryReplacementMagnifier {
             }
         }
         asm.halt();
-        asm.assemble().expect("arbitrary-replacement magnifier assembles")
+        asm.assemble()
+            .expect("arbitrary-replacement magnifier assembles")
     }
 
     /// Prepare, then run with `initial_delay`; returns total cycles.
@@ -226,7 +231,11 @@ mod tests {
             .map(|(s, k)| mag.layout.seq_line(l1, s, k).0)
             .collect();
         let (mut hits, mut misses) = (0u64, 0u64);
-        for ev in r.loads.iter().filter(|l| l.committed && b_seq.contains(&l.addr)) {
+        for ev in r
+            .loads
+            .iter()
+            .filter(|l| l.committed && b_seq.contains(&l.addr))
+        {
             if ev.level == HitLevel::L1 {
                 hits += 1;
             } else {
@@ -322,6 +331,9 @@ mod tests {
             Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier)
         };
         let amp = magnifier(4, 22).amplification(&mut machine, 30);
-        assert!(amp > 500, "chain reaction must fire under FIFO as well, got {amp}");
+        assert!(
+            amp > 500,
+            "chain reaction must fire under FIFO as well, got {amp}"
+        );
     }
 }

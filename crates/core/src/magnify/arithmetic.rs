@@ -76,8 +76,7 @@ impl ArithmeticMagnifier {
     pub fn program(&self, initial_delay: usize) -> Program {
         let mut asm = Asm::new();
         let seed = emit_sync_head(&mut asm, self.layout.sync);
-        let seed_b =
-            PathSpec::op_chain(AluOp::Add, initial_delay).emit(&mut asm, seed);
+        let seed_b = PathSpec::op_chain(AluOp::Add, initial_delay).emit(&mut asm, seed);
         self.emit_stages(&mut asm, seed, seed_b);
         asm.halt();
         asm.assemble().expect("arithmetic magnifier assembles")

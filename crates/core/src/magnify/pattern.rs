@@ -54,7 +54,10 @@ pub struct PlruPattern {
 /// recurs, the steps between the two occurrences form a self-sustaining
 /// cycle.
 pub fn derive_pattern(ways: usize) -> Option<PlruPattern> {
-    assert!(ways.is_power_of_two() && ways >= 2, "tree-PLRU needs power-of-two ways ≥ 2");
+    assert!(
+        ways.is_power_of_two() && ways >= 2,
+        "tree-PLRU needs power-of-two ways ≥ 2"
+    );
     let mut accesses: Vec<usize> = Vec::new();
     let mut history: Vec<(Vec<u64>, usize)> = Vec::new(); // (state, access count)
     let max_steps = 8 * ways * ways;
@@ -62,9 +65,7 @@ pub fn derive_pattern(ways: usize) -> Option<PlruPattern> {
     for _ in 0..max_steps {
         let set = replay(ways, &accesses);
         let state = state_of(&set, ways);
-        if let Some(&(_, prefix_len)) =
-            history.iter().find(|(s, _)| *s == state)
-        {
+        if let Some(&(_, prefix_len)) = history.iter().find(|(s, _)| *s == state) {
             // Cycle candidate: the accesses between the two occurrences,
             // entered via the prelude that led up to the first occurrence.
             let prelude: Vec<usize> = accesses[..prefix_len].to_vec();
@@ -101,8 +102,7 @@ pub fn derive_pattern(ways: usize) -> Option<PlruPattern> {
             accesses.push(protector);
         } else {
             // Miss step: access the (unique) non-resident pattern line.
-            let absent =
-                (0..ways).find(|&l| set.way_of(LineAddr(l as u64)).is_none())?;
+            let absent = (0..ways).find(|&l| set.way_of(LineAddr(l as u64)).is_none())?;
             accesses.push(absent);
         }
         // Abort if A was lost (should be unreachable given the two rules).
@@ -171,7 +171,6 @@ fn state_of(set: &CacheSet, ways: usize) -> Vec<u64> {
     v
 }
 
-
 /// A PLRU magnifier for arbitrary power-of-two associativity, built from a
 /// derived pattern. Works on, e.g., the 8-way Coffee-Lake L1 that the
 /// paper's real-hardware attack targets.
@@ -193,7 +192,12 @@ impl GeneralPlruMagnifier {
     /// Panics if no pattern can be derived for `ways`.
     pub fn new(layout: Layout, ways: usize, set: usize, rounds: usize) -> Self {
         let pattern = derive_pattern(ways).expect("pattern derivable for power-of-two ways");
-        GeneralPlruMagnifier { layout, set, rounds, pattern }
+        GeneralPlruMagnifier {
+            layout,
+            set,
+            rounds,
+            pattern,
+        }
     }
 
     /// The derived pattern.
@@ -204,12 +208,14 @@ impl GeneralPlruMagnifier {
     /// Pattern line `i` (0-based); the protected line `A` is
     /// [`GeneralPlruMagnifier::line_a`].
     pub fn line(&self, m: &Machine, i: usize) -> Addr {
-        self.layout.plru_line(m.cpu().hierarchy().l1d(), self.set, i + 1)
+        self.layout
+            .plru_line(m.cpu().hierarchy().l1d(), self.set, i + 1)
     }
 
     /// The protected line `A`.
     pub fn line_a(&self, m: &Machine) -> Addr {
-        self.layout.plru_line(m.cpu().hierarchy().l1d(), self.set, 0)
+        self.layout
+            .plru_line(m.cpu().hierarchy().l1d(), self.set, 0)
     }
 
     /// Prepare the initial state: pattern lines resident (filling the whole
@@ -229,9 +235,18 @@ impl GeneralPlruMagnifier {
     /// the prepared state to the cycle), then the cycle × rounds, as one
     /// masked dependent chase.
     pub fn program(&self, m: &Machine) -> Program {
-        let prelude: Vec<Addr> =
-            self.pattern.prelude.iter().map(|&i| self.line(m, i)).collect();
-        let addrs: Vec<Addr> = self.pattern.pattern.iter().map(|&i| self.line(m, i)).collect();
+        let prelude: Vec<Addr> = self
+            .pattern
+            .prelude
+            .iter()
+            .map(|&i| self.line(m, i))
+            .collect();
+        let addrs: Vec<Addr> = self
+            .pattern
+            .pattern
+            .iter()
+            .map(|&i| self.line(m, i))
+            .collect();
         let mut asm = Asm::new();
         let val = asm.reg();
         let mask = asm.reg();
@@ -266,7 +281,10 @@ mod tests {
     fn derives_patterns_for_all_power_of_two_ways() {
         for ways in [4usize, 8, 16] {
             let p = derive_pattern(ways).unwrap_or_else(|| panic!("no pattern for {ways} ways"));
-            assert!(p.misses_per_round >= 1, "{ways}-way pattern must keep missing");
+            assert!(
+                p.misses_per_round >= 1,
+                "{ways}-way pattern must keep missing"
+            );
             assert!(
                 p.pattern.iter().all(|&i| i < ways),
                 "{ways}-way pattern uses only pattern lines"
@@ -280,7 +298,11 @@ mod tests {
         // The paper's pattern (B,C,E,C,D,C) has period 6 with 3 misses;
         // the derived one must have the same miss density (1 every other
         // access) even if the line labels permute.
-        assert_eq!(p.misses_per_round * 2, p.pattern.len(), "misses every other access");
+        assert_eq!(
+            p.misses_per_round * 2,
+            p.pattern.len(),
+            "misses every other access"
+        );
     }
 
     /// The derived 8-way pattern works end-to-end on the Coffee-Lake-shaped
@@ -337,6 +359,9 @@ mod tests {
         // (same cycle count as the first, which warmed everything).
         let first = mag.measure(&mut m);
         let second = mag.measure(&mut m);
-        assert!(second <= first, "absent pattern must quiesce: {first} then {second}");
+        assert!(
+            second <= first,
+            "absent pattern must quiesce: {first} then {second}"
+        );
     }
 }

@@ -45,12 +45,20 @@ pub struct PlruMagnifier {
 impl PlruMagnifier {
     /// A magnifier on L1 set 5 with 1000 rounds.
     pub fn new(layout: Layout) -> Self {
-        PlruMagnifier { layout, set: 5, rounds: 1000 }
+        PlruMagnifier {
+            layout,
+            set: 5,
+            rounds: 1000,
+        }
     }
 
     /// Use a specific set and round count.
     pub fn with(layout: Layout, set: usize, rounds: usize) -> Self {
-        PlruMagnifier { layout, set, rounds }
+        PlruMagnifier {
+            layout,
+            set,
+            rounds,
+        }
     }
 
     /// The five congruent lines `[A, B, C, D, E]` this gadget uses on `m`.

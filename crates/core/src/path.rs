@@ -87,7 +87,9 @@ impl PathSpec {
 
     /// A dependent load chain through `addrs`.
     pub fn load_chain(addrs: impl IntoIterator<Item = Addr>) -> Self {
-        PathSpec::LoadChain { addrs: addrs.into_iter().map(|a| a.0).collect() }
+        PathSpec::LoadChain {
+            addrs: addrs.into_iter().map(|a| a.0).collect(),
+        }
     }
 
     /// This chain followed by `next`.
@@ -193,13 +195,12 @@ impl PathSpec {
                 per * *count as u64
             }
             PathSpec::LeaChain { count } => lat.alu * *count as u64,
-            PathSpec::LoadChain { addrs } => {
-                (load_latency + lat.alu) * addrs.len() as u64
-            }
+            PathSpec::LoadChain { addrs } => (load_latency + lat.alu) * addrs.len() as u64,
             PathSpec::IndirectLoad { .. } => 2 * load_latency + lat.alu,
-            PathSpec::Seq(parts) => {
-                parts.iter().map(|p| p.ideal_latency(lat, load_latency)).sum()
-            }
+            PathSpec::Seq(parts) => parts
+                .iter()
+                .map(|p| p.ideal_latency(lat, load_latency))
+                .sum(),
         }
     }
 }
@@ -293,11 +294,29 @@ mod tests {
         let prog = asm.assemble().unwrap();
         let r = c.execute(&prog);
 
-        let head = r.loads.iter().find(|l| l.addr == 0x4_0000).expect("head load");
-        let la = r.loads.iter().find(|l| l.addr == 0x5_0000).expect("path A load");
-        let lb = r.loads.iter().find(|l| l.addr == 0x6_0000).expect("path B load");
-        assert!(la.issue_cycle >= head.complete_cycle, "path A must wait for the head");
-        assert!(lb.issue_cycle >= head.complete_cycle, "path B must wait for the head");
+        let head = r
+            .loads
+            .iter()
+            .find(|l| l.addr == 0x4_0000)
+            .expect("head load");
+        let la = r
+            .loads
+            .iter()
+            .find(|l| l.addr == 0x5_0000)
+            .expect("path A load");
+        let lb = r
+            .loads
+            .iter()
+            .find(|l| l.addr == 0x6_0000)
+            .expect("path B load");
+        assert!(
+            la.issue_cycle >= head.complete_cycle,
+            "path A must wait for the head"
+        );
+        assert!(
+            lb.issue_cycle >= head.complete_cycle,
+            "path B must wait for the head"
+        );
         assert!(
             la.issue_cycle.abs_diff(lb.issue_cycle) <= 1,
             "synchronized paths start within an issue slot of each other"
@@ -308,8 +327,7 @@ mod tests {
     /// concurrently (total ≈ max, not sum).
     #[test]
     fn listing1_paths_execute_simultaneously() {
-        let chase =
-            |base: u64| PathSpec::load_chain((0..4).map(|i| Addr(base + i * 0x1_0000)));
+        let chase = |base: u64| PathSpec::load_chain((0..4).map(|i| Addr(base + i * 0x1_0000)));
         let run = |two_paths: bool| {
             let mut asm = Asm::new();
             let seed = emit_sync_head(&mut asm, Addr(0x9_0000));

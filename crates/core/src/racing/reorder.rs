@@ -73,8 +73,16 @@ impl ReorderRace {
         warm_path(m, path_b);
         m.flush(self.layout.sync);
         let r = m.run(&prog);
-        let a_ev = r.loads.iter().find(|l| l.addr == a.0).expect("A access recorded");
-        let b_ev = r.loads.iter().find(|l| l.addr == b.0).expect("B access recorded");
+        let a_ev = r
+            .loads
+            .iter()
+            .find(|l| l.addr == a.0)
+            .expect("A access recorded");
+        let b_ev = r
+            .loads
+            .iter()
+            .find(|l| l.addr == b.0)
+            .expect("B access recorded");
         RaceOutcome {
             measurement_won: a_ev.issue_cycle <= b_ev.issue_cycle,
             measurement_issue: Some(a_ev.issue_cycle),
@@ -166,7 +174,10 @@ mod tests {
                 A,
                 B,
             );
-            assert!(out.measurement_won, "{cm}: race must still resolve correctly");
+            assert!(
+                out.measurement_won,
+                "{cm}: race must still resolve correctly"
+            );
             let out = race.run(
                 &mut m,
                 &PathSpec::op_chain(AluOp::Add, 28),
@@ -174,7 +185,10 @@ mod tests {
                 A,
                 B,
             );
-            assert!(!out.measurement_won, "{cm}: race must transmit both directions");
+            assert!(
+                !out.measurement_won,
+                "{cm}: race must transmit both directions"
+            );
         }
     }
 
@@ -188,10 +202,20 @@ mod tests {
         // path_m is much shorter, but in-order issue means A still goes
         // first only because of *program order*, not timing: flipping the
         // lengths must NOT flip the outcome.
-        let short_first =
-            race.run(&mut m, &PathSpec::op_chain(AluOp::Add, 5), &PathSpec::op_chain(AluOp::Add, 30), A, B);
-        let long_first =
-            race.run(&mut m, &PathSpec::op_chain(AluOp::Add, 30), &PathSpec::op_chain(AluOp::Add, 5), A, B);
+        let short_first = race.run(
+            &mut m,
+            &PathSpec::op_chain(AluOp::Add, 5),
+            &PathSpec::op_chain(AluOp::Add, 30),
+            A,
+            B,
+        );
+        let long_first = race.run(
+            &mut m,
+            &PathSpec::op_chain(AluOp::Add, 30),
+            &PathSpec::op_chain(AluOp::Add, 5),
+            A,
+            B,
+        );
         assert_eq!(
             short_first.measurement_won, long_first.measurement_won,
             "under in-order issue the outcome is timing-independent"

@@ -39,7 +39,11 @@ pub struct TransientPaRace {
 impl TransientPaRace {
     /// A race driver over `layout`.
     pub fn new(layout: Layout) -> Self {
-        TransientPaRace { layout, train_iters: 4, probe: layout.probe }
+        TransientPaRace {
+            layout,
+            train_iters: 4,
+            probe: layout.probe,
+        }
     }
 
     /// Use a custom probe line (e.g. a magnifier's line A).
@@ -114,12 +118,7 @@ impl TransientPaRace {
     ///
     /// This is the omniscient readout used by granularity experiments; full
     /// attacks read the same state via a magnifier gadget and coarse timer.
-    pub fn probe_present_after(
-        &self,
-        m: &mut Machine,
-        cond: &PathSpec,
-        body: &PathSpec,
-    ) -> bool {
+    pub fn probe_present_after(&self, m: &mut Machine, cond: &PathSpec, body: &PathSpec) -> bool {
         let prog = self.program(cond, body);
         warm_path(m, cond);
         warm_path(m, body);

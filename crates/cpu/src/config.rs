@@ -99,7 +99,14 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { alu: 1, mul: 3, div_min: 13, div_recip: 4, branch: 1, store: 1 }
+        Latencies {
+            alu: 1,
+            mul: 3,
+            div_min: 13,
+            div_recip: 4,
+            branch: 1,
+            store: 1,
+        }
     }
 }
 
@@ -115,7 +122,9 @@ impl Default for Latencies {
 /// richer levels.
 ///
 /// Levels are cumulative: `Trace` implies `Loads` implies `Counters`.
-#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, Debug, Default, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize,
+)]
 pub enum RecordLevel {
     /// Aggregate counters only (`cycles`, `committed`, `mem_stats`, …);
     /// the `loads` and `trace` vectors stay empty and unallocated.
@@ -303,7 +312,10 @@ mod tests {
     #[test]
     fn clock_conversion() {
         let cfg = CpuConfig::default();
-        assert!((cfg.ns_per_cycle() - 0.5).abs() < 1e-9, "2 GHz = 0.5 ns/cycle");
+        assert!(
+            (cfg.ns_per_cycle() - 0.5).abs() < 1e-9,
+            "2 GHz = 0.5 ns/cycle"
+        );
         assert!((cfg.cycles_to_ns(4000) - 2000.0).abs() < 1e-9);
     }
 
@@ -334,7 +346,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_rob_rejected() {
-        let cfg = CpuConfig { rob_size: 0, ..CpuConfig::default() };
+        let cfg = CpuConfig {
+            rob_size: 0,
+            ..CpuConfig::default()
+        };
         cfg.validate();
     }
 

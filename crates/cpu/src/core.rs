@@ -583,7 +583,8 @@ impl<'a> Pipeline<'a> {
     fn mem_operand_addr(slot: &Slot, m: &MemOperand) -> u64 {
         let base = m.base.map_or(0, |r| Self::src_value(slot, r));
         let index = m.index.map_or(0, |r| Self::src_value(slot, r));
-        base.wrapping_add(index.wrapping_mul(m.scale as u64)).wrapping_add(m.disp as u64)
+        base.wrapping_add(index.wrapping_mul(m.scale as u64))
+            .wrapping_add(m.disp as u64)
     }
 
     /// Is the entry with sequence number `seq` speculative, i.e. does an
@@ -592,8 +593,7 @@ impl<'a> Pipeline<'a> {
     /// is always the oldest in-flight unresolved branch.
     fn is_speculative(&mut self, seq: Seq) -> bool {
         while let Some(&(bseq, bslot)) = self.s.spec_branches.front() {
-            if !self.s.valid(bseq, bslot)
-                || self.s.slots[bslot as usize].state == EntryState::Done
+            if !self.s.valid(bseq, bslot) || self.s.slots[bslot as usize].state == EntryState::Done
             {
                 self.s.spec_branches.pop_front();
                 continue;
@@ -631,13 +631,20 @@ impl<'a> Pipeline<'a> {
         // Drain this cycle's wheel bucket: everything whose functional-unit
         // latency has elapsed.
         let mut bucket = std::mem::take(&mut self.s.wheel_scratch);
-        std::mem::swap(&mut bucket, &mut self.s.wheel[self.cycle as usize & (WHEEL - 1)]);
+        std::mem::swap(
+            &mut bucket,
+            &mut self.s.wheel[self.cycle as usize & (WHEEL - 1)],
+        );
         for &(seq, slot) in &bucket {
             if !self.s.valid(seq, slot) {
                 continue; // squashed while in flight
             }
             let e = &mut self.s.slots[slot as usize];
-            debug_assert_eq!(e.state, EntryState::Issued, "completion of non-issued entry");
+            debug_assert_eq!(
+                e.state,
+                EntryState::Issued,
+                "completion of non-issued entry"
+            );
             e.state = EntryState::Done;
             let result = e.result;
             if let Some(t) = e.trace_idx {
@@ -973,8 +980,12 @@ impl<'a> Pipeline<'a> {
                 e.mem_addr = Some(addr);
                 let seq = e.seq;
                 // Publish the now-known address for load disambiguation.
-                if let Some(entry) =
-                    self.s.store_q.iter_mut().rev().find(|(sseq, _)| *sseq == seq)
+                if let Some(entry) = self
+                    .s
+                    .store_q
+                    .iter_mut()
+                    .rev()
+                    .find(|(sseq, _)| *sseq == seq)
                 {
                     entry.1 = Some(addr);
                 }
@@ -982,7 +993,11 @@ impl<'a> Pipeline<'a> {
             }
             Instr::Prefetch { mem, nta } => {
                 let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
-                let kind = if nta { AccessKind::PrefetchNta } else { AccessKind::Prefetch };
+                let kind = if nta {
+                    AccessKind::PrefetchNta
+                } else {
+                    AccessKind::Prefetch
+                };
                 self.hier.access(Addr(addr), kind);
                 self.s.slots[slot].mem_addr = Some(addr);
                 self.finish_issue(slot, cls, used, 0, now + 1);
@@ -1039,7 +1054,12 @@ impl<'a> Pipeline<'a> {
 
     /// Issue a load, honouring store ordering, MSHRs and countermeasures.
     /// Returns false if the load must retry later.
-    fn issue_load(&mut self, slot: usize, mem_op: MemOperand, used: &mut [usize; NUM_CLASSES]) -> bool {
+    fn issue_load(
+        &mut self,
+        slot: usize,
+        mem_op: MemOperand,
+        used: &mut [usize; NUM_CLASSES],
+    ) -> bool {
         let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem_op);
         let seq = self.s.slots[slot].seq;
         // Conservative memory disambiguation: an older in-flight store with
@@ -1070,8 +1090,12 @@ impl<'a> Pipeline<'a> {
             Countermeasure::InvisibleSpec | Countermeasure::GhostMinion => speculative,
             _ => false,
         };
-        let inflight_done =
-            self.s.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, done)| done);
+        let inflight_done = self
+            .s
+            .inflight
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, done)| done);
         if cm == Countermeasure::DelayOnMiss
             && speculative
             && self.hier.probe(Addr(addr)) != HitLevel::L1
@@ -1083,10 +1107,16 @@ impl<'a> Pipeline<'a> {
 
         let (latency, level) = if let Some(done) = inflight_done {
             // Merge into the outstanding miss (MSHR hit).
-            (done.saturating_sub(now).max(self.cfg.latencies.alu), HitLevel::L2)
+            (
+                done.saturating_sub(now).max(self.cfg.latencies.alu),
+                HitLevel::L2,
+            )
         } else if shield {
             // Invisible speculation: timing only, no state change.
-            (self.hier.peek_latency(Addr(addr)), self.hier.probe(Addr(addr)))
+            (
+                self.hier.peek_latency(Addr(addr)),
+                self.hier.probe(Addr(addr)),
+            )
         } else {
             // Normal path: check MSHR capacity for misses.
             let probed = self.hier.probe(Addr(addr));
@@ -1138,7 +1168,9 @@ impl<'a> Pipeline<'a> {
             if self.s.waiting_count >= self.cfg.rs_size {
                 break;
             }
-            let Some(front) = self.s.fetch_q.front() else { break };
+            let Some(front) = self.s.fetch_q.front() else {
+                break;
+            };
             if front.ready_cycle > self.cycle {
                 break;
             }
@@ -1193,14 +1225,8 @@ impl<'a> Pipeline<'a> {
             }
 
             let trace_idx = if self.cfg.record.trace() {
-                let fetched_cycle =
-                    fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
-                let mut rec = crate::trace::TraceRecord::new(
-                    seq,
-                    pc,
-                    &instr,
-                    fetched_cycle,
-                );
+                let fetched_cycle = fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
+                let mut rec = crate::trace::TraceRecord::new(seq, pc, &instr, fetched_cycle);
                 rec.dispatched = self.cycle;
                 self.trace.push(rec);
                 Some((self.trace.len() - 1) as u32)

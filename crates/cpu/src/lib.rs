@@ -61,6 +61,7 @@ pub mod predictor;
 pub mod reference;
 pub mod stats;
 pub mod trace;
+pub mod workloads;
 
 pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel};
 pub use core::Cpu;

@@ -61,8 +61,14 @@ impl TwoBit {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "predictor table size must be a power of two");
-        TwoBit { table: vec![1; entries], mask: entries - 1 }
+        assert!(
+            entries.is_power_of_two(),
+            "predictor table size must be a power of two"
+        );
+        TwoBit {
+            table: vec![1; entries],
+            mask: entries - 1,
+        }
     }
 
     fn idx(&self, pc: usize) -> usize {

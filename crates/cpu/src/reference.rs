@@ -236,7 +236,8 @@ impl<'a> RefPipeline<'a> {
     fn mem_operand_addr(entry: &RobEntry, m: &MemOperand) -> u64 {
         let base = m.base.map_or(0, |r| Self::src_value(entry, r));
         let index = m.index.map_or(0, |r| Self::src_value(entry, r));
-        base.wrapping_add(index.wrapping_mul(m.scale as u64)).wrapping_add(m.disp as u64)
+        base.wrapping_add(index.wrapping_mul(m.scale as u64))
+            .wrapping_add(m.disp as u64)
     }
 
     /// Resolve any tags whose producers are now done.
@@ -269,9 +270,10 @@ impl<'a> RefPipeline<'a> {
 
     /// Does an unresolved older branch exist (is `idx` speculative)?
     fn is_speculative(&self, idx: usize) -> bool {
-        self.rob.iter().take(idx).any(|e| {
-            matches!(e.instr, Instr::Branch { .. }) && e.state != EntryState::Done
-        })
+        self.rob
+            .iter()
+            .take(idx)
+            .any(|e| matches!(e.instr, Instr::Branch { .. }) && e.state != EntryState::Done)
     }
 
     // ---- pipeline stages ----------------------------------------------------
@@ -448,7 +450,17 @@ impl<'a> RefPipeline<'a> {
             if self.cfg.countermeasure == Countermeasure::InOrder {
                 // Strict in-order issue: the oldest unissued instruction
                 // must go first; if it cannot, nothing younger may.
-                if !ready || !self.try_issue(idx, &mut alu_used, &mut mul_used, &mut div_used, &mut load_used, &mut store_used, &mut branch_used) {
+                if !ready
+                    || !self.try_issue(
+                        idx,
+                        &mut alu_used,
+                        &mut mul_used,
+                        &mut div_used,
+                        &mut load_used,
+                        &mut store_used,
+                        &mut branch_used,
+                    )
+                {
                     break;
                 }
                 self.mark_issued(idx);
@@ -575,7 +587,11 @@ impl<'a> RefPipeline<'a> {
             }
             Instr::Prefetch { mem, nta } => {
                 let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
-                let kind = if nta { AccessKind::PrefetchNta } else { AccessKind::Prefetch };
+                let kind = if nta {
+                    AccessKind::PrefetchNta
+                } else {
+                    AccessKind::Prefetch
+                };
                 self.hier.access(Addr(addr), kind);
                 *load_used += 1;
                 let e = &mut self.rob[idx];
@@ -649,10 +665,16 @@ impl<'a> RefPipeline<'a> {
 
         let (latency, level) = if let Some(&done) = self.inflight.get(&line) {
             // Merge into the outstanding miss (MSHR hit).
-            (done.saturating_sub(now).max(self.cfg.latencies.alu), HitLevel::L2)
+            (
+                done.saturating_sub(now).max(self.cfg.latencies.alu),
+                HitLevel::L2,
+            )
         } else if shield {
             // Invisible speculation: timing only, no state change.
-            (self.hier.peek_latency(Addr(addr)), self.hier.probe(Addr(addr)))
+            (
+                self.hier.peek_latency(Addr(addr)),
+                self.hier.probe(Addr(addr)),
+            )
         } else {
             // Normal path: check MSHR capacity for misses.
             let probed = self.hier.probe(Addr(addr));
@@ -704,11 +726,17 @@ impl<'a> RefPipeline<'a> {
             if self.rob.len() >= self.cfg.rob_size {
                 break;
             }
-            let waiting = self.rob.iter().filter(|e| e.state == EntryState::Waiting).count();
+            let waiting = self
+                .rob
+                .iter()
+                .filter(|e| e.state == EntryState::Waiting)
+                .count();
             if waiting >= self.cfg.rs_size {
                 break;
             }
-            let Some(front) = self.fetch_q.front() else { break };
+            let Some(front) = self.fetch_q.front() else {
+                break;
+            };
             if front.ready_cycle > self.cycle {
                 break;
             }
@@ -746,14 +774,9 @@ impl<'a> RefPipeline<'a> {
             }
 
             let trace_idx = if self.cfg.record.trace() {
-                let fetched_cycle =
-                    fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
-                let mut rec = crate::trace::TraceRecord::new(
-                    seq,
-                    fetched.pc,
-                    &fetched.instr,
-                    fetched_cycle,
-                );
+                let fetched_cycle = fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
+                let mut rec =
+                    crate::trace::TraceRecord::new(seq, fetched.pc, &fetched.instr, fetched_cycle);
                 rec.dispatched = self.cycle;
                 self.trace.push(rec);
                 Some(self.trace.len() - 1)

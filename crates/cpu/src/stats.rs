@@ -100,7 +100,10 @@ mod tests {
             speculative: true,
             committed,
         };
-        let r = RunResult { loads: vec![mk(1, true), mk(2, false)], ..Default::default() };
+        let r = RunResult {
+            loads: vec![mk(1, true), mk(2, false)],
+            ..Default::default()
+        };
         assert_eq!(r.transient_loads().count(), 1);
         assert!(r.transient_touched(2));
         assert!(!r.transient_touched(1));

@@ -1,0 +1,261 @@
+//! Canonical benchmark workloads and throughput measurement.
+//!
+//! Every layer above the core needs the same handful of "representative
+//! program shapes" — the perf baseline times them, the detection study
+//! profiles them, future scheduler work regresses against them. They used
+//! to live as copy-paste inside one binary; this module is the stable API
+//! version: named program builders plus a [`measure_throughput`] helper
+//! that times either scheduler on a warmed machine.
+//!
+//! The shapes stress distinct scheduler paths:
+//!
+//! * [`alu_chain`] — serial dependency chains (pure wakeup latency);
+//! * [`branchy`] — data-dependent branches at a tunable mispredict rate
+//!   (squash/recovery);
+//! * [`memory_stream`] — streaming loads (MSHR + hierarchy pressure);
+//! * [`div_race`] — a non-pipelined divide chain contended against wide
+//!   independent ALU work (the paper's §6.4 arithmetic-magnifier mix).
+
+use crate::{Cpu, CpuConfig, RunResult};
+use racer_isa::{AluOp, Asm, Cond, Instr, MemOperand, Operand, Program};
+use racer_mem::HierarchyConfig;
+use std::time::Instant;
+
+/// A named program plus the repetition count used when timing it.
+pub struct Workload {
+    /// Short machine-readable name (stable across PRs; keys the committed
+    /// perf baseline).
+    pub name: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+    /// The assembled program.
+    pub prog: Program,
+    /// Fresh executions to time per measurement.
+    pub reps: usize,
+}
+
+/// Dependent ALU chains inside a counter loop — the paper's reference-path
+/// shape and the purest scheduler stress (every instruction wakes one
+/// dependent).
+pub fn alu_chain(iters: i64) -> Program {
+    let mut asm = Asm::new();
+    let (i, acc) = (asm.reg(), asm.reg());
+    asm.mov_imm(i, iters);
+    asm.mov_imm(acc, 1);
+    let top = asm.here();
+    for _ in 0..16 {
+        asm.addi(acc, acc, 1);
+    }
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    asm.assemble().expect("valid program")
+}
+
+/// Data-dependent branches: a pseudo-random bit field steers control flow.
+/// `mask = 7` gives the ~12% mispredict rate of branchy integer code;
+/// `mask = 1` is the adversarial alternating pattern a 2-bit counter can
+/// never learn (~70% squash storm).
+pub fn branchy(iters: i64, mask: i64) -> Program {
+    let mut asm = Asm::new();
+    let (i, v, acc) = (asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(i, iters);
+    let top = asm.here();
+    asm.mul(v, i, 0x9E37i64);
+    asm.emit(Instr::Alu {
+        op: AluOp::Shr,
+        dst: v,
+        a: Operand::Reg(v),
+        b: Operand::Imm(7),
+    });
+    asm.emit(Instr::Alu {
+        op: AluOp::And,
+        dst: v,
+        a: Operand::Reg(v),
+        b: Operand::Imm(mask),
+    });
+    let skip = asm.fwd_label();
+    asm.br(Cond::Ne, v, 0i64, skip);
+    asm.addi(acc, acc, 3);
+    asm.addi(acc, acc, 5);
+    asm.bind(skip);
+    asm.addi(acc, acc, 1);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    asm.assemble().expect("valid program")
+}
+
+/// Streaming loads over many lines: MSHR pressure, store ordering and the
+/// cache hierarchy on every issue.
+pub fn memory_stream(iters: i64) -> Program {
+    let mut asm = Asm::new();
+    let (i, d, addr) = (asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(i, iters);
+    let top = asm.here();
+    asm.mul(addr, i, 64);
+    for k in 0..8u64 {
+        asm.load(d, MemOperand::base_disp(addr, 0x10000 + (k * 64) as i64));
+    }
+    asm.store(d, MemOperand::abs(0x9000));
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    asm.assemble().expect("valid program")
+}
+
+/// Racing-gadget shape: a divide chain contended against wide independent
+/// ALU work (the §6.4 arithmetic-magnifier mix).
+pub fn div_race(iters: i64) -> Program {
+    let mut asm = Asm::new();
+    let (i, x, y) = (asm.reg(), asm.reg(), asm.reg());
+    let pars = asm.regs(4);
+    asm.mov_imm(i, iters);
+    asm.mov_imm(x, 1 << 20);
+    let top = asm.here();
+    asm.div(x, x, 3i64);
+    asm.addi(x, x, 1 << 20);
+    for (k, &p) in pars.iter().enumerate() {
+        asm.mul(y, p, (k + 3) as i64);
+        asm.add(p, p, y);
+    }
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0, top);
+    asm.halt();
+    asm.assemble().expect("valid program")
+}
+
+/// The standard five-workload suite at a given loop scale: `iters`
+/// iterations (the divide chain runs `iters / 4`, it is ~10× slower per
+/// iteration) and `reps` timed executions each.
+pub fn standard_suite(iters: i64, reps: usize) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "alu-chain",
+            description: "dependent 16-add chains in a counter loop",
+            prog: alu_chain(iters),
+            reps,
+        },
+        Workload {
+            name: "branchy",
+            description: "data-dependent branches, ~12% mispredict rate",
+            prog: branchy(iters, 7),
+            reps,
+        },
+        Workload {
+            name: "squash-storm",
+            description: "adversarial alternating branches, ~70% mispredict rate",
+            prog: branchy(iters, 1),
+            reps,
+        },
+        Workload {
+            name: "memory-stream",
+            description: "8 streaming loads/iteration over 64-line footprint",
+            prog: memory_stream(iters),
+            reps,
+        },
+        Workload {
+            name: "div-race",
+            description: "non-pipelined divide chain racing wide mul/add ILP",
+            prog: div_race(iters / 4),
+            reps,
+        },
+    ]
+}
+
+/// One timed measurement: host throughput plus the (deterministic)
+/// architectural result of the final execution.
+pub struct Throughput {
+    /// Committed instructions per host second.
+    pub instrs_per_sec: f64,
+    /// The last execution's architectural result (identical across reps —
+    /// each rep runs the same program on the same warmed machine state).
+    pub result: RunResult,
+}
+
+/// Time `reps` fresh executions of `prog` on a Coffee-Lake-shaped machine,
+/// with the event-driven scheduler or (`reference = true`) the retained
+/// scan-based seed scheduler. Caches and predictor are warmed by one
+/// untimed run first so both schedulers see identical state.
+///
+/// # Panics
+///
+/// Panics if the workload does not run to completion (hits the safety
+/// cycle limit) — benchmark programs must halt.
+pub fn measure_throughput(prog: &Program, reps: usize, reference: bool) -> Throughput {
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let run = |cpu: &mut Cpu| {
+        if reference {
+            cpu.execute_reference(prog)
+        } else {
+            cpu.execute(prog)
+        }
+    };
+    let _ = run(&mut cpu);
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let mut last = None;
+    for _ in 0..reps {
+        let r = run(&mut cpu);
+        assert!(r.halted && !r.limit_hit, "workload must run to completion");
+        committed += r.committed;
+        last = Some(r);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Throughput {
+        instrs_per_sec: committed as f64 / secs,
+        result: last.expect("reps >= 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_names_are_stable() {
+        let suite = standard_suite(100, 1);
+        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "alu-chain",
+                "branchy",
+                "squash-storm",
+                "memory-stream",
+                "div-race"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_workload_halts_on_both_schedulers_with_identical_state() {
+        for w in standard_suite(60, 1) {
+            let fast = measure_throughput(&w.prog, w.reps, false);
+            let reference = measure_throughput(&w.prog, w.reps, true);
+            assert!(fast.instrs_per_sec > 0.0);
+            assert_eq!(
+                (fast.result.cycles, fast.result.committed, &fast.result.regs),
+                (
+                    reference.result.cycles,
+                    reference.result.committed,
+                    &reference.result.regs
+                ),
+                "schedulers diverged on {}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn branchy_mask_controls_mispredict_rate() {
+        let easy = measure_throughput(&branchy(400, 7), 1, false);
+        let storm = measure_throughput(&branchy(400, 1), 1, false);
+        assert!(
+            storm.result.mispredicts > easy.result.mispredicts * 2,
+            "mask=1 should mispredict far more: {} vs {}",
+            storm.result.mispredicts,
+            easy.result.mispredicts
+        );
+    }
+}

@@ -27,7 +27,10 @@ fn differential(prog: &Program, init_mem: &DataMemory) {
 
     assert_eq!(result.regs, reference.regs, "register files diverge");
     assert_eq!(cpu.mem(), &ref_mem, "memory contents diverge");
-    assert_eq!(result.committed, reference.steps, "dynamic instruction counts diverge");
+    assert_eq!(
+        result.committed, reference.steps,
+        "dynamic instruction counts diverge"
+    );
     assert_eq!(result.halted, reference.halted);
 }
 
@@ -137,7 +140,11 @@ fn wrong_path_stores_never_commit() {
     cpu.mem_mut().write(0x10, 0);
     let r = cpu.execute(&prog);
     assert!(r.mispredicts >= 1, "the flipped branch must mispredict");
-    assert_eq!(cpu.mem().read(0x999), 0, "transient store must never commit");
+    assert_eq!(
+        cpu.mem().read(0x999),
+        0,
+        "transient store must never commit"
+    );
 }
 
 #[test]
@@ -170,7 +177,10 @@ fn all_predictors_preserve_architecture() {
         PredictorKind::AlwaysTaken,
         PredictorKind::AlwaysNotTaken,
     ] {
-        let cfg = CpuConfig { predictor: kind, ..CpuConfig::coffee_lake() };
+        let cfg = CpuConfig {
+            predictor: kind,
+            ..CpuConfig::coffee_lake()
+        };
         let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
         let r = cpu.execute(&prog);
         assert_eq!(r.regs, reference.regs, "{kind:?} diverged");
@@ -187,8 +197,15 @@ fn all_predictors_preserve_architecture() {
 fn arb_program(len: usize) -> impl Strategy<Value = Program> {
     let instr = |at: usize, len: usize| {
         let r = 0..8usize;
-        (0..8u8, r.clone(), r.clone(), r, 0..16u64, (at + 1)..(len + 1)).prop_map(
-            move |(kind, d, a, b, slot, tgt)| {
+        (
+            0..8u8,
+            r.clone(),
+            r.clone(),
+            r,
+            0..16u64,
+            (at + 1)..(len + 1),
+        )
+            .prop_map(move |(kind, d, a, b, slot, tgt)| {
                 let reg = |i: usize| Reg::new(i);
                 let addr = 0x100 + slot * 8;
                 match kind {
@@ -210,8 +227,14 @@ fn arb_program(len: usize) -> impl Strategy<Value = Program> {
                         a: Operand::Reg(reg(a)),
                         b: Operand::Imm(1),
                     },
-                    3 => Instr::Load { dst: reg(d), mem: MemOperand::abs(addr) },
-                    4 => Instr::Store { src: Operand::Reg(reg(a)), mem: MemOperand::abs(addr) },
+                    3 => Instr::Load {
+                        dst: reg(d),
+                        mem: MemOperand::abs(addr),
+                    },
+                    4 => Instr::Store {
+                        src: Operand::Reg(reg(a)),
+                        mem: MemOperand::abs(addr),
+                    },
                     5 => Instr::Alu {
                         op: racer_isa::AluOp::Div,
                         dst: reg(d),
@@ -231,8 +254,7 @@ fn arb_program(len: usize) -> impl Strategy<Value = Program> {
                         b: Operand::Reg(reg(b)),
                     },
                 }
-            },
-        )
+            })
     };
     let strategies: Vec<_> = (0..len).map(|at| instr(at, len)).collect();
     strategies.prop_map(move |mut instrs| {

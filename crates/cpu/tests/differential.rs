@@ -84,18 +84,47 @@ fn random_program(rng: &mut Rng, len: usize, loop_trips: Option<u64>) -> Program
                 a: Operand::Reg(a),
                 b: Operand::Reg(b),
             },
-            5 | 6 => Instr::Alu { op: AluOp::Mul, dst: d, a: Operand::Reg(a), b: Operand::Imm(3) },
-            7 => Instr::Alu { op: AluOp::Div, dst: d, a: Operand::Reg(a), b: Operand::Reg(b) },
+            5 | 6 => Instr::Alu {
+                op: AluOp::Mul,
+                dst: d,
+                a: Operand::Reg(a),
+                b: Operand::Imm(3),
+            },
+            7 => Instr::Alu {
+                op: AluOp::Div,
+                dst: d,
+                a: Operand::Reg(a),
+                b: Operand::Reg(b),
+            },
             8..=10 => Instr::Load {
                 dst: d,
-                mem: MemOperand::abs(if rng.below(2) == 0 { pool_addr } else { line_addr }),
+                mem: MemOperand::abs(if rng.below(2) == 0 {
+                    pool_addr
+                } else {
+                    line_addr
+                }),
             },
-            11 | 12 => Instr::Store { src: Operand::Reg(a), mem: MemOperand::abs(pool_addr) },
-            13 => Instr::Lea { dst: d, mem: MemOperand::base_disp(a, rng.below(64) as i64) },
-            14 => Instr::Prefetch { mem: MemOperand::abs(line_addr), nta: rng.below(2) == 0 },
-            15 => Instr::Flush { mem: MemOperand::abs(line_addr) },
+            11 | 12 => Instr::Store {
+                src: Operand::Reg(a),
+                mem: MemOperand::abs(pool_addr),
+            },
+            13 => Instr::Lea {
+                dst: d,
+                mem: MemOperand::base_disp(a, rng.below(64) as i64),
+            },
+            14 => Instr::Prefetch {
+                mem: MemOperand::abs(line_addr),
+                nta: rng.below(2) == 0,
+            },
+            15 => Instr::Flush {
+                mem: MemOperand::abs(line_addr),
+            },
             16 | 17 => Instr::Branch {
-                cond: if rng.below(2) == 0 { Cond::Lt } else { Cond::Ne },
+                cond: if rng.below(2) == 0 {
+                    Cond::Lt
+                } else {
+                    Cond::Ne
+                },
                 a,
                 b: Operand::Imm(rng.below(60) as i64),
                 target: fwd,
@@ -132,24 +161,61 @@ fn random_program(rng: &mut Rng, len: usize, loop_trips: Option<u64>) -> Program
 /// Assert every observable of the two runs matches.
 fn assert_equivalent(tag: &str, fast: &RunResult, slow: &RunResult) {
     assert_eq!(fast.cycles, slow.cycles, "{tag}: cycles diverge");
-    assert_eq!(fast.committed, slow.committed, "{tag}: commit counts diverge");
+    assert_eq!(
+        fast.committed, slow.committed,
+        "{tag}: commit counts diverge"
+    );
     assert_eq!(fast.halted, slow.halted, "{tag}: halt state diverges");
     assert_eq!(fast.limit_hit, slow.limit_hit, "{tag}: limit flag diverges");
-    assert_eq!(fast.mispredicts, slow.mispredicts, "{tag}: mispredicts diverge");
-    assert_eq!(fast.squashed_instrs, slow.squashed_instrs, "{tag}: squash counts diverge");
-    assert_eq!(fast.interrupts, slow.interrupts, "{tag}: interrupt counts diverge");
-    assert_eq!(fast.regs, slow.regs, "{tag}: architectural registers diverge");
+    assert_eq!(
+        fast.mispredicts, slow.mispredicts,
+        "{tag}: mispredicts diverge"
+    );
+    assert_eq!(
+        fast.squashed_instrs, slow.squashed_instrs,
+        "{tag}: squash counts diverge"
+    );
+    assert_eq!(
+        fast.interrupts, slow.interrupts,
+        "{tag}: interrupt counts diverge"
+    );
+    assert_eq!(
+        fast.regs, slow.regs,
+        "{tag}: architectural registers diverge"
+    );
     assert_eq!(fast.loads, slow.loads, "{tag}: load-event streams diverge");
     assert_eq!(
         format!("{:?}", fast.mem_stats),
         format!("{:?}", slow.mem_stats),
         "{tag}: cache statistics diverge"
     );
-    assert_eq!(fast.trace.len(), slow.trace.len(), "{tag}: trace lengths diverge");
+    assert_eq!(
+        fast.trace.len(),
+        slow.trace.len(),
+        "{tag}: trace lengths diverge"
+    );
     for (f, s) in fast.trace.iter().zip(&slow.trace) {
         assert_eq!(
-            (f.seq, f.pc, &f.text, f.fetched, f.dispatched, f.issued, f.completed, f.committed),
-            (s.seq, s.pc, &s.text, s.fetched, s.dispatched, s.issued, s.completed, s.committed),
+            (
+                f.seq,
+                f.pc,
+                &f.text,
+                f.fetched,
+                f.dispatched,
+                f.issued,
+                f.completed,
+                f.committed
+            ),
+            (
+                s.seq,
+                s.pc,
+                &s.text,
+                s.fetched,
+                s.dispatched,
+                s.issued,
+                s.completed,
+                s.committed
+            ),
             "{tag}: trace records diverge"
         );
     }
@@ -163,13 +229,21 @@ fn run_differential(cfg: CpuConfig, seed: u64, count: usize, len: usize) {
     let mut slow_cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let mut rng = Rng(seed);
     for i in 0..count {
-        let trips = if i % 3 == 2 { Some(2 + rng.below(3)) } else { None };
+        let trips = if i % 3 == 2 {
+            Some(2 + rng.below(3))
+        } else {
+            None
+        };
         let prog = random_program(&mut rng, len, trips);
         let fast = fast_cpu.execute(&prog);
         let slow = slow_cpu.execute_reference(&prog);
         let tag = format!("cm={} program #{i}", cfg.countermeasure);
         assert_equivalent(&tag, &fast, &slow);
-        assert_eq!(fast_cpu.mem(), slow_cpu.mem(), "{tag}: data memory diverges");
+        assert_eq!(
+            fast_cpu.mem(),
+            slow_cpu.mem(),
+            "{tag}: data memory diverges"
+        );
     }
 }
 
@@ -191,7 +265,9 @@ fn every_countermeasure_matches_reference() {
     .into_iter()
     .enumerate()
     {
-        let cfg = CpuConfig::coffee_lake().with_countermeasure(cm).with_load_recording();
+        let cfg = CpuConfig::coffee_lake()
+            .with_countermeasure(cm)
+            .with_load_recording();
         run_differential(cfg, 0xBEEF + i as u64, 40, 70);
     }
 }

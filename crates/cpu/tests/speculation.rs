@@ -11,7 +11,9 @@ use racer_isa::{Asm, Cond, MemOperand, Program};
 use racer_mem::{Addr, HierarchyConfig, HitLevel};
 
 fn cpu_with(cm: Countermeasure) -> Cpu {
-    let cfg = CpuConfig::coffee_lake().with_countermeasure(cm).with_load_recording();
+    let cfg = CpuConfig::coffee_lake()
+        .with_countermeasure(cm)
+        .with_load_recording();
     Cpu::new(cfg, HierarchyConfig::coffee_lake())
 }
 
@@ -70,7 +72,10 @@ fn two_bit_training_eliminates_mispredicts() {
     cpu.mem_mut().write(X_ADDR, 0);
     cpu.execute(&prog); // first run may mispredict
     let trained = cpu.execute(&prog);
-    assert_eq!(trained.mispredicts, 0, "trained branch must predict correctly");
+    assert_eq!(
+        trained.mispredicts, 0,
+        "trained branch must predict correctly"
+    );
 }
 
 #[test]
@@ -86,9 +91,15 @@ fn mistrained_branch_leaves_transient_cache_trace() {
     cpu.hierarchy_mut().flush(Addr(PROBE));
     let r = cpu.execute(&prog);
 
-    assert_eq!(r.mispredicts, 1, "flipped branch must mispredict exactly once");
+    assert_eq!(
+        r.mispredicts, 1,
+        "flipped branch must mispredict exactly once"
+    );
     assert!(r.squashed_instrs >= 1);
-    assert!(r.transient_touched(PROBE), "wrong-path load must have issued");
+    assert!(
+        r.transient_touched(PROBE),
+        "wrong-path load must have issued"
+    );
     assert_eq!(
         cpu.hierarchy().probe(Addr(PROBE)),
         HitLevel::L1,
@@ -294,7 +305,10 @@ fn interrupt_drain_counts_and_preserves_results() {
     asm.halt();
     let prog = asm.assemble().unwrap();
     let r = cpu.execute(&prog);
-    assert!(r.interrupts >= 2, "a long run must cross several interrupt boundaries");
+    assert!(
+        r.interrupts >= 2,
+        "a long run must cross several interrupt boundaries"
+    );
     assert_eq!(r.regs[acc.index()], (1..=900).sum::<u64>());
 
     let mut quiet = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());

@@ -46,7 +46,11 @@ fn dependent_add_chain_costs_one_cycle_per_op() {
         add_chain(asm, s, 60);
     });
     // 50 extra chained adds ⇒ exactly 50 extra cycles (1-cycle ALU).
-    assert_eq!(longer - base, 50, "chained adds must serialize at 1 cycle each");
+    assert_eq!(
+        longer - base,
+        50,
+        "chained adds must serialize at 1 cycle each"
+    );
 }
 
 #[test]
@@ -123,7 +127,11 @@ fn div_latency_is_operand_dependent_13_or_14() {
             prev = n;
         }
     });
-    assert_eq!(hi - lo, 8, "one extra cycle for each of the 8 dependent divides");
+    assert_eq!(
+        hi - lo,
+        8,
+        "one extra cycle for each of the 8 dependent divides"
+    );
 }
 
 #[test]
@@ -173,7 +181,10 @@ fn independent_adds_exploit_all_alu_ports() {
     // 80 extra independent adds on 4 ALU ports, bounded by the 4-wide front
     // end ⇒ ~20 extra cycles; far below the 80 a serial machine would take.
     let extra = many - few;
-    assert!((18..=30).contains(&extra), "expected ~20 extra cycles, got {extra}");
+    assert!(
+        (18..=30).contains(&extra),
+        "expected ~20 extra cycles, got {extra}"
+    );
 }
 
 #[test]
@@ -228,7 +239,11 @@ fn mshr_merges_same_line_misses() {
 fn pointer_chase_serializes_at_memory_latency() {
     let mut c = cpu();
     // 4-deep dependent chase through cold lines: ~4 × DRAM latency.
-    for (i, next) in [(0x50000u64, 0x60000u64), (0x60000, 0x70000), (0x70000, 0x80000)] {
+    for (i, next) in [
+        (0x50000u64, 0x60000u64),
+        (0x60000, 0x70000),
+        (0x70000, 0x80000),
+    ] {
         c.mem_mut().write(i, next);
     }
     let cycles = run_cycles(&mut c, |asm| {
@@ -256,7 +271,10 @@ fn warm_cache_speeds_up_reruns() {
     let prog = asm.assemble().unwrap();
     let cold = c.execute(&prog).cycles;
     let warm = c.execute(&prog).cycles;
-    assert!(warm < cold / 2, "warm rerun ({warm}) should be far cheaper than cold ({cold})");
+    assert!(
+        warm < cold / 2,
+        "warm rerun ({warm}) should be far cheaper than cold ({cold})"
+    );
 }
 
 #[test]
@@ -273,7 +291,10 @@ fn ipc_is_sane_on_wide_independent_code() {
     let prog = asm.assemble().unwrap();
     let r = c.execute(&prog);
     let ipc = r.ipc();
-    assert!(ipc > 2.0, "4-wide machine should sustain >2 IPC on independent adds: {ipc:.2}");
+    assert!(
+        ipc > 2.0,
+        "4-wide machine should sustain >2 IPC on independent adds: {ipc:.2}"
+    );
 }
 
 #[test]
@@ -287,6 +308,9 @@ fn run_result_memory_stats_are_deltas() {
     let first = c.execute(&prog);
     assert_eq!(first.mem_stats.l1d.misses, 1);
     let second = c.execute(&prog);
-    assert_eq!(second.mem_stats.l1d.misses, 0, "stats must be per-run deltas");
+    assert_eq!(
+        second.mem_stats.l1d.misses, 0,
+        "stats must be per-run deltas"
+    );
     assert_eq!(second.mem_stats.l1d.hits, 1);
 }

@@ -6,7 +6,10 @@ use racer_isa::{Asm, Cond, MemOperand};
 use racer_mem::{Addr, HierarchyConfig};
 
 fn traced_cpu() -> Cpu {
-    Cpu::new(CpuConfig::coffee_lake().with_trace(), HierarchyConfig::coffee_lake())
+    Cpu::new(
+        CpuConfig::coffee_lake().with_trace(),
+        HierarchyConfig::coffee_lake(),
+    )
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn squashed_wrong_path_work_appears_in_the_trace() {
     let r = cpu.execute(&prog);
     assert!(r.mispredicts >= 1);
     let squashed: Vec<_> = r.trace.iter().filter(|t| t.squashed()).collect();
-    assert!(!squashed.is_empty(), "wrong-path add must appear squashed in the trace");
+    assert!(
+        !squashed.is_empty(),
+        "wrong-path add must appear squashed in the trace"
+    );
     let rendered = render_pipeline(&r.trace);
     assert!(rendered.contains("(squashed)"));
 }
@@ -116,7 +122,12 @@ fn race_winners_are_visible_in_the_trace() {
     let r = cpu.execute(&asm.assemble().unwrap());
     // Terminal ops: last add of each chain.
     let short_end = r.trace.iter().rfind(|t| t.pc <= 6 && t.pc >= 2).unwrap();
-    let long_end = r.trace.iter().rev().find(|t| t.text.starts_with("add")).unwrap();
+    let long_end = r
+        .trace
+        .iter()
+        .rev()
+        .find(|t| t.text.starts_with("add"))
+        .unwrap();
     assert!(
         short_end.issued.unwrap() < long_end.issued.unwrap(),
         "the short path's terminator must issue first:\n{}",

@@ -70,7 +70,10 @@ fn load_ports_bound_hit_bandwidth() {
         let d = asm.regs(4);
         for p in 0..passes {
             for k in 0..lines {
-                asm.load(d[(p + k as usize) % 4], MemOperand::abs(0x20_0000 + (k % 64) * 64));
+                asm.load(
+                    d[(p + k as usize) % 4],
+                    MemOperand::abs(0x20_0000 + (k % 64) * 64),
+                );
             }
         }
         asm.halt();
@@ -191,9 +194,9 @@ fn wrong_path_loop_recovers() {
     let prog = asm.assemble().unwrap();
 
     cpu.mem_mut().write(0x100, 1); // branch is taken; wrong path = the loop
-    // Force a not-taken prediction by training on x = 0… which would
-    // actually loop forever architecturally. Instead rely on the default
-    // not-taken prediction of a cold 2-bit counter.
+                                   // Force a not-taken prediction by training on x = 0… which would
+                                   // actually loop forever architecturally. Instead rely on the default
+                                   // not-taken prediction of a cold 2-bit counter.
     cpu.hierarchy_mut().flush(racer_mem::Addr(0x100));
     let r = cpu.execute(&prog);
     assert!(r.halted, "core must recover from wrong-path spinning");
@@ -218,7 +221,7 @@ fn run_limit_bounds_infinite_loops() {
 /// Branch-heavy code with a mix of taken/not-taken trains per-PC counters
 /// independently.
 #[test]
-fn per_pc_predictor_state_is_independent(){
+fn per_pc_predictor_state_is_independent() {
     let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
     let mut asm = Asm::new();
     let (a, acc) = (asm.reg(), asm.reg());

@@ -112,7 +112,12 @@ impl Asm {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.emit(Instr::Alu { op, dst, a: a.into(), b: b.into() })
+        self.emit(Instr::Alu {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// `dst = a + b`.
@@ -192,7 +197,10 @@ impl Asm {
 
     /// `memory[mem] = src`.
     pub fn store(&mut self, src: impl Into<Operand>, mem: MemOperand) -> &mut Self {
-        self.emit(Instr::Store { src: src.into(), mem })
+        self.emit(Instr::Store {
+            src: src.into(),
+            mem,
+        })
     }
 
     /// Software prefetch.
@@ -214,7 +222,12 @@ impl Asm {
     pub fn br(&mut self, cond: Cond, a: Reg, b: impl Into<Operand>, label: Label) -> &mut Self {
         let at = self.instrs.len();
         self.fixups.push((at, label.0));
-        self.emit(Instr::Branch { cond, a, b: b.into(), target: usize::MAX })
+        self.emit(Instr::Branch {
+            cond,
+            a,
+            b: b.into(),
+            target: usize::MAX,
+        })
     }
 
     /// Unconditional jump to `label`.

@@ -177,12 +177,15 @@ mod tests {
         asm.mov_imm(base_b, 0x2000);
         let body = asm.position();
         asm.load(a, MemOperand::abs(0)); // var A = array[0]
-        // path A: B, D, F, H — even indices; path B: C, E, G, I — odd.
+                                         // path A: B, D, F, H — even indices; path B: C, E, G, I — odd.
         let mut prev_a = a;
         let mut prev_b = a;
         for i in 0..4 {
             asm.load(regs[2 * i], MemOperand::base_index(base_a, prev_a, 8, 0));
-            asm.load(regs[2 * i + 1], MemOperand::base_index(base_b, prev_b, 8, 0));
+            asm.load(
+                regs[2 * i + 1],
+                MemOperand::base_index(base_b, prev_b, 8, 0),
+            );
             prev_a = regs[2 * i];
             prev_b = regs[2 * i + 1];
         }
@@ -240,7 +243,10 @@ mod tests {
         asm.halt();
         let p = asm.assemble().unwrap();
         assert!(ranges_independent(&p, 1..2, 2..3));
-        assert!(!ranges_independent(&p, 1..2, 3..4), "3 reads b written by 1");
+        assert!(
+            !ranges_independent(&p, 1..2, 3..4),
+            "3 reads b written by 1"
+        );
         assert!(!ranges_independent(&p, 2..3, 3..4), "WAW/RAW on c");
     }
 
@@ -249,7 +255,7 @@ mod tests {
         let mut asm = Asm::new();
         let r = asm.regs(6);
         asm.mov_imm(r[0], 1); // 0
-        // Chain of three adds: 1,2,3.
+                              // Chain of three adds: 1,2,3.
         asm.addi(r[1], r[0], 1);
         asm.addi(r[2], r[1], 1);
         asm.addi(r[3], r[2], 1);

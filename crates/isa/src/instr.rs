@@ -172,17 +172,32 @@ pub struct MemOperand {
 impl MemOperand {
     /// Absolute address `disp`.
     pub fn abs(disp: u64) -> Self {
-        MemOperand { base: None, index: None, scale: 1, disp: disp as i64 }
+        MemOperand {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: disp as i64,
+        }
     }
 
     /// `base + disp`.
     pub fn base_disp(base: Reg, disp: i64) -> Self {
-        MemOperand { base: Some(base), index: None, scale: 1, disp }
+        MemOperand {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// `base + index * scale + disp`.
     pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> Self {
-        MemOperand { base: Some(base), index: Some(index), scale, disp }
+        MemOperand {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 
     /// Registers this operand reads.
@@ -399,7 +414,10 @@ impl Instr {
 
     /// Whether this is a control-flow instruction.
     pub fn is_control(&self) -> bool {
-        matches!(self, Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt)
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt
+        )
     }
 
     /// Whether this instruction touches the data-cache hierarchy.
@@ -441,7 +459,11 @@ mod tests {
         assert_eq!(AluOp::Sub.eval(2, 3), u64::MAX);
         assert_eq!(AluOp::Mul.eval(6, 7), 42);
         assert_eq!(AluOp::Div.eval(42, 6), 7);
-        assert_eq!(AluOp::Div.eval(42, 0), u64::MAX, "division by zero saturates");
+        assert_eq!(
+            AluOp::Div.eval(42, 0),
+            u64::MAX,
+            "division by zero saturates"
+        );
         assert_eq!(AluOp::Shl.eval(1, 65), 2, "shift counts wrap at 64");
         assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
         assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
@@ -472,36 +494,70 @@ mod tests {
     #[test]
     fn srcs_and_dst_extraction() {
         let r = |i| Reg::new(i);
-        let i = Instr::Alu { op: AluOp::Add, dst: r(3), a: r(1).into(), b: Operand::Imm(5) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            dst: r(3),
+            a: r(1).into(),
+            b: Operand::Imm(5),
+        };
         assert_eq!(i.dst(), Some(r(3)));
         assert_eq!(i.srcs(), vec![r(1)]);
 
-        let ld = Instr::Load { dst: r(4), mem: MemOperand::base_index(r(1), r(2), 1, 0) };
+        let ld = Instr::Load {
+            dst: r(4),
+            mem: MemOperand::base_index(r(1), r(2), 1, 0),
+        };
         assert_eq!(ld.dst(), Some(r(4)));
         assert_eq!(ld.srcs(), vec![r(1), r(2)]);
 
-        let st = Instr::Store { src: r(5).into(), mem: MemOperand::base_disp(r(6), 0) };
+        let st = Instr::Store {
+            src: r(5).into(),
+            mem: MemOperand::base_disp(r(6), 0),
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), vec![r(5), r(6)]);
 
-        let br = Instr::Branch { cond: Cond::Lt, a: r(7), b: Operand::Imm(2), target: 0 };
+        let br = Instr::Branch {
+            cond: Cond::Lt,
+            a: r(7),
+            b: Operand::Imm(2),
+            target: 0,
+        };
         assert_eq!(br.srcs(), vec![r(7)]);
     }
 
     #[test]
     fn fu_classes() {
         let r = |i| Reg::new(i);
-        let mul = Instr::Alu { op: AluOp::Mul, dst: r(0), a: r(1).into(), b: r(2).into() };
+        let mul = Instr::Alu {
+            op: AluOp::Mul,
+            dst: r(0),
+            a: r(1).into(),
+            b: r(2).into(),
+        };
         assert_eq!(mul.fu_class(), FuClass::Mul);
-        let div = Instr::Alu { op: AluOp::Div, dst: r(0), a: r(1).into(), b: r(2).into() };
+        let div = Instr::Alu {
+            op: AluOp::Div,
+            dst: r(0),
+            a: r(1).into(),
+            b: r(2).into(),
+        };
         assert_eq!(div.fu_class(), FuClass::Div);
         assert_eq!(Instr::Nop.fu_class(), FuClass::None);
         assert_eq!(
-            Instr::Lea { dst: r(0), mem: MemOperand::abs(0) }.fu_class(),
+            Instr::Lea {
+                dst: r(0),
+                mem: MemOperand::abs(0)
+            }
+            .fu_class(),
             FuClass::Alu
         );
         assert_eq!(
-            Instr::Prefetch { mem: MemOperand::abs(0), nta: false }.fu_class(),
+            Instr::Prefetch {
+                mem: MemOperand::abs(0),
+                nta: false
+            }
+            .fu_class(),
             FuClass::Load
         );
     }
@@ -509,9 +565,17 @@ mod tests {
     #[test]
     fn display_forms() {
         let r = |i| Reg::new(i);
-        let i = Instr::Alu { op: AluOp::Add, dst: r(3), a: r(1).into(), b: Operand::Imm(5) };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            dst: r(3),
+            a: r(1).into(),
+            b: Operand::Imm(5),
+        };
         assert_eq!(i.to_string(), "add r3, r1, 0x5");
-        let ld = Instr::Load { dst: r(4), mem: MemOperand::base_index(r(1), r(2), 8, 16) };
+        let ld = Instr::Load {
+            dst: r(4),
+            mem: MemOperand::base_index(r(1), r(2), 8, 16),
+        };
         assert_eq!(ld.to_string(), "load r4, [r1 + r2*8 + 0x10]");
         assert_eq!(Instr::Halt.to_string(), "halt");
     }

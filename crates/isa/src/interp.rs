@@ -138,7 +138,12 @@ pub fn run(
         pc = next;
     }
 
-    Ok(InterpResult { regs, steps, halted, mem_trace: trace })
+    Ok(InterpResult {
+        regs,
+        steps,
+        halted,
+        mem_trace: trace,
+    })
 }
 
 fn operand(regs: &[u64], op: crate::instr::Operand) -> u64 {
@@ -185,7 +190,10 @@ mod tests {
         mem.write(0x200, 7);
         let r = run(&p, &mut mem, 100).unwrap();
         assert_eq!(r.regs[v.index()], 7);
-        assert_eq!(r.mem_trace, vec![MemEvent::Load(0x100), MemEvent::Load(0x200)]);
+        assert_eq!(
+            r.mem_trace,
+            vec![MemEvent::Load(0x100), MemEvent::Load(0x200)]
+        );
     }
 
     #[test]
@@ -208,7 +216,10 @@ mod tests {
         asm.jump(top);
         let p = asm.assemble().unwrap();
         let mut mem = DataMemory::new();
-        assert_eq!(run(&p, &mut mem, 50), Err(InterpError::StepLimit { limit: 50 }));
+        assert_eq!(
+            run(&p, &mut mem, 50),
+            Err(InterpError::StepLimit { limit: 50 })
+        );
     }
 
     #[test]

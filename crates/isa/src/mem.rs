@@ -51,7 +51,9 @@ impl DataMemory {
 
     /// Read `count` words from `base` at `stride` spacing.
     pub fn read_array(&self, base: u64, stride: u64, count: usize) -> Vec<u64> {
-        (0..count as u64).map(|i| self.read(base.wrapping_add(i * stride))).collect()
+        (0..count as u64)
+            .map(|i| self.read(base.wrapping_add(i * stride)))
+            .collect()
     }
 
     /// Number of explicitly written words.

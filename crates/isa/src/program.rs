@@ -133,14 +133,22 @@ mod tests {
     #[test]
     fn out_of_range_target_rejected() {
         let prog = Program::from_instrs(vec![Instr::Jump { target: 5 }, Instr::Halt]);
-        assert_eq!(prog, Err(ProgramError::TargetOutOfRange { at: 0, target: 5 }));
+        assert_eq!(
+            prog,
+            Err(ProgramError::TargetOutOfRange { at: 0, target: 5 })
+        );
     }
 
     #[test]
     fn valid_program_accessors() {
         let r0 = Reg::new(0);
         let p = Program::from_instrs(vec![
-            Instr::Alu { op: AluOp::Add, dst: r0, a: Operand::Imm(1), b: Operand::Imm(2) },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: r0,
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
             Instr::Halt,
         ])
         .unwrap();

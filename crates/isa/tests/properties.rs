@@ -2,7 +2,7 @@
 //! dataflow-analysis invariants over randomized programs.
 
 use proptest::prelude::*;
-use racer_isa::{deps, interp, Asm, AluOp, Cond, DataMemory, Instr, MemOperand, Operand, Reg};
+use racer_isa::{deps, interp, AluOp, Asm, Cond, DataMemory, Instr, MemOperand, Operand, Reg};
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![

@@ -1,0 +1,13 @@
+//! `racer-lab` binary: see [`racer_lab::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match racer_lab::cli::dispatch(&args) {
+        Ok(racer_lab::cli::Outcome::Ok) => {}
+        Ok(racer_lab::cli::Outcome::GateFailed) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Report provenance: what produced this JSON file.
+
+use racer_results::Value;
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or a repository) is unavailable. Stable for a given checkout
+/// state, so deterministic reports stay byte-identical across runs.
+pub fn git_describe() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// The report's `provenance` object: generator identity plus checkout
+/// state.
+pub fn to_value() -> Value {
+    Value::object()
+        .with("generator", "racer-lab")
+        .with("version", env!("CARGO_PKG_VERSION"))
+        .with("git", git_describe())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_nonempty_and_stable() {
+        let a = git_describe();
+        assert!(!a.is_empty());
+        assert_eq!(a, git_describe());
+    }
+}

@@ -1,0 +1,166 @@
+//! Executing scenarios and assembling reports.
+
+use crate::params::{ResolvedParams, Scale};
+use crate::registry::{RunContext, Scenario};
+use racer_results::Value;
+use std::path::{Path, PathBuf};
+
+/// Everything one scenario run produced.
+pub struct Report {
+    /// Scenario name (`results/<name>.json` stem).
+    pub name: &'static str,
+    /// The full report document (config, provenance, results).
+    pub json: Value,
+    /// Human-readable text output.
+    pub text: String,
+}
+
+/// Options shared by every scenario in one `run` invocation.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Preset selecting each parameter's default.
+    pub scale: Scale,
+    /// `--set name=value` overrides (validated per scenario).
+    pub overrides: Vec<(String, String)>,
+    /// `--seed` override for the scenario's registered base seed.
+    pub seed: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: Scale::Paper,
+            overrides: Vec::new(),
+            seed: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Quick-preset options with no overrides.
+    pub fn quick() -> Self {
+        RunOptions {
+            scale: Scale::Quick,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run one scenario and wrap its output in the versioned report document:
+///
+/// ```json
+/// {
+///   "schema": "racer-lab/v1",
+///   "scenario": ..., "title": ..., "description": ...,
+///   "scale": "quick" | "paper",
+///   "seed": N,
+///   "config": { <resolved parameters> },
+///   "provenance": { "generator": ..., "version": ..., "git": ... },
+///   "results": <scenario data>
+/// }
+/// ```
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<Report, String> {
+    let params = ResolvedParams::resolve(&scenario.params, opts.scale, &opts.overrides)
+        .map_err(|e| format!("{}: {e}", scenario.name))?;
+    let seed = opts.seed.unwrap_or(scenario.seed);
+    let ctx = RunContext {
+        params,
+        seed,
+        scale: opts.scale,
+    };
+    let out = (scenario.run)(&ctx);
+
+    let mut config = Value::object();
+    for (name, value) in ctx.params.entries() {
+        config.insert(name, value.to_value());
+    }
+    let json = Value::object()
+        .with("schema", "racer-lab/v1")
+        .with("scenario", scenario.name)
+        .with("title", scenario.title)
+        .with("description", scenario.description)
+        .with("scale", opts.scale.name())
+        .with("seed", seed)
+        .with("deterministic", scenario.deterministic)
+        .with("config", config)
+        .with("provenance", crate::provenance::to_value())
+        .with("results", out.data);
+    Ok(Report {
+        name: scenario.name,
+        json,
+        text: out.text,
+    })
+}
+
+impl Report {
+    /// Write the report to `<dir>/<name>.json` (creating `dir`), returning
+    /// the path written.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.json.to_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find;
+
+    #[test]
+    fn report_document_has_the_v1_envelope() {
+        let sc = find("countermeasures_eval").unwrap();
+        let report = run_scenario(&sc, &RunOptions::quick()).unwrap();
+        let j = &report.json;
+        assert_eq!(
+            j.get("schema").and_then(Value::as_str),
+            Some("racer-lab/v1")
+        );
+        assert_eq!(
+            j.get("scenario").and_then(Value::as_str),
+            Some("countermeasures_eval")
+        );
+        assert_eq!(j.get("scale").and_then(Value::as_str), Some("quick"));
+        assert!(j.get("config").is_some());
+        assert!(j.get("results").is_some());
+        let prov = j.get("provenance").unwrap();
+        assert_eq!(
+            prov.get("generator").and_then(Value::as_str),
+            Some("racer-lab")
+        );
+        assert!(!report.text.is_empty());
+    }
+
+    #[test]
+    fn seed_override_lands_in_the_report() {
+        let sc = find("spectre_back_eval").unwrap();
+        let opts = RunOptions {
+            seed: Some(99),
+            ..RunOptions::quick()
+        };
+        let report = run_scenario(&sc, &opts).unwrap();
+        assert_eq!(report.json.get("seed").and_then(Value::as_i64), Some(99));
+    }
+
+    #[test]
+    fn bad_override_is_an_error_not_a_panic() {
+        let sc = find("fig08_granularity_add").unwrap();
+        let opts = RunOptions {
+            overrides: vec![("no_such_param".into(), "1".into())],
+            ..RunOptions::quick()
+        };
+        assert!(run_scenario(&sc, &opts).is_err());
+    }
+
+    #[test]
+    fn write_creates_the_results_file() {
+        let sc = find("countermeasures_eval").unwrap();
+        let report = run_scenario(&sc, &RunOptions::quick()).unwrap();
+        let dir = std::env::temp_dir().join("racer-lab-test-write");
+        let path = report.write(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Value::parse(&text).unwrap(), report.json);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulator-throughput baseline: committed instructions per host second
+//! for the event-driven scheduler vs. the retained scan-based reference
+//! scheduler, across the standard workload suite.
+//!
+//! The payload (`results`) is exactly the committed `BENCH_pipeline.json`
+//! document, so the legacy `perf_baseline` binary can keep refreshing the
+//! baseline and `racer-lab perf-check` can diff against it.
+
+use super::header;
+use crate::params::ParamSpec;
+use crate::registry::{RunContext, Scenario, ScenarioOutput};
+use racer_cpu::workloads::{measure_throughput, standard_suite};
+use racer_results::Value;
+use std::fmt::Write as _;
+
+fn run(ctx: &RunContext) -> ScenarioOutput {
+    let iters = ctx.params.i64("iters");
+    let reps = ctx.params.usize("reps");
+    let mut text = header("perf baseline", "pipeline scheduler throughput");
+    let _ = writeln!(
+        text,
+        "# pipeline scheduler throughput (committed Minstr/s, higher is better)"
+    );
+    let _ = writeln!(
+        text,
+        "# workload            event-driven   reference   speedup   ipc   mispredicts"
+    );
+    let mut rows = Vec::new();
+    for w in &standard_suite(iters, reps) {
+        let fast = measure_throughput(&w.prog, w.reps, false);
+        let reference = measure_throughput(&w.prog, w.reps, true);
+        assert_eq!(
+            (fast.result.cycles, fast.result.committed, &fast.result.regs),
+            (
+                reference.result.cycles,
+                reference.result.committed,
+                &reference.result.regs
+            ),
+            "schedulers diverged on {}",
+            w.name
+        );
+        let speedup = fast.instrs_per_sec / reference.instrs_per_sec;
+        let _ = writeln!(
+            text,
+            "{:<21} {:>10.2}M {:>10.2}M {:>8.1}x {:>6.2} {:>10}",
+            w.name,
+            fast.instrs_per_sec / 1e6,
+            reference.instrs_per_sec / 1e6,
+            speedup,
+            fast.result.ipc(),
+            fast.result.mispredicts,
+        );
+        rows.push(
+            Value::object()
+                .with("workload", w.name)
+                .with("description", w.description)
+                .with("dyn_instrs_per_run", fast.result.committed)
+                .with("cycles_per_run", fast.result.cycles)
+                .with("mispredicts_per_run", fast.result.mispredicts)
+                .with("squashed_per_run", fast.result.squashed_instrs)
+                .with("ipc", round3(fast.result.ipc()))
+                .with("event_driven_instrs_per_sec", fast.instrs_per_sec.round())
+                .with("reference_instrs_per_sec", reference.instrs_per_sec.round())
+                .with("speedup", round2(speedup)),
+        );
+    }
+    let data = Value::object()
+        .with("bench", "pipeline-scheduler-throughput")
+        .with("unit", "committed instructions per host second")
+        .with("scale", ctx.scale.name())
+        .with("config", "coffee_lake (224-entry ROB, 6-wide issue)")
+        .with(
+            "reference",
+            "racer_cpu::reference (scan-based seed scheduler)",
+        )
+        .with("workloads", Value::Array(rows));
+    ScenarioOutput { data, text }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Registration for the throughput baseline. The only scenario whose
+/// results depend on wall-clock time, hence `deterministic: false`.
+pub fn perf_baseline() -> Scenario {
+    Scenario {
+        name: "perf_baseline",
+        title: "perf baseline",
+        description: "event-driven vs reference scheduler throughput per workload shape",
+        params: vec![
+            ParamSpec::int("iters", "loop iterations per workload", 2_000, 12_000),
+            ParamSpec::int("reps", "timed executions per workload", 2, 4),
+        ],
+        seed: 0,
+        deterministic: false,
+        run,
+    }
+}

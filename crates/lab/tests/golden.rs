@@ -1,0 +1,193 @@
+//! Golden and determinism guards for the experiment runner.
+//!
+//! Three layers:
+//!
+//! 1. **Determinism sweep** — every scenario flagged `deterministic` runs
+//!    twice (at quick scale, with heavy axes shrunk further so the debug
+//!    test build stays fast) and must produce byte-identical reports.
+//! 2. **Committed snapshots** — the two purely structural scenarios
+//!    (`countermeasures_eval`, `fig03_plru_walk`) are additionally diffed
+//!    against checked-in `tests/golden/*.results.json` files: their
+//!    payloads are machine-independent, so any drift is a behavior change.
+//! 3. **CLI round trip** — the built `racer-lab` binary runs the same
+//!    scenario twice into temp dirs; the written files must match byte for
+//!    byte and parse as valid JSON.
+
+use racer_lab::{registry, run_scenario, RunOptions, Scale};
+use racer_results::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Shrink the expensive sweep axes so the whole determinism sweep stays in
+/// test-suite budget even in debug builds. Every override still exercises
+/// the same code paths as the quick preset.
+fn tiny_overrides(name: &str) -> Vec<(String, String)> {
+    let kv = |pairs: &[(&str, &str)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
+    match name {
+        "fig07_repetition" => kv(&[("iterations", "8")]),
+        "fig08_granularity_add" => kv(&[("max_target", "8")]),
+        "fig09_granularity_mul" => kv(&[("max_target", "16")]),
+        "fig10_reorder_distribution" => kv(&[("trials", "2"), ("rounds", "120")]),
+        "fig11_arbitrary_replacement" => kv(&[("points", "2,4")]),
+        "fig12_arithmetic" => kv(&[("points", "10,20"), ("interrupt_cycles", "4000")]),
+        "table_granularity" => kv(&[("fig8_max_target", "8"), ("fig9_max_target", "16")]),
+        "table_par_seq" => kv(&[("trials", "200")]),
+        "eviction_set_eval" => kv(&[("trials", "1"), ("pool_pages", "24")]),
+        "noise_sensitivity_eval" => kv(&[("jitter_levels", "0,60")]),
+        "timer_mitigations_eval" => {
+            kv(&[("timers", "5us,1ms"), ("rounds", "500"), ("trials", "1")])
+        }
+        "window_ablation_eval" => kv(&[("rs_sizes", "32"), ("max_probe", "80")]),
+        "spectre_back_eval" => kv(&[("secret", "OK")]),
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn every_deterministic_scenario_is_byte_identical_across_runs() {
+    let scenarios: Vec<_> = registry().into_iter().filter(|s| s.deterministic).collect();
+    assert!(
+        scenarios.len() >= 16,
+        "expected >= 16 deterministic scenarios"
+    );
+    // Independent scenario pairs: fan the sweep out across host cores.
+    let renders = racer_cpu::batch::par_map(&scenarios, |sc| {
+        let opts = RunOptions {
+            scale: Scale::Quick,
+            overrides: tiny_overrides(sc.name),
+            seed: None,
+        };
+        let a = run_scenario(sc, &opts).expect("first run");
+        let b = run_scenario(sc, &opts).expect("second run");
+        (sc.name, a.json.to_pretty(), b.json.to_pretty())
+    });
+    for (name, a, b) in renders {
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{name} report changed between identical runs");
+        let parsed = Value::parse(&a).unwrap_or_else(|e| panic!("{name} wrote invalid JSON: {e}"));
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("racer-lab/v1"),
+            "{name} lost the report envelope"
+        );
+    }
+}
+
+/// The perf baseline is the one intentionally non-deterministic scenario
+/// (it measures wall-clock throughput); make sure nobody quietly flips
+/// the flag and breaks the CI diffing assumption.
+#[test]
+fn only_the_perf_baseline_is_nondeterministic() {
+    let nondet: Vec<&str> = registry()
+        .iter()
+        .filter(|s| !s.deterministic)
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(nondet, ["perf_baseline"]);
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.results.json"))
+}
+
+/// Structural scenarios (no timing values in the payload) must match the
+/// committed snapshot exactly. After confirming a behavior change is
+/// intended, regenerate with `UPDATE_GOLDEN=1 cargo test -p racer-lab`.
+fn assert_matches_snapshot(name: &str) {
+    let sc = racer_lab::find(name).expect("registered");
+    let report = run_scenario(&sc, &RunOptions::quick()).expect("runs");
+    let results = report.json.get("results").expect("has results").to_pretty();
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, &results).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot for {name}: {e}"));
+    assert_eq!(
+        results, expected,
+        "{name} payload drifted from tests/golden/{name}.results.json"
+    );
+}
+
+#[test]
+fn countermeasure_matrix_matches_committed_snapshot() {
+    assert_matches_snapshot("countermeasures_eval");
+}
+
+#[test]
+fn plru_walk_matches_committed_snapshot() {
+    assert_matches_snapshot("fig03_plru_walk");
+}
+
+#[test]
+fn cli_writes_identical_valid_json_across_invocations() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    let tmp = std::env::temp_dir().join(format!("racer-lab-golden-{}", std::process::id()));
+    let run = |sub: &str| {
+        let dir = tmp.join(sub);
+        let out = Command::new(bin)
+            .args(["run", "countermeasures_eval", "--quick", "--quiet", "--out"])
+            .arg(&dir)
+            .output()
+            .expect("spawn racer-lab");
+        assert!(
+            out.status.success(),
+            "racer-lab failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join("countermeasures_eval.json")).expect("results file")
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a, b, "CLI output not byte-identical across runs");
+    let v = Value::parse(&a).expect("valid JSON on disk");
+    assert_eq!(
+        v.get("scenario").and_then(Value::as_str),
+        Some("countermeasures_eval")
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_scenarios_and_bad_overrides() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    let unknown = Command::new(bin)
+        .args(["run", "no_such_scenario"])
+        .output()
+        .unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    let bad = Command::new(bin)
+        .args([
+            "run",
+            "fig08_granularity_add",
+            "--quick",
+            "--set",
+            "max_target=lots",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn list_names_json_is_machine_readable() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    let out = Command::new(bin)
+        .args(["list", "--names-json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let names = Value::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("JSON array");
+    let names = names.as_array().expect("array");
+    assert!(names.len() >= 17);
+    assert!(names.iter().any(|n| n.as_str() == Some("perf_baseline")));
+}

@@ -63,7 +63,10 @@ impl LineAddr {
     /// Panics (debug builds) if `num_sets` is not a power of two.
     #[inline]
     pub fn set_index(self, num_sets: usize) -> usize {
-        debug_assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        debug_assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
         (self.0 as usize) & (num_sets - 1)
     }
 

@@ -26,12 +26,24 @@ impl CacheConfig {
     /// 32 KB, 8-way, 64-set L1D with tree-PLRU at 4-cycle latency — the
     /// paper's Coffee Lake evaluation machine.
     pub fn l1d_coffee_lake() -> Self {
-        CacheConfig { sets: 64, ways: 8, hit_latency: 4, replacement: ReplacementKind::TreePlru, seed: 0x11d }
+        CacheConfig {
+            sets: 64,
+            ways: 8,
+            hit_latency: 4,
+            replacement: ReplacementKind::TreePlru,
+            seed: 0x11d,
+        }
     }
 
     /// 256 KB, 4-way, 1024-set unified L2 at 12-cycle latency.
     pub fn l2_coffee_lake() -> Self {
-        CacheConfig { sets: 1024, ways: 4, hit_latency: 12, replacement: ReplacementKind::TreePlru, seed: 0x12 }
+        CacheConfig {
+            sets: 1024,
+            ways: 4,
+            hit_latency: 12,
+            replacement: ReplacementKind::TreePlru,
+            seed: 0x12,
+        }
     }
 
     /// Shared L3 at 40-cycle latency. The paper's machine has a 9 MB 12-way
@@ -39,7 +51,13 @@ impl CacheConfig {
     /// indexing and tree-PLRU's power-of-two way requirement. Capacity class
     /// and inclusivity — the properties the attacks rely on — are preserved.
     pub fn l3_coffee_lake() -> Self {
-        CacheConfig { sets: 8192, ways: 16, hit_latency: 40, replacement: ReplacementKind::TreePlru, seed: 0x13 }
+        CacheConfig {
+            sets: 8192,
+            ways: 16,
+            hit_latency: 40,
+            replacement: ReplacementKind::TreePlru,
+            seed: 0x13,
+        }
     }
 
     /// Total capacity in bytes.
@@ -72,15 +90,25 @@ impl Cache {
     ///
     /// Panics if `cfg.sets` is not a power of two or `cfg.ways` is zero.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(cfg.ways >= 1, "need at least one way");
         let sets = (0..cfg.sets)
             .map(|i| {
-                let seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
                 CacheSet::new(cfg.replacement.build(cfg.ways, seed))
             })
             .collect();
-        Cache { cfg, sets, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     /// This cache's configuration.
@@ -186,7 +214,10 @@ mod tests {
     fn capacity_matches_coffee_lake() {
         assert_eq!(CacheConfig::l1d_coffee_lake().capacity_bytes(), 32 * 1024);
         assert_eq!(CacheConfig::l2_coffee_lake().capacity_bytes(), 256 * 1024);
-        assert_eq!(CacheConfig::l3_coffee_lake().capacity_bytes(), 8 * 1024 * 1024);
+        assert_eq!(
+            CacheConfig::l3_coffee_lake().capacity_bytes(),
+            8 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -213,7 +244,13 @@ mod tests {
 
     #[test]
     fn conflict_evictions_counted() {
-        let cfg = CacheConfig { sets: 2, ways: 2, hit_latency: 1, replacement: ReplacementKind::Lru, seed: 0 };
+        let cfg = CacheConfig {
+            sets: 2,
+            ways: 2,
+            hit_latency: 1,
+            replacement: ReplacementKind::Lru,
+            seed: 0,
+        };
         let mut c = Cache::new(cfg);
         // Three lines in the same set of a 2-way cache.
         for i in 0..3u64 {

@@ -54,7 +54,9 @@ pub fn candidate_pool(base: Addr, count: usize, offset: u64) -> Vec<Addr> {
     assert!(offset < PAGE_BYTES, "offset must lie within a page");
     assert_eq!(offset % LINE_BYTES, 0, "offset must be line-aligned");
     let page_base = base.0 - (base.0 % PAGE_BYTES);
-    (0..count as u64).map(|i| Addr(page_base + i * PAGE_BYTES + offset)).collect()
+    (0..count as u64)
+        .map(|i| Addr(page_base + i * PAGE_BYTES + offset))
+        .collect()
 }
 
 #[cfg(test)]

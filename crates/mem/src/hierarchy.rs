@@ -99,7 +99,11 @@ impl HierarchyConfig {
     /// Coffee-Lake-like system with DRAM jitter enabled (for experiments
     /// that need realistic noise in their distributions).
     pub fn coffee_lake_noisy(seed: u64) -> Self {
-        HierarchyConfig { memory_jitter: 30, seed, ..Self::coffee_lake() }
+        HierarchyConfig {
+            memory_jitter: 30,
+            seed,
+            ..Self::coffee_lake()
+        }
     }
 
     /// A small hierarchy (4-way PLRU L1 with 16 sets) used by the PLRU
@@ -107,7 +111,11 @@ impl HierarchyConfig {
     /// Figures 3 and 4.
     pub fn small_plru() -> Self {
         let mut cfg = Self::coffee_lake();
-        cfg.l1d = CacheConfig { sets: 16, ways: 4, ..CacheConfig::l1d_coffee_lake() };
+        cfg.l1d = CacheConfig {
+            sets: 16,
+            ways: 4,
+            ..CacheConfig::l1d_coffee_lake()
+        };
         cfg
     }
 }
@@ -214,7 +222,12 @@ impl Hierarchy {
         let l3_evicted = self.fill_l3(line);
         self.l2.fill(line);
         let l1_evicted = self.fill_l1(line, low_priority);
-        AccessOutcome { level: HitLevel::Memory, latency, l1_evicted, l3_evicted }
+        AccessOutcome {
+            level: HitLevel::Memory,
+            latency,
+            l1_evicted,
+            l3_evicted,
+        }
     }
 
     /// Demand load of `addr`.
@@ -233,7 +246,11 @@ impl Hierarchy {
     }
 
     fn fill_l1(&mut self, line: LineAddr, low_priority: bool) -> Option<LineAddr> {
-        let out = if low_priority { self.l1d.fill_low_priority(line) } else { self.l1d.fill(line) };
+        let out = if low_priority {
+            self.l1d.fill_low_priority(line)
+        } else {
+            self.l1d.fill(line)
+        };
         out.evicted
     }
 
@@ -368,7 +385,10 @@ mod tests {
             h.load(Addr(0x10000 + i * 64 * 64));
         }
         let lvl = h.probe(a);
-        assert!(lvl == HitLevel::L2 || lvl == HitLevel::L3, "expected L2/L3, got {lvl}");
+        assert!(
+            lvl == HitLevel::L2 || lvl == HitLevel::L3,
+            "expected L2/L3, got {lvl}"
+        );
         let out = h.load(a);
         assert_ne!(out.level, HitLevel::Memory);
         assert_ne!(out.level, HitLevel::L1);
@@ -389,7 +409,13 @@ mod tests {
     fn inclusive_l3_back_invalidates() {
         // Tiny inclusive L3 so we can force LLC evictions easily.
         let mut cfg = HierarchyConfig::coffee_lake();
-        cfg.l3 = CacheConfig { sets: 2, ways: 2, hit_latency: 40, replacement: crate::ReplacementKind::Lru, seed: 0 };
+        cfg.l3 = CacheConfig {
+            sets: 2,
+            ways: 2,
+            hit_latency: 40,
+            replacement: crate::ReplacementKind::Lru,
+            seed: 0,
+        };
         let mut h = Hierarchy::new(cfg);
         let a = Addr(0); // L3 set 0
         h.load(a);
@@ -405,14 +431,24 @@ mod tests {
     #[test]
     fn non_inclusive_l3_does_not_back_invalidate() {
         let mut cfg = HierarchyConfig::coffee_lake();
-        cfg.l3 = CacheConfig { sets: 2, ways: 2, hit_latency: 40, replacement: crate::ReplacementKind::Lru, seed: 0 };
+        cfg.l3 = CacheConfig {
+            sets: 2,
+            ways: 2,
+            hit_latency: 40,
+            replacement: crate::ReplacementKind::Lru,
+            seed: 0,
+        };
         cfg.inclusive_l3 = false;
         let mut h = Hierarchy::new(cfg);
         let a = Addr(0);
         h.load(a);
         h.load(Addr(2 * 64));
         h.load(Addr(4 * 64));
-        assert_eq!(h.probe(a), HitLevel::L1, "non-inclusive L3 eviction must not touch L1");
+        assert_eq!(
+            h.probe(a),
+            HitLevel::L1,
+            "non-inclusive L3 eviction must not touch L1"
+        );
     }
 
     #[test]
@@ -448,7 +484,10 @@ mod tests {
             assert_eq!(out.level, HitLevel::Memory);
             latencies.insert(out.latency);
         }
-        assert!(latencies.len() > 3, "jitter should produce varied DRAM latencies");
+        assert!(
+            latencies.len() > 3,
+            "jitter should produce varied DRAM latencies"
+        );
     }
 
     #[test]

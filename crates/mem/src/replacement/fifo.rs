@@ -29,7 +29,9 @@ impl Fifo {
     /// Panics if `ways` is zero.
     pub fn new(ways: usize) -> Self {
         assert!(ways >= 1, "FIFO needs at least one way");
-        Fifo { queue: (0..ways).collect() }
+        Fifo {
+            queue: (0..ways).collect(),
+        }
     }
 }
 

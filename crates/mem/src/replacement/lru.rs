@@ -29,7 +29,9 @@ impl Lru {
     /// Panics if `ways` is zero.
     pub fn new(ways: usize) -> Self {
         assert!(ways >= 1, "LRU needs at least one way");
-        Lru { order: (0..ways).collect() }
+        Lru {
+            order: (0..ways).collect(),
+        }
     }
 
     fn promote(&mut self, way: usize) {

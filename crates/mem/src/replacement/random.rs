@@ -81,7 +81,10 @@ mod tests {
         for _ in 0..512 {
             seen[p.victim()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "512 draws should hit every way of 8");
+        assert!(
+            seen.iter().all(|&s| s),
+            "512 draws should hit every way of 8"
+        );
     }
 
     #[test]
@@ -94,7 +97,10 @@ mod tests {
         }
         for &c in &counts {
             // Expected 1000 each; allow generous slack.
-            assert!((700..=1300).contains(&c), "non-uniform victim counts: {counts:?}");
+            assert!(
+                (700..=1300).contains(&c),
+                "non-uniform victim counts: {counts:?}"
+            );
         }
     }
 

@@ -29,7 +29,9 @@ impl Srrip {
     /// Panics if `ways` is zero.
     pub fn new(ways: usize) -> Self {
         assert!(ways >= 1, "SRRIP needs at least one way");
-        Srrip { rrpv: vec![RRPV_MAX; ways] }
+        Srrip {
+            rrpv: vec![RRPV_MAX; ways],
+        }
     }
 
     /// Current RRPV values, for diagnostics.
@@ -73,7 +75,11 @@ impl ReplacementPolicy for Srrip {
     fn peek_victim(&self) -> usize {
         // Preview without aging: the way that would win after aging is the
         // first way with the maximum current RRPV.
-        let max = *self.rrpv.iter().max().expect("SRRIP always has at least one way");
+        let max = *self
+            .rrpv
+            .iter()
+            .max()
+            .expect("SRRIP always has at least one way");
         self.rrpv
             .iter()
             .position(|&v| v == max)
@@ -105,7 +111,7 @@ mod tests {
         p.on_fill(0);
         p.on_fill(1);
         p.on_hit(0); // RRPV: [0, 2]
-        // Victim search ages both to [1, 3] and picks way 1.
+                     // Victim search ages both to [1, 3] and picks way 1.
         assert_eq!(p.victim(), 1);
     }
 

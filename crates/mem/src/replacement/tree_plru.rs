@@ -46,7 +46,10 @@ impl TreePlru {
             ways >= 1 && ways.is_power_of_two(),
             "tree-PLRU needs a power-of-two way count"
         );
-        TreePlru { ways, bits: vec![false; ways.max(2)] }
+        TreePlru {
+            ways,
+            bits: vec![false; ways.max(2)],
+        }
     }
 
     /// Flip every bit on the root→`way` path to point away from `way`.
@@ -156,7 +159,10 @@ mod tests {
             p.on_fill(1); // C
             p.on_fill(3); // E
             p.on_fill(2); // D
-            SetModel { p, content: ['B', 'C', 'D', 'E'] }
+            SetModel {
+                p,
+                content: ['B', 'C', 'D', 'E'],
+            }
         }
 
         fn way_of(&self, c: char) -> Option<usize> {
@@ -174,10 +180,7 @@ mod tests {
                 None => {
                     let v = self.p.victim();
                     if let Some(pr) = protected {
-                        assert_ne!(
-                            self.content[v], pr,
-                            "the PLRU gadget must never evict {pr}"
-                        );
+                        assert_ne!(self.content[v], pr, "the PLRU gadget must never evict {pr}");
                     }
                     self.content[v] = c;
                     self.p.on_fill(v);
@@ -194,7 +197,11 @@ mod tests {
     #[test]
     fn figure3_initial_state() {
         let m = SetModel::figure3_initial();
-        assert_eq!(m.evc(), 'B', "Figure 3.1: B is the initial eviction candidate");
+        assert_eq!(
+            m.evc(),
+            'B',
+            "Figure 3.1: B is the initial eviction candidate"
+        );
     }
 
     /// Drive the set through Figure 3's exact access walk, checking the
@@ -255,7 +262,10 @@ mod tests {
             misses, 150,
             "Figure 3: cache misses happen every other access (3 per 6-access round)"
         );
-        assert!(m.way_of('A').is_some(), "A must survive the whole magnifier run");
+        assert!(
+            m.way_of('A').is_some(),
+            "A must survive the whole magnifier run"
+        );
     }
 
     /// Figure 4: if B is accessed *before* A is inserted, A lands in a
@@ -285,7 +295,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(evicted_a_at, Some(0), "Figure 4: A is evicted during the first round");
+        assert_eq!(
+            evicted_a_at,
+            Some(0),
+            "Figure 4: A is evicted during the first round"
+        );
         assert_eq!(quiet_round, Some(1), "no more misses once A is gone");
     }
 
@@ -316,11 +330,17 @@ mod tests {
 
         let (a_resident, misses) = run(true);
         assert!(a_resident, "A inserted before B must survive the pattern");
-        assert_eq!(misses, 90, "A's residency causes 3 misses per round, forever");
+        assert_eq!(
+            misses, 90,
+            "A's residency causes 3 misses per round, forever"
+        );
 
         let (a_resident, misses) = run(false);
         assert!(!a_resident, "A inserted after B must be evicted");
-        assert!(misses <= 4, "once A is gone the working set fits: got {misses} misses");
+        assert!(
+            misses <= 4,
+            "once A is gone the working set fits: got {misses} misses"
+        );
     }
 
     #[test]

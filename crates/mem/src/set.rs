@@ -27,7 +27,10 @@ impl CacheSet {
     /// Create a set managed by `policy`, with `policy.ways()` ways, all empty.
     pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
         let ways = policy.ways();
-        CacheSet { lines: vec![None; ways], policy }
+        CacheSet {
+            lines: vec![None; ways],
+            policy,
+        }
     }
 
     /// Number of ways.

@@ -111,17 +111,42 @@ mod tests {
 
     #[test]
     fn miss_ratio_counts() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.accesses(), 4);
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn since_subtracts_counterwise() {
-        let early = CacheStats { hits: 1, misses: 2, fills: 2, evictions: 1, invalidations: 0 };
-        let late = CacheStats { hits: 5, misses: 3, fills: 3, evictions: 2, invalidations: 4 };
+        let early = CacheStats {
+            hits: 1,
+            misses: 2,
+            fills: 2,
+            evictions: 1,
+            invalidations: 0,
+        };
+        let late = CacheStats {
+            hits: 5,
+            misses: 3,
+            fills: 3,
+            evictions: 2,
+            invalidations: 4,
+        };
         let d = late.since(&early);
-        assert_eq!(d, CacheStats { hits: 4, misses: 1, fills: 1, evictions: 1, invalidations: 4 });
+        assert_eq!(
+            d,
+            CacheStats {
+                hits: 4,
+                misses: 1,
+                fills: 1,
+                evictions: 1,
+                invalidations: 4
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The JSON value model.
+
+/// A JSON value with deterministic rendering.
+///
+/// Objects are backed by an insertion-ordered `Vec` rather than a map:
+/// experiment reports are built once, never mutated key-wise, and must
+/// serialize identically on every run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (covers every counter the simulator produces; `u64`
+    /// values above `i64::MAX` do not occur in practice and are rejected
+    /// at conversion time rather than silently wrapped).
+    Int(i64),
+    /// Finite double. Non-finite floats become `null` when written.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Empty object, ready for [`Value::with`] chaining.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Append `key: value` and return the object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object or with a duplicate key — both
+    /// are construction bugs, not runtime conditions.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        self.insert(key, value);
+        self
+    }
+
+    /// Append `key: value` in place (non-consuming [`Value::with`]).
+    pub fn insert(&mut self, key: &str, value: impl Into<Value>) {
+        let Value::Object(fields) = self else {
+            panic!("Value::insert on non-object");
+        };
+        assert!(
+            fields.iter().all(|(k, _)| k != key),
+            "duplicate JSON key {key:?}"
+        );
+        fields.push((key.to_string(), value.into()));
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array elements; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String content; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64` (integers widen); `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer content; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Int(i64::try_from(v).expect("u64 result exceeds i64::MAX"))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(i64::try_from(v).expect("usize result exceeds i64::MAX"))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_insertion_order() {
+        let v = Value::object()
+            .with("z", 1i64)
+            .with("a", 2i64)
+            .with("m", 3i64);
+        let Value::Object(fields) = &v else { panic!() };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(v.get("a"), Some(&Value::Int(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate JSON key")]
+    fn duplicate_keys_rejected() {
+        let _ = Value::object().with("k", 1i64).with("k", 2i64);
+    }
+
+    #[test]
+    fn option_and_vec_conversions() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(4usize)), Value::Int(4));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic JSON rendering.
+
+use crate::Value;
+use std::fmt::Write as _;
+
+impl Value {
+    /// Compact one-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Pretty rendering: two-space indent, `\n` line ends, trailing
+    /// newline — the on-disk format of `results/<scenario>.json`.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.len(), indent, depth, '[', ']', |out, i, d| {
+            write_value(out, &items[i], indent, d);
+        }),
+        Value::Object(fields) => {
+            write_seq(out, fields.len(), indent, depth, '{', '}', |out, i, d| {
+                let (k, v) = &fields[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, d);
+            })
+        }
+    }
+}
+
+/// Shared array/object layout: `open`, items via `item(out, index, depth)`,
+/// `close`, with commas and (in pretty mode) per-item newlines + indent.
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    item: impl Fn(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..(depth + 1) * step {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Floats use Rust's shortest-roundtrip `Display`, which is deterministic
+/// and re-parses to the same bits. JSON has no non-finite literals, so
+/// NaN/±Inf degrade to `null` (experiments that care assert finiteness
+/// before building the report). Whole floats gain a `.0` so the value
+/// round-trips as a float, not an integer.
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{f}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// RFC 8259 §7 string escaping: the two mandatory escapes (`"`, `\`),
+/// short forms for the common control characters, `\u00XX` for the rest
+/// of C0. Everything above U+001F passes through as UTF-8.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_every_mandatory_class() {
+        let v = Value::from("q\" b\\ n\n r\r t\t bell\u{0007} unit\u{001f} ok\u{00e9}");
+        assert_eq!(
+            v.to_compact(),
+            "\"q\\\" b\\\\ n\\n r\\r t\\t bell\\u0007 unit\\u001f ok\u{00e9}\""
+        );
+    }
+
+    #[test]
+    fn short_escapes_for_common_controls() {
+        assert_eq!(Value::from("\u{8}\u{c}").to_compact(), r#""\b\f""#);
+    }
+
+    #[test]
+    fn integer_formatting() {
+        assert_eq!(Value::Int(0).to_compact(), "0");
+        assert_eq!(Value::Int(-42).to_compact(), "-42");
+        assert_eq!(Value::Int(i64::MAX).to_compact(), "9223372036854775807");
+        assert_eq!(Value::Int(i64::MIN).to_compact(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        assert_eq!(Value::Float(1.0).to_compact(), "1.0");
+        assert_eq!(Value::Float(-0.5).to_compact(), "-0.5");
+        assert_eq!(Value::Float(0.1).to_compact(), "0.1");
+        assert_eq!(
+            Value::Float(std::f64::consts::PI).to_compact(),
+            "3.141592653589793"
+        );
+        assert_eq!(
+            Value::Float(1e300).to_compact().parse::<f64>().unwrap(),
+            1e300
+        );
+        // Shortest form that still round-trips exactly.
+        let f = 0.1 + 0.2;
+        let text = Value::Float(f).to_compact();
+        assert_eq!(text.parse::<f64>().unwrap(), f);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Value::Float(f64::NEG_INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn compact_layout() {
+        let v = Value::object()
+            .with("a", 1i64)
+            .with("b", vec![true, false])
+            .with("c", Value::object());
+        assert_eq!(v.to_compact(), r#"{"a":1,"b":[true,false],"c":{}}"#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Value::object()
+            .with("xs", vec![1i64, 2])
+            .with("empty", Value::Array(vec![]));
+        assert_eq!(
+            v.to_pretty(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable_across_calls() {
+        let v = Value::object()
+            .with("k", 0.30000000000000004)
+            .with("s", "x\ny");
+        assert_eq!(v.to_pretty(), v.to_pretty());
+    }
+}

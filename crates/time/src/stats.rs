@@ -32,7 +32,13 @@ impl Summary {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -77,7 +83,11 @@ impl Histogram {
             let idx = idx.clamp(0.0, (bins - 1) as f64) as usize;
             counts[idx] += 1;
         }
-        Histogram { counts, lo: (lo * 1000.0) as i64, width_milli: (width * 1000.0) as i64 }
+        Histogram {
+            counts,
+            lo: (lo * 1000.0) as i64,
+            width_milli: (width * 1000.0) as i64,
+        }
     }
 
     /// Number of bins.
@@ -161,8 +171,8 @@ pub fn best_threshold(zeros: &[f64], ones: &[f64]) -> (f64, f64) {
     let total = (zeros.len() + ones.len()) as f64;
     let mut best = (candidates[0], 0.0);
     for &t in &candidates {
-        let correct = zeros.iter().filter(|&&z| z < t).count()
-            + ones.iter().filter(|&&o| o >= t).count();
+        let correct =
+            zeros.iter().filter(|&&z| z < t).count() + ones.iter().filter(|&&o| o >= t).count();
         let acc = correct as f64 / total;
         if acc > best.1 {
             best = (t, acc);
@@ -179,6 +189,18 @@ pub fn leak_rate_kbps(bits: u64, duration_ns: f64) -> f64 {
         return 0.0;
     }
     bits as f64 / (duration_ns * 1e-9) / 1000.0
+}
+
+impl Summary {
+    /// JSON form of the summary statistics.
+    pub fn to_value(&self) -> racer_results::Value {
+        racer_results::Value::object()
+            .with("n", self.n)
+            .with("mean", self.mean)
+            .with("std_dev", self.std_dev)
+            .with("min", self.min)
+            .with("max", self.max)
+    }
 }
 
 #[cfg(test)]

@@ -76,7 +76,11 @@ impl CoarseTimer {
     pub fn with_jitter(resolution_ns: f64, jitter_ns: f64, seed: u64) -> Self {
         assert!(resolution_ns > 0.0, "resolution must be positive");
         assert!(jitter_ns >= 0.0, "jitter must be non-negative");
-        CoarseTimer { resolution_ns, jitter_ns, rng: StdRng::seed_from_u64(seed) }
+        CoarseTimer {
+            resolution_ns,
+            jitter_ns,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The paper's 5 µs browser-timer threshold (§3).
@@ -122,7 +126,10 @@ impl FuzzyTimer {
     /// Panics if `resolution_ns` is not strictly positive.
     pub fn new(resolution_ns: f64, seed: u64) -> Self {
         assert!(resolution_ns > 0.0, "resolution must be positive");
-        FuzzyTimer { resolution_ns, rng: StdRng::seed_from_u64(seed) }
+        FuzzyTimer {
+            resolution_ns,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -196,7 +203,10 @@ pub fn edge_threshold_estimate(
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
     let res = timer.resolution_ns();
-    assert!(res > 0.0, "edge thresholding needs a finite-resolution timer");
+    assert!(
+        res > 0.0,
+        "edge thresholding needs a finite-resolution timer"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut crossings = 0usize;
     for _ in 0..trials {
@@ -259,8 +269,7 @@ mod tests {
         let mut t = FuzzyTimer::new(5_000.0, 7);
         // Reading exactly at an edge sometimes rounds down, sometimes up.
         let readings: Vec<f64> = (0..100).map(|_| t.now(5_000.0)).collect();
-        let distinct: std::collections::HashSet<u64> =
-            readings.iter().map(|r| *r as u64).collect();
+        let distinct: std::collections::HashSet<u64> = readings.iter().map(|r| *r as u64).collect();
         assert!(distinct.len() > 1, "fuzzy edges must wobble");
     }
 

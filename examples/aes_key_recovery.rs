@@ -38,7 +38,10 @@ fn main() {
 
     match recovery.key_nibble {
         Some(n) => {
-            println!("\nrecovered key high nibble: {n:#x} (truth: {:#x})", secret_key >> 4);
+            println!(
+                "\nrecovered key high nibble: {n:#x} (truth: {:#x})",
+                secret_key >> 4
+            );
             println!("match: {}", n == secret_key >> 4);
         }
         None => println!("\nrecovery failed"),

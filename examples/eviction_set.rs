@@ -24,7 +24,10 @@ fn main() {
     let target = Addr(base.0 + 0x800);
     let pool = candidate_pool(Addr(base.0 + 4096), 48, 0x800);
     println!("target: {target}");
-    println!("candidate pool: {} page-stride addresses, L3 set unknown to the attacker\n", pool.len());
+    println!(
+        "candidate pool: {} page-stride addresses, L3 set unknown to the attacker\n",
+        pool.len()
+    );
 
     let attack = EvictionSetAttack::new(machine.layout());
     match attack.build_minimal_set(&mut machine, target, &pool, l3_cfg.ways) {
@@ -35,7 +38,11 @@ fn main() {
                 let s = machine.cpu().hierarchy().l3().set_index(a.line());
                 println!(
                     "  {a}  (L3 set {s}{})",
-                    if s == l3set { ", congruent ✓" } else { ", NOT congruent ✗" }
+                    if s == l3set {
+                        ", congruent ✓"
+                    } else {
+                        ", NOT congruent ✗"
+                    }
                 );
             }
             let still = attack.evicts(&mut machine, target, &set);

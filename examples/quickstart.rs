@@ -24,7 +24,10 @@ fn main() {
 
     // The attacker's only clock: performance.now() at 5 µs.
     let mut browser_clock = CoarseTimer::browser_5us();
-    println!("attacker timer resolution: {} ns\n", browser_clock.resolution_ns());
+    println!(
+        "attacker timer resolution: {} ns\n",
+        browser_clock.resolution_ns()
+    );
 
     // Step 1: the coarse timer alone cannot see small timing differences.
     let short = PathSpec::op_chain(AluOp::Add, 10); // ~10 cycles = 5 ns
@@ -39,8 +42,7 @@ fn main() {
     println!("step 2: calibrated magnifier threshold = {threshold:.0} ns");
 
     for (name, path) in [("10-add chain", &short), ("40-add chain", &long)] {
-        let exceeds =
-            timer.exceeds_observed(&mut machine, path, 25, &mut browser_clock, threshold);
+        let exceeds = timer.exceeds_observed(&mut machine, path, 25, &mut browser_clock, threshold);
         println!(
             "  {name}: {} the 25-add reference (decided via the 5 µs timer)",
             if exceeds { "exceeds" } else { "is under" }

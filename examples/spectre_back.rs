@@ -33,8 +33,14 @@ fn main() {
         .sum();
     let accuracy = correct_bits as f64 / (secret.len() * 8) as f64;
 
-    println!("recovered     : {:?}", String::from_utf8_lossy(&report.recovered));
+    println!(
+        "recovered     : {:?}",
+        String::from_utf8_lossy(&report.recovered)
+    );
     println!("bit accuracy  : {:.1}% (paper: >88%)", accuracy * 100.0);
-    println!("leak rate     : {:.2} kbit/s of simulated time (paper: 4.3 kbit/s)", report.kbps);
+    println!(
+        "leak rate     : {:.2} kbit/s of simulated time (paper: 4.3 kbit/s)",
+        report.kbps
+    );
     println!("simulated time: {:.2} ms", report.elapsed_ns / 1e6);
 }

@@ -22,7 +22,10 @@ fn assert_architecturally_exact(prog: &Program, x: u64) {
     let run = cpu.execute(prog);
     assert!(!run.limit_hit);
     assert_eq!(run.regs, reference.regs, "register divergence");
-    assert_eq!(run.committed, reference.steps, "dynamic instruction count divergence");
+    assert_eq!(
+        run.committed, reference.steps,
+        "dynamic instruction count divergence"
+    );
     assert_eq!(cpu.mem(), &ref_mem, "memory divergence");
 }
 

@@ -103,7 +103,10 @@ fn spectre_back_is_robust_across_noise_seeds() {
         let mut timer = CoarseTimer::browser_5us();
         let report = atk.leak_bytes(&mut m, secret.len(), &mut timer);
         let acc = bit_accuracy(secret, &report.recovered);
-        assert!(acc > 0.88, "seed {seed}: accuracy {acc:.2} below the paper's 88%");
+        assert!(
+            acc > 0.88,
+            "seed {seed}: accuracy {acc:.2} below the paper's 88%"
+        );
     }
 }
 

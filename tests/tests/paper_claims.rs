@@ -90,8 +90,16 @@ fn claim_countermeasure_matrix() {
                 assert!(!row.transient_pa_works && !row.reorder_works);
             }
             _ => {
-                assert!(!row.transient_pa_works, "{} must stop transient races", row.countermeasure);
-                assert!(row.reorder_works, "{} must not stop reorder races", row.countermeasure);
+                assert!(
+                    !row.transient_pa_works,
+                    "{} must stop transient races",
+                    row.countermeasure
+                );
+                assert!(
+                    row.reorder_works,
+                    "{} must not stop reorder races",
+                    row.countermeasure
+                );
             }
         }
     }

@@ -18,7 +18,9 @@ fn assert_sandbox_legal(name: &str, prog: &Program) {
         match instr {
             Instr::Flush { .. } => panic!("{name}: instruction {i} is a flush (not in §3)"),
             Instr::Fence => panic!("{name}: instruction {i} is a fence (not in §3)"),
-            Instr::Store { .. } => panic!("{name}: instruction {i} is a store (attacks are read-only)"),
+            Instr::Store { .. } => {
+                panic!("{name}: instruction {i} is a store (attacks are read-only)")
+            }
             _ => {}
         }
     }
@@ -48,8 +50,14 @@ fn racing_gadget_programs_are_sandbox_legal() {
 fn magnifier_programs_are_sandbox_legal() {
     let m = Machine::baseline();
     let mag = PlruMagnifier::with(m.layout(), 5, 50);
-    assert_sandbox_legal("PLRU magnifier (P/A)", &mag.program(&m, PlruInput::PresenceAbsence));
-    assert_sandbox_legal("PLRU magnifier (reorder)", &mag.program(&m, PlruInput::Reorder));
+    assert_sandbox_legal(
+        "PLRU magnifier (P/A)",
+        &mag.program(&m, PlruInput::PresenceAbsence),
+    );
+    assert_sandbox_legal(
+        "PLRU magnifier (reorder)",
+        &mag.program(&m, PlruInput::Reorder),
+    );
 
     let arith = ArithmeticMagnifier::new(m.layout());
     assert_sandbox_legal("arithmetic magnifier", &arith.program(10));
@@ -71,8 +79,8 @@ fn gadget_programs_contain_no_fine_grained_timer_reads() {
     let m = Machine::baseline();
     let atk = SpectreBack::new(m.layout());
     let prog = atk.program(&m);
-    assert!(prog.instrs().iter().all(|i| !matches!(
-        i,
-        Instr::Flush { .. } | Instr::Fence
-    )));
+    assert!(prog
+        .instrs()
+        .iter()
+        .all(|i| !matches!(i, Instr::Flush { .. } | Instr::Fence)));
 }

@@ -57,7 +57,11 @@ impl Criterion {
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
-        BenchmarkGroup { prefix: name.to_string(), throughput: None, sample_size: 10 }
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
     }
 }
 
@@ -87,7 +91,12 @@ impl BenchmarkGroup {
         name: impl std::fmt::Display,
         f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{name}", self.prefix), self.throughput, self.sample_size, f);
+        run_one(
+            &format!("{}/{name}", self.prefix),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
         self
     }
 
@@ -95,13 +104,24 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, iters: u64, mut f: F) {
-    let mut b = Bencher { iters, mean_ns: 0.0 };
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    iters: u64,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters,
+        mean_ns: 0.0,
+    };
     f(&mut b);
     match throughput {
         Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
             let per_sec = n as f64 / (b.mean_ns * 1e-9);
-            println!("bench {name}: {:.1} ns/iter ({per_sec:.0} elem/s)", b.mean_ns);
+            println!(
+                "bench {name}: {:.1} ns/iter ({per_sec:.0} elem/s)",
+                b.mean_ns
+            );
         }
         Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
             let per_sec = n as f64 / (b.mean_ns * 1e-9);

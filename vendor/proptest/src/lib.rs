@@ -22,7 +22,9 @@ pub struct TestRng {
 impl TestRng {
     /// Fixed-seed generator (failures reproduce on every run).
     pub fn deterministic() -> Self {
-        TestRng { state: 0x3243_F6A8_885A_308D }
+        TestRng {
+            state: 0x3243_F6A8_885A_308D,
+        }
     }
 
     /// Next raw 64 bits.
@@ -254,7 +256,9 @@ impl ProptestConfig {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{any, Any, Arbitrary, Just, OneOf, ProptestConfig, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Generate `#[test]` functions that run their body over [`CASES`] random
