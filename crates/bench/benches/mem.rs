@@ -1,0 +1,129 @@
+//! Memory-substrate microbenchmarks for the flattened cache model.
+//!
+//! The pipeline-level `perf_baseline` scenario tracks end-to-end simulator
+//! throughput; these benches isolate the `racer-mem` paths underneath it so
+//! each has its own number:
+//!
+//! * the **L1-hit fast path** (`Hierarchy::access` early exit, reused
+//!   lookup way) — the common case of every workload;
+//! * the **L2 / L3 / DRAM miss paths**, including the fill and
+//!   inclusive-eviction plumbing the fast path skips;
+//! * the **packed tree-PLRU update** (bit-word touch + victim walk)
+//!   against the boxed per-set policy object it replaced.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use racer_mem::{
+    AccessKind, Addr, Cache, CacheConfig, CacheSet, Hierarchy, HierarchyConfig, LineAddr,
+    ReplacementKind,
+};
+use std::hint::black_box;
+
+/// Same-line loads: after the first fill every access exits through the
+/// L1-hit fast path (one tag scan, no L2/L3 bookkeeping).
+fn bench_l1_hit_fast_path(c: &mut Criterion) {
+    const N: u64 = 4096;
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("l1_hit_fast_path_4k_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::coffee_lake());
+        // Warm 64 distinct lines (one per L1 set) so hits rotate sets.
+        for k in 0..64u64 {
+            h.load(Addr(k * 64 * 64));
+        }
+        b.iter(|| {
+            for k in 0..N {
+                black_box(h.load(Addr((k % 64) * 64 * 64)));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Loads that always hit a given deeper level, by re-evicting the line
+/// from the levels above between accesses.
+fn bench_miss_paths(c: &mut Criterion) {
+    const N: u64 = 1024;
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(N));
+
+    // L2 hit: flush from L1 only (invalidate via l1d_mut), then load.
+    group.bench_function("l2_hit_path_1k_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::coffee_lake());
+        let addr = Addr(0x4_0000);
+        h.load(addr);
+        b.iter(|| {
+            for _ in 0..N {
+                h.l1d_mut().invalidate(addr.line());
+                black_box(h.load(addr));
+            }
+        })
+    });
+
+    // DRAM path: flush everywhere first, so every load walks all three
+    // levels, fills them and runs the inclusive-eviction plumbing.
+    group.bench_function("dram_miss_path_1k_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::coffee_lake());
+        let addr = Addr(0x8_0000);
+        b.iter(|| {
+            for _ in 0..N {
+                h.flush(addr);
+                black_box(h.load(addr));
+            }
+        })
+    });
+
+    // Streaming DRAM misses with live eviction pressure: a footprint far
+    // beyond the L3 forces steady-state inclusive evictions.
+    group.bench_function("dram_stream_evicting_1k_loads", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::coffee_lake());
+        let mut k = 0u64;
+        b.iter(|| {
+            for _ in 0..N {
+                k += 1;
+                black_box(h.access(Addr((k * 64) << 6), AccessKind::Load));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Packed tree-PLRU (one bit-word per set, flattened `Cache`) vs the boxed
+/// per-set policy object (`CacheSet`) on the same hit-heavy access mix.
+fn bench_plru_update(c: &mut Criterion) {
+    const N: u64 = 8192;
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("packed_plru_update_8k_touches", |b| {
+        let mut l1 = Cache::new(CacheConfig::l1d_coffee_lake());
+        for w in 0..8u64 {
+            l1.fill(LineAddr(w * 64)); // fill set 0's eight ways
+        }
+        b.iter(|| {
+            for k in 0..N {
+                black_box(l1.access(LineAddr((k % 8) * 64)));
+            }
+        })
+    });
+
+    group.bench_function("boxed_plru_update_8k_touches", |b| {
+        let mut set = CacheSet::new(ReplacementKind::TreePlru.build(8, 0x11d));
+        for w in 0..8u64 {
+            set.fill(LineAddr(w * 64));
+        }
+        b.iter(|| {
+            for k in 0..N {
+                black_box(set.touch(LineAddr((k % 8) * 64)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_l1_hit_fast_path,
+    bench_miss_paths,
+    bench_plru_update
+);
+criterion_main!(benches);

@@ -46,17 +46,37 @@
 //!   branch?") and conservative store disambiguation come from small
 //!   in-flight queues (`spec_branches`, `store_q`) instead of prefix walks
 //!   of the ROB.
+//! * **Pre-decoded µop tables.** Every stage indexes the run's
+//!   [`DecodedProgram`] by pc instead of pattern-matching
+//!   [`Instr`](racer_isa::Instr): FU
+//!   classes are dense indices, operand reads are slot lookups (no
+//!   register-compare walks), destinations/source lists/branch targets are
+//!   precomputed. ROB slots do not store the instruction at all. (The
+//!   reference scheduler deliberately keeps executing from `Instr`, so the
+//!   differential suite cross-checks the decoder too.)
+//! * **Load stall pool.** A load that fails issue (MSHR capacity, store
+//!   disambiguation, delay-on-miss) parks in `stalled_loads` and is
+//!   re-attempted only when a wake condition fires — the earliest
+//!   outstanding-miss expiry, a store issuing or committing, a line fill,
+//!   or branch resolution under delay-on-miss — instead of a heap
+//!   round-trip plus a full re-check every cycle. Every skipped cycle is
+//!   one where the attempt provably fails exactly as before, so issue
+//!   timing is unchanged (and differentially tested).
 //! * **No steady-state allocation.** All scheduling structures live in
 //!   the private `Scheduler` struct, owned by [`Cpu`] and reused across
 //!   `execute` calls;
-//!   sources use inline `[(Reg, Src); 3]` storage (no instruction has more
-//!   than three), and the `loads`/`trace` vectors are only touched when
+//!   sources use inline `[Src; 3]` storage (no instruction has more than
+//!   three; the register names live in the decoded table), and the
+//!   `loads`/`trace` vectors are only touched when
 //!   [`CpuConfig::record`](crate::CpuConfig) asks for them.
 
 use crate::config::{Countermeasure, CpuConfig};
 use crate::predictor::{self, Predictor};
 use crate::stats::{LoadEvent, RunResult};
-use racer_isa::{AluOp, DataMemory, FuClass, Instr, MemOperand, Program, Reg, NUM_REGS};
+use racer_isa::{
+    AluOp, DataMemory, DecodedInstr, DecodedMem, DecodedOp, DecodedProgram, FuClass, Program,
+    SrcRef, NUM_REGS,
+};
 use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -84,44 +104,36 @@ enum Src {
 /// the worst memory latency the hierarchy model produces).
 const WHEEL: usize = 512;
 
-/// Functional-unit classes as dense indices for the per-class ready heaps.
-const CLS_ALU: usize = 0;
-const CLS_MUL: usize = 1;
-const CLS_DIV: usize = 2;
-const CLS_LOAD: usize = 3;
-const CLS_STORE: usize = 4;
-const CLS_BRANCH: usize = 5;
-const CLS_NONE: usize = 6;
-const NUM_CLASSES: usize = 7;
-
-#[inline]
-fn class_idx(fu: FuClass) -> usize {
-    match fu {
-        FuClass::Alu => CLS_ALU,
-        FuClass::Mul => CLS_MUL,
-        FuClass::Div => CLS_DIV,
-        FuClass::Load => CLS_LOAD,
-        FuClass::Store => CLS_STORE,
-        FuClass::Branch => CLS_BRANCH,
-        FuClass::None => CLS_NONE,
-    }
-}
+/// Functional-unit classes as dense indices for the per-class ready heaps —
+/// the same indices [`FuClass::index`] bakes into every
+/// [`DecodedInstr::cls`] at decode time.
+const CLS_ALU: usize = FuClass::Alu.index();
+const CLS_MUL: usize = FuClass::Mul.index();
+const CLS_DIV: usize = FuClass::Div.index();
+const CLS_LOAD: usize = FuClass::Load.index();
+const CLS_STORE: usize = FuClass::Store.index();
+const CLS_BRANCH: usize = FuClass::Branch.index();
+const NUM_CLASSES: usize = FuClass::COUNT;
 
 /// One ROB ring slot. Slots are overwritten in place at dispatch; the
 /// `consumers` vector keeps its capacity across reuse, so a warmed-up
-/// pipeline dispatches without touching the allocator.
+/// pipeline dispatches without touching the allocator. The instruction
+/// itself is *not* stored: `pc` indexes the run's pre-decoded µop table
+/// ([`DecodedProgram`]), which already holds every static fact the stages
+/// need.
 #[derive(Clone, Debug)]
 struct Slot {
     seq: Seq,
     pc: usize,
-    instr: Instr,
     state: EntryState,
     /// Number of sources (`srcs[..nsrcs]` are live).
     nsrcs: u8,
     /// Sources still waiting on a producer tag.
     pending: u8,
     /// Inline source storage — no instruction reads more than 3 registers.
-    srcs: [(Reg, Src); 3],
+    /// Indexed by decode-time source slot; the register names live in the
+    /// decoded table, so only the value/tag state is kept here.
+    srcs: [Src; 3],
     result: u64,
     completion: u64,
     predicted_taken: bool,
@@ -138,6 +150,11 @@ struct Slot {
     prev_rat: Option<(Seq, u32)>,
     /// For branches: resolution (train + possible squash) already happened.
     resolved: bool,
+    /// Cycle of the most recent issue attempt (loads only): a stall-pool
+    /// drain triggered by a mid-cycle event must not attempt the same entry
+    /// twice in one cycle — the reference scheduler attempts each entry at
+    /// most once per cycle.
+    last_attempt: u64,
     /// Dependents to wake at completion: (consumer seq, slot, source index).
     consumers: Vec<(Seq, u32, u8)>,
 }
@@ -147,11 +164,10 @@ impl Slot {
         Slot {
             seq: 0,
             pc: 0,
-            instr: Instr::Nop,
             state: EntryState::Done,
             nsrcs: 0,
             pending: 0,
-            srcs: [(Reg::new(0), Src::Ready(0)); 3],
+            srcs: [Src::Ready(0); 3],
             result: 0,
             completion: 0,
             predicted_taken: false,
@@ -161,6 +177,7 @@ impl Slot {
             trace_idx: None,
             prev_rat: None,
             resolved: false,
+            last_attempt: u64::MAX,
             consumers: Vec::new(),
         }
     }
@@ -203,8 +220,21 @@ struct Scheduler {
     far: Vec<(u64, Seq, u32)>,
     /// Completed branches awaiting resolution, oldest first.
     resolve_q: BinaryHeap<Reverse<(Seq, u32)>>,
-    /// Failed issue attempts to re-queue after the cycle's issue loop.
-    retry: Vec<(usize, Seq, u32)>,
+    /// Loads whose issue attempt failed (store disambiguation, MSHR
+    /// capacity, delay-on-miss). They re-enter the ready heap only when a
+    /// *wake condition* fires — the earliest outstanding-miss expiry
+    /// (`stall_wake_cycle`) or an unblocking event (`stall_wake_now`) —
+    /// instead of burning a heap round-trip plus a full re-check every
+    /// cycle. Every skipped cycle is one where the attempt provably fails
+    /// exactly as it did before, so issue timing is unchanged.
+    stalled_loads: Vec<(Seq, u32)>,
+    /// Earliest cycle an outstanding L1 miss completes and frees an MSHR
+    /// (`u64::MAX` when no capacity-blocked load is waiting on one).
+    stall_wake_cycle: u64,
+    /// An unblocking event fired (store issued/committed, a line filled,
+    /// a branch resolved under delay-on-miss): drain the stall pool at the
+    /// next issue opportunity.
+    stall_wake_now: bool,
     /// Wakeup scratch (swapped with a completing producer's consumer list).
     wake: Vec<(Seq, u32, u8)>,
     /// Front-end queue between fetch and dispatch.
@@ -241,7 +271,9 @@ impl Default for Scheduler {
             wheel_scratch: Vec::new(),
             far: Vec::new(),
             resolve_q: BinaryHeap::new(),
-            retry: Vec::new(),
+            stalled_loads: Vec::new(),
+            stall_wake_cycle: u64::MAX,
+            stall_wake_now: false,
             wake: Vec::new(),
             fetch_q: VecDeque::new(),
             rat: Vec::new(),
@@ -273,7 +305,9 @@ impl Scheduler {
         self.wheel_scratch.clear();
         self.far.clear();
         self.resolve_q.clear();
-        self.retry.clear();
+        self.stalled_loads.clear();
+        self.stall_wake_cycle = u64::MAX;
+        self.stall_wake_now = false;
         self.wake.clear();
         self.fetch_q.clear();
         if self.rat.len() != NUM_REGS {
@@ -361,6 +395,9 @@ pub struct Cpu {
     mem: DataMemory,
     predictor: Box<dyn Predictor>,
     sched: Scheduler,
+    /// Reusable µop-table buffer: each `execute` decodes the program's
+    /// static instructions once into it (capacity persists across calls).
+    decoded: Vec<DecodedInstr>,
 }
 
 impl Cpu {
@@ -377,6 +414,7 @@ impl Cpu {
             hier: Hierarchy::new(hier_cfg),
             mem: DataMemory::new(),
             sched: Scheduler::default(),
+            decoded: Vec::new(),
         }
     }
 
@@ -423,12 +461,14 @@ impl Cpu {
     /// state persist from previous calls.
     pub fn execute(&mut self, prog: &Program) -> RunResult {
         self.sched.reset(self.cfg.rob_size);
+        DecodedProgram::decode_into(prog, &mut self.decoded);
         Pipeline {
             cfg: self.cfg,
             hier: &mut self.hier,
             mem: &mut self.mem,
             predictor: self.predictor.as_mut(),
             prog,
+            dec: &self.decoded,
             s: &mut self.sched,
             cycle: 0,
             next_seq: 0,
@@ -471,6 +511,8 @@ struct Pipeline<'a> {
     mem: &'a mut DataMemory,
     predictor: &'a mut dyn Predictor,
     prog: &'a Program,
+    /// Pre-decoded µop table, indexed by pc (parallel to `prog`).
+    dec: &'a [DecodedInstr],
     s: &'a mut Scheduler,
 
     cycle: u64,
@@ -561,28 +603,30 @@ impl<'a> Pipeline<'a> {
 
     // ---- helpers -----------------------------------------------------------
 
-    fn src_value(slot: &Slot, reg: Reg) -> u64 {
-        for (r, s) in &slot.srcs[..slot.nsrcs as usize] {
-            if *r == reg {
-                match s {
-                    Src::Ready(v) => return *v,
-                    Src::Tag(_) => panic!("source {reg} read before ready"),
-                }
-            }
-        }
-        panic!("register {reg} is not a source of {:?}", slot.instr)
-    }
-
-    fn operand_value(slot: &Slot, op: racer_isa::Operand) -> u64 {
-        match op {
-            racer_isa::Operand::Reg(r) => Self::src_value(slot, r),
-            racer_isa::Operand::Imm(v) => v as u64,
+    /// Value of the `i`-th source slot (the decode-time slot mapping: no
+    /// register comparison walk).
+    #[inline]
+    fn slot_value(slot: &Slot, i: u8) -> u64 {
+        match slot.srcs[i as usize] {
+            Src::Ready(v) => v,
+            Src::Tag(_) => panic!("source slot {i} read before ready"),
         }
     }
 
-    fn mem_operand_addr(slot: &Slot, m: &MemOperand) -> u64 {
-        let base = m.base.map_or(0, |r| Self::src_value(slot, r));
-        let index = m.index.map_or(0, |r| Self::src_value(slot, r));
+    /// Value of a decode-time operand reference.
+    #[inline]
+    fn src_value(slot: &Slot, s: SrcRef) -> u64 {
+        match s {
+            SrcRef::Slot(i) => Self::slot_value(slot, i),
+            SrcRef::Imm(v) => v,
+        }
+    }
+
+    /// Effective address of a slot-mapped memory operand.
+    #[inline]
+    fn mem_operand_addr(slot: &Slot, m: &DecodedMem) -> u64 {
+        let base = m.base.map_or(0, |i| Self::slot_value(slot, i));
+        let index = m.index.map_or(0, |i| Self::slot_value(slot, i));
         base.wrapping_add(index.wrapping_mul(m.scale as u64))
             .wrapping_add(m.disp as u64)
     }
@@ -651,8 +695,17 @@ impl<'a> Pipeline<'a> {
                 self.trace[t as usize].completed = Some(e.completion);
             }
             // Tag broadcast: wake exactly the registered dependents.
+            let is_branch = matches!(
+                self.dec[self.s.slots[slot as usize].pc].op,
+                DecodedOp::Branch { .. }
+            );
+            if is_branch && self.cfg.countermeasure == Countermeasure::DelayOnMiss {
+                // A resolving branch can turn a delay-on-miss-blocked load
+                // non-speculative: wake the stall pool this cycle.
+                self.s.stall_wake_now = true;
+            }
             if self.s.slots[slot as usize].consumers.is_empty() {
-                if let Instr::Branch { .. } = self.s.slots[slot as usize].instr {
+                if is_branch {
                     self.s.resolve_q.push(Reverse((seq, slot)));
                 }
                 continue;
@@ -665,22 +718,22 @@ impl<'a> Pipeline<'a> {
                 }
                 let c = &mut self.s.slots[cslot as usize];
                 debug_assert!(
-                    matches!(c.srcs[si as usize].1, Src::Tag(t) if t == seq),
+                    matches!(c.srcs[si as usize], Src::Tag(t) if t == seq),
                     "consumer source does not hold the producer tag"
                 );
-                c.srcs[si as usize].1 = Src::Ready(result);
+                c.srcs[si as usize] = Src::Ready(result);
                 c.pending -= 1;
                 let now_ready = c.pending == 0
                     && c.state == EntryState::Waiting
                     && self.cfg.countermeasure != Countermeasure::InOrder;
-                let cls = class_idx(c.instr.fu_class());
                 if now_ready {
+                    let cls = self.dec[c.pc].cls as usize;
                     self.ready_push(cls, cseq, cslot);
                 }
             }
             wake.clear();
             self.s.wake = wake;
-            if let Instr::Branch { .. } = self.s.slots[slot as usize].instr {
+            if is_branch {
                 self.s.resolve_q.push(Reverse((seq, slot)));
             }
         }
@@ -718,8 +771,9 @@ impl<'a> Pipeline<'a> {
             if self.s.slots[t].seq <= seq {
                 break;
             }
+            let d = &self.dec[self.s.slots[t].pc];
             let v = &mut self.s.slots[t];
-            if let Some(dst) = v.instr.dst() {
+            if let Some(dst) = d.dst {
                 self.s.rat[dst.index()] = v.prev_rat;
             }
             if v.state == EntryState::Waiting {
@@ -737,7 +791,7 @@ impl<'a> Pipeline<'a> {
             // been consumed by older instructions (SpectreBack's point).
             if self.cfg.countermeasure == Countermeasure::CleanupSpec {
                 let v = &self.s.slots[t];
-                if let Instr::Load { .. } = v.instr {
+                if let DecodedOp::Load(_) = d.op {
                     if v.state != EntryState::Waiting {
                         if let Some(addr) = v.mem_addr {
                             self.hier.flush(Addr(addr));
@@ -754,16 +808,18 @@ impl<'a> Pipeline<'a> {
         while matches!(self.s.spec_branches.back(), Some(&(bseq, _)) if bseq > seq) {
             self.s.spec_branches.pop_back();
         }
+        self.s.stalled_loads.retain(|&(sseq, _)| sseq <= seq);
         if self.s.inorder_skip > self.s.len {
             self.s.inorder_skip = self.s.len;
         }
         // Redirect fetch down the correct path.
-        let target = match self.s.slots[slot as usize].instr {
-            Instr::Branch { target, .. } => {
+        let pc = self.s.slots[slot as usize].pc;
+        let target = match self.dec[pc].op {
+            DecodedOp::Branch { target, .. } => {
                 if taken {
-                    target
+                    target as usize
                 } else {
-                    self.s.slots[slot as usize].pc + 1
+                    pc + 1
                 }
             }
             _ => unreachable!("mispredict on non-branch"),
@@ -796,19 +852,20 @@ impl<'a> Pipeline<'a> {
             self.s.inorder_skip = self.s.inorder_skip.saturating_sub(1);
             self.committed += 1;
             let e = &self.s.slots[h];
-            let (seq, instr, result, mem_addr) = (e.seq, e.instr, e.result, e.mem_addr);
+            let (seq, result, mem_addr) = (e.seq, e.result, e.mem_addr);
+            let d = &self.dec[e.pc];
             if let Some(t) = e.trace_idx {
                 self.trace[t as usize].committed = Some(self.cycle);
             }
             // Architectural register update + RAT release.
-            if let Some(dst) = instr.dst() {
+            if let Some(dst) = d.dst {
                 self.s.arch_regs[dst.index()] = result;
                 if matches!(self.s.rat[dst.index()], Some((rseq, _)) if rseq == seq) {
                     self.s.rat[dst.index()] = None;
                 }
             }
-            match instr {
-                Instr::Store { .. } => {
+            match d.op {
+                DecodedOp::Store { .. } => {
                     let addr = mem_addr.expect("store address resolved at issue");
                     self.mem.write(addr, result);
                     self.hier.access(Addr(addr), AccessKind::Store);
@@ -818,16 +875,21 @@ impl<'a> Pipeline<'a> {
                         "stores commit in store-queue order"
                     );
                     self.s.store_q.pop_front();
+                    // The commit both fills the line and removes the store
+                    // from the disambiguation window: wake aliased loads.
+                    // Commit precedes issue, so everyone may observe it.
+                    self.wake_stalled_on_line(Addr(addr).line().0, 0);
                 }
-                Instr::Load { .. } if self.s.slots[h].deferred_fill => {
+                DecodedOp::Load(_) if self.s.slots[h].deferred_fill => {
                     // Invisible-speculation modes: apply the fill now.
                     let addr = mem_addr.expect("load address resolved at issue");
                     self.hier.access(Addr(addr), AccessKind::Load);
+                    self.wake_stalled_on_line(Addr(addr).line().0, 0);
                 }
-                Instr::Fence => {
+                DecodedOp::Fence => {
                     self.fence_active = None;
                 }
-                Instr::Halt => {
+                DecodedOp::Halt => {
                     self.halted = true;
                     return;
                 }
@@ -848,10 +910,25 @@ impl<'a> Pipeline<'a> {
             self.issue_in_order();
             return;
         }
+        // Prune arrived fills once per cycle (`now` is constant inside the
+        // cycle, so per-attempt pruning was redundant work).
+        let now = self.cycle;
+        self.s.inflight.retain(|&(_, done)| done > now);
+        // Wake the stall pool when a blocking condition may have cleared:
+        // an outstanding miss expired (deterministic cycle) or an
+        // unblocking event fired since the last issue pass. A periodic
+        // fallback drain bounds staleness as a liveness belt-and-braces —
+        // a drained attempt that still fails just goes straight back.
+        if self.s.stall_wake_now
+            || now >= self.s.stall_wake_cycle
+            || (!self.s.stalled_loads.is_empty() && now.is_multiple_of(64))
+        {
+            self.s.stall_wake_now = false;
+            self.s.stall_wake_cycle = u64::MAX;
+            self.drain_stalled(None);
+        }
         let mut used = [0usize; NUM_CLASSES];
         let mut issued = 0usize;
-        let mut retry = std::mem::take(&mut self.s.retry);
-        retry.clear();
         while issued < self.cfg.issue_width {
             // Pick the oldest ready entry among classes with a free port,
             // visiting only classes whose heap is non-empty.
@@ -891,15 +968,58 @@ impl<'a> Pipeline<'a> {
             if self.try_issue(slot as usize, cls, &mut used) {
                 issued += 1;
             } else {
-                // Loads can fail on disambiguation / MSHRs / delay-on-miss;
-                // they stay ready and retry next cycle.
-                retry.push((cls, seq, slot));
+                // Only loads can fail (disambiguation / MSHRs /
+                // delay-on-miss): park in the stall pool until a wake
+                // condition fires.
+                debug_assert_eq!(cls, CLS_LOAD);
+                self.s.stalled_loads.push((seq, slot));
             }
         }
-        while let Some((cls, seq, slot)) = retry.pop() {
-            self.ready_push(cls, seq, slot);
+    }
+
+    /// Move stalled loads back into the ready heap. `after = None` drains
+    /// everything (start-of-cycle wake); a mid-issue event passes its own
+    /// sequence number and only entries *younger* than it drain, because
+    /// the reference scheduler's program-order scan only lets younger
+    /// instructions observe the event's effect within the same cycle.
+    /// Entries already attempted this cycle stay pooled (one attempt per
+    /// entry per cycle) and re-arm a next-cycle wake.
+    fn drain_stalled(&mut self, after: Option<Seq>) {
+        let cycle = self.cycle;
+        let mut i = 0;
+        while i < self.s.stalled_loads.len() {
+            let (seq, slot) = self.s.stalled_loads[i];
+            if !self.s.valid(seq, slot) {
+                self.s.stalled_loads.swap_remove(i); // squashed
+                continue;
+            }
+            if after.is_some_and(|a| seq <= a) {
+                i += 1;
+                continue;
+            }
+            if self.s.slots[slot as usize].last_attempt == cycle {
+                self.s.stall_wake_now = true;
+                i += 1;
+                continue;
+            }
+            self.s.stalled_loads.swap_remove(i);
+            self.ready_push(CLS_LOAD, seq, slot);
         }
-        self.s.retry = retry;
+    }
+
+    /// A line was just filled (or an aliased store left the store queue):
+    /// wake stalled loads on that line — younger ones this cycle (from
+    /// `event_seq`), everyone at the next issue pass.
+    fn wake_stalled_on_line(&mut self, line: u64, event_seq: Seq) {
+        let hit = self.s.stalled_loads.iter().any(|&(_, slot)| {
+            self.s.slots[slot as usize]
+                .mem_addr
+                .is_some_and(|a| Addr(a).line().0 == line)
+        });
+        if hit {
+            self.s.stall_wake_now = true;
+            self.drain_stalled(Some(event_seq));
+        }
     }
 
     /// Strict in-order issue (the `Countermeasure::InOrder` mode): the
@@ -907,6 +1027,9 @@ impl<'a> Pipeline<'a> {
     /// younger may. `inorder_skip` remembers how much of the window front is
     /// already issued, so the scan is O(1) amortized.
     fn issue_in_order(&mut self) {
+        // Prune arrived fills once per cycle (mirrors `issue`).
+        let now = self.cycle;
+        self.s.inflight.retain(|&(_, done)| done > now);
         let mut used = [0usize; NUM_CLASSES];
         let mut issued = 0usize;
         while issued < self.cfg.issue_width {
@@ -924,7 +1047,7 @@ impl<'a> Pipeline<'a> {
             if self.s.slots[slot].pending > 0 {
                 break; // oldest unissued not ready ⇒ stall everything
             }
-            let cls = class_idx(self.s.slots[slot].instr.fu_class());
+            let cls = self.dec[self.s.slots[slot].pc].cls as usize;
             if !self.port_available(cls, &used) || !self.try_issue(slot, cls, &mut used) {
                 break;
             }
@@ -950,10 +1073,10 @@ impl<'a> Pipeline<'a> {
     fn try_issue(&mut self, slot: usize, cls: usize, used: &mut [usize; NUM_CLASSES]) -> bool {
         let lat = self.cfg.latencies;
         let now = self.cycle;
-        match self.s.slots[slot].instr {
-            Instr::Alu { op, a, b, .. } => {
-                let av = Self::operand_value(&self.s.slots[slot], a);
-                let bv = Self::operand_value(&self.s.slots[slot], b);
+        match self.dec[self.s.slots[slot].pc].op {
+            DecodedOp::Alu { op, a, b } => {
+                let av = Self::src_value(&self.s.slots[slot], a);
+                let bv = Self::src_value(&self.s.slots[slot], b);
                 let latency = match op {
                     AluOp::Mul => lat.mul,
                     AluOp::Div => {
@@ -964,18 +1087,18 @@ impl<'a> Pipeline<'a> {
                 };
                 self.finish_issue(slot, cls, used, op.eval(av, bv), now + latency);
             }
-            Instr::Lea { mem, .. } => {
+            DecodedOp::Lea(mem) => {
                 let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
                 self.finish_issue(slot, cls, used, addr, now + lat.alu);
             }
-            Instr::Load { mem, .. } => {
+            DecodedOp::Load(mem) => {
                 if !self.issue_load(slot, mem, used) {
                     return false;
                 }
             }
-            Instr::Store { src, mem } => {
+            DecodedOp::Store { src, mem } => {
                 let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
-                let val = Self::operand_value(&self.s.slots[slot], src);
+                let val = Self::src_value(&self.s.slots[slot], src);
                 let e = &mut self.s.slots[slot];
                 e.mem_addr = Some(addr);
                 let seq = e.seq;
@@ -990,8 +1113,11 @@ impl<'a> Pipeline<'a> {
                     entry.1 = Some(addr);
                 }
                 self.finish_issue(slot, cls, used, val, now + lat.store);
+                // The now-known address unblocks younger loads that were
+                // stalled on this store's unknown address.
+                self.drain_stalled(Some(seq));
             }
-            Instr::Prefetch { mem, nta } => {
+            DecodedOp::Prefetch { mem, nta } => {
                 let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
                 let kind = if nta {
                     AccessKind::PrefetchNta
@@ -1000,21 +1126,25 @@ impl<'a> Pipeline<'a> {
                 };
                 self.hier.access(Addr(addr), kind);
                 self.s.slots[slot].mem_addr = Some(addr);
+                let seq = self.s.slots[slot].seq;
                 self.finish_issue(slot, cls, used, 0, now + 1);
+                // Prefetch fills at issue: stalled loads on this line may
+                // now hit.
+                self.wake_stalled_on_line(Addr(addr).line().0, seq);
             }
-            Instr::Flush { mem } => {
+            DecodedOp::Flush(mem) => {
                 let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem);
                 self.hier.flush(Addr(addr));
                 self.s.slots[slot].mem_addr = Some(addr);
                 self.finish_issue(slot, cls, used, 0, now + 1);
             }
-            Instr::Branch { cond, a, b, .. } => {
-                let av = Self::src_value(&self.s.slots[slot], a);
-                let bv = Self::operand_value(&self.s.slots[slot], b);
+            DecodedOp::Branch { cond, b, .. } => {
+                let av = Self::slot_value(&self.s.slots[slot], 0);
+                let bv = Self::src_value(&self.s.slots[slot], b);
                 let result = u64::from(cond.eval(av, bv));
                 self.finish_issue(slot, cls, used, result, now + lat.branch);
             }
-            Instr::Jump { .. } | Instr::Nop | Instr::Fence | Instr::Halt => {
+            DecodedOp::Jump { .. } | DecodedOp::Nop | DecodedOp::Fence | DecodedOp::Halt => {
                 self.finish_issue(slot, cls, used, 0, now);
             }
         }
@@ -1057,10 +1187,22 @@ impl<'a> Pipeline<'a> {
     fn issue_load(
         &mut self,
         slot: usize,
-        mem_op: MemOperand,
+        mem_op: DecodedMem,
         used: &mut [usize; NUM_CLASSES],
     ) -> bool {
-        let addr = Self::mem_operand_addr(&self.s.slots[slot], &mem_op);
+        // A load only reaches here with all sources ready, so its effective
+        // address is final: compute it once and cache it across the (often
+        // many) MSHR-full retry attempts. `mem_addr` on a still-Waiting
+        // entry is ignored by every other consumer.
+        let addr = match self.s.slots[slot].mem_addr {
+            Some(a) => a,
+            None => {
+                let a = Self::mem_operand_addr(&self.s.slots[slot], &mem_op);
+                self.s.slots[slot].mem_addr = Some(a);
+                a
+            }
+        };
+        self.s.slots[slot].last_attempt = self.cycle;
         let seq = self.s.slots[slot].seq;
         // Conservative memory disambiguation: an older in-flight store with
         // an unknown address, or a known address matching this word, blocks
@@ -1081,9 +1223,8 @@ impl<'a> Pipeline<'a> {
         let speculative = self.is_speculative(seq);
         let now = self.cycle;
         let line = Addr(addr).line().0;
-
-        // Prune arrived fills.
-        self.s.inflight.retain(|&(_, done)| done > now);
+        // (Arrived fills were pruned from `inflight` once at the top of
+        // this cycle's issue pass.)
 
         let cm = self.cfg.countermeasure;
         let shield = match cm {
@@ -1096,9 +1237,13 @@ impl<'a> Pipeline<'a> {
             .iter()
             .find(|&&(l, _)| l == line)
             .map(|&(_, done)| done);
+        // Single stateless L1 lookup; the hit path below reuses the way
+        // instead of re-scanning the tags (and, unlike a full `probe`, an
+        // L1 miss here never walks the L2/L3 tag arrays).
+        let l1_way = self.hier.lookup_l1(Addr(addr));
         if cm == Countermeasure::DelayOnMiss
             && speculative
-            && self.hier.probe(Addr(addr)) != HitLevel::L1
+            && l1_way.is_none()
             && inflight_done.is_none()
         {
             // Speculative L1 miss: delay until non-speculative.
@@ -1119,13 +1264,29 @@ impl<'a> Pipeline<'a> {
             )
         } else {
             // Normal path: check MSHR capacity for misses.
-            let probed = self.hier.probe(Addr(addr));
-            if probed != HitLevel::L1 && self.s.inflight.len() >= self.cfg.mshrs {
+            if l1_way.is_none() && self.s.inflight.len() >= self.cfg.mshrs {
+                // Capacity cannot free before the earliest outstanding
+                // fill arrives: arm the stall pool's deterministic wake.
+                let min_done = self
+                    .s
+                    .inflight
+                    .iter()
+                    .map(|&(_, done)| done)
+                    .min()
+                    .expect("MSHRs full implies outstanding entries");
+                self.s.stall_wake_cycle = self.s.stall_wake_cycle.min(min_done);
                 return false;
             }
-            let out = self.hier.access(Addr(addr), AccessKind::Load);
+            let out = match l1_way {
+                Some(way) => self.hier.access_l1_hit(Addr(addr), way),
+                None => self.hier.access_l1_miss(Addr(addr), AccessKind::Load),
+            };
             if out.level != HitLevel::L1 {
                 self.s.inflight.push((line, now + out.latency));
+                // The miss filled the line at issue and registered it as
+                // outstanding: stalled loads on the same line can now
+                // merge or hit.
+                self.wake_stalled_on_line(line, seq);
             }
             (out.latency, out.level)
         };
@@ -1176,7 +1337,7 @@ impl<'a> Pipeline<'a> {
             }
             let fetched = self.s.fetch_q.pop_front().expect("front exists");
             let pc = fetched.pc as usize;
-            let instr = *self.prog.get(pc).expect("fetched pc in range");
+            let d = &self.dec[pc];
             let seq = self.next_seq;
             self.next_seq += 1;
             let slot = self.s.alloc_slot();
@@ -1184,8 +1345,9 @@ impl<'a> Pipeline<'a> {
             // Rename: resolve each source against the RAT. A live producer
             // that is already Done hands over its value immediately; an
             // in-flight one gets this entry appended to its consumer list.
-            let (src_regs, nsrcs) = instr.srcs_fixed();
-            let mut srcs = [(Reg::new(0), Src::Ready(0)); 3];
+            let nsrcs = d.nsrcs as usize;
+            let src_regs = d.srcs;
+            let mut srcs = [Src::Ready(0); 3];
             let mut pending = 0u8;
             for (i, &r) in src_regs[..nsrcs].iter().enumerate() {
                 let src = match self.s.rat[r.index()] {
@@ -1206,10 +1368,11 @@ impl<'a> Pipeline<'a> {
                         }
                     }
                 };
-                srcs[i] = (r, src);
+                srcs[i] = src;
             }
 
-            let prev_rat = match instr.dst() {
+            let d = &self.dec[pc];
+            let prev_rat = match d.dst {
                 Some(dst) => {
                     let prev = self.s.rat[dst.index()];
                     self.s.rat[dst.index()] = Some((seq, slot as u32));
@@ -1217,16 +1380,18 @@ impl<'a> Pipeline<'a> {
                 }
                 None => None,
             };
-            if let Instr::Branch { .. } = instr {
-                self.s.spec_branches.push_back((seq, slot as u32));
-            }
-            if let Instr::Fence = instr {
-                self.fence_active = Some(seq);
+            let cls = d.cls as usize;
+            match d.op {
+                DecodedOp::Branch { .. } => self.s.spec_branches.push_back((seq, slot as u32)),
+                DecodedOp::Fence => self.fence_active = Some(seq),
+                DecodedOp::Store { .. } => self.s.store_q.push_back((seq, None)),
+                _ => {}
             }
 
             let trace_idx = if self.cfg.record.trace() {
+                let instr = self.prog.get(pc).expect("fetched pc in range");
                 let fetched_cycle = fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
-                let mut rec = crate::trace::TraceRecord::new(seq, pc, &instr, fetched_cycle);
+                let mut rec = crate::trace::TraceRecord::new(seq, pc, instr, fetched_cycle);
                 rec.dispatched = self.cycle;
                 self.trace.push(rec);
                 Some((self.trace.len() - 1) as u32)
@@ -1237,7 +1402,6 @@ impl<'a> Pipeline<'a> {
             let e = &mut self.s.slots[slot];
             e.seq = seq;
             e.pc = pc;
-            e.instr = instr;
             e.state = EntryState::Waiting;
             e.nsrcs = nsrcs as u8;
             e.pending = pending;
@@ -1251,15 +1415,12 @@ impl<'a> Pipeline<'a> {
             e.trace_idx = trace_idx;
             e.prev_rat = prev_rat;
             e.resolved = false;
+            e.last_attempt = u64::MAX;
             e.consumers.clear();
             self.s.len += 1;
             self.s.waiting_count += 1;
 
-            if let Instr::Store { .. } = instr {
-                self.s.store_q.push_back((seq, None));
-            }
             if pending == 0 && self.cfg.countermeasure != Countermeasure::InOrder {
-                let cls = class_idx(instr.fu_class());
                 self.ready_push(cls, seq, slot as u32);
             }
         }
@@ -1279,21 +1440,20 @@ impl<'a> Pipeline<'a> {
                 break;
             }
             let pc = self.fetch_pc;
-            let instr = self.prog.get(pc).expect("pc in range");
             let mut predicted_taken = false;
             let mut next = pc + 1;
-            match *instr {
-                Instr::Branch { target, .. } => {
+            match self.dec[pc].op {
+                DecodedOp::Branch { target, .. } => {
                     predicted_taken = self.predictor.predict(pc);
                     if predicted_taken {
-                        next = target;
+                        next = target as usize;
                     }
                 }
-                Instr::Jump { target } => {
+                DecodedOp::Jump { target } => {
                     predicted_taken = true;
-                    next = target;
+                    next = target as usize;
                 }
-                Instr::Halt => {
+                DecodedOp::Halt => {
                     self.fetch_stopped = true;
                 }
                 _ => {}

@@ -17,7 +17,9 @@
 use crate::config::{Countermeasure, CpuConfig};
 use crate::predictor::Predictor;
 use crate::stats::{LoadEvent, RunResult};
-use racer_isa::{AluOp, DataMemory, FuClass, Instr, MemOperand, Program, Reg, NUM_REGS};
+use racer_isa::{
+    AluOp, DataMemory, DecodedProgram, FuClass, Instr, MemOperand, Program, Reg, NUM_REGS,
+};
 use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
 use std::collections::{HashMap, VecDeque};
 
@@ -75,6 +77,11 @@ pub(crate) struct RefPipeline<'a> {
     mem: &'a mut DataMemory,
     predictor: &'a mut dyn Predictor,
     prog: &'a Program,
+    /// Pre-decoded µop table (rename reads source lists and destinations
+    /// from it; *execution* deliberately stays on [`Instr`] so the
+    /// differential suite cross-checks the decoder against the original
+    /// instruction forms).
+    dec: DecodedProgram,
 
     cycle: u64,
     rob: VecDeque<RobEntry>,
@@ -117,6 +124,7 @@ impl<'a> RefPipeline<'a> {
             hier,
             mem,
             predictor,
+            dec: DecodedProgram::decode(prog),
             prog,
             cycle: 0,
             rob: VecDeque::with_capacity(cfg.rob_size),
@@ -386,7 +394,7 @@ impl<'a> RefPipeline<'a> {
                 self.trace[t].committed = Some(self.cycle);
             }
             // Architectural register update + RAT release.
-            if let Some(dst) = entry.instr.dst() {
+            if let Some(dst) = self.dec[entry.pc].dst {
                 self.arch_regs[dst.index()] = entry.result;
                 if self.rat[dst.index()] == Some(entry.seq) {
                     self.rat[dst.index()] = None;
@@ -654,9 +662,12 @@ impl<'a> RefPipeline<'a> {
             Countermeasure::InvisibleSpec | Countermeasure::GhostMinion => speculative,
             _ => false,
         };
+        // Single stateless L1 lookup; the hit path reuses the way instead
+        // of re-scanning the tags (mirrors the event-driven scheduler).
+        let l1_way = self.hier.lookup_l1(Addr(addr));
         if cm == Countermeasure::DelayOnMiss
             && speculative
-            && self.hier.probe(Addr(addr)) != HitLevel::L1
+            && l1_way.is_none()
             && !self.inflight.contains_key(&line)
         {
             // Speculative L1 miss: delay until non-speculative.
@@ -677,11 +688,13 @@ impl<'a> RefPipeline<'a> {
             )
         } else {
             // Normal path: check MSHR capacity for misses.
-            let probed = self.hier.probe(Addr(addr));
-            if probed != HitLevel::L1 && self.inflight.len() >= self.cfg.mshrs {
+            if l1_way.is_none() && self.inflight.len() >= self.cfg.mshrs {
                 return false;
             }
-            let out = self.hier.access(Addr(addr), AccessKind::Load);
+            let out = match l1_way {
+                Some(way) => self.hier.access_l1_hit(Addr(addr), way),
+                None => self.hier.access_l1_miss(Addr(addr), AccessKind::Load),
+            };
             if out.level != HitLevel::L1 {
                 self.inflight.insert(line, now + out.latency);
             }
@@ -744,11 +757,10 @@ impl<'a> RefPipeline<'a> {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let srcs: Vec<(Reg, Src)> = fetched
-                .instr
-                .srcs()
-                .into_iter()
-                .map(|r| {
+            let d = &self.dec[fetched.pc];
+            let srcs: Vec<(Reg, Src)> = d.srcs[..d.nsrcs as usize]
+                .iter()
+                .map(|&r| {
                     let s = match self.rat[r.index()] {
                         None => Src::Ready(self.arch_regs[r.index()]),
                         Some(pseq) => match self.entry_index(pseq) {
@@ -766,7 +778,7 @@ impl<'a> RefPipeline<'a> {
             if let Instr::Branch { .. } = fetched.instr {
                 self.checkpoints.insert(seq, self.rat.clone());
             }
-            if let Some(dst) = fetched.instr.dst() {
+            if let Some(dst) = self.dec[fetched.pc].dst {
                 self.rat[dst.index()] = Some(seq);
             }
             if let Instr::Fence = fetched.instr {

@@ -6,8 +6,12 @@
 //! agree with this interpreter on all architectural state for every program
 //! — speculation may only change *timing and cache state*, never results.
 //! That invariant is enforced by differential tests.
+//!
+//! The dispatch loop indexes a [`DecodedProgram`] µop table (decoded once
+//! up front) rather than re-matching [`Instr`](crate::Instr) per dynamic
+//! step; operands are read through the decode-time slot mapping.
 
-use crate::instr::Instr;
+use crate::decode::{DecodedOp, DecodedProgram, SrcRef};
 use crate::mem::DataMemory;
 use crate::program::Program;
 use crate::reg::NUM_REGS;
@@ -89,48 +93,56 @@ pub fn run(
     mem: &mut DataMemory,
     max_steps: u64,
 ) -> Result<InterpResult, InterpError> {
+    let decoded = DecodedProgram::decode(prog);
     let mut regs = vec![0u64; NUM_REGS];
     let mut trace = Vec::new();
     let mut pc = 0usize;
     let mut steps = 0u64;
     let mut halted = false;
 
-    while pc < prog.len() {
+    while pc < decoded.len() {
         if steps >= max_steps {
             return Err(InterpError::StepLimit { limit: max_steps });
         }
         steps += 1;
-        let instr = &prog.instrs()[pc];
+        let d = &decoded[pc];
+        let src = |slot: u8| regs[d.srcs[slot as usize].index()];
+        let val = |s: SrcRef| match s {
+            SrcRef::Slot(i) => src(i),
+            SrcRef::Imm(v) => v,
+        };
         let mut next = pc + 1;
-        match instr {
-            Instr::Alu { op, dst, a, b } => {
-                let av = operand(&regs, *a);
-                let bv = operand(&regs, *b);
-                regs[dst.index()] = op.eval(av, bv);
+        match d.op {
+            DecodedOp::Alu { op, a, b } => {
+                let r = op.eval(val(a), val(b));
+                regs[d.dst.expect("ALU writes a destination").index()] = r;
             }
-            Instr::Lea { dst, mem: m } => {
-                regs[dst.index()] = m.eval(&regs);
+            DecodedOp::Lea(m) => {
+                regs[d.dst.expect("lea writes a destination").index()] = m.eval(src);
             }
-            Instr::Load { dst, mem: m } => {
-                let addr = m.eval(&regs);
-                regs[dst.index()] = mem.read(addr);
+            DecodedOp::Load(m) => {
+                let addr = m.eval(src);
+                regs[d.dst.expect("load writes a destination").index()] = mem.read(addr);
                 trace.push(MemEvent::Load(addr));
             }
-            Instr::Store { src, mem: m } => {
-                let addr = m.eval(&regs);
-                mem.write(addr, operand(&regs, *src));
+            DecodedOp::Store { src: s, mem: m } => {
+                let addr = m.eval(src);
+                mem.write(addr, val(s));
                 trace.push(MemEvent::Store(addr));
             }
-            Instr::Prefetch { .. } | Instr::Flush { .. } | Instr::Fence | Instr::Nop => {}
-            Instr::Branch { cond, a, b, target } => {
-                if cond.eval(regs[a.index()], operand(&regs, *b)) {
-                    next = *target;
+            DecodedOp::Prefetch { .. }
+            | DecodedOp::Flush(_)
+            | DecodedOp::Fence
+            | DecodedOp::Nop => {}
+            DecodedOp::Branch { cond, b, target } => {
+                if cond.eval(src(0), val(b)) {
+                    next = target as usize;
                 }
             }
-            Instr::Jump { target } => {
-                next = *target;
+            DecodedOp::Jump { target } => {
+                next = target as usize;
             }
-            Instr::Halt => {
+            DecodedOp::Halt => {
                 halted = true;
                 break;
             }
@@ -144,13 +156,6 @@ pub fn run(
         halted,
         mem_trace: trace,
     })
-}
-
-fn operand(regs: &[u64], op: crate::instr::Operand) -> u64 {
-    match op {
-        crate::instr::Operand::Reg(r) => regs[r.index()],
-        crate::instr::Operand::Imm(v) => v as u64,
-    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,10 @@
 //! * [`Instr`] / [`AluOp`] / [`Cond`] — the instruction forms;
 //! * [`Program`] — a validated instruction sequence with resolved branch
 //!   targets;
+//! * [`decode`] — pre-decoded µop tables ([`DecodedProgram`]): the static
+//!   facts (FU class, source list, destination, slot-mapped operands) every
+//!   hot consumer used to re-derive per dynamic instruction, computed once
+//!   per static instruction;
 //! * [`Asm`] — a builder/assembler DSL with labels and a fresh-register
 //!   allocator, used by `hacky-racers` to generate gadget code;
 //! * [`deps`] — register dataflow analysis (the paper's §4 *chains* and
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod asm;
+pub mod decode;
 pub mod deps;
 pub mod instr;
 pub mod interp;
@@ -44,6 +49,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::Asm;
+pub use decode::{DecodedInstr, DecodedMem, DecodedOp, DecodedProgram, SrcRef};
 pub use instr::{AluOp, Cond, FuClass, Instr, MemOperand, Operand};
 pub use mem::DataMemory;
 pub use program::{Label, Program, ProgramError};

@@ -2,6 +2,39 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the address-keyed memory map. Every load and
+/// store the pipeline issues reads or writes this map, so the default
+/// SipHash (DoS-resistant, but ~10× the work for an 8-byte key) is on the
+/// simulator's hottest path for memory-bound workloads; simulated addresses
+/// are not attacker-controlled hash-flooding inputs, so a single
+/// Fibonacci-style multiply is the right trade.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; fold arbitrary bytes for safety.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; hashbrown
+        // keys buckets off them after a rotate-free mix, so xor-fold them
+        // down for good low-bit spread too.
+        self.0 ^ (self.0 >> 32)
+    }
+}
 
 /// Sparse 64-bit-word memory keyed by byte address.
 ///
@@ -21,7 +54,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DataMemory {
-    map: HashMap<u64, u64>,
+    map: HashMap<u64, u64, BuildHasherDefault<AddrHasher>>,
 }
 
 impl DataMemory {

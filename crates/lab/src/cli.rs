@@ -1,10 +1,11 @@
 //! The `racer-lab` command-line interface.
 //!
 //! ```text
-//! racer-lab list [--json | --names-json]
+//! racer-lab list [--json | --names-json] [--shard K/N]
 //! racer-lab describe <scenario>
 //! racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...
 //!                                      [--seed N] [--out DIR] [--quiet]
+//!                                      [--shard K/N]
 //! racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]
 //! ```
 //!
@@ -55,18 +56,71 @@ fn usage() -> &'static str {
     "racer-lab — registry-driven experiment runner\n\
      \n\
      USAGE:\n\
-     \x20 racer-lab list [--json | --names-json]\n\
+     \x20 racer-lab list [--json | --names-json] [--shard K/N]\n\
      \x20 racer-lab describe <scenario>\n\
      \x20 racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...\n\
      \x20                                      [--seed N] [--out DIR] [--quiet]\n\
+     \x20                                      [--shard K/N]\n\
      \x20 racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]\n\
      \n\
+     --shard K/N keeps the K-th of N deterministic slices of the selected\n\
+     scenario set (1-based; CI matrix legs use one slice each).\n\
      Results are written to results/<scenario>.json (override with --out)."
 }
 
+/// Parse a `K/N` shard spec (1-based `K`, `1 <= K <= N`).
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard expects K/N with 1 <= K <= N, got {spec:?}");
+    let (k, n) = spec.split_once('/').ok_or_else(err)?;
+    let k: usize = k.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if k == 0 || n == 0 || k > n {
+        return Err(err());
+    }
+    Ok((k, n))
+}
+
+/// Deterministic shard selection: order `scenarios` by registry index and
+/// keep every `n`-th entry starting at position `k - 1`. The `n` slices of
+/// any fixed selection are pairwise disjoint and their union is the whole
+/// selection — the property the CLI tests pin — so CI matrix legs can each
+/// run one slice and jointly cover everything exactly once.
+pub fn shard_select(mut scenarios: Vec<Scenario>, k: usize, n: usize) -> Vec<Scenario> {
+    let order: Vec<&str> = registry().iter().map(|s| s.name).collect();
+    let idx = |name: &str| order.iter().position(|&o| o == name).unwrap_or(usize::MAX);
+    scenarios.sort_by_key(|s| idx(s.name));
+    scenarios
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % n == k - 1)
+        .map(|(_, s)| s)
+        .collect()
+}
+
 fn list(args: &[String]) -> Result<(), String> {
-    let scenarios = registry();
-    match args.first().map(String::as_str) {
+    let mut shard = None;
+    let mut mode: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" | "--names-json" => match mode {
+                None => mode = Some(arg.as_str()),
+                Some(prev) => {
+                    return Err(format!("{prev} and {arg} are mutually exclusive"));
+                }
+            },
+            "--shard" => {
+                let spec = it.next().ok_or("--shard needs a value")?;
+                shard = Some(parse_shard(spec)?);
+            }
+            other => return Err(format!("unknown list flag {other:?}")),
+        }
+    }
+    let scenarios = match shard {
+        Some((k, n)) => shard_select(registry(), k, n),
+        None => registry(),
+    };
+    match mode {
         Some("--json") => {
             let v = Value::Array(
                 scenarios
@@ -98,7 +152,7 @@ fn list(args: &[String]) -> Result<(), String> {
             );
             println!("{}", v.to_compact());
         }
-        Some(other) => return Err(format!("unknown list flag {other:?}")),
+        Some(other) => unreachable!("mode {other:?} filtered during parsing"),
         None => {
             println!("{} registered scenarios:\n", scenarios.len());
             let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
@@ -147,6 +201,7 @@ struct RunFlags {
     names: Vec<String>,
     baseline: PathBuf,
     tolerance: f64,
+    shard: Option<(usize, usize)>,
 }
 
 fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
@@ -158,6 +213,7 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
         names: Vec::new(),
         baseline: PathBuf::from("BENCH_pipeline.json"),
         tolerance: 0.30,
+        shard: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -193,6 +249,7 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
                 flags.opts.seed = Some(seed);
             }
             "--out" => flags.out_dir = PathBuf::from(value_of("--out")?),
+            "--shard" => flags.shard = Some(parse_shard(&value_of("--shard")?)?),
             "--baseline" => flags.baseline = PathBuf::from(value_of("--baseline")?),
             "--tolerance" => {
                 let v = value_of("--tolerance")?;
@@ -214,7 +271,7 @@ fn unknown_scenario(name: &str) -> String {
 
 fn run(args: &[String]) -> Result<(), String> {
     let flags = parse_run_flags(args)?;
-    let selected: Vec<Scenario> = if flags.all {
+    let mut selected: Vec<Scenario> = if flags.all {
         if !flags.names.is_empty() {
             return Err("pass scenario names or --all, not both".into());
         }
@@ -228,6 +285,13 @@ fn run(args: &[String]) -> Result<(), String> {
             .map(|n| crate::registry::find(n).ok_or_else(|| unknown_scenario(n)))
             .collect::<Result<_, _>>()?
     };
+    if let Some((k, n)) = flags.shard {
+        selected = shard_select(selected, k, n);
+        if selected.is_empty() {
+            println!("# shard {k}/{n} selects no scenarios");
+            return Ok(());
+        }
+    }
 
     // Each scenario is an independent simulation: fan out across host
     // cores. Reports come back in input order, so output stays stable.
@@ -271,6 +335,9 @@ fn perf_check(args: &[String]) -> Result<Outcome, String> {
     if !flags.names.is_empty() {
         return Err("perf-check takes no scenario names".into());
     }
+    if flags.shard.is_some() {
+        return Err("perf-check runs a single scenario; --shard does not apply".into());
+    }
     // The gate defaults to quick scale: throughput is scale-independent
     // enough for a 30% gate, and CI minutes are not free.
     if args.iter().all(|a| a != "--paper") {
@@ -299,11 +366,77 @@ fn perf_check(args: &[String]) -> Result<Outcome, String> {
         verdicts = compare_throughput(&baseline, &measured, flags.tolerance)?;
     }
     print!("{}", render_verdicts(&verdicts, flags.tolerance));
+    // Surface the comparison on the workflow-run summary page when CI
+    // provides one, so perf deltas are visible on every PR without
+    // downloading artifacts.
+    if let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        let md = render_verdicts_markdown(&verdicts, flags.tolerance);
+        match std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(md.as_bytes()) {
+                    eprintln!("# warning: could not append step summary: {e}");
+                }
+            }
+            Err(e) => eprintln!("# warning: could not open step summary: {e}"),
+        }
+    }
     if verdicts.iter().any(|v| v.regressed) {
         Ok(Outcome::GateFailed)
     } else {
         Ok(Outcome::Ok)
     }
+}
+
+/// The perf-gate comparison as a GitHub-flavoured markdown table (one row
+/// per workload), appended to `$GITHUB_STEP_SUMMARY` in CI.
+pub fn render_verdicts_markdown(verdicts: &[PerfVerdict], tolerance: f64) -> String {
+    let mut s = String::from(
+        "## Perf gate: committed instrs/sec vs `BENCH_pipeline.json`\n\n\
+         | workload | baseline | measured | ratio | verdict |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    let fmt_ips = |x: Option<f64>| x.map_or("–".to_string(), |v| format!("{:.2}M", v / 1e6));
+    for v in verdicts {
+        let ratio = match (v.baseline_ips, v.measured_ips) {
+            (Some(b), Some(m)) if b > 0.0 => format!("{:.2}×", m / b),
+            _ => "–".to_string(),
+        };
+        let verdict = if v.regressed {
+            "❌ **REGRESSED**"
+        } else if v.baseline_ips.is_none() {
+            "🆕 new (no baseline)"
+        } else if v.measured_ips.is_none() {
+            "⚠️ missing from run"
+        } else {
+            "✅ ok"
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} |",
+            v.workload,
+            fmt_ips(v.baseline_ips),
+            fmt_ips(v.measured_ips),
+            ratio,
+            verdict
+        );
+    }
+    let failed = verdicts.iter().filter(|v| v.regressed).count();
+    let _ = writeln!(
+        s,
+        "\n{} (tolerance: fail under {:.0}% of baseline)\n",
+        if failed == 0 {
+            "Gate **passed**.".to_string()
+        } else {
+            format!("Gate **FAILED**: {failed} workload(s) regressed.")
+        },
+        (1.0 - tolerance) * 100.0
+    );
+    s
 }
 
 /// Merge two perf payloads, keeping each workload's entry from the run
@@ -334,6 +467,7 @@ fn best_of(a: &Value, b: &Value) -> Value {
 }
 
 /// One workload's gate outcome.
+#[derive(Clone)]
 pub struct PerfVerdict {
     /// Workload name.
     pub workload: String,
@@ -523,6 +657,75 @@ mod tests {
             Value::object().with("event_driven_instrs_per_sec", 1.0)
         ]);
         assert!(compare_throughput(&nameless, &ok, 0.3).is_err());
+    }
+
+    #[test]
+    fn markdown_summary_renders_every_verdict_shape() {
+        let verdicts = vec![
+            PerfVerdict {
+                workload: "ok-wl".into(),
+                baseline_ips: Some(10e6),
+                measured_ips: Some(12e6),
+                regressed: false,
+            },
+            PerfVerdict {
+                workload: "regressed-wl".into(),
+                baseline_ips: Some(10e6),
+                measured_ips: Some(5e6),
+                regressed: true,
+            },
+            PerfVerdict {
+                workload: "new-wl".into(),
+                baseline_ips: None,
+                measured_ips: Some(1e6),
+                regressed: false,
+            },
+            PerfVerdict {
+                workload: "gone-wl".into(),
+                baseline_ips: Some(2e6),
+                measured_ips: None,
+                regressed: false,
+            },
+        ];
+        let md = render_verdicts_markdown(&verdicts, 0.30);
+        assert!(md.contains("| workload | baseline | measured | ratio | verdict |"));
+        assert!(md.contains("| ok-wl | 10.00M | 12.00M | 1.20× | ✅ ok |"));
+        assert!(md.contains("**REGRESSED**"));
+        assert!(md.contains("new (no baseline)"));
+        assert!(md.contains("missing from run"));
+        assert!(md.contains("Gate **FAILED**: 1 workload(s) regressed."));
+        let passed = render_verdicts_markdown(&verdicts[..1], 0.30);
+        assert!(passed.contains("Gate **passed**."));
+    }
+
+    #[test]
+    fn shard_select_partitions_in_registry_order() {
+        let total = registry().len();
+        for n in [1usize, 2, 4, total] {
+            let mut seen = Vec::new();
+            for k in 1..=n {
+                let slice = shard_select(registry(), k, n);
+                for s in &slice {
+                    assert!(!seen.contains(&s.name), "{} in two shards", s.name);
+                    seen.push(s.name);
+                }
+            }
+            assert_eq!(seen.len(), total, "shards of {n} must cover the registry");
+        }
+        // Slices follow registry order round-robin.
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let first = shard_select(registry(), 1, 2);
+        let expect: Vec<&str> = names.iter().copied().step_by(2).collect();
+        assert_eq!(first.iter().map(|s| s.name).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn shard_specs_validate() {
+        assert_eq!(parse_shard("1/1").unwrap(), (1, 1));
+        assert_eq!(parse_shard("3/7").unwrap(), (3, 7));
+        for bad in ["0/2", "3/2", "a/2", "2", "2/", "/2", "2/0"] {
+            assert!(parse_shard(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod registry;
 pub mod runner;
 pub mod scenarios;
 
-pub use cli::shim;
+pub use cli::{shard_select, shim};
 pub use params::{ParamSpec, ParamValue, Scale};
 pub use registry::{find, registry, RunContext, Scenario, ScenarioOutput};
 pub use runner::{run_scenario, Report, RunOptions};

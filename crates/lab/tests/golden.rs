@@ -191,3 +191,72 @@ fn list_names_json_is_machine_readable() {
     assert!(names.len() >= 17);
     assert!(names.iter().any(|n| n.as_str() == Some("perf_baseline")));
 }
+
+/// `--shard K/N` must slice the scenario set into pairwise-disjoint
+/// pieces whose union is exactly the unsharded list — the property CI
+/// matrix legs rely on to jointly cover every scenario exactly once.
+#[test]
+fn shard_slices_are_disjoint_and_union_complete() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    let names = |args: &[&str]| -> Vec<String> {
+        let out = Command::new(bin).args(args).output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "racer-lab {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        Value::parse(String::from_utf8_lossy(&out.stdout).trim())
+            .expect("JSON array")
+            .as_array()
+            .expect("array")
+            .iter()
+            .map(|v| v.as_str().expect("string").to_string())
+            .collect()
+    };
+    let full = names(&["list", "--names-json"]);
+    for n in [1usize, 2, 3, 5, full.len(), full.len() + 3] {
+        let mut union = Vec::new();
+        for k in 1..=n {
+            let shard = names(&["list", "--names-json", "--shard", &format!("{k}/{n}")]);
+            for name in &shard {
+                assert!(
+                    !union.contains(name),
+                    "scenario {name} appears in more than one shard of {n}"
+                );
+            }
+            union.extend(shard);
+        }
+        let mut sorted_union = union.clone();
+        sorted_union.sort();
+        let mut sorted_full = full.clone();
+        sorted_full.sort();
+        assert_eq!(
+            sorted_union, sorted_full,
+            "union of {n} shards must equal the full scenario set"
+        );
+    }
+}
+
+/// Bad shard specs are usage errors (exit 2), and an empty shard of an
+/// explicit selection exits cleanly without running anything.
+#[test]
+fn shard_validation_and_empty_shard() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    for bad in ["0/3", "4/3", "x/2", "3", "2/0"] {
+        let out = Command::new(bin)
+            .args(["list", "--names-json", "--shard", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "spec {bad:?} must be rejected");
+    }
+    // One scenario split three ways: shard 2 is empty and must no-op.
+    let out = Command::new(bin)
+        .args(["run", "fig03_plru_walk", "--quick", "--shard", "2/3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("selects no scenarios"),
+        "empty shard should say so"
+    );
+}

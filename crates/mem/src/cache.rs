@@ -1,8 +1,17 @@
-//! A single set-associative cache level.
+//! A single set-associative cache level, stored struct-of-arrays.
+//!
+//! Tags and valid bits live in contiguous per-level arrays (way-major
+//! within each set) and replacement state is packed per level in a
+//! [`PackedPolicy`](crate::replacement) enum — no per-set allocations, no
+//! `Box<dyn ReplacementPolicy>` virtual dispatch, and a single tag scan per
+//! access via [`Cache::lookup`] whose result the hit path reuses. The boxed
+//! per-set implementation ([`CacheSet`](crate::CacheSet)) is retained as
+//! the reference model; the differential proptest in
+//! `crates/mem/tests/differential.rs` pins the two bit-identical.
 
 use crate::addr::LineAddr;
-use crate::replacement::ReplacementKind;
-use crate::set::{CacheSet, FillOutcome};
+use crate::replacement::{PackedPolicy, ReplacementKind};
+use crate::set::FillOutcome;
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
 
@@ -66,7 +75,8 @@ impl CacheConfig {
     }
 }
 
-/// A single cache level: tag arrays, per-set replacement state and counters.
+/// A single cache level: flattened tag arrays, packed per-set replacement
+/// state and counters.
 ///
 /// ```
 /// use racer_mem::{Cache, CacheConfig, LineAddr};
@@ -76,10 +86,16 @@ impl CacheConfig {
 /// l1.fill(line);
 /// assert!(l1.access(line));       // now hits
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<CacheSet>,
+    ways: usize,
+    /// Line addresses, `sets * ways` entries, way-major within each set.
+    /// Entries are only meaningful where the set's valid bit is set.
+    tags: Vec<u64>,
+    /// Per-set occupancy bitmask (bit `w` set ⇔ way `w` holds a line).
+    valid: Vec<u64>,
+    policy: PackedPolicy,
     stats: CacheStats,
 }
 
@@ -88,25 +104,20 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.sets` is not a power of two or `cfg.ways` is zero.
+    /// Panics if `cfg.sets` is not a power of two, `cfg.ways` is zero or
+    /// exceeds 64 (the packed replacement layouts use one bit-word per set).
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(
             cfg.sets.is_power_of_two(),
             "set count must be a power of two"
         );
         assert!(cfg.ways >= 1, "need at least one way");
-        let sets = (0..cfg.sets)
-            .map(|i| {
-                let seed = cfg
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64);
-                CacheSet::new(cfg.replacement.build(cfg.ways, seed))
-            })
-            .collect();
         Cache {
+            ways: cfg.ways,
+            tags: vec![0; cfg.sets * cfg.ways],
+            valid: vec![0; cfg.sets],
+            policy: PackedPolicy::new(cfg.replacement, cfg.sets, cfg.ways, cfg.seed),
             cfg,
-            sets,
             stats: CacheStats::default(),
         }
     }
@@ -122,44 +133,117 @@ impl Cache {
     }
 
     /// Set index for `line`.
+    #[inline]
     pub fn set_index(&self, line: LineAddr) -> usize {
         line.set_index(self.cfg.sets)
     }
 
+    /// The full-set occupancy mask for this associativity.
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
+    /// Way currently holding `line`, if resident — one contiguous tag scan,
+    /// touching no replacement state. This is the single lookup the hit
+    /// paths reuse: callers pass the returned way to [`Cache::record_hit`]
+    /// instead of paying a second scan (the old `probe`-then-`access`
+    /// pattern walked the tags twice).
+    #[inline]
+    pub fn lookup(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_index(line);
+        let vmask = self.valid[set];
+        let base = set * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        for (w, &t) in tags.iter().enumerate() {
+            if t == line.0 && (vmask >> w) & 1 == 1 {
+                return Some(w);
+            }
+        }
+        None
+    }
+
     /// Whether `line` is resident, without touching replacement state.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].contains(line)
+        self.lookup(line).is_some()
+    }
+
+    /// Record a demand hit on `line`, known (from [`Cache::lookup`]) to be
+    /// resident in `way`: updates replacement state and counters without
+    /// re-scanning the tags.
+    #[inline]
+    pub fn record_hit(&mut self, line: LineAddr, way: usize) {
+        debug_assert_eq!(self.lookup(line), Some(way), "record_hit on a stale way");
+        self.policy.on_hit(self.set_index(line), way);
+        self.stats.hits += 1;
+    }
+
+    /// Record a demand miss (the lookup found nothing; the hierarchy
+    /// decides fills).
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.stats.misses += 1;
     }
 
     /// Demand access: returns `true` on hit (updating replacement state),
     /// `false` on miss (*without* filling — the hierarchy decides fills).
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> bool {
-        let idx = self.set_index(line);
-        if self.sets[idx].touch(line) {
-            self.stats.hits += 1;
-            true
-        } else {
-            self.stats.misses += 1;
-            false
+        match self.lookup(line) {
+            Some(way) => {
+                self.record_hit(line, way);
+                true
+            }
+            None => {
+                self.record_miss();
+                false
+            }
         }
     }
 
     /// Insert `line`, returning the eviction outcome.
     pub fn fill(&mut self, line: LineAddr) -> FillOutcome {
-        let idx = self.set_index(line);
-        let out = self.sets[idx].fill(line);
-        self.stats.fills += 1;
-        if out.evicted.is_some() {
-            self.stats.evictions += 1;
-        }
-        out
+        self.fill_inner(line, false)
     }
 
     /// Insert `line` with a non-temporal hint (placed at eviction-candidate
     /// priority; paper §6.3.1 footnote 7).
     pub fn fill_low_priority(&mut self, line: LineAddr) -> FillOutcome {
-        let idx = self.set_index(line);
-        let out = self.sets[idx].fill_low_priority(line);
+        self.fill_inner(line, true)
+    }
+
+    fn fill_inner(&mut self, line: LineAddr, low_priority: bool) -> FillOutcome {
+        let set = self.set_index(line);
+        let out = if let Some(way) = self.lookup(line) {
+            // Already resident: degenerates to a touch (hardware never
+            // double-fills a line).
+            self.policy.on_hit(set, way);
+            FillOutcome { way, evicted: None }
+        } else {
+            let base = set * self.ways;
+            let vmask = self.valid[set];
+            // Prefer the lowest-index empty way; only a full set consults
+            // the policy for a victim.
+            let (way, evicted) = if vmask != self.full_mask() {
+                ((!vmask).trailing_zeros() as usize, None)
+            } else {
+                let victim = self.policy.victim(set);
+                (victim, Some(LineAddr(self.tags[base + victim])))
+            };
+            self.tags[base + way] = line.0;
+            self.valid[set] = vmask | (1 << way);
+            if low_priority {
+                self.policy.on_fill_low_priority(set, way);
+            } else {
+                self.policy.on_fill(set, way);
+            }
+            FillOutcome { way, evicted }
+        };
         self.stats.fills += 1;
         if out.evicted.is_some() {
             self.stats.evictions += 1;
@@ -169,17 +253,25 @@ impl Cache {
 
     /// Remove `line` if resident (flush / back-invalidation).
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let idx = self.set_index(line);
-        let hit = self.sets[idx].invalidate(line);
-        if hit {
-            self.stats.invalidations += 1;
+        match self.lookup(line) {
+            Some(way) => {
+                let set = self.set_index(line);
+                self.valid[set] &= !(1u64 << way);
+                self.policy.on_invalidate(set, way);
+                self.stats.invalidations += 1;
+                true
+            }
+            None => false,
         }
-        hit
     }
 
-    /// Direct read access to a set, for diagnostics and tests.
-    pub fn set(&self, index: usize) -> &CacheSet {
-        &self.sets[index]
+    /// Read-only view of one set, for diagnostics, experiments and tests.
+    pub fn set(&self, index: usize) -> SetView<'_> {
+        assert!(index < self.cfg.sets, "set index out of range");
+        SetView {
+            cache: self,
+            set: index,
+        }
     }
 
     /// Number of sets.
@@ -197,18 +289,82 @@ impl Cache {
         self.stats.reset();
     }
 
-    /// Empty every set and reset all replacement state and counters.
+    /// Empty every set and reset all replacement state and counters (random
+    /// replacement keeps its RNG streams, as hardware randomness does not
+    /// rewind).
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.valid.fill(0);
+        self.policy.reset();
         self.stats.reset();
+    }
+}
+
+/// Read-only view of one set of a [`Cache`] — the flattened-storage
+/// equivalent of handing out `&CacheSet`.
+#[derive(Copy, Clone)]
+pub struct SetView<'a> {
+    cache: &'a Cache,
+    set: usize,
+}
+
+impl<'a> SetView<'a> {
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.cache.ways
+    }
+
+    /// Way currently holding `line`, if resident in this set.
+    pub fn way_of(&self, line: LineAddr) -> Option<usize> {
+        let vmask = self.cache.valid[self.set];
+        let base = self.set * self.cache.ways;
+        (0..self.cache.ways).find(|&w| (vmask >> w) & 1 == 1 && self.cache.tags[base + w] == line.0)
+    }
+
+    /// Whether `line` is resident in this set.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.way_of(line).is_some()
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.cache.valid[self.set].count_ones() as usize
+    }
+
+    /// The resident lines, in way order.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + 'a {
+        let vmask = self.cache.valid[self.set];
+        let base = self.set * self.cache.ways;
+        let tags = &self.cache.tags[base..base + self.cache.ways];
+        tags.iter()
+            .enumerate()
+            .filter(move |&(w, _)| (vmask >> w) & 1 == 1)
+            .map(|(_, &t)| LineAddr(t))
+    }
+
+    /// The line the policy would evict next if a fill arrived now (only
+    /// meaningful when the set is full).
+    pub fn eviction_candidate(&self) -> Option<LineAddr> {
+        if self.occupancy() < self.cache.ways {
+            return None;
+        }
+        let way = self.cache.policy.peek_victim(self.set);
+        Some(LineAddr(self.cache.tags[self.set * self.cache.ways + way]))
+    }
+}
+
+impl std::fmt::Debug for SetView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetView")
+            .field("set", &self.set)
+            .field("lines", &self.resident_lines().collect::<Vec<_>>())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::LineAddr;
 
     #[test]
     fn capacity_matches_coffee_lake() {
@@ -240,6 +396,15 @@ mod tests {
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn lookup_returns_the_way_the_fill_used() {
+        let mut c = Cache::new(CacheConfig::l1d_coffee_lake());
+        let l = LineAddr(0x40);
+        assert_eq!(c.lookup(l), None);
+        let out = c.fill(l);
+        assert_eq!(c.lookup(l), Some(out.way));
     }
 
     #[test]
@@ -278,5 +443,23 @@ mod tests {
         c.clear();
         assert!(!c.probe(LineAddr(1)));
         assert_eq!(c.stats(), &CacheStats::default());
+    }
+
+    #[test]
+    fn set_view_reports_contents_in_way_order() {
+        let mut c = Cache::new(CacheConfig::l1d_coffee_lake());
+        // Two lines mapping to set 3 (stride = 64 lines).
+        c.fill(LineAddr(3));
+        c.fill(LineAddr(3 + 64));
+        let view = c.set(3);
+        assert_eq!(view.occupancy(), 2);
+        assert_eq!(view.way_of(LineAddr(3)), Some(0));
+        assert_eq!(view.way_of(LineAddr(3 + 64)), Some(1));
+        assert!(view.contains(LineAddr(3)));
+        assert_eq!(
+            view.resident_lines().collect::<Vec<_>>(),
+            vec![LineAddr(3), LineAddr(3 + 64)]
+        );
+        assert_eq!(view.eviction_candidate(), None, "set not full yet");
     }
 }

@@ -171,15 +171,19 @@ impl Hierarchy {
 
     /// Perform an access of `kind` to `addr`, updating all cache state and
     /// returning the serviced level and latency.
+    #[inline]
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
         let line = addr.line();
         if matches!(kind, AccessKind::Prefetch | AccessKind::PrefetchNta) {
             self.prefetches += 1;
         }
-        let low_priority = matches!(kind, AccessKind::PrefetchNta);
 
-        // L1 hit?
-        if self.l1d.access(line) {
+        // L1-hit fast path: the single tag lookup's way is reused for the
+        // replacement update, and none of the L2/L3 lookup, fill or
+        // eviction plumbing below is touched. This is the overwhelmingly
+        // common case for every workload the simulator runs.
+        if let Some(way) = self.l1d.lookup(line) {
+            self.l1d.record_hit(line, way);
             return AccessOutcome {
                 level: HitLevel::L1,
                 latency: self.l1d.hit_latency(),
@@ -187,6 +191,14 @@ impl Hierarchy {
                 l3_evicted: None,
             };
         }
+        self.l1d.record_miss();
+        self.access_miss(line, kind)
+    }
+
+    /// The L1-miss slow path: walk L2 → L3 → DRAM, performing the fills and
+    /// (for an inclusive L3) back-invalidations.
+    fn access_miss(&mut self, line: LineAddr, kind: AccessKind) -> AccessOutcome {
+        let low_priority = matches!(kind, AccessKind::PrefetchNta);
 
         // L2 hit?
         if self.l2.access(line) {
@@ -275,6 +287,43 @@ impl Hierarchy {
         self.l1d.invalidate(line);
         self.l2.invalidate(line);
         self.l3.invalidate(line);
+    }
+
+    /// L1 way holding `addr`'s line, if resident — the single stateless
+    /// lookup whose result [`Hierarchy::access_l1_hit`] /
+    /// [`Hierarchy::access_l1_miss`] reuse, so callers that must first
+    /// classify the access (MSHR admission in the CPU's load port) pay one
+    /// tag scan instead of a probe *and* an access walk.
+    #[inline]
+    pub fn lookup_l1(&self, addr: Addr) -> Option<usize> {
+        self.l1d.lookup(addr.line())
+    }
+
+    /// Complete a demand access already known — via [`Hierarchy::lookup_l1`]
+    /// — to hit the L1 in `way`: updates replacement state and counters
+    /// without re-scanning the tags, and touches no deeper level.
+    #[inline]
+    pub fn access_l1_hit(&mut self, addr: Addr, way: usize) -> AccessOutcome {
+        self.l1d.record_hit(addr.line(), way);
+        AccessOutcome {
+            level: HitLevel::L1,
+            latency: self.l1d.hit_latency(),
+            l1_evicted: None,
+            l3_evicted: None,
+        }
+    }
+
+    /// Complete a demand access already known — via [`Hierarchy::lookup_l1`]
+    /// returning `None` — to miss the L1: records the miss and walks the
+    /// deeper levels without re-scanning the L1 tags.
+    #[inline]
+    pub fn access_l1_miss(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        if matches!(kind, AccessKind::Prefetch | AccessKind::PrefetchNta) {
+            self.prefetches += 1;
+        }
+        debug_assert!(!self.l1d.probe(addr.line()), "access_l1_miss on a hit");
+        self.l1d.record_miss();
+        self.access_miss(addr.line(), kind)
     }
 
     /// Deepest level currently holding `addr`, without touching any state.

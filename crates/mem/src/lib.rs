@@ -21,10 +21,18 @@
 //!
 //! * [`replacement`] — the [`ReplacementPolicy`] trait and five concrete
 //!   policies: [`TreePlru`], [`Lru`], [`RandomReplacement`], [`Fifo`],
-//!   [`Srrip`].
-//! * [`set`] / [`cache`] — a single set-associative cache level.
+//!   [`Srrip`] — plus a packed struct-of-arrays re-encoding of each that
+//!   the flattened [`Cache`] dispatches on.
+//! * [`cache`] — a single set-associative cache level, stored
+//!   struct-of-arrays (contiguous tags, per-set valid bitmasks, packed
+//!   replacement state) for the simulator's hot paths.
+//! * [`set`] — the boxed-policy single-set model, retained as the readable
+//!   reference implementation and for experiments that reason about one
+//!   set in isolation; `crates/mem/tests/differential.rs` pins it
+//!   bit-identical to the flattened model.
 //! * [`hierarchy`] — a three-level hierarchy (L1D → L2 → inclusive L3 → DRAM)
-//!   with flush, prefetch and back-invalidation.
+//!   with flush, prefetch, back-invalidation and an early-exit L1-hit fast
+//!   path.
 //! * [`eviction`] — ground-truth helpers for constructing congruent address
 //!   sets (used to *validate* the attack-generated eviction sets).
 //!
@@ -51,7 +59,7 @@ pub mod set;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES};
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheConfig, SetView};
 pub use eviction::{addresses_mapping_to_l3_set, candidate_pool, same_l1_set_addresses};
 pub use hierarchy::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, HitLevel};
 pub use replacement::{

@@ -6,12 +6,23 @@
 //! and 4); [`RandomReplacement`] underpins the arbitrary-replacement magnifier
 //! (§6.3); [`Lru`], [`Fifo`] and [`Srrip`] exist to demonstrate the paper's
 //! claim that *"changing the replacement policy is no cure"* (§6, §8).
+//!
+//! Two encodings of the same state machines coexist: the boxed per-set
+//! [`ReplacementPolicy`] objects below (the readable reference, used by
+//! [`CacheSet`](crate::CacheSet) and the magnifier experiments that reason
+//! about one set at a time), and the packed struct-of-arrays
+//! `PackedPolicy` (crate-private, in `packed`) that [`Cache`](crate::Cache)
+//! dispatches on for the simulator's hot paths. The differential proptest
+//! in `crates/mem/tests/differential.rs` keeps them bit-identical.
 
 mod fifo;
 mod lru;
+mod packed;
 mod random;
 mod srrip;
 mod tree_plru;
+
+pub(crate) use packed::PackedPolicy;
 
 pub use fifo::Fifo;
 pub use lru::Lru;

@@ -1,4 +1,13 @@
-//! A single set of a set-associative cache.
+//! A single set of a set-associative cache, driven by a boxed
+//! [`ReplacementPolicy`].
+//!
+//! This is the *reference* encoding: one heap-allocated policy object per
+//! set, tags in `Vec<Option<LineAddr>>`. The flattened
+//! [`Cache`](crate::Cache) re-implements the same state machine over
+//! contiguous arrays for speed; the differential proptest in
+//! `crates/mem/tests/differential.rs` keeps the two bit-identical.
+//! [`CacheSet`] remains the right tool for experiments that reason about a
+//! single set in isolation (the PLRU/arbitrary-replacement magnifiers).
 
 use crate::addr::LineAddr;
 use crate::replacement::ReplacementPolicy;

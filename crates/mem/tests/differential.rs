@@ -1,0 +1,337 @@
+//! Differential tests: the flattened struct-of-arrays cache model
+//! ([`Cache`]/[`Hierarchy`]) against a reference built from the retained
+//! boxed-policy [`CacheSet`]s, under random access/fill/invalidate streams.
+//!
+//! The flattened model re-encodes the replacement state machines (packed
+//! tree-PLRU bit-words, byte arrays, per-set RNGs) — these tests pin that
+//! re-encoding bit-exact: identical hit levels, latencies, fill ways and
+//! eviction outcomes on every step, for every policy, including the
+//! seed-derived random-replacement streams.
+
+use proptest::prelude::*;
+use racer_mem::{
+    AccessKind, Addr, Cache, CacheConfig, CacheSet, FillOutcome, Hierarchy, HierarchyConfig,
+    HitLevel, LineAddr, ReplacementKind,
+};
+
+/// Reference single-level cache: per-set boxed-policy [`CacheSet`]s, the
+/// exact pre-flattening implementation (empty-way preference, policy
+/// bookkeeping and per-set seed derivation included).
+struct BoxedCache {
+    sets: Vec<CacheSet>,
+    num_sets: usize,
+}
+
+impl BoxedCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.sets)
+            .map(|i| {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                CacheSet::new(cfg.replacement.build(cfg.ways, seed))
+            })
+            .collect();
+        BoxedCache {
+            sets,
+            num_sets: cfg.sets,
+        }
+    }
+
+    fn set_of(&mut self, line: LineAddr) -> &mut CacheSet {
+        let idx = line.set_index(self.num_sets);
+        &mut self.sets[idx]
+    }
+
+    fn probe(&mut self, line: LineAddr) -> bool {
+        self.set_of(line).contains(line)
+    }
+
+    fn access(&mut self, line: LineAddr) -> bool {
+        self.set_of(line).touch(line)
+    }
+
+    fn fill(&mut self, line: LineAddr, low_priority: bool) -> FillOutcome {
+        if low_priority {
+            self.set_of(line).fill_low_priority(line)
+        } else {
+            self.set_of(line).fill(line)
+        }
+    }
+
+    fn invalidate(&mut self, line: LineAddr) -> bool {
+        self.set_of(line).invalidate(line)
+    }
+
+    fn eviction_candidate(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.set_of(line).eviction_candidate()
+    }
+}
+
+/// Reference three-level hierarchy over [`BoxedCache`]s, mirroring
+/// [`Hierarchy::access`]'s documented fill/inclusion algorithm (without the
+/// L1-hit fast path — that is the thing under test).
+struct BoxedHierarchy {
+    cfg: HierarchyConfig,
+    l1d: BoxedCache,
+    l2: BoxedCache,
+    l3: BoxedCache,
+}
+
+/// What one access did, in reference terms.
+#[derive(Debug, PartialEq, Eq)]
+struct RefOutcome {
+    level: HitLevel,
+    latency: u64,
+    l1_evicted: Option<LineAddr>,
+    l3_evicted: Option<LineAddr>,
+}
+
+impl BoxedHierarchy {
+    fn new(cfg: HierarchyConfig) -> Self {
+        assert_eq!(cfg.memory_jitter, 0, "reference model is jitter-free");
+        BoxedHierarchy {
+            l1d: BoxedCache::new(cfg.l1d),
+            l2: BoxedCache::new(cfg.l2),
+            l3: BoxedCache::new(cfg.l3),
+            cfg,
+        }
+    }
+
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> RefOutcome {
+        let line = addr.line();
+        let low_priority = matches!(kind, AccessKind::PrefetchNta);
+        if self.l1d.access(line) {
+            return RefOutcome {
+                level: HitLevel::L1,
+                latency: self.cfg.l1d.hit_latency,
+                l1_evicted: None,
+                l3_evicted: None,
+            };
+        }
+        if self.l2.access(line) {
+            let l1_evicted = self.l1d.fill(line, low_priority).evicted;
+            return RefOutcome {
+                level: HitLevel::L2,
+                latency: self.cfg.l2.hit_latency,
+                l1_evicted,
+                l3_evicted: None,
+            };
+        }
+        if self.l3.access(line) {
+            self.l2.fill(line, false);
+            let l1_evicted = self.l1d.fill(line, low_priority).evicted;
+            return RefOutcome {
+                level: HitLevel::L3,
+                latency: self.cfg.l3.hit_latency,
+                l1_evicted,
+                l3_evicted: None,
+            };
+        }
+        let l3_evicted = self.l3.fill(line, false).evicted;
+        if let Some(victim) = l3_evicted {
+            if self.cfg.inclusive_l3 {
+                self.l2.invalidate(victim);
+                self.l1d.invalidate(victim);
+            }
+        }
+        self.l2.fill(line, false);
+        let l1_evicted = self.l1d.fill(line, low_priority).evicted;
+        RefOutcome {
+            level: HitLevel::Memory,
+            latency: self.cfg.l3.hit_latency + self.cfg.memory_latency,
+            l1_evicted,
+            l3_evicted,
+        }
+    }
+
+    fn flush(&mut self, addr: Addr) {
+        let line = addr.line();
+        self.l1d.invalidate(line);
+        self.l2.invalidate(line);
+        self.l3.invalidate(line);
+    }
+
+    fn probe(&mut self, addr: Addr) -> HitLevel {
+        let line = addr.line();
+        if self.l1d.probe(line) {
+            HitLevel::L1
+        } else if self.l2.probe(line) {
+            HitLevel::L2
+        } else if self.l3.probe(line) {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        }
+    }
+}
+
+fn kinds() -> impl Strategy<Value = ReplacementKind> {
+    prop_oneof![
+        Just(ReplacementKind::TreePlru),
+        Just(ReplacementKind::Lru),
+        Just(ReplacementKind::Random),
+        Just(ReplacementKind::Fifo),
+        Just(ReplacementKind::Srrip),
+    ]
+}
+
+/// A small hierarchy so random streams exercise every miss and eviction
+/// path (including inclusive-L3 back-invalidation) within a few hundred
+/// accesses.
+fn tiny_hierarchy(kind: ReplacementKind) -> HierarchyConfig {
+    HierarchyConfig {
+        l1d: CacheConfig {
+            sets: 4,
+            ways: 2,
+            hit_latency: 4,
+            replacement: kind,
+            seed: 0x11d,
+        },
+        l2: CacheConfig {
+            sets: 8,
+            ways: 2,
+            hit_latency: 12,
+            replacement: kind,
+            seed: 0x12,
+        },
+        l3: CacheConfig {
+            sets: 8,
+            ways: 4,
+            hit_latency: 40,
+            replacement: kind,
+            seed: 0x13,
+        },
+        memory_latency: 200,
+        memory_jitter: 0,
+        inclusive_l3: true,
+        seed: 1,
+    }
+}
+
+proptest! {
+    /// Single level: the flattened `Cache` and the boxed-policy reference
+    /// agree on every access result, fill way, eviction victim,
+    /// invalidation and eviction candidate — for every policy, including
+    /// random replacement's per-set seed-derived streams.
+    #[test]
+    fn flattened_cache_matches_boxed_reference(
+        kind in kinds(),
+        ways in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        ops in proptest::collection::vec((0u64..64, 0u8..8), 1..400),
+    ) {
+        let cfg = CacheConfig {
+            sets: 4,
+            ways,
+            hit_latency: 4,
+            replacement: kind,
+            seed: 0xFEED,
+        };
+        let mut flat = Cache::new(cfg);
+        let mut boxed = BoxedCache::new(cfg);
+        for (raw, op) in ops {
+            let line = LineAddr(raw);
+            match op {
+                0..=2 => {
+                    prop_assert_eq!(flat.access(line), boxed.access(line));
+                }
+                3..=4 => {
+                    let f = flat.fill(line);
+                    let b = boxed.fill(line, false);
+                    prop_assert_eq!(f, b, "fill outcome diverged for {kind:?}");
+                }
+                5 => {
+                    let f = flat.fill_low_priority(line);
+                    let b = boxed.fill(line, true);
+                    prop_assert_eq!(f, b, "low-priority fill diverged for {kind:?}");
+                }
+                6 => {
+                    prop_assert_eq!(flat.invalidate(line), boxed.invalidate(line));
+                }
+                _ => {
+                    prop_assert_eq!(flat.probe(line), boxed.probe(line));
+                }
+            }
+            let set = flat.set_index(line);
+            prop_assert_eq!(
+                flat.set(set).eviction_candidate(),
+                boxed.eviction_candidate(line),
+                "eviction candidate diverged for {kind:?}"
+            );
+        }
+    }
+
+    /// Full hierarchy: the flattened model (with its L1-hit fast path and
+    /// reused-lookup hit way) and the boxed reference agree on hit level,
+    /// latency, and both eviction outcomes for every access of a random
+    /// load/store/prefetch/flush stream.
+    #[test]
+    fn flattened_hierarchy_matches_boxed_reference(
+        kind in kinds(),
+        ops in proptest::collection::vec((0u64..96, 0u8..10), 1..500),
+    ) {
+        let cfg = tiny_hierarchy(kind);
+        let mut flat = Hierarchy::new(cfg);
+        let mut boxed = BoxedHierarchy::new(cfg);
+        for (slot, op) in ops {
+            let addr = Addr(slot * 64 + 8);
+            match op {
+                0 => {
+                    flat.flush(addr);
+                    boxed.flush(addr);
+                }
+                1 => {
+                    prop_assert_eq!(flat.probe(addr), boxed.probe(addr));
+                }
+                _ => {
+                    let kind_sel = match op {
+                        2 => AccessKind::Store,
+                        3 => AccessKind::Prefetch,
+                        4 => AccessKind::PrefetchNta,
+                        _ => AccessKind::Load,
+                    };
+                    let f = flat.access(addr, kind_sel);
+                    let b = boxed.access(addr, kind_sel);
+                    prop_assert_eq!(f.level, b.level, "hit level diverged for {kind:?}");
+                    prop_assert_eq!(f.latency, b.latency, "latency diverged for {kind:?}");
+                    prop_assert_eq!(
+                        f.l1_evicted, b.l1_evicted,
+                        "L1 eviction diverged for {kind:?}"
+                    );
+                    prop_assert_eq!(
+                        f.l3_evicted, b.l3_evicted,
+                        "L3 eviction diverged for {kind:?}"
+                    );
+                }
+            }
+            prop_assert_eq!(flat.probe(addr), boxed.probe(addr));
+        }
+    }
+
+    /// The single-lookup hit path (`lookup` + `record_hit` /
+    /// `Hierarchy::lookup_l1` + `access_l1_hit`) is observationally
+    /// identical to a plain `access` on the hit case.
+    #[test]
+    fn reused_lookup_way_equals_plain_access(
+        ops in proptest::collection::vec(0u64..48, 1..200),
+    ) {
+        let cfg = tiny_hierarchy(ReplacementKind::TreePlru);
+        let mut via_lookup = Hierarchy::new(cfg);
+        let mut via_access = Hierarchy::new(cfg);
+        for slot in ops {
+            let addr = Addr(slot * 64);
+            let expected = via_access.access(addr, AccessKind::Load);
+            let got = match via_lookup.lookup_l1(addr) {
+                Some(way) => via_lookup.access_l1_hit(addr, way),
+                None => via_lookup.access(addr, AccessKind::Load),
+            };
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(
+                via_lookup.l1d().stats(),
+                via_access.l1d().stats(),
+                "hit/miss counters diverged"
+            );
+        }
+    }
+}
