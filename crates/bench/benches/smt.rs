@@ -1,0 +1,96 @@
+//! SMT issue-arbitration microbenchmarks.
+//!
+//! The pipeline-level `perf_baseline` scenario tracks end-to-end simulator
+//! throughput (including the `smt-contention` co-schedule); these benches
+//! isolate the two-thread issue-arbitration path so each policy has its
+//! own number:
+//!
+//! * **round-robin vs ICOUNT** on a symmetric ALU-saturating co-schedule
+//!   (every cycle arbitrates a full port conflict);
+//! * a **mixed co-schedule** (divide chain vs ALU contender — the
+//!   `smt_contention_eval` shape);
+//! * the **single-thread baseline** through the same SMT driver, which
+//!   pins the cost of the multi-context refactor on the classic path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use racer_cpu::workloads::{alu_saturate, div_race};
+use racer_cpu::{Cpu, CpuConfig, SmtPolicy};
+use racer_mem::HierarchyConfig;
+use std::hint::black_box;
+
+const ITERS: i64 = 400;
+
+fn smt_cpu(policy: SmtPolicy) -> Cpu {
+    let cfg = CpuConfig::coffee_lake()
+        .with_threads(2)
+        .with_smt_policy(policy);
+    Cpu::new(cfg, HierarchyConfig::coffee_lake())
+}
+
+/// Both policies on the all-ports-contended symmetric co-schedule.
+fn bench_arbitration_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    let a = alu_saturate(ITERS, 8);
+    let b = alu_saturate(ITERS, 8);
+    let committed: u64 = {
+        let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
+        cpu.execute_smt(&[&a, &b]).iter().map(|r| r.committed).sum()
+    };
+    group.throughput(Throughput::Elements(committed));
+    for policy in [SmtPolicy::RoundRobin, SmtPolicy::Icount] {
+        group.bench_function(
+            format!("issue_arbitration_{policy}_alu_sat_pair"),
+            |bench| {
+                let mut cpu = smt_cpu(policy);
+                bench.iter(|| black_box(cpu.execute_smt(&[&a, &b])))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The contention-eval shape: a divide-chain racer against an
+/// ALU-saturating contender.
+fn bench_mixed_coschedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    let racer = div_race(ITERS / 4);
+    let contender = alu_saturate(ITERS, 8);
+    let committed: u64 = {
+        let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
+        cpu.execute_smt(&[&racer, &contender])
+            .iter()
+            .map(|r| r.committed)
+            .sum()
+    };
+    group.throughput(Throughput::Elements(committed));
+    group.bench_function("issue_arbitration_round-robin_div_vs_alu", |bench| {
+        let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
+        bench.iter(|| black_box(cpu.execute_smt(&[&racer, &contender])))
+    });
+    group.finish();
+}
+
+/// One thread through the SMT driver: the overhead watchdog for the
+/// classic single-threaded path.
+fn bench_single_thread_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    let prog = alu_saturate(ITERS, 8);
+    let committed = {
+        let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+        cpu.execute(&prog).committed
+    };
+    group.throughput(Throughput::Elements(committed));
+    group.bench_function("single_thread_alu_sat_baseline", |bench| {
+        let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+        bench.iter(|| black_box(cpu.execute(&prog)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arbitration_policies,
+    bench_mixed_coschedule,
+    bench_single_thread_baseline
+);
+criterion_main!(benches);

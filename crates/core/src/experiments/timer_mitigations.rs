@@ -21,8 +21,13 @@ pub struct MitigationPoint {
     pub timer: String,
     /// Magnifier rounds per transmission.
     pub rounds: usize,
-    /// Bit-classification accuracy in [0.5, 1].
+    /// Bit-classification accuracy in [0.5, 1] (0.5 — chance — when this
+    /// shard scored no trials for the cell).
     pub accuracy: f64,
+    /// Transmissions actually scored for this cell: the full `trials`
+    /// count on an unsharded run, this shard's share otherwise. The
+    /// weight `racer-lab merge` folds shard accuracies by.
+    pub trials: usize,
 }
 
 fn build_timer(name: &str, seed: u64) -> Box<dyn Timer> {
@@ -38,13 +43,45 @@ fn build_timer(name: &str, seed: u64) -> Box<dyn Timer> {
 
 /// Transmit `trials` known bits per (timer, rounds) cell; score accuracy.
 pub fn sweep(timers: &[&str], round_counts: &[usize], trials: usize) -> Vec<MitigationPoint> {
+    sweep_sharded(timers, round_counts, trials, 1, 1)
+}
+
+/// [`sweep`], restricted to the `shard_k`-th of `shard_n` deterministic
+/// slices of the **trial axis**: trial `t` runs when
+/// `t % shard_n == shard_k - 1`. Each trial derives both its machine
+/// *and its timer* (whose jitter stream is stateful) from its own index,
+/// so a shard computes exactly the transmissions the full run would have
+/// made for those trials, and CI legs can split one paper-scale sweep
+/// and fold the reports back together with `racer-lab merge` (accuracies
+/// weight by each point's `trials`).
+///
+/// # Panics
+///
+/// Panics unless `1 <= shard_k <= shard_n`.
+pub fn sweep_sharded(
+    timers: &[&str],
+    round_counts: &[usize],
+    trials: usize,
+    shard_k: usize,
+    shard_n: usize,
+) -> Vec<MitigationPoint> {
+    assert!(
+        shard_k >= 1 && shard_k <= shard_n,
+        "shard must satisfy 1 <= K <= N, got {shard_k}/{shard_n}"
+    );
     let mut out = Vec::new();
     for &tname in timers {
         for &rounds in round_counts {
-            let mut timer = build_timer(tname, 0xBEEF);
             let mut zeros = Vec::new();
             let mut ones = Vec::new();
-            for t in 0..trials {
+            let mut scored = 0usize;
+            for t in (0..trials).filter(|t| t % shard_n == shard_k - 1) {
+                scored += 1;
+                // One timer per trial, seeded by the trial index: a
+                // stateful timer's jitter stream must not depend on which
+                // other trials ran in this process, or shards would not
+                // be trial-decomposable.
+                let mut timer = build_timer(tname, 0xBEEF ^ (t as u64).wrapping_mul(0x9E37));
                 for bit in [false, true] {
                     let mut m = Machine::noisy(t as u64 * 31 + u64::from(bit));
                     let mag = PlruMagnifier::with(m.layout(), 5, rounds);
@@ -65,11 +102,19 @@ pub fn sweep(timers: &[&str], round_counts: &[usize], trials: usize) -> Vec<Miti
                     }
                 }
             }
-            let (_, accuracy) = stats::best_threshold(&zeros, &ones);
+            // A shard can own zero trials of a cell (more shards than
+            // trials): record chance accuracy at weight zero so the merge
+            // ignores it.
+            let accuracy = if scored == 0 {
+                0.5
+            } else {
+                stats::best_threshold(&zeros, &ones).1
+            };
             out.push(MitigationPoint {
                 timer: tname.to_string(),
                 rounds,
                 accuracy,
+                trials: scored,
             });
         }
     }
@@ -110,6 +155,7 @@ pub fn to_value(points: &[MitigationPoint]) -> racer_results::Value {
                     .with("timer", p.timer.as_str())
                     .with("rounds", p.rounds)
                     .with("accuracy", p.accuracy)
+                    .with("trials", p.trials)
             })
             .collect(),
     )
@@ -155,5 +201,57 @@ mod tests {
         let pts = sweep(&["5us"], &[500, 1000], 2);
         let s = render(&pts, &[500, 1000]);
         assert!(s.contains("5us") && s.contains("500 rounds"));
+    }
+
+    #[test]
+    fn shards_partition_the_trial_axis() {
+        // Every cell exists in every shard; the scored trial counts of the
+        // N shards sum to the full run's, and a shard owning no trials of
+        // a cell reports chance accuracy at weight zero.
+        let full = sweep(&["5us"], &[500], 3);
+        assert_eq!(full[0].trials, 3);
+        let shards: Vec<_> = (1..=4)
+            .map(|k| sweep_sharded(&["5us"], &[500], 3, k, 4))
+            .collect();
+        let total: usize = shards.iter().map(|s| s[0].trials).sum();
+        assert_eq!(total, 3, "4 shards of 3 trials cover each trial once");
+        let empty = &shards[3][0];
+        assert_eq!((empty.trials, empty.accuracy), (0, 0.5));
+    }
+
+    #[test]
+    fn shard_one_of_one_is_the_full_sweep() {
+        let full = sweep(&["5us"], &[1000], 2);
+        let one = sweep_sharded(&["5us"], &[1000], 2, 1, 1);
+        assert_eq!(full[0].accuracy, one[0].accuracy);
+        assert_eq!(full[0].trials, one[0].trials);
+    }
+
+    #[test]
+    fn stateful_timer_trials_are_shard_decomposable() {
+        // The jitter timer's RNG stream is per-trial (seeded by trial
+        // index), so a trial's transmissions are identical no matter which
+        // sharding selected it: trial 0 alone, trial 0 as the 1/2 slice of
+        // two, and trial 1 under two different shardings must all agree.
+        for timer in ["5us+jitter", "fuzzy-5us"] {
+            let full_t0 = sweep(&[timer], &[1000], 1);
+            let shard_t0 = sweep_sharded(&[timer], &[1000], 2, 1, 2);
+            assert_eq!(
+                full_t0[0].accuracy, shard_t0[0].accuracy,
+                "{timer}: trial 0 must not depend on the sharding"
+            );
+            let t1_of_2 = sweep_sharded(&[timer], &[1000], 2, 2, 2);
+            let t1_of_3 = sweep_sharded(&[timer], &[1000], 3, 2, 3);
+            assert_eq!(
+                t1_of_2[0].accuracy, t1_of_3[0].accuracy,
+                "{timer}: trial 1 must not depend on the trial-axis shape"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard must satisfy")]
+    fn invalid_shard_is_rejected() {
+        let _ = sweep_sharded(&["5us"], &[500], 2, 3, 2);
     }
 }

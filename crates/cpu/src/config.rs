@@ -55,6 +55,55 @@ impl std::fmt::Display for Countermeasure {
     }
 }
 
+/// SMT issue-arbitration policy: which hardware thread gets first claim on
+/// the shared issue bandwidth and functional-unit ports each cycle.
+///
+/// Paper §9 ("other shared resources"): a racing-gadget timer reads *any*
+/// contended shared resource, and SMT port contention is the canonical
+/// example. The arbitration policy decides how that contention is shaped.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub enum SmtPolicy {
+    /// Rotate first claim among threads each cycle (cycle mod thread
+    /// count). The classic fair baseline.
+    #[default]
+    RoundRobin,
+    /// ICOUNT-style (Tullsen et al.): the thread with the fewest
+    /// instructions in flight (smallest ROB occupancy) issues first;
+    /// ties break toward the lower thread id. Starves neither thread but
+    /// favours the one making progress.
+    Icount,
+}
+
+impl SmtPolicy {
+    /// The order in which thread contexts claim issue slots this cycle.
+    /// `occupancy[tid]` is thread `tid`'s current ROB occupancy. Both the
+    /// event-driven and the reference scheduler call this one function, so
+    /// the arbitration decision can never drift between them.
+    pub fn order(self, cycle: u64, occupancy: &[usize]) -> Vec<usize> {
+        let n = occupancy.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        match self {
+            SmtPolicy::RoundRobin => {
+                let start = (cycle % n.max(1) as u64) as usize;
+                order.rotate_left(start);
+            }
+            SmtPolicy::Icount => {
+                order.sort_by_key(|&tid| (occupancy[tid], tid));
+            }
+        }
+        order
+    }
+}
+
+impl std::fmt::Display for SmtPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SmtPolicy::RoundRobin => "round-robin",
+            SmtPolicy::Icount => "icount",
+        })
+    }
+}
+
 /// Branch-predictor selection.
 #[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
 pub enum PredictorKind {
@@ -189,7 +238,17 @@ pub struct CpuConfig {
     /// Number of branch-resolution ports.
     pub branch_ports: usize,
     /// Miss-status-holding registers: maximum outstanding L1 miss lines.
+    /// Shared across hardware threads, like a real L1's MSHR file.
     pub mshrs: usize,
+    /// Hardware thread contexts (SMT). Each context has a private front
+    /// end, ROB, rename state and retire port; issue bandwidth,
+    /// functional-unit ports, divider units, MSHRs and the cache hierarchy
+    /// are shared. `1` (the default) is the classic single-threaded core;
+    /// [`Cpu::execute_smt`](crate::Cpu::execute_smt) expects one program
+    /// per context.
+    pub threads: usize,
+    /// SMT issue-arbitration policy (ignored when `threads == 1`).
+    pub smt_policy: SmtPolicy,
     /// Functional-unit latencies.
     pub latencies: Latencies,
     /// Branch predictor.
@@ -226,6 +285,8 @@ impl Default for CpuConfig {
             store_ports: 1,
             branch_ports: 1,
             mshrs: 10,
+            threads: 1,
+            smt_policy: SmtPolicy::RoundRobin,
             latencies: Latencies::default(),
             predictor: PredictorKind::default(),
             countermeasure: Countermeasure::None,
@@ -256,6 +317,18 @@ impl CpuConfig {
     /// Builder-style: set the countermeasure.
     pub fn with_countermeasure(mut self, c: Countermeasure) -> Self {
         self.countermeasure = c;
+        self
+    }
+
+    /// Builder-style: set the hardware thread count (SMT contexts).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style: set the SMT issue-arbitration policy.
+    pub fn with_smt_policy(mut self, policy: SmtPolicy) -> Self {
+        self.smt_policy = policy;
         self
     }
 
@@ -297,6 +370,7 @@ impl CpuConfig {
             "need at least one ALU, load and branch port"
         );
         assert!(self.clock_mhz > 0, "clock must be positive");
+        assert!(self.threads > 0, "need at least one hardware thread");
     }
 }
 
@@ -351,6 +425,44 @@ mod tests {
             ..CpuConfig::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn smt_defaults_and_builders() {
+        let cfg = CpuConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.smt_policy, SmtPolicy::RoundRobin);
+        let cfg = cfg.with_threads(2).with_smt_policy(SmtPolicy::Icount);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.smt_policy, SmtPolicy::Icount);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let cfg = CpuConfig {
+            threads: 0,
+            ..CpuConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn round_robin_order_rotates_by_cycle() {
+        let p = SmtPolicy::RoundRobin;
+        assert_eq!(p.order(0, &[5, 5]), vec![0, 1]);
+        assert_eq!(p.order(1, &[5, 5]), vec![1, 0]);
+        assert_eq!(p.order(2, &[5, 5]), vec![0, 1]);
+        assert_eq!(p.order(7, &[0, 0, 0]), vec![1, 2, 0]);
+        assert_eq!(p.order(123, &[9]), vec![0]);
+    }
+
+    #[test]
+    fn icount_order_prefers_emptier_thread() {
+        let p = SmtPolicy::Icount;
+        assert_eq!(p.order(0, &[10, 3]), vec![1, 0]);
+        assert_eq!(p.order(5, &[2, 9, 2]), vec![0, 2, 1], "ties break by id");
     }
 
     #[test]

@@ -17,6 +17,28 @@
 //!    gadgets (§5) transmit through and the countermeasure modes
 //!    (`Countermeasure`) selectively suppress.
 //!
+//! # SMT: multiple hardware threads
+//!
+//! The core is a **multi-context SMT machine** (paper §9, "other shared
+//! resources"): [`CpuConfig::threads`](crate::CpuConfig) contexts each own
+//! a private front end (fetch PC, fetch queue), ROB ring, rename state
+//! (RAT + undo log), scheduling structures and retire port — all hoisted
+//! into [`ThreadCtx`] — while the *structural* resources stay shared at the
+//! core level: issue bandwidth, functional-unit ports, the non-pipelined
+//! divider units, the MSHR file and the cache hierarchy ([`Shared`]).
+//! Each cycle an [`SmtPolicy`](crate::config::SmtPolicy) (round-robin or
+//! ICOUNT) decides which context claims issue slots first. With
+//! `threads == 1` every structure and decision reduces exactly to the
+//! single-threaded core — the differential suite pins that path
+//! cycle-exactly against the retained reference scheduler.
+//!
+//! Threads share the data memory as a common physical address space but
+//! have **no cross-thread memory-ordering model** (no inter-thread store
+//! forwarding or disambiguation); co-scheduled workloads are expected to
+//! use disjoint address ranges, which is exactly the SMT port-contention
+//! threat model: the attacker observes the victim through *timing* on
+//! shared ports, never through shared data.
+//!
 //! # Scheduling implementation
 //!
 //! Every paper experiment funnels millions of simulated cycles through this
@@ -61,14 +83,20 @@
 //!   or branch resolution under delay-on-miss — instead of a heap
 //!   round-trip plus a full re-check every cycle. Every skipped cycle is
 //!   one where the attempt provably fails exactly as before, so issue
-//!   timing is unchanged (and differentially tested).
+//!   timing is unchanged (and differentially tested). With more than one
+//!   hardware thread the pool drains every cycle instead: another thread's
+//!   fills and MSHR traffic are cross-thread wake sources the per-thread
+//!   event model cannot see, and per-cycle attempts are exactly what the
+//!   reference scheduler does anyway.
 //! * **No steady-state allocation.** All scheduling structures live in
-//!   the private `Scheduler` struct, owned by [`Cpu`] and reused across
-//!   `execute` calls;
+//!   the per-thread [`ThreadCtx`] structs, owned by [`Cpu`] and reused
+//!   across `execute` calls;
 //!   sources use inline `[Src; 3]` storage (no instruction has more than
 //!   three; the register names live in the decoded table), and the
 //!   `loads`/`trace` vectors are only touched when
-//!   [`CpuConfig::record`](crate::CpuConfig) asks for them.
+//!   [`CpuConfig::record`](crate::CpuConfig) asks for them. (SMT
+//!   arbitration allocates two small per-cycle vectors, but only when
+//!   `threads > 1`.)
 
 use crate::config::{Countermeasure, CpuConfig};
 use crate::predictor::{self, Predictor};
@@ -81,7 +109,7 @@ use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Dynamic-instruction sequence number.
+/// Dynamic-instruction sequence number (per hardware thread).
 type Seq = u64;
 
 #[derive(Copy, Clone, Debug, Eq, PartialEq)]
@@ -193,11 +221,14 @@ struct FetchedInstr {
     ready_cycle: u64,
 }
 
-/// Reusable scheduling state, owned by [`Cpu`] so consecutive
-/// [`Cpu::execute`] calls (the shape of every sweep) run allocation-free
-/// once capacities have warmed up.
-#[derive(Debug)]
-struct Scheduler {
+/// One hardware thread context: everything private to a context — the
+/// reusable scheduling structures (ROB ring, RAT, ready heaps, completion
+/// wheel, stall pool, front-end queue) *and* the per-run state (fetch PC,
+/// fence/drain flags, result counters, event vectors). Owned by [`Cpu`] so
+/// consecutive [`Cpu::execute`] calls (the shape of every sweep) run
+/// allocation-free once capacities have warmed up.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadCtx {
     /// ROB ring storage (capacity = `rob_size`).
     slots: Vec<Slot>,
     /// Ring position of the oldest entry.
@@ -249,45 +280,42 @@ struct Scheduler {
     /// In-flight conditional branches in program order (resolved ones are
     /// popped lazily from the front).
     spec_branches: VecDeque<(Seq, u32)>,
-    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model; at most
-    /// `mshrs` entries, so linear scans beat hashing).
-    inflight: Vec<(u64, u64)>,
     /// Entries in `Waiting` state (reservation-station occupancy).
     waiting_count: usize,
     /// In-order mode: window positions before this offset hold no Waiting
     /// entry (monotone cursor, reset on squash).
     inorder_skip: usize,
+
+    // ---- per-run state (reset by `reset`) ------------------------------
+    /// Next dynamic sequence number.
+    next_seq: Seq,
+    /// Next pc the front end fetches.
+    fetch_pc: usize,
+    /// Fetch has stopped (program end or fetched `halt`).
+    fetch_stopped: bool,
+    /// An in-flight fence blocks dispatch until it commits/squashes.
+    fence_active: Option<Seq>,
+    /// Pipeline draining for the timer-interrupt model.
+    draining: bool,
+    /// This context finished its program (committed halt, ran off the end,
+    /// or hit the cycle limit) — the driver skips all its stages.
+    done: bool,
+    /// Cycle this context finished at (its `RunResult::cycles`).
+    end_cycle: u64,
+    /// The context aborted at the configured cycle limit.
+    limit_hit: bool,
+
+    // Results under construction.
+    committed: u64,
+    mispredicts: u64,
+    squashed: u64,
+    interrupts: u64,
+    halted: bool,
+    loads: Vec<LoadEvent>,
+    trace: Vec<crate::trace::TraceRecord>,
 }
 
-impl Default for Scheduler {
-    fn default() -> Self {
-        Scheduler {
-            slots: Vec::new(),
-            head: 0,
-            len: 0,
-            ready: std::array::from_fn(|_| BinaryHeap::new()),
-            ready_mask: 0,
-            wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
-            wheel_scratch: Vec::new(),
-            far: Vec::new(),
-            resolve_q: BinaryHeap::new(),
-            stalled_loads: Vec::new(),
-            stall_wake_cycle: u64::MAX,
-            stall_wake_now: false,
-            wake: Vec::new(),
-            fetch_q: VecDeque::new(),
-            rat: Vec::new(),
-            arch_regs: Vec::new(),
-            store_q: VecDeque::new(),
-            spec_branches: VecDeque::new(),
-            inflight: Vec::new(),
-            waiting_count: 0,
-            inorder_skip: 0,
-        }
-    }
-}
-
-impl Scheduler {
+impl ThreadCtx {
     fn reset(&mut self, rob_size: usize) {
         if self.slots.len() != rob_size {
             self.slots.clear();
@@ -299,6 +327,9 @@ impl Scheduler {
             h.clear();
         }
         self.ready_mask = 0;
+        if self.wheel.len() != WHEEL {
+            self.wheel = (0..WHEEL).map(|_| Vec::new()).collect();
+        }
         for b in &mut self.wheel {
             b.clear();
         }
@@ -318,9 +349,24 @@ impl Scheduler {
         self.arch_regs.fill(0);
         self.store_q.clear();
         self.spec_branches.clear();
-        self.inflight.clear();
         self.waiting_count = 0;
         self.inorder_skip = 0;
+
+        self.next_seq = 0;
+        self.fetch_pc = 0;
+        self.fetch_stopped = false;
+        self.fence_active = None;
+        self.draining = false;
+        self.done = false;
+        self.end_cycle = 0;
+        self.limit_hit = false;
+        self.committed = 0;
+        self.mispredicts = 0;
+        self.squashed = 0;
+        self.interrupts = 0;
+        self.halted = false;
+        self.loads = Vec::new();
+        self.trace = Vec::new();
     }
 
     #[inline]
@@ -366,9 +412,55 @@ impl Scheduler {
     }
 }
 
+/// Structural resources shared by every hardware thread: the divider
+/// units (one busy-until cycle **per unit** — multi-port divide configs no
+/// longer serialize on a single scalar) and the L1 MSHR file. Issue ports
+/// and bandwidth are also shared, but live as per-cycle counters in the
+/// driver loop.
+#[derive(Debug)]
+struct Shared {
+    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model; at most
+    /// `mshrs` entries, so linear scans beat hashing). Shared across
+    /// threads, like a real L1's MSHR file: one thread's misses consume
+    /// capacity — and open merge windows — for the other.
+    inflight: Vec<(u64, u64)>,
+    /// Per-divider-unit next-free cycle (non-fully-pipelined units).
+    div_busy_until: Vec<u64>,
+    /// Hardware thread count for this run (SMT wake-policy switch).
+    nthreads: usize,
+}
+
+impl Shared {
+    fn new(div_ports: usize, nthreads: usize) -> Self {
+        Shared {
+            inflight: Vec::new(),
+            div_busy_until: vec![0; div_ports],
+            nthreads,
+        }
+    }
+
+    /// Is any divider unit free this cycle?
+    #[inline]
+    fn div_unit_free(&self, now: u64) -> bool {
+        self.div_busy_until.iter().any(|&b| b <= now)
+    }
+
+    /// Claim a free divider unit for `recip` cycles (caller checked
+    /// [`Shared::div_unit_free`]).
+    #[inline]
+    fn claim_div_unit(&mut self, now: u64, recip: u64) {
+        let unit = self
+            .div_busy_until
+            .iter()
+            .position(|&b| b <= now)
+            .expect("div_unit_free checked before claiming");
+        self.div_busy_until[unit] = now + recip;
+    }
+}
+
 /// The simulated core, owning its memory hierarchy, data memory and branch
-/// predictor. All of those persist across [`Cpu::execute`] calls — caches
-/// stay warm and the predictor stays trained, exactly like the machine a
+/// predictors. All of those persist across [`Cpu::execute`] calls — caches
+/// stay warm and the predictors stay trained, exactly like the machine a
 /// JavaScript attacker repeatedly invokes functions on.
 ///
 /// ```
@@ -393,11 +485,18 @@ pub struct Cpu {
     cfg: CpuConfig,
     hier: Hierarchy,
     mem: DataMemory,
-    predictor: Box<dyn Predictor>,
-    sched: Scheduler,
-    /// Reusable µop-table buffer: each `execute` decodes the program's
-    /// static instructions once into it (capacity persists across calls).
-    decoded: Vec<DecodedInstr>,
+    /// One predictor per hardware thread (real SMT designs partition or
+    /// tag predictor state per context; sharing it would also be a
+    /// cross-thread channel this model deliberately does not open).
+    /// Index 0 is the classic single-thread predictor; all persist across
+    /// `execute` calls.
+    predictors: Vec<Box<dyn Predictor>>,
+    /// One scheduling context per hardware thread, grown on demand.
+    ctxs: Vec<ThreadCtx>,
+    /// Reusable µop-table buffers, one per thread: each run decodes the
+    /// programs' static instructions once into them (capacity persists
+    /// across calls).
+    decoded: Vec<Vec<DecodedInstr>>,
 }
 
 impl Cpu {
@@ -409,12 +508,12 @@ impl Cpu {
     pub fn new(cfg: CpuConfig, hier_cfg: racer_mem::HierarchyConfig) -> Self {
         cfg.validate();
         Cpu {
-            predictor: predictor::build(cfg.predictor),
+            predictors: vec![predictor::build(cfg.predictor)],
             cfg,
             hier: Hierarchy::new(hier_cfg),
             mem: DataMemory::new(),
-            sched: Scheduler::default(),
-            decoded: Vec::new(),
+            ctxs: vec![ThreadCtx::default()],
+            decoded: vec![Vec::new()],
         }
     }
 
@@ -449,41 +548,80 @@ impl Cpu {
         &mut self.hier
     }
 
-    /// Reset the branch predictor (forget all training).
+    /// Reset every hardware thread's branch predictor (forget all
+    /// training).
     pub fn reset_predictor(&mut self) {
-        self.predictor.reset();
+        for p in &mut self.predictors {
+            p.reset();
+        }
+    }
+
+    /// Grow the per-thread structures to `n` contexts.
+    fn ensure_threads(&mut self, n: usize) {
+        while self.predictors.len() < n {
+            self.predictors.push(predictor::build(self.cfg.predictor));
+        }
+        while self.ctxs.len() < n {
+            self.ctxs.push(ThreadCtx::default());
+        }
+        while self.decoded.len() < n {
+            self.decoded.push(Vec::new());
+        }
     }
 
     /// Run `prog` to completion (committed `halt`, program end, or the
-    /// configured cycle limit), returning timing and event data.
+    /// configured cycle limit) on a single hardware thread, returning
+    /// timing and event data.
     ///
     /// Pipeline state is fresh per call; caches, data memory and predictor
-    /// state persist from previous calls.
+    /// state persist from previous calls. Always runs exactly one context
+    /// regardless of [`CpuConfig::threads`] — use [`Cpu::execute_smt`] for
+    /// co-scheduled programs.
     pub fn execute(&mut self, prog: &Program) -> RunResult {
-        self.sched.reset(self.cfg.rob_size);
-        DecodedProgram::decode_into(prog, &mut self.decoded);
-        Pipeline {
+        self.run_event_driven(&[prog])
+            .pop()
+            .expect("one program, one result")
+    }
+
+    /// Co-schedule one program per configured hardware thread and run them
+    /// to completion on the SMT core, returning one [`RunResult`] per
+    /// thread (index-matched to `progs`).
+    ///
+    /// Each thread's `cycles` is the cycle *that thread* finished at; a
+    /// thread that finishes early leaves the machine to the survivors, so
+    /// contention is strongest while both run. `mem_stats` is the shared
+    /// hierarchy's delta for the whole co-run (the caches are shared, so
+    /// per-thread attribution does not exist in hardware either).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `progs.len() == self.config().threads`.
+    pub fn execute_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
+        assert_eq!(
+            progs.len(),
+            self.cfg.threads,
+            "execute_smt expects one program per configured hardware thread"
+        );
+        self.run_event_driven(progs)
+    }
+
+    fn run_event_driven(&mut self, progs: &[&Program]) -> Vec<RunResult> {
+        let n = progs.len();
+        self.ensure_threads(n);
+        for (tid, prog) in progs.iter().enumerate() {
+            self.ctxs[tid].reset(self.cfg.rob_size);
+            DecodedProgram::decode_into(prog, &mut self.decoded[tid]);
+        }
+        SmtRun {
             cfg: self.cfg,
             hier: &mut self.hier,
             mem: &mut self.mem,
-            predictor: self.predictor.as_mut(),
-            prog,
-            dec: &self.decoded,
-            s: &mut self.sched,
+            predictors: &mut self.predictors[..n],
+            progs,
+            decs: &self.decoded[..n],
+            ctxs: &mut self.ctxs[..n],
+            shared: Shared::new(self.cfg.div_ports, n),
             cycle: 0,
-            next_seq: 0,
-            fetch_pc: 0,
-            fetch_stopped: false,
-            fence_active: None,
-            draining: false,
-            div_free_at: 0,
-            committed: 0,
-            mispredicts: 0,
-            squashed: 0,
-            interrupts: 0,
-            halted: false,
-            loads: Vec::new(),
-            trace: Vec::new(),
         }
         .run()
     }
@@ -493,78 +631,95 @@ impl Cpu {
     /// cycle-exactly. Orders of magnitude slower; exists for differential
     /// testing and as the `perf_baseline` speedup denominator.
     pub fn execute_reference(&mut self, prog: &Program) -> RunResult {
+        self.run_reference(&[prog])
+            .pop()
+            .expect("one program, one result")
+    }
+
+    /// [`Cpu::execute_smt`], but on the reference scheduler: the
+    /// cross-check for SMT co-schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `progs.len() == self.config().threads`.
+    pub fn execute_reference_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
+        assert_eq!(
+            progs.len(),
+            self.cfg.threads,
+            "execute_reference_smt expects one program per configured hardware thread"
+        );
+        self.run_reference(progs)
+    }
+
+    fn run_reference(&mut self, progs: &[&Program]) -> Vec<RunResult> {
+        let n = progs.len();
+        self.ensure_threads(n);
         crate::reference::RefPipeline::new(
             self.cfg,
             &mut self.hier,
             &mut self.mem,
-            self.predictor.as_mut(),
-            prog,
+            &mut self.predictors[..n],
+            progs,
         )
         .run()
     }
 }
 
-/// Per-run pipeline state (the reusable parts live in [`Scheduler`]).
-struct Pipeline<'a> {
+/// The per-cycle driver: owns the shared structural resources and walks
+/// every live thread context through the five pipeline stages in a fixed
+/// global order (all writebacks, all commits, arbitrated issue, all
+/// dispatches, all fetches). With one thread this is exactly the original
+/// single-threaded cycle loop.
+struct SmtRun<'a> {
     cfg: CpuConfig,
     hier: &'a mut Hierarchy,
     mem: &'a mut DataMemory,
-    predictor: &'a mut dyn Predictor,
-    prog: &'a Program,
-    /// Pre-decoded µop table, indexed by pc (parallel to `prog`).
-    dec: &'a [DecodedInstr],
-    s: &'a mut Scheduler,
-
+    predictors: &'a mut [Box<dyn Predictor>],
+    progs: &'a [&'a Program],
+    decs: &'a [Vec<DecodedInstr>],
+    ctxs: &'a mut [ThreadCtx],
+    shared: Shared,
     cycle: u64,
-    next_seq: Seq,
-    fetch_pc: usize,
-    fetch_stopped: bool,
-    fence_active: Option<Seq>,
-    draining: bool,
-
-    /// Divider next-free cycle (non-fully-pipelined unit).
-    div_free_at: u64,
-
-    // Results under construction.
-    committed: u64,
-    mispredicts: u64,
-    squashed: u64,
-    interrupts: u64,
-    halted: bool,
-    loads: Vec<LoadEvent>,
-    trace: Vec<crate::trace::TraceRecord>,
 }
 
-impl<'a> Pipeline<'a> {
-    fn run(mut self) -> RunResult {
+impl SmtRun<'_> {
+    /// Run one stage of thread `tid` through a per-thread pipeline view.
+    fn stage<R>(&mut self, tid: usize, f: impl FnOnce(&mut Pipeline<'_>) -> R) -> R {
+        let mut view = Pipeline {
+            cfg: &self.cfg,
+            hier: self.hier,
+            mem: self.mem,
+            predictor: self.predictors[tid].as_mut(),
+            prog: self.progs[tid],
+            dec: &self.decs[tid],
+            s: &mut self.ctxs[tid],
+            sh: &mut self.shared,
+            cycle: self.cycle,
+        };
+        f(&mut view)
+    }
+
+    /// Mark thread `tid` finished at the current cycle.
+    fn finish_thread(&mut self, tid: usize, limit_hit: bool) {
+        let c = &mut self.ctxs[tid];
+        c.done = true;
+        c.end_cycle = self.cycle;
+        c.limit_hit = limit_hit;
+    }
+
+    fn run(mut self) -> Vec<RunResult> {
         let stats_before = self.hier.stats();
-        let mut limit_hit = false;
-        loop {
-            self.writeback();
-            self.commit();
-            if self.halted {
-                break;
-            }
-            self.issue();
-            self.dispatch();
-            self.fetch();
-            if self.finished() {
-                break;
-            }
-            self.cycle += 1;
-            if let Some(interval) = self.cfg.interrupt_interval {
-                if self.cycle.is_multiple_of(interval) && !self.draining {
-                    self.draining = true;
-                    self.interrupts += 1;
-                }
-            }
-            if self.draining && self.s.len == 0 {
-                self.draining = false;
-            }
-            if self.cycle >= self.cfg.max_run_cycles {
-                limit_hit = true;
-                break;
-            }
+        let n = self.progs.len();
+        if n == 1 {
+            // Single-thread fast path: one view for the whole run, the
+            // cycle loop on the view itself — structurally the original
+            // single-threaded scheduler, with zero per-cycle driver
+            // overhead. (The multi-thread driver below is separately
+            // pinned against the reference by the SMT differential
+            // suite.)
+            self.stage(0, |p| p.run_single());
+        } else {
+            self.run_multi(n);
         }
         let mut mem_stats = self.hier.stats();
         mem_stats.l1d = mem_stats.l1d.since(&stats_before.l1d);
@@ -573,19 +728,153 @@ impl<'a> Pipeline<'a> {
         mem_stats.memory_accesses -= stats_before.memory_accesses;
         mem_stats.flushes -= stats_before.flushes;
         mem_stats.prefetches -= stats_before.prefetches;
-        RunResult {
-            cycles: self.cycle,
-            committed: self.committed,
-            halted: self.halted,
-            limit_hit,
-            mispredicts: self.mispredicts,
-            squashed_instrs: self.squashed,
-            interrupts: self.interrupts,
-            regs: self.s.arch_regs.clone(),
-            mem_stats,
-            loads: self.loads,
-            trace: self.trace,
+        self.ctxs
+            .iter_mut()
+            .map(|c| RunResult {
+                cycles: c.end_cycle,
+                committed: c.committed,
+                halted: c.halted,
+                limit_hit: c.limit_hit,
+                mispredicts: c.mispredicts,
+                squashed_instrs: c.squashed,
+                interrupts: c.interrupts,
+                regs: c.arch_regs.clone(),
+                mem_stats,
+                loads: std::mem::take(&mut c.loads),
+                trace: std::mem::take(&mut c.trace),
+            })
+            .collect()
+    }
+
+    fn run_multi(&mut self, n: usize) {
+        loop {
+            for tid in 0..n {
+                if !self.ctxs[tid].done {
+                    self.stage(tid, |p| p.writeback());
+                }
+            }
+            for tid in 0..n {
+                if self.ctxs[tid].done {
+                    continue;
+                }
+                self.stage(tid, |p| p.commit());
+                if self.ctxs[tid].halted {
+                    self.finish_thread(tid, false);
+                }
+            }
+            // Issue: shared bandwidth and ports; the arbitration policy
+            // decides which context claims first. Both live here in the
+            // driver, not per thread.
+            let mut used = [0usize; NUM_CLASSES];
+            let mut issued = 0usize;
+            let occupancy: Vec<usize> = self.ctxs.iter().map(|c| c.len).collect();
+            for tid in self.cfg.smt_policy.order(self.cycle, &occupancy) {
+                if !self.ctxs[tid].done {
+                    self.stage(tid, |p| p.issue(&mut used, &mut issued));
+                }
+            }
+            for tid in 0..n {
+                if !self.ctxs[tid].done {
+                    self.stage(tid, |p| p.dispatch());
+                }
+            }
+            for tid in 0..n {
+                if !self.ctxs[tid].done {
+                    self.stage(tid, |p| p.fetch());
+                }
+            }
+            for tid in 0..n {
+                if !self.ctxs[tid].done && self.stage(tid, |p| p.finished()) {
+                    self.finish_thread(tid, false);
+                }
+            }
+            if self.ctxs.iter().all(|c| c.done) {
+                break;
+            }
+            self.cycle += 1;
+            for tid in 0..n {
+                let c = &mut self.ctxs[tid];
+                if c.done {
+                    continue;
+                }
+                if let Some(interval) = self.cfg.interrupt_interval {
+                    if self.cycle.is_multiple_of(interval) && !c.draining {
+                        c.draining = true;
+                        c.interrupts += 1;
+                    }
+                }
+                if c.draining && c.len == 0 {
+                    c.draining = false;
+                }
+            }
+            if self.cycle >= self.cfg.max_run_cycles {
+                for tid in 0..n {
+                    if !self.ctxs[tid].done {
+                        self.finish_thread(tid, true);
+                    }
+                }
+                break;
+            }
         }
+    }
+}
+
+/// One thread's view of the machine for one pipeline stage: its private
+/// context (`s`), the shared structural resources (`sh`), and the shared
+/// memory system.
+struct Pipeline<'a> {
+    cfg: &'a CpuConfig,
+    hier: &'a mut Hierarchy,
+    mem: &'a mut DataMemory,
+    predictor: &'a mut dyn Predictor,
+    prog: &'a Program,
+    /// Pre-decoded µop table, indexed by pc (parallel to `prog`).
+    dec: &'a [DecodedInstr],
+    s: &'a mut ThreadCtx,
+    sh: &'a mut Shared,
+    cycle: u64,
+}
+
+impl<'a> Pipeline<'a> {
+    /// The whole single-thread run, on one view: structurally the
+    /// original pre-SMT cycle loop (stage order, halt/finish breaks,
+    /// interrupt drain, cycle limit), so the classic path pays no
+    /// per-cycle driver cost. Leaves the context's `done`/`end_cycle`/
+    /// `limit_hit` set for the shared result assembly.
+    fn run_single(&mut self) {
+        let mut limit_hit = false;
+        loop {
+            self.writeback();
+            self.commit();
+            if self.s.halted {
+                break;
+            }
+            let mut used = [0usize; NUM_CLASSES];
+            let mut issued = 0usize;
+            self.issue(&mut used, &mut issued);
+            self.dispatch();
+            self.fetch();
+            if self.finished() {
+                break;
+            }
+            self.cycle += 1;
+            if let Some(interval) = self.cfg.interrupt_interval {
+                if self.cycle.is_multiple_of(interval) && !self.s.draining {
+                    self.s.draining = true;
+                    self.s.interrupts += 1;
+                }
+            }
+            if self.s.draining && self.s.len == 0 {
+                self.s.draining = false;
+            }
+            if self.cycle >= self.cfg.max_run_cycles {
+                limit_hit = true;
+                break;
+            }
+        }
+        self.s.done = true;
+        self.s.end_cycle = self.cycle;
+        self.s.limit_hit = limit_hit;
     }
 
     /// With ROB and fetch queue empty and fetch stopped (or the program
@@ -597,8 +886,8 @@ impl<'a> Pipeline<'a> {
     fn finished(&self) -> bool {
         self.s.len == 0
             && self.s.fetch_q.is_empty()
-            && (self.fetch_stopped || self.fetch_pc >= self.prog.len())
-            && !self.halted
+            && (self.s.fetch_stopped || self.s.fetch_pc >= self.prog.len())
+            && !self.s.halted
     }
 
     // ---- helpers -----------------------------------------------------------
@@ -692,7 +981,7 @@ impl<'a> Pipeline<'a> {
             e.state = EntryState::Done;
             let result = e.result;
             if let Some(t) = e.trace_idx {
-                self.trace[t as usize].completed = Some(e.completion);
+                self.s.trace[t as usize].completed = Some(e.completion);
             }
             // Tag broadcast: wake exactly the registered dependents.
             let is_branch = matches!(
@@ -761,7 +1050,7 @@ impl<'a> Pipeline<'a> {
     }
 
     fn mispredict(&mut self, slot: u32, seq: Seq, taken: bool) {
-        self.mispredicts += 1;
+        self.s.mispredicts += 1;
         // Squash everything younger than the branch, youngest first,
         // restoring the displaced RAT mappings as we go (undo log). Walking
         // youngest-to-oldest makes the sequence of `prev_rat` restores
@@ -782,7 +1071,7 @@ impl<'a> Pipeline<'a> {
             if let Some(li) = v.load_event {
                 // Invariant: a load being squashed can never have committed.
                 assert!(
-                    !self.loads[li as usize].committed,
+                    !self.s.loads[li as usize].committed,
                     "squashed load marked committed"
                 );
             }
@@ -799,7 +1088,7 @@ impl<'a> Pipeline<'a> {
                     }
                 }
             }
-            self.squashed += 1;
+            self.s.squashed += 1;
             self.s.len -= 1;
         }
         while matches!(self.s.store_q.back(), Some(&(sseq, _)) if sseq > seq) {
@@ -825,12 +1114,12 @@ impl<'a> Pipeline<'a> {
             _ => unreachable!("mispredict on non-branch"),
         };
         self.s.fetch_q.clear();
-        self.fetch_pc = target;
-        self.fetch_stopped = target >= self.prog.len();
+        self.s.fetch_pc = target;
+        self.s.fetch_stopped = target >= self.prog.len();
         // A squashed fence no longer blocks dispatch.
-        if let Some(fseq) = self.fence_active {
+        if let Some(fseq) = self.s.fence_active {
             if fseq > seq {
-                self.fence_active = None;
+                self.s.fence_active = None;
             }
         }
     }
@@ -850,12 +1139,12 @@ impl<'a> Pipeline<'a> {
             self.s.head = self.s.wrap(h + 1);
             self.s.len -= 1;
             self.s.inorder_skip = self.s.inorder_skip.saturating_sub(1);
-            self.committed += 1;
+            self.s.committed += 1;
             let e = &self.s.slots[h];
             let (seq, result, mem_addr) = (e.seq, e.result, e.mem_addr);
             let d = &self.dec[e.pc];
             if let Some(t) = e.trace_idx {
-                self.trace[t as usize].committed = Some(self.cycle);
+                self.s.trace[t as usize].committed = Some(self.cycle);
             }
             // Architectural register update + RAT release.
             if let Some(dst) = d.dst {
@@ -887,16 +1176,16 @@ impl<'a> Pipeline<'a> {
                     self.wake_stalled_on_line(Addr(addr).line().0, 0);
                 }
                 DecodedOp::Fence => {
-                    self.fence_active = None;
+                    self.s.fence_active = None;
                 }
                 DecodedOp::Halt => {
-                    self.halted = true;
+                    self.s.halted = true;
                     return;
                 }
                 _ => {}
             }
             if let Some(li) = self.s.slots[h].load_event {
-                self.loads[li as usize].committed = true;
+                self.s.loads[li as usize].committed = true;
             }
         }
     }
@@ -904,32 +1193,39 @@ impl<'a> Pipeline<'a> {
     /// Data-driven issue to functional units: merge the per-class ready
     /// heaps in global sequence order, skipping classes with exhausted
     /// ports — selecting exactly the instructions the reference scheduler's
-    /// program-order ROB scan would pick.
-    fn issue(&mut self) {
+    /// program-order ROB scan would pick. `used` and `issued` are the
+    /// per-cycle port and bandwidth budgets, shared across hardware
+    /// threads: the driver passes the same counters to every context, in
+    /// arbitration order.
+    fn issue(&mut self, used: &mut [usize; NUM_CLASSES], issued: &mut usize) {
         if self.cfg.countermeasure == Countermeasure::InOrder {
-            self.issue_in_order();
+            self.issue_in_order(used, issued);
             return;
         }
         // Prune arrived fills once per cycle (`now` is constant inside the
-        // cycle, so per-attempt pruning was redundant work).
+        // cycle, so per-attempt pruning was redundant work; with SMT the
+        // retain simply re-runs as a no-op for later threads).
         let now = self.cycle;
-        self.s.inflight.retain(|&(_, done)| done > now);
+        self.sh.inflight.retain(|&(_, done)| done > now);
         // Wake the stall pool when a blocking condition may have cleared:
         // an outstanding miss expired (deterministic cycle) or an
-        // unblocking event fired since the last issue pass. A periodic
-        // fallback drain bounds staleness as a liveness belt-and-braces —
-        // a drained attempt that still fails just goes straight back.
+        // unblocking event fired since the last issue pass. With more than
+        // one hardware thread the pool drains every cycle — other threads'
+        // fills and MSHR traffic are wake sources the per-thread event
+        // model cannot see, and per-cycle attempts are exactly the
+        // reference scheduler's behavior. A periodic fallback drain bounds
+        // staleness as a liveness belt-and-braces — a drained attempt that
+        // still fails just goes straight back.
         if self.s.stall_wake_now
             || now >= self.s.stall_wake_cycle
+            || (self.sh.nthreads > 1 && !self.s.stalled_loads.is_empty())
             || (!self.s.stalled_loads.is_empty() && now.is_multiple_of(64))
         {
             self.s.stall_wake_now = false;
             self.s.stall_wake_cycle = u64::MAX;
             self.drain_stalled(None);
         }
-        let mut used = [0usize; NUM_CLASSES];
-        let mut issued = 0usize;
-        while issued < self.cfg.issue_width {
+        while *issued < self.cfg.issue_width {
             // Pick the oldest ready entry among classes with a free port,
             // visiting only classes whose heap is non-empty.
             let mut best: Option<(Seq, u32, usize)> = None;
@@ -937,7 +1233,7 @@ impl<'a> Pipeline<'a> {
             while mask != 0 {
                 let cls = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                if !self.port_available(cls, &used) {
+                if !self.port_available(cls, used) {
                     continue;
                 }
                 // Drop stale (squashed) handles while peeking.
@@ -965,8 +1261,8 @@ impl<'a> Pipeline<'a> {
             if self.s.ready[cls].is_empty() {
                 self.s.ready_mask &= !(1 << cls);
             }
-            if self.try_issue(slot as usize, cls, &mut used) {
-                issued += 1;
+            if self.try_issue(slot as usize, cls, used) {
+                *issued += 1;
             } else {
                 // Only loads can fail (disambiguation / MSHRs /
                 // delay-on-miss): park in the stall pool until a wake
@@ -1026,13 +1322,11 @@ impl<'a> Pipeline<'a> {
     /// oldest unissued instruction must go first; if it cannot, nothing
     /// younger may. `inorder_skip` remembers how much of the window front is
     /// already issued, so the scan is O(1) amortized.
-    fn issue_in_order(&mut self) {
+    fn issue_in_order(&mut self, used: &mut [usize; NUM_CLASSES], issued: &mut usize) {
         // Prune arrived fills once per cycle (mirrors `issue`).
         let now = self.cycle;
-        self.s.inflight.retain(|&(_, done)| done > now);
-        let mut used = [0usize; NUM_CLASSES];
-        let mut issued = 0usize;
-        while issued < self.cfg.issue_width {
+        self.sh.inflight.retain(|&(_, done)| done > now);
+        while *issued < self.cfg.issue_width {
             while self.s.inorder_skip < self.s.len {
                 let slot = self.s.wrap(self.s.head + self.s.inorder_skip);
                 if self.s.slots[slot].state == EntryState::Waiting {
@@ -1048,10 +1342,10 @@ impl<'a> Pipeline<'a> {
                 break; // oldest unissued not ready ⇒ stall everything
             }
             let cls = self.dec[self.s.slots[slot].pc].cls as usize;
-            if !self.port_available(cls, &used) || !self.try_issue(slot, cls, &mut used) {
+            if !self.port_available(cls, used) || !self.try_issue(slot, cls, used) {
                 break;
             }
-            issued += 1;
+            *issued += 1;
         }
     }
 
@@ -1060,7 +1354,7 @@ impl<'a> Pipeline<'a> {
         match cls {
             CLS_ALU => used[CLS_ALU] < self.cfg.alu_ports,
             CLS_MUL => used[CLS_MUL] < self.cfg.mul_ports,
-            CLS_DIV => used[CLS_DIV] < self.cfg.div_ports && self.cycle >= self.div_free_at,
+            CLS_DIV => used[CLS_DIV] < self.cfg.div_ports && self.sh.div_unit_free(self.cycle),
             CLS_LOAD => used[CLS_LOAD] < self.cfg.load_ports,
             CLS_STORE => used[CLS_STORE] < self.cfg.store_ports,
             CLS_BRANCH => used[CLS_BRANCH] < self.cfg.branch_ports,
@@ -1080,7 +1374,7 @@ impl<'a> Pipeline<'a> {
                 let latency = match op {
                     AluOp::Mul => lat.mul,
                     AluOp::Div => {
-                        self.div_free_at = now + lat.div_recip;
+                        self.sh.claim_div_unit(now, lat.div_recip);
                         lat.div_min + ((av ^ bv) & 1)
                     }
                     _ => lat.alu,
@@ -1178,7 +1472,7 @@ impl<'a> Pipeline<'a> {
             self.s.far.push((arrival, seq, slot as u32));
         }
         if let Some(t) = self.s.slots[slot].trace_idx {
-            self.trace[t as usize].issued = Some(self.cycle);
+            self.s.trace[t as usize].issued = Some(self.cycle);
         }
     }
 
@@ -1208,7 +1502,8 @@ impl<'a> Pipeline<'a> {
         // an unknown address, or a known address matching this word, blocks
         // the load until the store commits. The store queue holds only
         // in-flight stores, so this scan is tiny (vs. the reference
-        // scheduler's walk of the whole ROB prefix).
+        // scheduler's walk of the whole ROB prefix). Stores are a
+        // same-thread affair: threads share no memory-ordering model.
         for &(sseq, saddr) in &self.s.store_q {
             if sseq > seq {
                 break;
@@ -1232,7 +1527,7 @@ impl<'a> Pipeline<'a> {
             _ => false,
         };
         let inflight_done = self
-            .s
+            .sh
             .inflight
             .iter()
             .find(|&&(l, _)| l == line)
@@ -1251,7 +1546,8 @@ impl<'a> Pipeline<'a> {
         }
 
         let (latency, level) = if let Some(done) = inflight_done {
-            // Merge into the outstanding miss (MSHR hit).
+            // Merge into the outstanding miss (MSHR hit) — possibly one
+            // another hardware thread started.
             (
                 done.saturating_sub(now).max(self.cfg.latencies.alu),
                 HitLevel::L2,
@@ -1264,11 +1560,11 @@ impl<'a> Pipeline<'a> {
             )
         } else {
             // Normal path: check MSHR capacity for misses.
-            if l1_way.is_none() && self.s.inflight.len() >= self.cfg.mshrs {
+            if l1_way.is_none() && self.sh.inflight.len() >= self.cfg.mshrs {
                 // Capacity cannot free before the earliest outstanding
                 // fill arrives: arm the stall pool's deterministic wake.
                 let min_done = self
-                    .s
+                    .sh
                     .inflight
                     .iter()
                     .map(|&(_, done)| done)
@@ -1282,7 +1578,7 @@ impl<'a> Pipeline<'a> {
                 None => self.hier.access_l1_miss(Addr(addr), AccessKind::Load),
             };
             if out.level != HitLevel::L1 {
-                self.s.inflight.push((line, now + out.latency));
+                self.sh.inflight.push((line, now + out.latency));
                 // The miss filled the line at issue and registered it as
                 // outstanding: stalled loads on the same line can now
                 // merge or hit.
@@ -1307,8 +1603,8 @@ impl<'a> Pipeline<'a> {
                 speculative,
                 committed: false,
             };
-            e.load_event = Some(self.loads.len() as u32);
-            self.loads.push(ev);
+            e.load_event = Some(self.s.loads.len() as u32);
+            self.s.loads.push(ev);
         }
         self.finish_issue(slot, CLS_LOAD, used, value, now + latency);
         true
@@ -1316,11 +1612,11 @@ impl<'a> Pipeline<'a> {
 
     /// Rename and dispatch from the fetch queue into the ROB.
     fn dispatch(&mut self) {
-        if self.draining {
+        if self.s.draining {
             return;
         }
         for _ in 0..self.cfg.dispatch_width {
-            if self.fence_active.is_some() {
+            if self.s.fence_active.is_some() {
                 break;
             }
             if self.s.len >= self.cfg.rob_size {
@@ -1338,8 +1634,8 @@ impl<'a> Pipeline<'a> {
             let fetched = self.s.fetch_q.pop_front().expect("front exists");
             let pc = fetched.pc as usize;
             let d = &self.dec[pc];
-            let seq = self.next_seq;
-            self.next_seq += 1;
+            let seq = self.s.next_seq;
+            self.s.next_seq += 1;
             let slot = self.s.alloc_slot();
 
             // Rename: resolve each source against the RAT. A live producer
@@ -1383,7 +1679,7 @@ impl<'a> Pipeline<'a> {
             let cls = d.cls as usize;
             match d.op {
                 DecodedOp::Branch { .. } => self.s.spec_branches.push_back((seq, slot as u32)),
-                DecodedOp::Fence => self.fence_active = Some(seq),
+                DecodedOp::Fence => self.s.fence_active = Some(seq),
                 DecodedOp::Store { .. } => self.s.store_q.push_back((seq, None)),
                 _ => {}
             }
@@ -1393,8 +1689,8 @@ impl<'a> Pipeline<'a> {
                 let fetched_cycle = fetched.ready_cycle.saturating_sub(self.cfg.front_end_depth);
                 let mut rec = crate::trace::TraceRecord::new(seq, pc, instr, fetched_cycle);
                 rec.dispatched = self.cycle;
-                self.trace.push(rec);
-                Some((self.trace.len() - 1) as u32)
+                self.s.trace.push(rec);
+                Some((self.s.trace.len() - 1) as u32)
             } else {
                 None
             };
@@ -1428,18 +1724,18 @@ impl<'a> Pipeline<'a> {
 
     /// Predicted instruction fetch.
     fn fetch(&mut self) {
-        if self.draining || self.fetch_stopped {
+        if self.s.draining || self.s.fetch_stopped {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            if self.fetch_pc >= self.prog.len() {
-                self.fetch_stopped = true;
+            if self.s.fetch_pc >= self.prog.len() {
+                self.s.fetch_stopped = true;
                 break;
             }
             if self.s.fetch_q.len() >= self.cfg.rob_size {
                 break;
             }
-            let pc = self.fetch_pc;
+            let pc = self.s.fetch_pc;
             let mut predicted_taken = false;
             let mut next = pc + 1;
             match self.dec[pc].op {
@@ -1454,7 +1750,7 @@ impl<'a> Pipeline<'a> {
                     next = target as usize;
                 }
                 DecodedOp::Halt => {
-                    self.fetch_stopped = true;
+                    self.s.fetch_stopped = true;
                 }
                 _ => {}
             }
@@ -1463,10 +1759,10 @@ impl<'a> Pipeline<'a> {
                 predicted_taken,
                 ready_cycle: self.cycle + self.cfg.front_end_depth,
             });
-            if self.fetch_stopped {
+            if self.s.fetch_stopped {
                 break;
             }
-            self.fetch_pc = next;
+            self.s.fetch_pc = next;
         }
     }
 }

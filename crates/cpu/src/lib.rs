@@ -21,6 +21,19 @@
 //! ordering, so the paper's claims about which gadgets survive which
 //! defences become testable.
 //!
+//! ## SMT
+//!
+//! The core is multi-context: [`CpuConfig::threads`] hardware threads
+//! each own a private front end, ROB and rename state, while issue
+//! bandwidth, functional-unit ports, divider units, MSHRs and the cache
+//! hierarchy are shared, arbitrated per cycle by an [`SmtPolicy`]
+//! (round-robin or ICOUNT). [`Cpu::execute_smt`] co-schedules one program
+//! per thread — the substrate for the paper's §9 "other shared resources"
+//! observation that racing-gadget timers read *any* contended shared
+//! resource, SMT port contention included. [`workloads`] provides
+//! port-pressure contender kernels, and the `smt_contention_eval` lab
+//! scenario measures timer resolution against them.
+//!
 //! ## Throughput
 //!
 //! Scheduling is event-driven ([`core`]) and allocation-free in steady
@@ -63,7 +76,7 @@ pub mod stats;
 pub mod trace;
 pub mod workloads;
 
-pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel};
+pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel, SmtPolicy};
 pub use core::Cpu;
 pub use stats::{LoadEvent, RunResult};
 pub use trace::{render_pipeline, TraceRecord};

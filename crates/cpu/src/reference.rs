@@ -4,9 +4,17 @@
 //! wakeup, ring-buffer ROB, no steady-state allocation) for throughput;
 //! this module preserves the straightforward O(ROB)-scans-per-cycle
 //! implementation it must match **cycle-exactly**. The differential test
-//! suite (`crates/cpu/tests/differential.rs`) runs randomized programs
-//! through both and asserts identical [`RunResult`]s; the
-//! `perf_baseline` binary uses this model as the speedup denominator.
+//! suite (`crates/cpu/tests/differential.rs`, `crates/cpu/tests/smt.rs`)
+//! runs randomized programs — and randomized SMT co-schedules — through
+//! both and asserts identical [`RunResult`]s; the `perf_baseline` binary
+//! uses this model as the speedup denominator.
+//!
+//! Like the event-driven core, the reference machine is multi-context:
+//! per-thread state lives in [`RefThread`], structural resources (issue
+//! bandwidth, FU ports, divider units, MSHRs, the cache hierarchy) are
+//! shared, and the same [`SmtPolicy`](crate::config::SmtPolicy)
+//! implementation orders the per-cycle issue claims — so an SMT
+//! co-schedule is cross-checked end to end, arbitration included.
 //!
 //! Algorithmic cost (the reason it was replaced): every cycle scans the
 //! whole ROB at issue, refreshes sources with per-tag binary searches,
@@ -23,7 +31,7 @@ use racer_isa::{
 use racer_mem::{AccessKind, Addr, Hierarchy, HitLevel};
 use std::collections::{HashMap, VecDeque};
 
-/// Dynamic-instruction sequence number.
+/// Dynamic-instruction sequence number (per hardware thread).
 type Seq = u64;
 
 #[derive(Copy, Clone, Debug, Eq, PartialEq)]
@@ -70,20 +78,21 @@ struct FetchedInstr {
     ready_cycle: u64,
 }
 
-/// Per-run pipeline state for the reference (scan-based) scheduler.
-pub(crate) struct RefPipeline<'a> {
-    cfg: CpuConfig,
-    hier: &'a mut Hierarchy,
-    mem: &'a mut DataMemory,
-    predictor: &'a mut dyn Predictor,
-    prog: &'a Program,
-    /// Pre-decoded µop table (rename reads source lists and destinations
-    /// from it; *execution* deliberately stays on [`Instr`] so the
-    /// differential suite cross-checks the decoder against the original
-    /// instruction forms).
-    dec: DecodedProgram,
+/// Per-cycle shared functional-unit port budget (across all threads).
+#[derive(Default)]
+struct Ports {
+    alu: usize,
+    mul: usize,
+    div: usize,
+    load: usize,
+    store: usize,
+    branch: usize,
+}
 
-    cycle: u64,
+/// One hardware thread of the reference machine: ROB, rename state,
+/// front end and per-run counters — the scan-based mirror of the
+/// event-driven core's `ThreadCtx`.
+struct RefThread {
     rob: VecDeque<RobEntry>,
     fetch_q: VecDeque<FetchedInstr>,
     arch_regs: Vec<u64>,
@@ -95,11 +104,9 @@ pub(crate) struct RefPipeline<'a> {
     fetch_stopped: bool,
     fence_active: Option<Seq>,
     draining: bool,
-
-    /// Divider next-free cycle (non-fully-pipelined unit).
-    div_free_at: u64,
-    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model).
-    inflight: HashMap<u64, u64>,
+    done: bool,
+    end_cycle: u64,
+    limit_hit: bool,
 
     // Results under construction.
     committed: u64,
@@ -111,23 +118,10 @@ pub(crate) struct RefPipeline<'a> {
     trace: Vec<crate::trace::TraceRecord>,
 }
 
-impl<'a> RefPipeline<'a> {
-    pub(crate) fn new(
-        cfg: CpuConfig,
-        hier: &'a mut Hierarchy,
-        mem: &'a mut DataMemory,
-        predictor: &'a mut dyn Predictor,
-        prog: &'a Program,
-    ) -> Self {
-        RefPipeline {
-            cfg,
-            hier,
-            mem,
-            predictor,
-            dec: DecodedProgram::decode(prog),
-            prog,
-            cycle: 0,
-            rob: VecDeque::with_capacity(cfg.rob_size),
+impl RefThread {
+    fn new(rob_capacity: usize) -> Self {
+        RefThread {
+            rob: VecDeque::with_capacity(rob_capacity),
             fetch_q: VecDeque::new(),
             arch_regs: vec![0; NUM_REGS],
             rat: vec![None; NUM_REGS],
@@ -137,8 +131,9 @@ impl<'a> RefPipeline<'a> {
             fetch_stopped: false,
             fence_active: None,
             draining: false,
-            div_free_at: 0,
-            inflight: HashMap::new(),
+            done: false,
+            end_cycle: 0,
+            limit_hit: false,
             committed: 0,
             mispredicts: 0,
             squashed: 0,
@@ -148,34 +143,141 @@ impl<'a> RefPipeline<'a> {
             trace: Vec::new(),
         }
     }
+}
 
-    pub(crate) fn run(mut self) -> RunResult {
+/// Per-run pipeline state for the reference (scan-based) scheduler.
+pub(crate) struct RefPipeline<'a> {
+    cfg: CpuConfig,
+    hier: &'a mut Hierarchy,
+    mem: &'a mut DataMemory,
+    /// One predictor per hardware thread (same partitioning as the
+    /// event-driven core).
+    predictors: &'a mut [Box<dyn Predictor>],
+    progs: &'a [&'a Program],
+    /// Pre-decoded µop tables, one per thread (rename reads source lists
+    /// and destinations from them; *execution* deliberately stays on
+    /// [`Instr`] so the differential suite cross-checks the decoder
+    /// against the original instruction forms).
+    decs: Vec<DecodedProgram>,
+    threads: Vec<RefThread>,
+
+    cycle: u64,
+    /// Per-divider-unit next-free cycle (non-fully-pipelined units),
+    /// shared across threads.
+    div_busy_until: Vec<u64>,
+    /// Outstanding L1 miss lines → data-arrival cycle (MSHR model),
+    /// shared across threads.
+    inflight: HashMap<u64, u64>,
+}
+
+impl<'a> RefPipeline<'a> {
+    pub(crate) fn new(
+        cfg: CpuConfig,
+        hier: &'a mut Hierarchy,
+        mem: &'a mut DataMemory,
+        predictors: &'a mut [Box<dyn Predictor>],
+        progs: &'a [&'a Program],
+    ) -> Self {
+        assert_eq!(
+            predictors.len(),
+            progs.len(),
+            "one predictor per co-scheduled program"
+        );
+        RefPipeline {
+            cfg,
+            hier,
+            mem,
+            predictors,
+            decs: progs.iter().map(|p| DecodedProgram::decode(p)).collect(),
+            threads: progs.iter().map(|_| RefThread::new(cfg.rob_size)).collect(),
+            progs,
+            cycle: 0,
+            div_busy_until: vec![0; cfg.div_ports],
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn finish_thread(&mut self, tid: usize, limit_hit: bool) {
+        let t = &mut self.threads[tid];
+        t.done = true;
+        t.end_cycle = self.cycle;
+        t.limit_hit = limit_hit;
+    }
+
+    pub(crate) fn run(mut self) -> Vec<RunResult> {
         let stats_before = self.hier.stats();
-        let mut limit_hit = false;
+        let n = self.progs.len();
         loop {
-            self.writeback();
-            self.commit();
-            if self.halted {
-                break;
+            for tid in 0..n {
+                if !self.threads[tid].done {
+                    self.writeback(tid);
+                }
             }
-            self.issue();
-            self.dispatch();
-            self.fetch();
-            if self.finished() {
+            for tid in 0..n {
+                if self.threads[tid].done {
+                    continue;
+                }
+                self.commit(tid);
+                if self.threads[tid].halted {
+                    self.finish_thread(tid, false);
+                }
+            }
+            // Issue: shared bandwidth/ports, arbitration-ordered — the
+            // exact mirror of the event-driven driver.
+            let mut ports = Ports::default();
+            let mut issued = 0usize;
+            if n == 1 {
+                if !self.threads[0].done {
+                    self.issue(0, &mut ports, &mut issued);
+                }
+            } else {
+                let occupancy: Vec<usize> = self.threads.iter().map(|t| t.rob.len()).collect();
+                for tid in self.cfg.smt_policy.order(self.cycle, &occupancy) {
+                    if !self.threads[tid].done {
+                        self.issue(tid, &mut ports, &mut issued);
+                    }
+                }
+            }
+            for tid in 0..n {
+                if !self.threads[tid].done {
+                    self.dispatch(tid);
+                }
+            }
+            for tid in 0..n {
+                if !self.threads[tid].done {
+                    self.fetch(tid);
+                }
+            }
+            for tid in 0..n {
+                if !self.threads[tid].done && self.finished(tid) {
+                    self.finish_thread(tid, false);
+                }
+            }
+            if self.threads.iter().all(|t| t.done) {
                 break;
             }
             self.cycle += 1;
-            if let Some(interval) = self.cfg.interrupt_interval {
-                if self.cycle.is_multiple_of(interval) && !self.draining {
-                    self.draining = true;
-                    self.interrupts += 1;
+            for tid in 0..n {
+                let t = &mut self.threads[tid];
+                if t.done {
+                    continue;
+                }
+                if let Some(interval) = self.cfg.interrupt_interval {
+                    if self.cycle.is_multiple_of(interval) && !t.draining {
+                        t.draining = true;
+                        t.interrupts += 1;
+                    }
+                }
+                if t.draining && t.rob.is_empty() {
+                    t.draining = false;
                 }
             }
-            if self.draining && self.rob.is_empty() {
-                self.draining = false;
-            }
             if self.cycle >= self.cfg.max_run_cycles {
-                limit_hit = true;
+                for tid in 0..n {
+                    if !self.threads[tid].done {
+                        self.finish_thread(tid, true);
+                    }
+                }
                 break;
             }
         }
@@ -186,19 +288,22 @@ impl<'a> RefPipeline<'a> {
         mem_stats.memory_accesses -= stats_before.memory_accesses;
         mem_stats.flushes -= stats_before.flushes;
         mem_stats.prefetches -= stats_before.prefetches;
-        RunResult {
-            cycles: self.cycle,
-            committed: self.committed,
-            halted: self.halted,
-            limit_hit,
-            mispredicts: self.mispredicts,
-            squashed_instrs: self.squashed,
-            interrupts: self.interrupts,
-            regs: self.arch_regs,
-            mem_stats,
-            loads: self.loads,
-            trace: self.trace,
-        }
+        self.threads
+            .iter_mut()
+            .map(|t| RunResult {
+                cycles: t.end_cycle,
+                committed: t.committed,
+                halted: t.halted,
+                limit_hit: t.limit_hit,
+                mispredicts: t.mispredicts,
+                squashed_instrs: t.squashed,
+                interrupts: t.interrupts,
+                regs: std::mem::take(&mut t.arch_regs),
+                mem_stats,
+                loads: std::mem::take(&mut t.loads),
+                trace: std::mem::take(&mut t.trace),
+            })
+            .collect()
     }
 
     /// With ROB and fetch queue empty and fetch stopped (or the program
@@ -207,19 +312,23 @@ impl<'a> RefPipeline<'a> {
     /// `halted` instead), or a wrong-path `halt` was fetched — and the
     /// mispredicted branch that caused it must already have resolved and
     /// redirected fetch, since the ROB has drained.
-    fn finished(&self) -> bool {
-        self.rob.is_empty()
-            && self.fetch_q.is_empty()
-            && (self.fetch_stopped || self.fetch_pc >= self.prog.len())
-            && !self.halted
+    fn finished(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        t.rob.is_empty()
+            && t.fetch_q.is_empty()
+            && (t.fetch_stopped || t.fetch_pc >= self.progs[tid].len())
+            && !t.halted
     }
 
     // ---- helpers -----------------------------------------------------------
 
-    fn entry_index(&self, seq: Seq) -> Option<usize> {
+    fn entry_index(&self, tid: usize, seq: Seq) -> Option<usize> {
         // Sequence numbers are strictly increasing along the ROB but not
         // contiguous (squashes leave gaps), so search rather than offset.
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+        self.threads[tid]
+            .rob
+            .binary_search_by_key(&seq, |e| e.seq)
+            .ok()
     }
 
     fn src_value(entry: &RobEntry, reg: Reg) -> u64 {
@@ -249,13 +358,13 @@ impl<'a> RefPipeline<'a> {
     }
 
     /// Resolve any tags whose producers are now done.
-    fn refresh_srcs(&mut self, idx: usize) {
-        let entry = &self.rob[idx];
+    fn refresh_srcs(&mut self, tid: usize, idx: usize) {
+        let entry = &self.threads[tid].rob[idx];
         let mut updates: Vec<(usize, u64)> = Vec::new();
         for (i, (_, s)) in entry.srcs.iter().enumerate() {
             if let Src::Tag(seq) = s {
-                if let Some(pidx) = self.entry_index(*seq) {
-                    let p = &self.rob[pidx];
+                if let Some(pidx) = self.entry_index(tid, *seq) {
+                    let p = &self.threads[tid].rob[pidx];
                     if p.state == EntryState::Done {
                         updates.push((i, p.result));
                     }
@@ -266,7 +375,7 @@ impl<'a> RefPipeline<'a> {
                 }
             }
         }
-        let entry = &mut self.rob[idx];
+        let entry = &mut self.threads[tid].rob[idx];
         for (i, v) in updates {
             entry.srcs[i].1 = Src::Ready(v);
         }
@@ -277,50 +386,69 @@ impl<'a> RefPipeline<'a> {
     }
 
     /// Does an unresolved older branch exist (is `idx` speculative)?
-    fn is_speculative(&self, idx: usize) -> bool {
-        self.rob
+    fn is_speculative(&self, tid: usize, idx: usize) -> bool {
+        self.threads[tid]
+            .rob
             .iter()
             .take(idx)
             .any(|e| matches!(e.instr, Instr::Branch { .. }) && e.state != EntryState::Done)
     }
 
+    /// Is any divider unit free this cycle?
+    fn div_unit_free(&self) -> bool {
+        self.div_busy_until.iter().any(|&b| b <= self.cycle)
+    }
+
+    /// Claim a free divider unit for the reciprocal interval (caller
+    /// checked [`RefPipeline::div_unit_free`]).
+    fn claim_div_unit(&mut self) {
+        let now = self.cycle;
+        let unit = self
+            .div_busy_until
+            .iter()
+            .position(|&b| b <= now)
+            .expect("div_unit_free checked before claiming");
+        self.div_busy_until[unit] = now + self.cfg.latencies.div_recip;
+    }
+
     // ---- pipeline stages ----------------------------------------------------
 
     /// Completions and branch resolution.
-    fn writeback(&mut self) {
+    fn writeback(&mut self, tid: usize) {
         // Collect completions first (avoid borrowing issues), oldest first so
         // the oldest mispredicted branch wins the squash.
         let mut done: Vec<usize> = Vec::new();
-        for (i, e) in self.rob.iter().enumerate() {
+        for (i, e) in self.threads[tid].rob.iter().enumerate() {
             if e.state == EntryState::Issued && e.completion <= self.cycle {
                 done.push(i);
             }
         }
         for &i in &done {
-            self.rob[i].state = EntryState::Done;
-            if let Some(t) = self.rob[i].trace_idx {
-                self.trace[t].completed = Some(self.rob[i].completion);
+            let t = &mut self.threads[tid];
+            t.rob[i].state = EntryState::Done;
+            if let Some(ti) = t.rob[i].trace_idx {
+                t.trace[ti].completed = Some(t.rob[i].completion);
             }
         }
         // Resolve branches oldest-first; a squash may invalidate later ones.
         loop {
             let mut resolved_any = false;
-            for i in 0..self.rob.len() {
-                let e = &self.rob[i];
+            for i in 0..self.threads[tid].rob.len() {
+                let e = &self.threads[tid].rob[i];
                 if e.state == EntryState::Done {
                     if let Instr::Branch { .. } = e.instr {
-                        if self.checkpoints.contains_key(&e.seq) {
+                        if self.threads[tid].checkpoints.contains_key(&e.seq) {
                             let seq = e.seq;
                             let taken = e.result != 0;
                             let predicted = e.predicted_taken;
                             let pc = e.pc;
-                            self.predictor.train(pc, taken);
-                            let checkpoint = self
+                            self.predictors[tid].train(pc, taken);
+                            let checkpoint = self.threads[tid]
                                 .checkpoints
                                 .remove(&seq)
                                 .expect("checkpoint present for unresolved branch");
                             if taken != predicted {
-                                self.mispredict(i, seq, taken, checkpoint);
+                                self.mispredict(tid, i, seq, taken, checkpoint);
                                 resolved_any = true;
                                 break; // rob changed; rescan
                             }
@@ -334,15 +462,23 @@ impl<'a> RefPipeline<'a> {
         }
     }
 
-    fn mispredict(&mut self, idx: usize, seq: Seq, taken: bool, checkpoint: Vec<Option<Seq>>) {
-        self.mispredicts += 1;
+    fn mispredict(
+        &mut self,
+        tid: usize,
+        idx: usize,
+        seq: Seq,
+        taken: bool,
+        checkpoint: Vec<Option<Seq>>,
+    ) {
+        self.threads[tid].mispredicts += 1;
         // Squash everything younger than the branch.
-        while self.rob.len() > idx + 1 {
-            let victim = self.rob.pop_back().expect("rob non-empty");
-            self.checkpoints.remove(&victim.seq);
+        while self.threads[tid].rob.len() > idx + 1 {
+            let t = &mut self.threads[tid];
+            let victim = t.rob.pop_back().expect("rob non-empty");
+            t.checkpoints.remove(&victim.seq);
             if let Some(li) = victim.load_event {
                 // Leave the event recorded; `committed` stays false.
-                assert!(!self.loads[li].committed, "squashed load marked committed");
+                assert!(!t.loads[li].committed, "squashed load marked committed");
             }
             // CleanupSpec: undo the squashed load's cache fill. The *state*
             // is repaired — but any timing difference it caused has already
@@ -356,55 +492,59 @@ impl<'a> RefPipeline<'a> {
                     }
                 }
             }
-            self.squashed += 1;
+            self.threads[tid].squashed += 1;
         }
-        self.rat = checkpoint;
+        let t = &mut self.threads[tid];
+        t.rat = checkpoint;
         // Redirect fetch down the correct path.
-        let target = match self.rob[idx].instr {
+        let target = match t.rob[idx].instr {
             Instr::Branch { target, .. } => {
                 if taken {
                     target
                 } else {
-                    self.rob[idx].pc + 1
+                    t.rob[idx].pc + 1
                 }
             }
             _ => unreachable!("mispredict on non-branch"),
         };
-        self.fetch_q.clear();
-        self.fetch_pc = target;
-        self.fetch_stopped = target >= self.prog.len();
+        t.fetch_q.clear();
+        t.fetch_pc = target;
+        t.fetch_stopped = target >= self.progs[tid].len();
         // A squashed fence no longer blocks dispatch.
-        if let Some(fseq) = self.fence_active {
+        if let Some(fseq) = t.fence_active {
             if fseq > seq {
-                self.fence_active = None;
+                t.fence_active = None;
             }
         }
     }
 
     /// In-order retirement.
-    fn commit(&mut self) {
+    fn commit(&mut self, tid: usize) {
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
+            let Some(head) = self.threads[tid].rob.front() else {
+                break;
+            };
             if head.state != EntryState::Done {
                 break;
             }
-            let entry = self.rob.pop_front().expect("head exists");
-            self.committed += 1;
-            if let Some(t) = entry.trace_idx {
-                self.trace[t].committed = Some(self.cycle);
+            let t = &mut self.threads[tid];
+            let entry = t.rob.pop_front().expect("head exists");
+            t.committed += 1;
+            if let Some(ti) = entry.trace_idx {
+                t.trace[ti].committed = Some(self.cycle);
             }
             // Architectural register update + RAT release.
-            if let Some(dst) = self.dec[entry.pc].dst {
-                self.arch_regs[dst.index()] = entry.result;
-                if self.rat[dst.index()] == Some(entry.seq) {
-                    self.rat[dst.index()] = None;
+            if let Some(dst) = self.decs[tid][entry.pc].dst {
+                t.arch_regs[dst.index()] = entry.result;
+                if t.rat[dst.index()] == Some(entry.seq) {
+                    t.rat[dst.index()] = None;
                 }
             }
             // Broadcast the result to any consumers still holding the tag.
-            for e in self.rob.iter_mut() {
+            for e in t.rob.iter_mut() {
                 for (_, s) in e.srcs.iter_mut() {
-                    if let Src::Tag(t) = s {
-                        if *t == entry.seq {
+                    if let Src::Tag(tag) = s {
+                        if *tag == entry.seq {
                             *s = Src::Ready(entry.result);
                         }
                     }
@@ -422,210 +562,176 @@ impl<'a> RefPipeline<'a> {
                     self.hier.access(Addr(addr), AccessKind::Load);
                 }
                 Instr::Fence => {
-                    self.fence_active = None;
+                    self.threads[tid].fence_active = None;
                 }
                 Instr::Halt => {
-                    self.halted = true;
+                    self.threads[tid].halted = true;
                     return;
                 }
                 _ => {}
             }
             if let Some(li) = entry.load_event {
-                self.loads[li].committed = true;
+                self.threads[tid].loads[li].committed = true;
             }
         }
     }
 
-    /// Data-driven issue to functional units.
-    fn issue(&mut self) {
-        let mut issued = 0usize;
-        let mut alu_used = 0usize;
-        let mut mul_used = 0usize;
-        let mut div_used = 0usize;
-        let mut load_used = 0usize;
-        let mut store_used = 0usize;
-        let mut branch_used = 0usize;
-
-        for idx in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
+    /// Data-driven issue to functional units. `ports` and `issued` are the
+    /// per-cycle structural budgets shared across all hardware threads.
+    fn issue(&mut self, tid: usize, ports: &mut Ports, issued: &mut usize) {
+        for idx in 0..self.threads[tid].rob.len() {
+            if *issued >= self.cfg.issue_width {
                 break;
             }
-            if self.rob[idx].state != EntryState::Waiting {
+            if self.threads[tid].rob[idx].state != EntryState::Waiting {
                 continue;
             }
-            self.refresh_srcs(idx);
-            let ready = Self::srcs_ready(&self.rob[idx]);
+            self.refresh_srcs(tid, idx);
+            let ready = Self::srcs_ready(&self.threads[tid].rob[idx]);
             if self.cfg.countermeasure == Countermeasure::InOrder {
                 // Strict in-order issue: the oldest unissued instruction
                 // must go first; if it cannot, nothing younger may.
-                if !ready
-                    || !self.try_issue(
-                        idx,
-                        &mut alu_used,
-                        &mut mul_used,
-                        &mut div_used,
-                        &mut load_used,
-                        &mut store_used,
-                        &mut branch_used,
-                    )
-                {
+                if !ready || !self.try_issue(tid, idx, ports) {
                     break;
                 }
-                self.mark_issued(idx);
-                issued += 1;
+                self.mark_issued(tid, idx);
+                *issued += 1;
                 continue;
             }
             if !ready {
                 continue;
             }
-            if self.try_issue(
-                idx,
-                &mut alu_used,
-                &mut mul_used,
-                &mut div_used,
-                &mut load_used,
-                &mut store_used,
-                &mut branch_used,
-            ) {
-                self.mark_issued(idx);
-                issued += 1;
+            if self.try_issue(tid, idx, ports) {
+                self.mark_issued(tid, idx);
+                *issued += 1;
             }
         }
     }
 
     /// Record the issue timestamp of a just-issued entry, if tracing.
-    fn mark_issued(&mut self, idx: usize) {
-        if let Some(t) = self.rob[idx].trace_idx {
-            self.trace[t].issued = Some(self.cycle);
+    fn mark_issued(&mut self, tid: usize, idx: usize) {
+        let t = &mut self.threads[tid];
+        if let Some(ti) = t.rob[idx].trace_idx {
+            t.trace[ti].issued = Some(self.cycle);
         }
     }
 
     /// Attempt to issue the entry at `idx`; returns success.
-    #[allow(clippy::too_many_arguments)]
-    fn try_issue(
-        &mut self,
-        idx: usize,
-        alu_used: &mut usize,
-        mul_used: &mut usize,
-        div_used: &mut usize,
-        load_used: &mut usize,
-        store_used: &mut usize,
-        branch_used: &mut usize,
-    ) -> bool {
-        let fu = self.rob[idx].instr.fu_class();
+    fn try_issue(&mut self, tid: usize, idx: usize, ports: &mut Ports) -> bool {
+        let fu = self.threads[tid].rob[idx].instr.fu_class();
         let lat = self.cfg.latencies;
         match fu {
             FuClass::Alu => {
-                if *alu_used >= self.cfg.alu_ports {
+                if ports.alu >= self.cfg.alu_ports {
                     return false;
                 }
-                *alu_used += 1;
+                ports.alu += 1;
             }
             FuClass::Mul => {
-                if *mul_used >= self.cfg.mul_ports {
+                if ports.mul >= self.cfg.mul_ports {
                     return false;
                 }
-                *mul_used += 1;
+                ports.mul += 1;
             }
             FuClass::Div => {
-                if *div_used >= self.cfg.div_ports || self.cycle < self.div_free_at {
+                if ports.div >= self.cfg.div_ports || !self.div_unit_free() {
                     return false;
                 }
-                *div_used += 1;
+                ports.div += 1;
             }
             FuClass::Load => {
-                if *load_used >= self.cfg.load_ports {
+                if ports.load >= self.cfg.load_ports {
                     return false;
                 }
                 // Port is charged only if the load actually issues below.
             }
             FuClass::Store => {
-                if *store_used >= self.cfg.store_ports {
+                if ports.store >= self.cfg.store_ports {
                     return false;
                 }
-                *store_used += 1;
+                ports.store += 1;
             }
             FuClass::Branch => {
-                if *branch_used >= self.cfg.branch_ports {
+                if ports.branch >= self.cfg.branch_ports {
                     return false;
                 }
-                *branch_used += 1;
+                ports.branch += 1;
             }
             FuClass::None => {}
         }
 
         let now = self.cycle;
-        match self.rob[idx].instr {
+        match self.threads[tid].rob[idx].instr {
             Instr::Alu { op, a, b, .. } => {
-                let av = Self::operand_value(&self.rob[idx], a);
-                let bv = Self::operand_value(&self.rob[idx], b);
+                let av = Self::operand_value(&self.threads[tid].rob[idx], a);
+                let bv = Self::operand_value(&self.threads[tid].rob[idx], b);
                 let latency = match op {
                     AluOp::Mul => lat.mul,
                     AluOp::Div => {
-                        self.div_free_at = now + lat.div_recip;
+                        self.claim_div_unit();
                         lat.div_min + ((av ^ bv) & 1)
                     }
                     _ => lat.alu,
                 };
-                let e = &mut self.rob[idx];
+                let e = &mut self.threads[tid].rob[idx];
                 e.result = op.eval(av, bv);
                 e.state = EntryState::Issued;
                 e.completion = now + latency;
             }
             Instr::Lea { mem, .. } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
-                let e = &mut self.rob[idx];
+                let addr = Self::mem_operand_addr(&self.threads[tid].rob[idx], &mem);
+                let e = &mut self.threads[tid].rob[idx];
                 e.result = addr;
                 e.state = EntryState::Issued;
                 e.completion = now + lat.alu;
             }
             Instr::Load { mem, .. } => {
-                if !self.issue_load(idx, mem, load_used) {
+                if !self.issue_load(tid, idx, mem, ports) {
                     return false;
                 }
             }
             Instr::Store { src, mem } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
-                let val = Self::operand_value(&self.rob[idx], src);
-                let e = &mut self.rob[idx];
+                let addr = Self::mem_operand_addr(&self.threads[tid].rob[idx], &mem);
+                let val = Self::operand_value(&self.threads[tid].rob[idx], src);
+                let e = &mut self.threads[tid].rob[idx];
                 e.mem_addr = Some(addr);
                 e.result = val;
                 e.state = EntryState::Issued;
                 e.completion = now + lat.store;
             }
             Instr::Prefetch { mem, nta } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let addr = Self::mem_operand_addr(&self.threads[tid].rob[idx], &mem);
                 let kind = if nta {
                     AccessKind::PrefetchNta
                 } else {
                     AccessKind::Prefetch
                 };
                 self.hier.access(Addr(addr), kind);
-                *load_used += 1;
-                let e = &mut self.rob[idx];
+                ports.load += 1;
+                let e = &mut self.threads[tid].rob[idx];
                 e.mem_addr = Some(addr);
                 e.state = EntryState::Issued;
                 e.completion = now + 1;
             }
             Instr::Flush { mem } => {
-                let addr = Self::mem_operand_addr(&self.rob[idx], &mem);
+                let addr = Self::mem_operand_addr(&self.threads[tid].rob[idx], &mem);
                 self.hier.flush(Addr(addr));
-                *load_used += 1;
-                let e = &mut self.rob[idx];
+                ports.load += 1;
+                let e = &mut self.threads[tid].rob[idx];
                 e.mem_addr = Some(addr);
                 e.state = EntryState::Issued;
                 e.completion = now + 1;
             }
             Instr::Branch { cond, a, b, .. } => {
-                let av = Self::src_value(&self.rob[idx], a);
-                let bv = Self::operand_value(&self.rob[idx], b);
-                let e = &mut self.rob[idx];
+                let av = Self::src_value(&self.threads[tid].rob[idx], a);
+                let bv = Self::operand_value(&self.threads[tid].rob[idx], b);
+                let e = &mut self.threads[tid].rob[idx];
                 e.result = u64::from(cond.eval(av, bv));
                 e.state = EntryState::Issued;
                 e.completion = now + lat.branch;
             }
             Instr::Jump { .. } | Instr::Nop | Instr::Fence | Instr::Halt => {
-                let e = &mut self.rob[idx];
+                let e = &mut self.threads[tid].rob[idx];
                 e.state = EntryState::Issued;
                 e.completion = now;
             }
@@ -635,12 +741,19 @@ impl<'a> RefPipeline<'a> {
 
     /// Issue a load, honouring store ordering, MSHRs and countermeasures.
     /// Returns false if the load must retry later.
-    fn issue_load(&mut self, idx: usize, mem_op: MemOperand, load_used: &mut usize) -> bool {
-        let addr = Self::mem_operand_addr(&self.rob[idx], &mem_op);
+    fn issue_load(
+        &mut self,
+        tid: usize,
+        idx: usize,
+        mem_op: MemOperand,
+        ports: &mut Ports,
+    ) -> bool {
+        let addr = Self::mem_operand_addr(&self.threads[tid].rob[idx], &mem_op);
         // Conservative memory disambiguation: an older in-flight store with
         // an unknown address, or a known address matching this word, blocks
-        // the load until the store commits.
-        for older in self.rob.iter().take(idx) {
+        // the load until the store commits. Stores are a same-thread
+        // affair: threads share no memory-ordering model.
+        for older in self.threads[tid].rob.iter().take(idx) {
             if let Instr::Store { .. } = older.instr {
                 match older.mem_addr {
                     None => return false,
@@ -650,7 +763,7 @@ impl<'a> RefPipeline<'a> {
             }
         }
 
-        let speculative = self.is_speculative(idx);
+        let speculative = self.is_speculative(tid, idx);
         let now = self.cycle;
         let line = Addr(addr).line().0;
 
@@ -675,7 +788,8 @@ impl<'a> RefPipeline<'a> {
         }
 
         let (latency, level) = if let Some(&done) = self.inflight.get(&line) {
-            // Merge into the outstanding miss (MSHR hit).
+            // Merge into the outstanding miss (MSHR hit) — possibly one
+            // another hardware thread started.
             (
                 done.saturating_sub(now).max(self.cfg.latencies.alu),
                 HitLevel::L2,
@@ -701,10 +815,11 @@ impl<'a> RefPipeline<'a> {
             (out.latency, out.level)
         };
 
-        *load_used += 1;
+        ports.load += 1;
         let value = self.mem.read(addr);
         let record = self.cfg.record.loads();
-        let e = &mut self.rob[idx];
+        let t = &mut self.threads[tid];
+        let e = &mut t.rob[idx];
         e.mem_addr = Some(addr);
         e.result = value;
         e.state = EntryState::Issued;
@@ -721,25 +836,26 @@ impl<'a> RefPipeline<'a> {
                 speculative,
                 committed: false,
             };
-            e.load_event = Some(self.loads.len());
-            self.loads.push(ev);
+            e.load_event = Some(t.loads.len());
+            t.loads.push(ev);
         }
         true
     }
 
     /// Rename and dispatch from the fetch queue into the ROB.
-    fn dispatch(&mut self) {
-        if self.draining {
+    fn dispatch(&mut self, tid: usize) {
+        if self.threads[tid].draining {
             return;
         }
         for _ in 0..self.cfg.dispatch_width {
-            if self.fence_active.is_some() {
+            let t = &self.threads[tid];
+            if t.fence_active.is_some() {
                 break;
             }
-            if self.rob.len() >= self.cfg.rob_size {
+            if t.rob.len() >= self.cfg.rob_size {
                 break;
             }
-            let waiting = self
+            let waiting = t
                 .rob
                 .iter()
                 .filter(|e| e.state == EntryState::Waiting)
@@ -747,28 +863,29 @@ impl<'a> RefPipeline<'a> {
             if waiting >= self.cfg.rs_size {
                 break;
             }
-            let Some(front) = self.fetch_q.front() else {
+            let Some(front) = t.fetch_q.front() else {
                 break;
             };
             if front.ready_cycle > self.cycle {
                 break;
             }
-            let fetched = self.fetch_q.pop_front().expect("front exists");
-            let seq = self.next_seq;
-            self.next_seq += 1;
+            let t = &mut self.threads[tid];
+            let fetched = t.fetch_q.pop_front().expect("front exists");
+            let seq = t.next_seq;
+            t.next_seq += 1;
 
-            let d = &self.dec[fetched.pc];
+            let d = &self.decs[tid][fetched.pc];
             let srcs: Vec<(Reg, Src)> = d.srcs[..d.nsrcs as usize]
                 .iter()
                 .map(|&r| {
-                    let s = match self.rat[r.index()] {
-                        None => Src::Ready(self.arch_regs[r.index()]),
-                        Some(pseq) => match self.entry_index(pseq) {
-                            Some(pidx) if self.rob[pidx].state == EntryState::Done => {
-                                Src::Ready(self.rob[pidx].result)
+                    let s = match t.rat[r.index()] {
+                        None => Src::Ready(t.arch_regs[r.index()]),
+                        Some(pseq) => match t.rob.binary_search_by_key(&pseq, |e| e.seq).ok() {
+                            Some(pidx) if t.rob[pidx].state == EntryState::Done => {
+                                Src::Ready(t.rob[pidx].result)
                             }
                             Some(_) => Src::Tag(pseq),
-                            None => Src::Ready(self.arch_regs[r.index()]),
+                            None => Src::Ready(t.arch_regs[r.index()]),
                         },
                     };
                     (r, s)
@@ -776,13 +893,14 @@ impl<'a> RefPipeline<'a> {
                 .collect();
 
             if let Instr::Branch { .. } = fetched.instr {
-                self.checkpoints.insert(seq, self.rat.clone());
+                let rat = t.rat.clone();
+                t.checkpoints.insert(seq, rat);
             }
-            if let Some(dst) = self.dec[fetched.pc].dst {
-                self.rat[dst.index()] = Some(seq);
+            if let Some(dst) = self.decs[tid][fetched.pc].dst {
+                t.rat[dst.index()] = Some(seq);
             }
             if let Instr::Fence = fetched.instr {
-                self.fence_active = Some(seq);
+                t.fence_active = Some(seq);
             }
 
             let trace_idx = if self.cfg.record.trace() {
@@ -790,13 +908,13 @@ impl<'a> RefPipeline<'a> {
                 let mut rec =
                     crate::trace::TraceRecord::new(seq, fetched.pc, &fetched.instr, fetched_cycle);
                 rec.dispatched = self.cycle;
-                self.trace.push(rec);
-                Some(self.trace.len() - 1)
+                t.trace.push(rec);
+                Some(t.trace.len() - 1)
             } else {
                 None
             };
 
-            self.rob.push_back(RobEntry {
+            t.rob.push_back(RobEntry {
                 seq,
                 pc: fetched.pc,
                 instr: fetched.instr,
@@ -814,25 +932,26 @@ impl<'a> RefPipeline<'a> {
     }
 
     /// Predicted instruction fetch.
-    fn fetch(&mut self) {
-        if self.draining || self.fetch_stopped {
+    fn fetch(&mut self, tid: usize) {
+        if self.threads[tid].draining || self.threads[tid].fetch_stopped {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            if self.fetch_pc >= self.prog.len() {
-                self.fetch_stopped = true;
+            let t = &mut self.threads[tid];
+            if t.fetch_pc >= self.progs[tid].len() {
+                t.fetch_stopped = true;
                 break;
             }
-            if self.fetch_q.len() >= self.cfg.rob_size {
+            if t.fetch_q.len() >= self.cfg.rob_size {
                 break;
             }
-            let pc = self.fetch_pc;
-            let instr = *self.prog.get(pc).expect("pc in range");
+            let pc = t.fetch_pc;
+            let instr = *self.progs[tid].get(pc).expect("pc in range");
             let mut predicted_taken = false;
             let mut next = pc + 1;
             match instr {
                 Instr::Branch { target, .. } => {
-                    predicted_taken = self.predictor.predict(pc);
+                    predicted_taken = self.predictors[tid].predict(pc);
                     if predicted_taken {
                         next = target;
                     }
@@ -842,20 +961,21 @@ impl<'a> RefPipeline<'a> {
                     next = target;
                 }
                 Instr::Halt => {
-                    self.fetch_stopped = true;
+                    self.threads[tid].fetch_stopped = true;
                 }
                 _ => {}
             }
-            self.fetch_q.push_back(FetchedInstr {
+            let t = &mut self.threads[tid];
+            t.fetch_q.push_back(FetchedInstr {
                 pc,
                 instr,
                 predicted_taken,
                 ready_cycle: self.cycle + self.cfg.front_end_depth,
             });
-            if self.fetch_stopped {
+            if t.fetch_stopped {
                 break;
             }
-            self.fetch_pc = next;
+            t.fetch_pc = next;
         }
     }
 }

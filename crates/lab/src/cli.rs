@@ -43,6 +43,10 @@ pub fn dispatch(args: &[String]) -> Result<Outcome, String> {
             run(&args[1..])?;
             Ok(Outcome::Ok)
         }
+        Some("merge") => {
+            merge(&args[1..])?;
+            Ok(Outcome::Ok)
+        }
         Some("perf-check") => perf_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{}", usage());
@@ -61,15 +65,22 @@ fn usage() -> &'static str {
      \x20 racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...\n\
      \x20                                      [--seed N] [--out DIR] [--quiet]\n\
      \x20                                      [--shard K/N]\n\
+     \x20 racer-lab merge <out.json> <shard.json> <shard.json>...\n\
      \x20 racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]\n\
      \n\
      --shard K/N keeps the K-th of N deterministic slices of the selected\n\
-     scenario set (1-based; CI matrix legs use one slice each).\n\
+     scenario set (1-based; CI matrix legs use one slice each). Scenarios\n\
+     with their own `shard` parameter (timer_mitigations_eval) slice one\n\
+     sweep's trial axis instead: run each slice with --set shard=K/N into\n\
+     its own --out dir, then fold the reports with `merge` (accuracies\n\
+     combine by trial weight; provenance records the shard list).\n\
      Results are written to results/<scenario>.json (override with --out)."
 }
 
-/// Parse a `K/N` shard spec (1-based `K`, `1 <= K <= N`).
-fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+/// Parse a `K/N` shard spec (1-based `K`, `1 <= K <= N`). Shared by the
+/// scenario-set `--shard` flag and scenarios with an intra-scenario
+/// `shard` parameter (e.g. `timer_mitigations_eval`'s trial axis).
+pub(crate) fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
     let err = || format!("--shard expects K/N with 1 <= K <= N, got {spec:?}");
     let (k, n) = spec.split_once('/').ok_or_else(err)?;
     let k: usize = k.parse().map_err(|_| err())?;
@@ -319,6 +330,39 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         Err(failures.join("\n"))
     }
+}
+
+/// `racer-lab merge <out.json> <shard.json>...`: fold trial-axis shard
+/// reports of one scenario into a single report (see [`crate::merge`]).
+fn merge(args: &[String]) -> Result<(), String> {
+    let (out, shards) = match args {
+        [] | [_] | [_, _] => {
+            return Err("merge: expected <out.json> and at least two shard files".into())
+        }
+        [out, shards @ ..] => (PathBuf::from(out), shards),
+    };
+    let docs: Vec<(String, Value)> = shards
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let doc = Value::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            Ok((path.clone(), doc))
+        })
+        .collect::<Result<_, String>>()?;
+    let merged = crate::merge::merge_reports(&docs)?;
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, merged.to_pretty())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "# merged {} shard report(s) into {}",
+        docs.len(),
+        out.display()
+    );
+    Ok(())
 }
 
 /// The CI perf gate: run the throughput baseline and compare per-workload

@@ -28,6 +28,7 @@
 //! this registry, so existing plotting workflows keep working.
 
 pub mod cli;
+pub mod merge;
 pub mod params;
 pub mod provenance;
 pub mod registry;

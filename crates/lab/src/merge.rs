@@ -1,0 +1,406 @@
+//! Folding sharded scenario reports back into one.
+//!
+//! A paper-scale sweep sharded across CI legs (e.g.
+//! `timer_mitigations_eval --set shard=K/N`) produces N `racer-lab/v1`
+//! reports whose `results.points` arrays each cover the *same cells* with
+//! a disjoint slice of the trial axis. `racer-lab merge <out> <shards...>`
+//! folds them: points that agree on every member except `accuracy` and
+//! `trials` combine into one point whose accuracy is the trial-weighted
+//! mean and whose `trials` is the sum. Provenance records the source
+//! files and each shard's `config.shard` spec, so a merged report is
+//! self-describing (and visibly *not* byte-identical to an unsharded run:
+//! a threshold fitted per shard is not the jointly fitted one).
+
+use racer_results::Value;
+
+/// Fold sharded reports (each `(label, document)`) into one merged
+/// document. Labels are recorded in provenance — file paths at the CLI,
+/// anything descriptive in tests.
+pub fn merge_reports(docs: &[(String, Value)]) -> Result<Value, String> {
+    if docs.len() < 2 {
+        return Err("merge needs at least two shard reports".into());
+    }
+    let first = &docs[0].1;
+    let field = |doc: &Value, key: &str, label: &String| -> Result<String, String> {
+        doc.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{label}: report has no {key:?} member"))
+    };
+    let scenario = field(first, "scenario", &docs[0].0)?;
+    let schema = field(first, "schema", &docs[0].0)?;
+    let scale = field(first, "scale", &docs[0].0)?;
+    for (label, doc) in docs {
+        for (key, expect) in [
+            ("scenario", &scenario),
+            ("schema", &schema),
+            ("scale", &scale),
+        ] {
+            let got = field(doc, key, label)?;
+            if &got != expect {
+                return Err(format!(
+                    "{label}: {key} is {got:?} but the first shard has {expect:?}"
+                ));
+            }
+        }
+    }
+
+    // Same-sweep guards: a duplicate shard spec double-counts one slice
+    // of the trial axis, and shards run with different sweep parameters
+    // produce cells that silently fail to fold — both would merge into a
+    // wrong but plausible-looking report.
+    let mut seen_specs: Vec<(&str, &String)> = Vec::new();
+    for (label, doc) in docs {
+        let spec = doc
+            .get("config")
+            .and_then(|c| c.get("shard"))
+            .and_then(Value::as_str)
+            .unwrap_or("1/1");
+        if let Some((_, other)) = seen_specs.iter().find(|(s, _)| *s == spec) {
+            return Err(format!(
+                "{label}: shard {spec:?} already merged from {other} — \
+                 the same trial-axis slice cannot be counted twice"
+            ));
+        }
+        seen_specs.push((spec, label));
+    }
+    let config_minus_shard = |doc: &Value| -> Value {
+        match doc.get("config") {
+            Some(Value::Object(members)) => Value::Object(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "shard")
+                    .cloned()
+                    .collect(),
+            ),
+            _ => Value::Null,
+        }
+    };
+    let expect_config = config_minus_shard(first);
+    for (label, doc) in &docs[1..] {
+        if config_minus_shard(doc) != expect_config {
+            return Err(format!(
+                "{label}: sweep parameters differ from the first shard's \
+                 (configs must match in everything but \"shard\")"
+            ));
+        }
+    }
+
+    // Concatenate every shard's points, in shard order.
+    let mut all_points: Vec<Value> = Vec::new();
+    for (label, doc) in docs {
+        let points = doc
+            .get("results")
+            .and_then(|r| r.get("points"))
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{label}: report has no results.points array"))?;
+        all_points.extend(points.iter().cloned());
+    }
+    let folded = fold_points(&all_points)?;
+
+    // Rebuild the first report with folded points, a combined shard spec
+    // in config, and merge provenance.
+    let shard_specs: Vec<String> = docs
+        .iter()
+        .map(|(_, d)| {
+            d.get("config")
+                .and_then(|c| c.get("shard"))
+                .and_then(Value::as_str)
+                .unwrap_or("1/1")
+                .to_string()
+        })
+        .collect();
+    let sources = Value::from(docs.iter().map(|(l, _)| l.clone()).collect::<Vec<_>>());
+
+    let Value::Object(members) = first else {
+        return Err("report root is not an object".into());
+    };
+    let mut merged = Value::object();
+    for (key, value) in members {
+        let rebuilt = match key.as_str() {
+            "results" => {
+                let Value::Object(rmembers) = value else {
+                    return Err("results is not an object".into());
+                };
+                let mut r = Value::object();
+                for (rkey, rvalue) in rmembers {
+                    if rkey == "points" {
+                        r.insert("points", Value::Array(folded.clone()));
+                    } else {
+                        r.insert(rkey, rvalue.clone());
+                    }
+                }
+                r
+            }
+            "config" => {
+                let Value::Object(cmembers) = value else {
+                    return Err("config is not an object".into());
+                };
+                let mut c = Value::object();
+                for (ckey, cvalue) in cmembers {
+                    if ckey == "shard" {
+                        c.insert("shard", shard_specs.join("+"));
+                    } else {
+                        c.insert(ckey, cvalue.clone());
+                    }
+                }
+                c
+            }
+            "provenance" => value.clone().with(
+                "merged",
+                Value::object()
+                    .with("sources", sources.clone())
+                    .with("shards", Value::from(shard_specs.clone())),
+            ),
+            _ => value.clone(),
+        };
+        merged.insert(key, rebuilt);
+    }
+    Ok(merged)
+}
+
+/// Group points by every member except `accuracy`/`trials`; combine each
+/// group into one point with the trial-weighted mean accuracy and summed
+/// trials. Points without a `trials` member must be globally unique (no
+/// fold weight exists for them).
+fn fold_points(points: &[Value]) -> Result<Vec<Value>, String> {
+    /// Deterministic group key: the rendered non-folded members, in
+    /// first-seen member order.
+    fn key_of(point: &Value) -> Result<String, String> {
+        let Value::Object(members) = point else {
+            return Err("results.points entries must be objects".into());
+        };
+        let mut key = String::new();
+        for (k, v) in members {
+            if k != "accuracy" && k != "trials" {
+                key.push_str(k);
+                key.push('=');
+                key.push_str(&v.to_compact());
+                key.push('\u{1f}');
+            }
+        }
+        Ok(key)
+    }
+
+    // Insertion-ordered fold, so the merged points keep the first shard's
+    // cell order (every shard enumerates cells identically).
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: Vec<Vec<&Value>> = Vec::new();
+    for p in points {
+        let key = key_of(p)?;
+        match order.iter().position(|k| *k == key) {
+            Some(i) => groups[i].push(p),
+            None => {
+                order.push(key);
+                groups.push(vec![p]);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for group in groups {
+        let first = group[0];
+        if group.len() == 1 && first.get("trials").is_none() {
+            out.push(first.clone());
+            continue;
+        }
+        let mut weight_sum = 0i64;
+        let mut acc_sum = 0.0f64;
+        for p in &group {
+            let trials = p
+                .get("trials")
+                .and_then(Value::as_i64)
+                .ok_or("duplicate points without a \"trials\" member cannot be folded")?;
+            let accuracy = p
+                .get("accuracy")
+                .and_then(Value::as_f64)
+                .ok_or("foldable points need an \"accuracy\" member")?;
+            weight_sum += trials;
+            acc_sum += accuracy * trials as f64;
+        }
+        // All-zero-weight groups (a cell no shard owned trials of) stay at
+        // chance, mirroring the sharded sweep's own convention.
+        let accuracy = if weight_sum == 0 {
+            0.5
+        } else {
+            acc_sum / weight_sum as f64
+        };
+        let Value::Object(members) = first else {
+            unreachable!("key_of accepted only objects");
+        };
+        let mut folded = Value::object();
+        for (k, v) in members {
+            match k.as_str() {
+                "accuracy" => folded.insert("accuracy", accuracy),
+                "trials" => folded.insert("trials", weight_sum),
+                _ => folded.insert(k, v.clone()),
+            }
+        }
+        out.push(folded);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(timer: &str, rounds: i64, accuracy: f64, trials: i64) -> Value {
+        Value::object()
+            .with("timer", timer)
+            .with("rounds", rounds)
+            .with("accuracy", accuracy)
+            .with("trials", trials)
+    }
+
+    fn report(shard: &str, points: Vec<Value>) -> Value {
+        Value::object()
+            .with("schema", "racer-lab/v1")
+            .with("scenario", "timer_mitigations_eval")
+            .with("scale", "paper")
+            .with("config", Value::object().with("shard", shard))
+            .with("provenance", Value::object().with("generator", "racer-lab"))
+            .with(
+                "results",
+                Value::object().with("points", Value::Array(points)),
+            )
+    }
+
+    #[test]
+    fn folds_cells_by_trial_weight() {
+        let a = report(
+            "1/2",
+            vec![point("5us", 500, 1.0, 2), point("1ms", 500, 0.5, 2)],
+        );
+        let b = report(
+            "2/2",
+            vec![point("5us", 500, 0.5, 1), point("1ms", 500, 0.9, 3)],
+        );
+        let merged = merge_reports(&[("a.json".into(), a), ("b.json".into(), b)]).unwrap();
+        let points = merged
+            .get("results")
+            .and_then(|r| r.get("points"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 2, "same cells fold, they do not duplicate");
+        let five = &points[0];
+        assert_eq!(five.get("timer").and_then(Value::as_str), Some("5us"));
+        let acc = five.get("accuracy").and_then(Value::as_f64).unwrap();
+        assert!((acc - (1.0 * 2.0 + 0.5) / 3.0).abs() < 1e-12);
+        assert_eq!(five.get("trials").and_then(Value::as_i64), Some(3));
+        let ms = &points[1];
+        let acc = ms.get("accuracy").and_then(Value::as_f64).unwrap();
+        assert!((acc - (0.5 * 2.0 + 0.9 * 3.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provenance_records_sources_and_shards() {
+        let a = report("1/2", vec![point("5us", 500, 1.0, 1)]);
+        let b = report("2/2", vec![point("5us", 500, 1.0, 1)]);
+        let merged = merge_reports(&[("x.json".into(), a), ("y.json".into(), b)]).unwrap();
+        let prov = merged.get("provenance").unwrap();
+        let m = prov.get("merged").unwrap();
+        let sources = m.get("sources").and_then(Value::as_array).unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0].as_str(), Some("x.json"));
+        let shards = m.get("shards").and_then(Value::as_array).unwrap();
+        assert_eq!(shards[0].as_str(), Some("1/2"));
+        assert_eq!(shards[1].as_str(), Some("2/2"));
+        assert_eq!(
+            merged
+                .get("config")
+                .and_then(|c| c.get("shard"))
+                .and_then(Value::as_str),
+            Some("1/2+2/2")
+        );
+    }
+
+    #[test]
+    fn zero_weight_cells_stay_at_chance() {
+        let a = report("1/2", vec![point("5us", 500, 0.5, 0)]);
+        let b = report("2/2", vec![point("5us", 500, 0.5, 0)]);
+        let merged = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap();
+        let p = &merged
+            .get("results")
+            .and_then(|r| r.get("points"))
+            .and_then(Value::as_array)
+            .unwrap()[0];
+        assert_eq!(p.get("accuracy").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(p.get("trials").and_then(Value::as_i64), Some(0));
+    }
+
+    #[test]
+    fn mismatched_reports_are_rejected() {
+        let a = report("1/2", vec![point("5us", 500, 1.0, 1)]);
+        let mut b = report("2/2", vec![point("5us", 500, 1.0, 1)]);
+        // Same shape, different scenario.
+        if let Value::Object(members) = &mut b {
+            for (k, v) in members.iter_mut() {
+                if k == "scenario" {
+                    *v = Value::Str("noise_sensitivity_eval".into());
+                }
+            }
+        }
+        let err = merge_reports(&[("a".into(), a.clone()), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("scenario"), "{err}");
+        let err = merge_reports(&[("a".into(), a)]).unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_shard_specs_are_rejected() {
+        let a = report("1/2", vec![point("5us", 500, 1.0, 1)]);
+        let b = report("1/2", vec![point("5us", 500, 0.8, 1)]);
+        let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("counted twice"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_sweep_parameters_are_rejected() {
+        let mk = |shard: &str, trials: i64| {
+            Value::object()
+                .with("schema", "racer-lab/v1")
+                .with("scenario", "timer_mitigations_eval")
+                .with("scale", "paper")
+                .with(
+                    "config",
+                    Value::object().with("trials", trials).with("shard", shard),
+                )
+                .with("provenance", Value::object().with("generator", "racer-lab"))
+                .with(
+                    "results",
+                    Value::object().with("points", Value::Array(vec![point("5us", 500, 1.0, 1)])),
+                )
+        };
+        let err =
+            merge_reports(&[("a".into(), mk("1/2", 8)), ("b".into(), mk("2/2", 4))]).unwrap_err();
+        assert!(err.contains("sweep parameters differ"), "{err}");
+        // Same params, different shard slices: fine.
+        assert!(merge_reports(&[("a".into(), mk("1/2", 8)), ("b".into(), mk("2/2", 8))]).is_ok());
+    }
+
+    #[test]
+    fn points_without_trials_must_be_unique() {
+        let bare = Value::object().with("x", 1).with("accuracy", 0.9);
+        let a = report("1/2", vec![bare.clone()]);
+        let b = report("2/2", vec![bare]);
+        let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("trials"), "{err}");
+        // A unique point without trials passes through untouched.
+        let a = report(
+            "1/2",
+            vec![Value::object().with("x", 1).with("accuracy", 0.9)],
+        );
+        let b = report(
+            "2/2",
+            vec![Value::object().with("x", 2).with("accuracy", 0.8)],
+        );
+        let merged = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap();
+        let points = merged
+            .get("results")
+            .and_then(|r| r.get("points"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(points.len(), 2);
+    }
+}

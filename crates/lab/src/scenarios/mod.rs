@@ -12,12 +12,14 @@
 //! | §7.2 / §6.3.3 tables | `table_granularity`, `table_par_seq` |
 //! | §7.3 / §7.4 / §8 evaluations | `spectre_back_eval`, `eviction_set_eval`, `countermeasures_eval`, `detection_eval` |
 //! | Extension studies | `noise_sensitivity_eval`, `timer_mitigations_eval`, `window_ablation_eval` |
+//! | §9 SMT contention | `smt_contention_eval` |
 //! | Infrastructure benchmark | `perf_baseline` |
 
 mod evals;
 mod figures;
 mod perf;
 mod plru_walk;
+mod smt;
 mod tables;
 
 use crate::registry::Scenario;
@@ -28,6 +30,7 @@ pub fn all() -> Vec<Scenario> {
     out.extend(figures::all());
     out.extend(tables::all());
     out.extend(evals::all());
+    out.push(smt::smt_contention_eval());
     out.push(perf::perf_baseline());
     out
 }

@@ -9,7 +9,7 @@
 use super::header;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
-use racer_cpu::workloads::{measure_throughput, standard_suite};
+use racer_cpu::workloads::{measure_workload, standard_suite};
 use racer_results::Value;
 use std::fmt::Write as _;
 
@@ -27,8 +27,8 @@ fn run(ctx: &RunContext) -> ScenarioOutput {
     );
     let mut rows = Vec::new();
     for w in &standard_suite(iters, reps) {
-        let fast = measure_throughput(&w.prog, w.reps, false);
-        let reference = measure_throughput(&w.prog, w.reps, true);
+        let fast = measure_workload(w, false);
+        let reference = measure_workload(w, true);
         assert_eq!(
             (fast.result.cycles, fast.result.committed, &fast.result.regs),
             (

@@ -44,6 +44,12 @@ fn tiny_overrides(name: &str) -> Vec<(String, String)> {
         }
         "window_ablation_eval" => kv(&[("rs_sizes", "32"), ("max_probe", "80")]),
         "spectre_back_eval" => kv(&[("secret", "OK")]),
+        "smt_contention_eval" => kv(&[
+            ("mixes", "none,alu-sat"),
+            ("targets", "0,1"),
+            ("trials", "1"),
+            ("clock_max", "48"),
+        ]),
         _ => Vec::new(),
     }
 }
@@ -126,6 +132,15 @@ fn countermeasure_matrix_matches_committed_snapshot() {
 #[test]
 fn plru_walk_matches_committed_snapshot() {
     assert_matches_snapshot("fig03_plru_walk");
+}
+
+/// The SMT contention sweep is a pure function of the deterministic
+/// two-thread simulator — no wall-clock, no RNG — so its quick-preset
+/// payload is machine-independent and snapshot-pinned like the other
+/// structural scenarios.
+#[test]
+fn smt_contention_eval_matches_committed_snapshot() {
+    assert_matches_snapshot("smt_contention_eval");
 }
 
 #[test]
@@ -235,6 +250,101 @@ fn shard_slices_are_disjoint_and_union_complete() {
             "union of {n} shards must equal the full scenario set"
         );
     }
+}
+
+/// Intra-scenario sharding end to end: run `timer_mitigations_eval` with
+/// each trial-axis slice (`--set shard=K/N`), fold the shard reports with
+/// `racer-lab merge`, and check the merged report covers every cell with
+/// the full trial weight and records shard provenance.
+#[test]
+fn trial_shards_merge_into_one_report() {
+    let bin = env!("CARGO_BIN_EXE_racer-lab");
+    let tmp = std::env::temp_dir().join(format!("racer-lab-merge-{}", std::process::id()));
+    let shard_file = |k: usize| {
+        let dir = tmp.join(format!("shard{k}"));
+        let out = Command::new(bin)
+            .args([
+                "run",
+                "timer_mitigations_eval",
+                "--quick",
+                "--quiet",
+                "--set",
+                "timers=5us,1ms",
+                "--set",
+                "rounds=500",
+                "--set",
+                "trials=3",
+                "--set",
+                &format!("shard={k}/2"),
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("spawn racer-lab");
+        assert!(
+            out.status.success(),
+            "shard {k}/2 failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        dir.join("timer_mitigations_eval.json")
+    };
+    let (a, b) = (shard_file(1), shard_file(2));
+    let merged_path = tmp.join("merged.json");
+    let out = Command::new(bin)
+        .arg("merge")
+        .arg(&merged_path)
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("spawn racer-lab merge");
+    assert!(
+        out.status.success(),
+        "merge failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let merged = Value::parse(&std::fs::read_to_string(&merged_path).expect("merged file"))
+        .expect("merged report parses");
+    assert_eq!(
+        merged.get("scenario").and_then(Value::as_str),
+        Some("timer_mitigations_eval")
+    );
+    let points = merged
+        .get("results")
+        .and_then(|r| r.get("points"))
+        .and_then(Value::as_array)
+        .expect("merged points");
+    assert_eq!(points.len(), 2, "2 timers x 1 round count");
+    for p in points {
+        assert_eq!(
+            p.get("trials").and_then(Value::as_i64),
+            Some(3),
+            "shard trial counts must sum to the full trial axis"
+        );
+        let acc = p.get("accuracy").and_then(Value::as_f64).expect("accuracy");
+        assert!((0.5..=1.0).contains(&acc));
+    }
+    let shards = merged
+        .get("provenance")
+        .and_then(|p| p.get("merged"))
+        .and_then(|m| m.get("shards"))
+        .and_then(Value::as_array)
+        .expect("shard provenance");
+    let specs: Vec<&str> = shards.iter().filter_map(Value::as_str).collect();
+    assert_eq!(specs, ["1/2", "2/2"]);
+    // Usage errors exit 2: too few inputs, unreadable input.
+    let bad = Command::new(bin)
+        .args(["merge", "just-one.json"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let missing = Command::new(bin)
+        .arg("merge")
+        .arg(tmp.join("out.json"))
+        .args(["no-such-a.json", "no-such-b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+    std::fs::remove_dir_all(&tmp).ok();
 }
 
 /// Bad shard specs are usage errors (exit 2), and an empty shard of an
