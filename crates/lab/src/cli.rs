@@ -6,6 +6,7 @@
 //! racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...
 //!                                      [--seed N] [--out DIR] [--quiet]
 //!                                      [--shard K/N]
+//! racer-lab report <out-dir> [results...]
 //! racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]
 //! ```
 //!
@@ -47,6 +48,10 @@ pub fn dispatch(args: &[String]) -> Result<Outcome, String> {
             merge(&args[1..])?;
             Ok(Outcome::Ok)
         }
+        Some("report") => {
+            report(&args[1..])?;
+            Ok(Outcome::Ok)
+        }
         Some("perf-check") => perf_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{}", usage());
@@ -66,6 +71,7 @@ fn usage() -> &'static str {
      \x20                                      [--seed N] [--out DIR] [--quiet]\n\
      \x20                                      [--shard K/N]\n\
      \x20 racer-lab merge <out.json> <shard.json> <shard.json>...\n\
+     \x20 racer-lab report <out-dir> [results...]\n\
      \x20 racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]\n\
      \n\
      --shard K/N keeps the K-th of N deterministic slices of the selected\n\
@@ -74,7 +80,9 @@ fn usage() -> &'static str {
      sweep's trial axis instead: run each slice with --set shard=K/N into\n\
      its own --out dir, then fold the reports with `merge` (accuracies\n\
      combine by trial weight; provenance records the shard list).\n\
-     Results are written to results/<scenario>.json (override with --out)."
+     Results are written to results/<scenario>.json (override with --out).\n\
+     `report` renders report files (or directories of them; default:\n\
+     results/) into a static HTML dashboard under <out-dir>."
 }
 
 /// Parse a `K/N` shard spec (1-based `K`, `1 <= K <= N`). Shared by the
@@ -361,6 +369,99 @@ fn merge(args: &[String]) -> Result<(), String> {
         "# merged {} shard report(s) into {}",
         docs.len(),
         out.display()
+    );
+    Ok(())
+}
+
+/// `racer-lab report <out-dir> [results...]`: render report files (or
+/// directories of them — each scanned one level deep for `*.json`,
+/// sorted by file name) into a static HTML dashboard under `<out-dir>`.
+/// With no inputs, `results/` is rendered. Parsing is strict
+/// (`racer-results` + the `racer-lab/v1` envelope checks in
+/// `racer-report`); any unreadable, unparseable or non-report input is a
+/// usage error, as is an empty input set. The registry supplies page
+/// order, titles and descriptions for every scenario it knows.
+fn report(args: &[String]) -> Result<(), String> {
+    let (out_dir, inputs) = match args {
+        [] => return Err("report: missing <out-dir>".into()),
+        [out, inputs @ ..] => (PathBuf::from(out), inputs),
+    };
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("report takes no flags, got {flag:?}"));
+    }
+    let default_inputs = [String::from("results")];
+    let inputs = if inputs.is_empty() {
+        &default_inputs[..]
+    } else {
+        inputs
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        let path = PathBuf::from(input);
+        let meta =
+            std::fs::metadata(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        if meta.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
+                .collect();
+            // Directory iteration order is filesystem-dependent; the
+            // dashboard must not be.
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "report: no .json report files found under {}",
+            inputs.join(", ")
+        ));
+    }
+
+    let reports: Vec<racer_report::InputReport> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let doc =
+                Value::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+            Ok(racer_report::InputReport {
+                label: path.display().to_string(),
+                doc,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+
+    let meta: Vec<racer_report::ScenarioMeta> = registry()
+        .iter()
+        .enumerate()
+        .map(|(order, s)| racer_report::ScenarioMeta {
+            name: s.name.to_string(),
+            title: s.title.to_string(),
+            description: s.description.to_string(),
+            order,
+        })
+        .collect();
+    let pages = racer_report::render_dashboard(&reports, &meta).map_err(|e| e.to_string())?;
+
+    for page in &pages {
+        let path = out_dir.join(&page.path);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, &page.content)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    println!(
+        "# rendered {} report(s) into {} ({} page(s), open {})",
+        reports.len(),
+        out_dir.display(),
+        pages.len(),
+        out_dir.join("index.html").display()
     );
     Ok(())
 }

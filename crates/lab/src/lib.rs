@@ -12,6 +12,7 @@
 //! racer-lab describe fig10_reorder_distribution
 //! racer-lab run fig08_granularity_add --quick
 //! racer-lab run --all --quick          # the CI matrix, in parallel
+//! racer-lab report site results        # static HTML dashboard from reports
 //! racer-lab perf-check                 # throughput gate vs BENCH_pipeline.json
 //! ```
 //!
@@ -23,6 +24,11 @@
 //!
 //! Scenario fan-out uses [`racer_cpu::batch::par_map`], so `run --all`
 //! saturates host cores while keeping output order stable.
+//!
+//! `report` feeds the written reports through `racer-report`, which
+//! renders a deterministic static HTML dashboard (inline-SVG plots per
+//! scenario, provenance blocks, quick-vs-paper deltas) — the registry
+//! supplies page order and titles.
 //!
 //! The legacy `racer-bench` binaries survive as one-line [`shim`]s over
 //! this registry, so existing plotting workflows keep working.

@@ -1,0 +1,58 @@
+//! Pins the README's scenario table to the registry: the table must
+//! list exactly the scenarios `racer-lab list --names-json` reports, in
+//! registry order, with the registry's titles and descriptions — so the
+//! README can never drift from the code.
+
+use racer_lab::registry;
+use std::path::PathBuf;
+
+fn readme() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The scenario table's rows, as `(name, title, description)`.
+fn table_rows(text: &str) -> Vec<(String, String, String)> {
+    let begin = text
+        .find("<!-- scenario-table:begin -->")
+        .expect("README lacks the scenario-table:begin marker");
+    let end = text
+        .find("<!-- scenario-table:end -->")
+        .expect("README lacks the scenario-table:end marker");
+    text[begin..end]
+        .lines()
+        .filter(|l| l.starts_with("| `"))
+        .map(|line| {
+            let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+            assert_eq!(cells.len(), 3, "table row must have 3 cells: {line}");
+            (
+                cells[0].trim_matches('`').to_string(),
+                cells[1].to_string(),
+                cells[2].to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn readme_scenario_table_matches_the_registry_exactly() {
+    let rows = table_rows(&readme());
+    let registry = registry();
+    let row_names: Vec<&str> = rows.iter().map(|(n, _, _)| n.as_str()).collect();
+    let reg_names: Vec<&str> = registry.iter().map(|s| s.name).collect();
+    assert_eq!(
+        row_names, reg_names,
+        "README scenario table must list exactly the registered scenarios, \
+         in registry order (same set racer-lab list --names-json prints)"
+    );
+    for ((name, title, description), sc) in rows.iter().zip(&registry) {
+        assert_eq!(
+            title, sc.title,
+            "README title for {name} drifted from the registry"
+        );
+        assert_eq!(
+            description, sc.description,
+            "README description for {name} drifted from the registry"
+        );
+    }
+}

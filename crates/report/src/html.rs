@@ -1,0 +1,164 @@
+//! HTML building blocks: escaping, the page shell, small fragments.
+//!
+//! Everything is string concatenation into pre-sized buffers — the
+//! dashboard is a *static* artifact and must render byte-identically for
+//! identical inputs, so there is no templating engine, no timestamps and
+//! no randomness anywhere in this module.
+
+use std::fmt::Write as _;
+
+/// Escape text for HTML element content and attribute values.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The embedded stylesheet, shared by every page.
+///
+/// Colors follow the chart-palette reference: categorical series slots
+/// `--s1..--s8` in a fixed order (never cycled), recessive grid/axis ink,
+/// and a dark scheme that is *selected* (its own steps for the dark
+/// surface) rather than an automatic inversion. Text never wears a series
+/// color; identity is carried by swatches and marks.
+const STYLE: &str = "\
+:root{color-scheme:light;--page:#f9f9f7;--surface:#fcfcfb;--ink:#0b0b0b;--ink2:#52514e;\
+--muted:#898781;--grid:#e1e0d9;--axis:#c3c2b7;--border:rgba(11,11,11,0.10);\
+--s1:#2a78d6;--s2:#eb6834;--s3:#1baf7a;--s4:#eda100;--s5:#e87ba4;--s6:#008300;\
+--s7:#4a3aa7;--s8:#e34948;}\n\
+@media (prefers-color-scheme:dark){:root{color-scheme:dark;--page:#0d0d0d;\
+--surface:#1a1a19;--ink:#ffffff;--ink2:#c3c2b7;--muted:#898781;--grid:#2c2c2a;\
+--axis:#383835;--border:rgba(255,255,255,0.10);\
+--s1:#3987e5;--s2:#d95926;--s3:#199e70;--s4:#c98500;--s5:#d55181;--s6:#008300;\
+--s7:#9085e9;--s8:#e66767;}}\n\
+body{margin:0;padding:24px;background:var(--page);color:var(--ink);\
+font:14px/1.5 system-ui,-apple-system,'Segoe UI',sans-serif;}\n\
+main{max-width:960px;margin:0 auto;}\n\
+h1{font-size:22px;margin:0 0 4px;}h2{font-size:17px;margin:28px 0 8px;}\n\
+h3{font-size:15px;margin:20px 0 6px;}h4{font-size:14px;margin:14px 0 4px;color:var(--ink2);}\n\
+a{color:var(--s1);}code{font:12px/1.4 ui-monospace,monospace;}\n\
+p.sub{color:var(--ink2);margin:0 0 16px;}\n\
+table{border-collapse:collapse;margin:8px 0;background:var(--surface);\
+border:1px solid var(--border);border-radius:6px;}\n\
+th,td{padding:4px 10px;text-align:left;border-bottom:1px solid var(--grid);\
+font-variant-numeric:tabular-nums;}\n\
+th{color:var(--ink2);font-weight:600;}tr:last-child td{border-bottom:none;}\n\
+td.num{text-align:right;}\n\
+.kv td:first-child{color:var(--ink2);}\n\
+figure{margin:12px 0;padding:12px;background:var(--surface);\
+border:1px solid var(--border);border-radius:8px;}\n\
+figcaption{color:var(--ink2);font-size:13px;margin-bottom:6px;}\n\
+.legend{display:flex;flex-wrap:wrap;gap:4px 14px;margin:6px 0 2px;color:var(--ink2);\
+font-size:12px;}\n\
+.legend .swatch{display:inline-block;width:10px;height:10px;border-radius:2px;\
+margin-right:5px;vertical-align:-1px;}\n\
+.swatch.s1{background:var(--s1);}.swatch.s2{background:var(--s2);}\n\
+.swatch.s3{background:var(--s3);}.swatch.s4{background:var(--s4);}\n\
+.swatch.s5{background:var(--s5);}.swatch.s6{background:var(--s6);}\n\
+.swatch.s7{background:var(--s7);}.swatch.s8{background:var(--s8);}\n\
+svg{display:block;max-width:100%;height:auto;}\n\
+svg .grid{stroke:var(--grid);stroke-width:1;}\n\
+svg .axis{stroke:var(--axis);stroke-width:1;}\n\
+svg .tick{fill:var(--muted);font-size:11px;}\n\
+svg .axis-label{fill:var(--ink2);font-size:12px;}\n\
+svg .val{fill:var(--ink2);font-size:11px;}\n\
+svg .cat{fill:var(--ink);font-size:12px;}\n\
+svg .line.s1{stroke:var(--s1);}svg .line.s2{stroke:var(--s2);}\n\
+svg .line.s3{stroke:var(--s3);}svg .line.s4{stroke:var(--s4);}\n\
+svg .line.s5{stroke:var(--s5);}svg .line.s6{stroke:var(--s6);}\n\
+svg .line.s7{stroke:var(--s7);}svg .line.s8{stroke:var(--s8);}\n\
+svg .line{fill:none;stroke-width:2;stroke-linejoin:round;stroke-linecap:round;}\n\
+svg .dot.s1{fill:var(--s1);}svg .dot.s2{fill:var(--s2);}\n\
+svg .dot.s3{fill:var(--s3);}svg .dot.s4{fill:var(--s4);}\n\
+svg .dot.s5{fill:var(--s5);}svg .dot.s6{fill:var(--s6);}\n\
+svg .dot.s7{fill:var(--s7);}svg .dot.s8{fill:var(--s8);}\n\
+svg .bar{fill:var(--s1);}\n\
+details{margin:8px 0;}summary{cursor:pointer;color:var(--ink2);font-size:13px;}\n\
+.note{color:var(--muted);font-size:12px;margin:4px 0;}\n\
+.crumb{font-size:13px;margin-bottom:16px;}\n";
+
+/// Wrap `body` in the full page shell with the shared stylesheet.
+pub(crate) fn page(title: &str, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + STYLE.len() + 512);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    let _ = writeln!(out, "<title>{}</title>", escape(title));
+    let _ = writeln!(out, "<style>\n{STYLE}</style>");
+    out.push_str("</head>\n<body>\n<main>\n");
+    out.push_str(body);
+    out.push_str("</main>\n</body>\n</html>\n");
+    out
+}
+
+/// A two-column key/value table (`class="kv"`); values are pre-rendered
+/// HTML fragments.
+pub(crate) fn kv_table(rows: &[(String, String)]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("<table class=\"kv\">\n");
+    for (k, v) in rows {
+        let _ = writeln!(out, "<tr><td>{}</td><td>{v}</td></tr>", escape(k));
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// The legend row for a multi-series chart: one fixed-order swatch per
+/// series (identity is never color-alone — labels sit beside swatches in
+/// text ink).
+pub(crate) fn legend(labels: &[String]) -> String {
+    if labels.len() < 2 {
+        return String::new();
+    }
+    let mut out = String::from("<div class=\"legend\">");
+    for (i, label) in labels.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<span><span class=\"swatch s{}\"></span>{}</span>",
+            i % 8 + 1,
+            escape(label)
+        );
+    }
+    out.push_str("</div>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_five_metacharacters() {
+        assert_eq!(
+            escape(r#"<a href="x">&'q'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;q&#39;&lt;/a&gt;"
+        );
+    }
+
+    #[test]
+    fn page_shell_is_complete_html() {
+        let p = page("t&t", "<p>body</p>");
+        assert!(p.starts_with("<!DOCTYPE html>"));
+        assert!(p.contains("<title>t&amp;t</title>"));
+        assert!(p.contains("<p>body</p>"));
+        assert!(p.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn legend_needs_two_series() {
+        assert_eq!(legend(&["solo".into()]), "");
+        let l = legend(&["a".into(), "b".into()]);
+        assert!(l.contains("swatch s1"));
+        assert!(l.contains("swatch s2"));
+    }
+}

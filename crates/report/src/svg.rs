@@ -1,0 +1,446 @@
+//! Inline-SVG plots: line/scatter charts for sweeps, horizontal bar
+//! charts for suite-style rows.
+//!
+//! The SVG is styled entirely through CSS classes defined in the page
+//! shell (`html::STYLE`), so one markup rendering serves both the light
+//! and the dark scheme. Coordinates are formatted to a fixed precision
+//! and every layout decision is a pure function of the data — two renders
+//! of the same chart are byte-identical.
+
+use crate::html::escape;
+use std::fmt::Write as _;
+
+/// One plotted series: a display label and `(x, y)` points.
+pub(crate) struct Series {
+    /// Legend / tooltip label.
+    pub label: String,
+    /// Data points; the chart sorts a copy by `x` before drawing.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Format an axis/data value for humans: integers without decimals,
+/// everything else with up to four decimals, trailing zeros trimmed.
+pub(crate) fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "–".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e12 {
+        return format!("{}", v as i64);
+    }
+    let mut s = format!("{v:.4}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+/// SVG coordinate rendering: two decimals, enough for a 560px canvas.
+fn c(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// A "nice" tick step covering `range` in roughly `target` intervals:
+/// 1, 2 or 5 times a power of ten.
+fn nice_step(range: f64, target: usize) -> f64 {
+    let raw = range / target.max(1) as f64;
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let mult = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    mult * mag
+}
+
+/// Tick positions spanning `[min, max]` on nice-step multiples, together
+/// with the (padded) axis bounds. Degenerate ranges get a unit of air so
+/// a flat series still renders; non-finite or astronomically wide ranges
+/// (a span overflowing `f64`, a report carrying `1e308`) degrade to
+/// bounds-only ticks instead of trying to enumerate step multiples.
+fn ticks(min: f64, max: f64) -> (Vec<f64>, f64, f64) {
+    let (min, max) = if min.is_finite() && max.is_finite() {
+        (min, max)
+    } else {
+        (0.0, 1.0)
+    };
+    let (min, max) = if min == max {
+        (min - 1.0, max + 1.0)
+    } else {
+        (min, max)
+    };
+    let step = nice_step(max - min, 4);
+    let k0 = (min / step).floor();
+    let k1 = (max / step).ceil();
+    if !k0.is_finite() || !k1.is_finite() || k1 - k0 > 64.0 {
+        return (vec![min, max], min, max);
+    }
+    let (k0, k1) = (k0 as i64, k1 as i64);
+    let ticks: Vec<f64> = (k0..=k1).map(|k| k as f64 * step).collect();
+    (ticks, k0 as f64 * step, k1 as f64 * step)
+}
+
+/// A line/scatter chart: fixed-order series colors, horizontal gridlines
+/// only (recessive), circle markers with `<title>` tooltips when the
+/// series is small enough to read individually.
+pub(crate) struct LineChart {
+    /// x-axis caption.
+    pub x_label: String,
+    /// y-axis caption.
+    pub y_label: String,
+    /// The series, in presentation (= color-slot) order.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Render the chart, or `None` when there is nothing to plot.
+    pub fn to_svg(&self) -> Option<String> {
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    any = true;
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    ymin = ymin.min(y);
+                    ymax = ymax.max(y);
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let (xticks, x0, x1) = ticks(xmin, xmax);
+        let (yticks, y0, y1) = ticks(ymin, ymax);
+
+        const W: f64 = 560.0;
+        const H: f64 = 300.0;
+        const ML: f64 = 64.0;
+        const MR: f64 = 14.0;
+        const MT: f64 = 14.0;
+        const MB: f64 = 46.0;
+        let pw = W - ML - MR;
+        let ph = H - MT - MB;
+        let px = |x: f64| ML + (x - x0) / (x1 - x0) * pw;
+        let py = |y: f64| MT + ph - (y - y0) / (y1 - y0) * ph;
+
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(
+            out,
+            "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">"
+        );
+        // Horizontal grid + y tick labels.
+        for &t in &yticks {
+            let y = py(t);
+            let _ = writeln!(
+                out,
+                "<line class=\"grid\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+                c(ML),
+                c(y),
+                c(W - MR),
+                c(y)
+            );
+            let _ = writeln!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+                c(ML - 8.0),
+                c(y + 3.5),
+                escape(&fmt_num(t))
+            );
+        }
+        // Baseline + x tick labels.
+        let _ = writeln!(
+            out,
+            "<line class=\"axis\" x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+            c(ML),
+            c(MT + ph),
+            c(W - MR),
+            c(MT + ph)
+        );
+        for &t in &xticks {
+            let x = px(t);
+            let _ = writeln!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                c(x),
+                c(MT + ph + 16.0),
+                escape(&fmt_num(t))
+            );
+        }
+        // Axis captions.
+        let _ = writeln!(
+            out,
+            "<text class=\"axis-label\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            c(ML + pw / 2.0),
+            c(H - 8.0),
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            "<text class=\"axis-label\" transform=\"rotate(-90 12 {mid})\" x=\"12\" \
+             y=\"{mid}\" text-anchor=\"middle\">{}</text>",
+            escape(&self.y_label),
+            mid = c(MT + ph / 2.0)
+        );
+        // Series: polyline + markers, color slot = series index (fixed
+        // order, never cycled past the 8 documented slots — callers cap
+        // series counts).
+        for (i, s) in self.series.iter().enumerate() {
+            let slot = i % 8 + 1;
+            let mut pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .copied()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .collect();
+            pts.sort_by(|a, b| a.partial_cmp(b).expect("finite points"));
+            if pts.len() > 1 {
+                let path: Vec<String> = pts
+                    .iter()
+                    .map(|&(x, y)| format!("{},{}", c(px(x)), c(py(y))))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "<polyline class=\"line s{slot}\" points=\"{}\"/>",
+                    path.join(" ")
+                );
+            }
+            if pts.len() <= 60 {
+                for &(x, y) in &pts {
+                    let _ = writeln!(
+                        out,
+                        "<circle class=\"dot s{slot}\" cx=\"{}\" cy=\"{}\" r=\"3\">\
+                         <title>{}: ({}, {})</title></circle>",
+                        c(px(x)),
+                        c(py(y)),
+                        escape(&s.label),
+                        escape(&fmt_num(x)),
+                        escape(&fmt_num(y))
+                    );
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        Some(out)
+    }
+}
+
+/// A horizontal bar chart for suite-style rows: one category per row, a
+/// single measure, bars anchored at zero with direct value labels (the
+/// relief rule for low-contrast palette slots — plus every chart also
+/// ships its data table).
+pub(crate) struct BarChart {
+    /// Measure caption (shown above the bars).
+    pub value_label: String,
+    /// `(category, value)` rows, in input order.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Render the chart, or `None` when there are no rows.
+    pub fn to_svg(&self) -> Option<String> {
+        if self.bars.is_empty() {
+            return None;
+        }
+        // Non-finite values draw as zero-length bars (labeled "–" by
+        // fmt_num) and don't distort the scale.
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+        let vmin = self.bars.iter().map(|b| finite(b.1)).fold(0.0f64, f64::min);
+        let vmax = self.bars.iter().map(|b| finite(b.1)).fold(0.0f64, f64::max);
+        let (ticks, v0, v1) = ticks(vmin, vmax);
+
+        const W: f64 = 560.0;
+        const ML: f64 = 170.0;
+        const MR: f64 = 70.0;
+        const MT: f64 = 24.0;
+        const ROW: f64 = 26.0;
+        const MB: f64 = 26.0;
+        let n = self.bars.len() as f64;
+        let h = MT + n * ROW + MB;
+        let pw = W - ML - MR;
+        let px = |v: f64| ML + (v - v0) / (v1 - v0) * pw;
+
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(
+            out,
+            "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" role=\"img\">"
+        );
+        let _ = writeln!(
+            out,
+            "<text class=\"axis-label\" x=\"{}\" y=\"14\">{}</text>",
+            c(ML),
+            escape(&self.value_label)
+        );
+        // Vertical gridlines at value ticks.
+        for &t in &ticks {
+            let x = px(t);
+            let _ = writeln!(
+                out,
+                "<line class=\"grid\" x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\"/>",
+                c(MT),
+                c(MT + n * ROW),
+                x = c(x)
+            );
+            let _ = writeln!(
+                out,
+                "<text class=\"tick\" x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+                c(x),
+                c(MT + n * ROW + 16.0),
+                escape(&fmt_num(t))
+            );
+        }
+        // Zero baseline.
+        let _ = writeln!(
+            out,
+            "<line class=\"axis\" x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\"/>",
+            c(MT),
+            c(MT + n * ROW),
+            x = c(px(0.0))
+        );
+        for (i, (cat, v)) in self.bars.iter().enumerate() {
+            let y = MT + i as f64 * ROW;
+            let drawn = finite(*v);
+            let (x_lo, x_hi) = if drawn < 0.0 {
+                (px(drawn), px(0.0))
+            } else {
+                (px(0.0), px(drawn))
+            };
+            let _ = writeln!(
+                out,
+                "<text class=\"cat\" x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+                c(ML - 10.0),
+                c(y + ROW / 2.0 + 4.0),
+                escape(cat)
+            );
+            let _ = writeln!(
+                out,
+                "<rect class=\"bar\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"14\" rx=\"2\">\
+                 <title>{}: {}</title></rect>",
+                c(x_lo),
+                c(y + (ROW - 14.0) / 2.0),
+                c((x_hi - x_lo).max(0.5)),
+                escape(cat),
+                escape(&fmt_num(*v))
+            );
+            let _ = writeln!(
+                out,
+                "<text class=\"val\" x=\"{}\" y=\"{}\">{}</text>",
+                c(x_hi + 6.0),
+                c(y + ROW / 2.0 + 4.0),
+                escape(&fmt_num(*v))
+            );
+        }
+        out.push_str("</svg>\n");
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_formatting_is_compact() {
+        assert_eq!(fmt_num(500.0), "500");
+        assert_eq!(fmt_num(-3.0), "-3");
+        assert_eq!(fmt_num(0.75), "0.75");
+        assert_eq!(fmt_num(1.0 / 3.0), "0.3333");
+        assert_eq!(fmt_num(f64::NAN), "–");
+    }
+
+    #[test]
+    fn nice_ticks_cover_the_range() {
+        let (marks, lo, hi) = ticks(0.3, 9.4);
+        assert!(lo <= 0.3 && hi >= 9.4);
+        assert!(marks.len() >= 3 && marks.len() <= 9, "{marks:?}");
+        // Degenerate range still produces a drawable axis.
+        let (_, lo, hi) = ticks(5.0, 5.0);
+        assert!(lo < 5.0 && hi > 5.0);
+    }
+
+    #[test]
+    fn line_chart_renders_series_and_tooltips() {
+        let chart = LineChart {
+            x_label: "rounds".into(),
+            y_label: "accuracy".into(),
+            series: vec![
+                Series {
+                    label: "5us".into(),
+                    points: vec![(500.0, 0.6), (8000.0, 1.0)],
+                },
+                Series {
+                    label: "1ms".into(),
+                    points: vec![(8000.0, 0.5), (500.0, 0.5)],
+                },
+            ],
+        };
+        let svg = chart.to_svg().unwrap();
+        assert!(svg.contains("polyline class=\"line s1\""));
+        assert!(svg.contains("polyline class=\"line s2\""));
+        assert!(svg.contains("<title>5us: (500, 0.6)</title>"));
+        assert!(svg.contains(">accuracy</text>"));
+        assert_eq!(svg, chart.to_svg().unwrap(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn line_chart_with_no_finite_points_is_none() {
+        let chart = LineChart {
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "nan".into(),
+                points: vec![(f64::NAN, 1.0)],
+            }],
+        };
+        assert!(chart.to_svg().is_none());
+    }
+
+    #[test]
+    fn pathological_magnitudes_do_not_panic() {
+        // An integer literal beyond f64 range parses to +inf; charts must
+        // degrade, not abort enumerating step multiples.
+        let (marks, lo, hi) = ticks(0.0, f64::INFINITY);
+        assert!(!marks.is_empty() && lo.is_finite() && hi.is_finite());
+        let (marks, lo, hi) = ticks(-1e308, 1e308);
+        assert_eq!(marks.len(), 2, "overflowing span draws bounds only");
+        assert!(lo.is_finite() && hi.is_finite());
+        let svg = BarChart {
+            value_label: "v".into(),
+            bars: vec![("huge".into(), f64::INFINITY), ("ok".into(), 2.0)],
+        }
+        .to_svg()
+        .unwrap();
+        assert!(svg.contains("<title>huge: –</title>"));
+        assert!(svg.contains("<title>ok: 2</title>"));
+    }
+
+    #[test]
+    fn bar_chart_anchors_at_zero_and_labels_values() {
+        let chart = BarChart {
+            value_label: "speedup".into(),
+            bars: vec![("alu-chain".into(), 25.0), ("neg".into(), -2.0)],
+        };
+        let svg = chart.to_svg().unwrap();
+        assert!(svg.contains("rect class=\"bar\""));
+        assert!(svg.contains("<title>alu-chain: 25</title>"));
+        assert!(svg.contains(">-2</text>"));
+        assert!(BarChart {
+            value_label: "x".into(),
+            bars: vec![],
+        }
+        .to_svg()
+        .is_none());
+    }
+}

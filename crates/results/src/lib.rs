@@ -20,6 +20,10 @@
 //!    experiments actually produce, plus [`Value::object`]/[`Value::with`]
 //!    for literal-ish construction.
 //!
+//! Consumers that need to *interpret* report payloads (the `racer-report`
+//! dashboard) get [`Table`]: a zero-copy rectangular view over an array
+//! of JSON objects with per-column type classification ([`ColumnKind`]).
+//!
 //! ```
 //! use racer_results::Value;
 //!
@@ -31,9 +35,13 @@
 //! assert_eq!(Value::parse(&text).unwrap(), report);
 //! ```
 
+#![warn(missing_docs)]
+
 mod parse;
+mod table;
 mod value;
 mod write;
 
 pub use parse::ParseError;
+pub use table::{Column, ColumnKind, Table};
 pub use value::Value;

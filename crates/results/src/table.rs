@@ -1,0 +1,275 @@
+//! Shape introspection for point series.
+//!
+//! Every `racer-lab` scenario serializes its sweep data as an array of
+//! JSON objects — `results.points`, `results.series[i].points`,
+//! `results.mixes`, `results.workloads` and so on. Consumers that want to
+//! *plot* those arrays (the `racer-report` dashboard) need a rectangular
+//! view: which columns exist, what type each one is, and the values as
+//! typed vectors. [`Table`] is that view, built without copying a single
+//! [`Value`].
+//!
+//! ```
+//! use racer_results::{Table, ColumnKind, Value};
+//!
+//! let points = Value::Array(vec![
+//!     Value::object().with("rounds", 500).with("accuracy", 0.75),
+//!     Value::object().with("rounds", 8000).with("accuracy", 1.0),
+//! ]);
+//! let table = Table::from_value(&points).expect("array of objects");
+//! assert_eq!(table.len(), 2);
+//! let rounds = table.column("rounds").unwrap();
+//! assert_eq!(rounds.kind(), ColumnKind::Numeric);
+//! assert_eq!(rounds.numeric().unwrap(), [500.0, 8000.0]);
+//! ```
+
+use crate::Value;
+
+/// What a [`Column`]'s values have in common.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Every present value is an integer or a float.
+    Numeric,
+    /// Every present value is a string.
+    Text,
+    /// Every present value is a boolean.
+    Bool,
+    /// Every present value is itself an array of objects (a nested point
+    /// series, e.g. `series[i].points`).
+    Rows,
+    /// Anything else: nulls, mixed types, arrays of scalars, objects.
+    Mixed,
+}
+
+/// One named column of a [`Table`]: the member's value in each row, in
+/// row order, `None` where a row lacks the member.
+pub struct Column<'a> {
+    name: &'a str,
+    values: Vec<Option<&'a Value>>,
+    kind: ColumnKind,
+}
+
+impl<'a> Column<'a> {
+    /// The member name this column was built from.
+    pub fn name(&self) -> &'a str {
+        self.name
+    }
+
+    /// The common type of the present values (see [`ColumnKind`]).
+    pub fn kind(&self) -> ColumnKind {
+        self.kind
+    }
+
+    /// The value in row `row`, if that row has the member.
+    pub fn get(&self, row: usize) -> Option<&'a Value> {
+        self.values.get(row).copied().flatten()
+    }
+
+    /// Whether every row has this member.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(Option::is_some)
+    }
+
+    /// All values as `f64` — `Some` only for a complete numeric column.
+    pub fn numeric(&self) -> Option<Vec<f64>> {
+        if self.kind != ColumnKind::Numeric || !self.is_complete() {
+            return None;
+        }
+        self.values
+            .iter()
+            .map(|v| v.and_then(Value::as_f64))
+            .collect()
+    }
+
+    /// All values as `&str` — `Some` only for a complete text column.
+    pub fn text(&self) -> Option<Vec<&'a str>> {
+        if self.kind != ColumnKind::Text || !self.is_complete() {
+            return None;
+        }
+        self.values
+            .iter()
+            .map(|v| v.and_then(Value::as_str))
+            .collect()
+    }
+}
+
+/// A rectangular view over an array of JSON objects: one [`Column`] per
+/// member name (first-seen order), one slot per row.
+pub struct Table<'a> {
+    columns: Vec<Column<'a>>,
+    rows: usize,
+}
+
+impl<'a> Table<'a> {
+    /// Build the view from rows that must all be objects (else `None`).
+    pub fn from_rows(rows: &'a [Value]) -> Option<Table<'a>> {
+        let mut columns: Vec<Column<'a>> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let members = row.members()?;
+            for (name, value) in members {
+                let col = match columns.iter_mut().find(|c| c.name == name) {
+                    Some(col) => col,
+                    None => {
+                        columns.push(Column {
+                            name,
+                            values: vec![None; rows.len()],
+                            kind: ColumnKind::Mixed,
+                        });
+                        columns.last_mut().expect("just pushed")
+                    }
+                };
+                col.values[i] = Some(value);
+            }
+        }
+        for col in &mut columns {
+            col.kind = kind_of(col.values.iter().flatten().copied());
+        }
+        Some(Table {
+            columns,
+            rows: rows.len(),
+        })
+    }
+
+    /// [`Table::from_rows`] on an array value; `None` for non-arrays.
+    pub fn from_value(v: &'a Value) -> Option<Table<'a>> {
+        Table::from_rows(v.as_array()?)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns, in first-seen member order.
+    pub fn columns(&self) -> &[Column<'a>] {
+        &self.columns
+    }
+
+    /// Look one column up by member name.
+    pub fn column(&self, name: &str) -> Option<&Column<'a>> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// The [`ColumnKind`] shared by `values` (an empty iterator is `Mixed`:
+/// a column with no present values supports no typed access).
+fn kind_of<'a>(values: impl Iterator<Item = &'a Value>) -> ColumnKind {
+    let of_one = |v: &Value| match v {
+        Value::Int(_) | Value::Float(_) => ColumnKind::Numeric,
+        Value::Str(_) => ColumnKind::Text,
+        Value::Bool(_) => ColumnKind::Bool,
+        Value::Array(items) if !items.is_empty() => {
+            if items.iter().all(|i| matches!(i, Value::Object(_))) {
+                ColumnKind::Rows
+            } else {
+                ColumnKind::Mixed
+            }
+        }
+        _ => ColumnKind::Mixed,
+    };
+    let mut kinds = values.map(of_one);
+    let Some(first) = kinds.next() else {
+        return ColumnKind::Mixed;
+    };
+    if kinds.all(|k| k == first) {
+        first
+    } else {
+        ColumnKind::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Value> {
+        vec![
+            Value::object()
+                .with("timer", "5us")
+                .with("rounds", 500)
+                .with("accuracy", 0.75)
+                .with("flagged", true),
+            Value::object()
+                .with("timer", "1ms")
+                .with("rounds", 8000)
+                .with("accuracy", 1.0)
+                .with("flagged", false),
+        ]
+    }
+
+    #[test]
+    fn columns_follow_first_seen_order_and_kinds() {
+        let rows = rows();
+        let t = Table::from_rows(&rows).unwrap();
+        assert_eq!(t.len(), 2);
+        let names: Vec<&str> = t.columns().iter().map(Column::name).collect();
+        assert_eq!(names, ["timer", "rounds", "accuracy", "flagged"]);
+        assert_eq!(t.column("timer").unwrap().kind(), ColumnKind::Text);
+        assert_eq!(t.column("rounds").unwrap().kind(), ColumnKind::Numeric);
+        assert_eq!(t.column("accuracy").unwrap().kind(), ColumnKind::Numeric);
+        assert_eq!(t.column("flagged").unwrap().kind(), ColumnKind::Bool);
+        assert_eq!(
+            t.column("accuracy").unwrap().numeric().unwrap(),
+            [0.75, 1.0]
+        );
+        assert_eq!(t.column("timer").unwrap().text().unwrap(), ["5us", "1ms"]);
+        assert!(t.column("rounds").unwrap().text().is_none());
+    }
+
+    #[test]
+    fn missing_members_leave_holes_and_block_typed_access() {
+        let rows = vec![
+            Value::object().with("x", 1).with("note", "only here"),
+            Value::object().with("x", 2),
+        ];
+        let t = Table::from_rows(&rows).unwrap();
+        let note = t.column("note").unwrap();
+        assert!(!note.is_complete());
+        assert_eq!(note.kind(), ColumnKind::Text);
+        assert!(note.text().is_none(), "incomplete columns have no vector");
+        assert_eq!(note.get(0).and_then(Value::as_str), Some("only here"));
+        assert_eq!(note.get(1), None);
+        assert_eq!(t.column("x").unwrap().numeric().unwrap(), [1.0, 2.0]);
+    }
+
+    #[test]
+    fn nested_point_series_classify_as_rows() {
+        let rows = vec![Value::object().with("label", "add").with(
+            "points",
+            Value::Array(vec![Value::object().with("x", 1).with("y", 2)]),
+        )];
+        let t = Table::from_rows(&rows).unwrap();
+        assert_eq!(t.column("points").unwrap().kind(), ColumnKind::Rows);
+        let nested = t.column("points").unwrap().get(0).unwrap();
+        let nt = Table::from_value(nested).unwrap();
+        assert_eq!(nt.column("x").unwrap().numeric().unwrap(), [1.0]);
+    }
+
+    #[test]
+    fn mixed_and_non_object_rows() {
+        let rows = vec![
+            Value::object().with("v", 1).with("s", Value::Null),
+            Value::object().with("v", "two"),
+        ];
+        let t = Table::from_rows(&rows).unwrap();
+        assert_eq!(t.column("v").unwrap().kind(), ColumnKind::Mixed);
+        assert_eq!(t.column("s").unwrap().kind(), ColumnKind::Mixed);
+
+        let not_objects = vec![Value::Int(1)];
+        assert!(Table::from_rows(&not_objects).is_none());
+        assert!(Table::from_value(&Value::Int(3)).is_none());
+        let empty: Vec<Value> = Vec::new();
+        assert!(Table::from_rows(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scalar_arrays_are_not_rows() {
+        let rows = vec![Value::object().with("xs", vec![1i64, 2, 3])];
+        let t = Table::from_rows(&rows).unwrap();
+        assert_eq!(t.column("xs").unwrap().kind(), ColumnKind::Mixed);
+    }
+}

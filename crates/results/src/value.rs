@@ -62,6 +62,14 @@ impl Value {
         }
     }
 
+    /// Object members in insertion order; `None` for non-objects.
+    pub fn members(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Array elements; `None` for non-arrays.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
@@ -91,6 +99,14 @@ impl Value {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean content; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }
