@@ -4,11 +4,20 @@
 //! is also written to `BENCH_pipeline.json` (repo root when run from the
 //! workspace) so the committed baseline that `racer-lab perf-check` gates
 //! against can be refreshed with a paper-scale run.
+//!
+//! The baseline is written atomically (tmp + rename) like every other
+//! pipeline artifact — an interrupted refresh can never leave a corrupt
+//! committed baseline behind.
+
+use std::path::Path;
 
 fn main() {
     let report = racer_lab::shim("perf_baseline");
     let payload = report.json.get("results").expect("report has results");
     let path = "BENCH_pipeline.json";
-    std::fs::write(path, payload.to_pretty()).expect("write benchmark json");
+    if let Err(e) = racer_lab::write_atomic(Path::new(path), &payload.to_pretty()) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
     println!("# wrote {path}");
 }

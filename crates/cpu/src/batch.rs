@@ -6,13 +6,20 @@
 //! deterministic, so fanning the *configurations* out across host cores
 //! scales linearly without perturbing any simulated timing.
 //!
-//! [`par_map`] is the whole API: order-preserving, panic-propagating, and
+//! [`par_map`] is the core API: order-preserving, panic-propagating, and
 //! work-stealing over a shared index so uneven per-item costs (short vs.
 //! long targets) balance automatically. It is built on `std::thread::scope`
 //! rather than rayon so the workspace keeps building with no external
 //! dependencies; the signature matches rayon's
 //! `par_iter().map().collect()` shape closely enough that swapping the
 //! implementation later is local to this file.
+//!
+//! [`try_par_map`] is the crash-isolated variant: each item runs under
+//! `catch_unwind`, so one panicking simulation comes back as
+//! `Err(panic message)` in its slot instead of poisoning the pool and
+//! aborting every sibling. `racer-lab` fans scenario trials out through
+//! it so a single bad trial becomes a labelled failed cell in the report
+//! rather than a lost run.
 //!
 //! ```
 //! use racer_cpu::batch;
@@ -62,6 +69,37 @@ where
                 .expect("worker completed every claimed index")
         })
         .collect()
+}
+
+/// Crash-isolated [`par_map`]: apply `f` to every item on a pool of host
+/// threads, catching panics per item. A panicking item yields
+/// `Err(message)` (the stringified panic payload) in its input-order
+/// slot; all other items still run to completion on the same pool. The
+/// panic does not propagate and the worker that caught it keeps claiming
+/// work, so wall-clock cost and result order match [`par_map`] exactly.
+pub fn try_par_map<I, O, F>(items: &[I], f: F) -> Vec<Result<O, String>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    par_map(items, |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// Best-effort panic payload rendering: `&str` and `String` payloads (the
+/// ones `panic!` produces) come through verbatim; anything else gets a
+/// stable placeholder so reports remain deterministic.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
 }
 
 /// Worker-thread cap: the `RACER_BATCH_THREADS` environment variable if set
@@ -119,5 +157,46 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_item() {
+        // Silence the default panic hook for the intentionally panicking
+        // items so test output stays readable.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let input: Vec<u64> = (0..64).collect();
+        let out = try_par_map(&input, |&x| {
+            if x % 7 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), input.len());
+        for (i, r) in out.iter().enumerate() {
+            let x = i as u64;
+            if x % 7 == 3 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("boom at {x}"));
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(x * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn panic_messages_render_str_and_string_payloads() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let msg = |f: fn()| {
+            let payload = std::panic::catch_unwind(f).unwrap_err();
+            panic_message(payload.as_ref())
+        };
+        assert_eq!(msg(|| panic!("plain")), "plain");
+        let n = msg(|| panic!("formatted {}", 7));
+        assert_eq!(n, "formatted 7");
+        let other = msg(|| std::panic::panic_any(42u32));
+        std::panic::set_hook(prev);
+        assert_eq!(other, "panic with a non-string payload");
     }
 }

@@ -5,17 +5,21 @@
 //! racer-lab describe <scenario>
 //! racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...
 //!                                      [--seed N] [--out DIR] [--quiet]
-//!                                      [--shard K/N]
-//! racer-lab report <out-dir> [results...]
+//!                                      [--shard K/N] [--checkpoint DIR]
+//!                                      [--timeout-secs N]
+//! racer-lab report <out-dir> [results...] [--keep-going]
 //! racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]
 //! ```
 //!
 //! Hand-rolled argument handling (the workspace builds offline, so no
-//! clap); every parse error returns `Err` and the binary exits 2.
+//! clap). Every failure is a typed [`LabError`] and the binary exits with
+//! its documented code (see [`crate::error`]); plain usage errors exit 2.
 
+use crate::checkpoint::Checkpoint;
+use crate::error::LabError;
 use crate::params::Scale;
 use crate::registry::{registry, Scenario};
-use crate::runner::{run_scenario, Report, RunOptions};
+use crate::runner::{failed_report, resolve_params, run_scenario, Report, RunOptions};
 use racer_results::Value;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,38 +30,38 @@ pub enum Outcome {
     Ok,
     /// A gate failed (perf regression): exit 1.
     GateFailed,
+    /// Partial success (`report --keep-going` skipped inputs): exit 9.
+    Partial,
 }
 
 /// Entry point: dispatch on `args` (without the program name), printing to
-/// stdout. Usage errors come back as `Err`.
-pub fn dispatch(args: &[String]) -> Result<Outcome, String> {
+/// stdout. Failures come back as typed [`LabError`]s; `main` exits with
+/// [`LabError::exit_code`].
+pub fn dispatch(args: &[String]) -> Result<Outcome, LabError> {
     match args.first().map(String::as_str) {
         Some("list") => {
-            list(&args[1..])?;
+            list(&args[1..]).map_err(LabError::usage)?;
             Ok(Outcome::Ok)
         }
         Some("describe") => {
-            describe(&args[1..])?;
+            describe(&args[1..]).map_err(LabError::usage)?;
             Ok(Outcome::Ok)
         }
-        Some("run") => {
-            run(&args[1..])?;
-            Ok(Outcome::Ok)
-        }
+        Some("run") => run(&args[1..]),
         Some("merge") => {
             merge(&args[1..])?;
             Ok(Outcome::Ok)
         }
-        Some("report") => {
-            report(&args[1..])?;
-            Ok(Outcome::Ok)
-        }
+        Some("report") => report(&args[1..]),
         Some("perf-check") => perf_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{}", usage());
             Ok(Outcome::Ok)
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{}", usage())),
+        Some(other) => Err(LabError::usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -69,9 +73,11 @@ fn usage() -> &'static str {
      \x20 racer-lab describe <scenario>\n\
      \x20 racer-lab run <scenario>... | --all  [--quick|--paper] [--set k=v]...\n\
      \x20                                      [--seed N] [--out DIR] [--quiet]\n\
-     \x20                                      [--shard K/N]\n\
+     \x20                                      [--shard K/N] [--checkpoint DIR]\n\
+     \x20                                      [--timeout-secs N]\n\
      \x20 racer-lab merge <out.json> <shard.json> <shard.json>...\n\
-     \x20 racer-lab report <out-dir> [results...]\n\
+     \x20 racer-lab merge <out.json> --from-checkpoint <dir>\n\
+     \x20 racer-lab report <out-dir> [results...] [--keep-going]\n\
      \x20 racer-lab perf-check [--baseline PATH] [--tolerance F] [--quick|--paper]\n\
      \n\
      --shard K/N keeps the K-th of N deterministic slices of the selected\n\
@@ -80,9 +86,17 @@ fn usage() -> &'static str {
      sweep's trial axis instead: run each slice with --set shard=K/N into\n\
      its own --out dir, then fold the reports with `merge` (accuracies\n\
      combine by trial weight; provenance records the shard list).\n\
-     Results are written to results/<scenario>.json (override with --out).\n\
+     Results are written to results/<scenario>.json (override with --out);\n\
+     all writes are atomic (tmp sibling + rename).\n\
+     --checkpoint DIR journals each completed scenario; re-running the same\n\
+     command resumes, replaying journaled reports byte-for-byte. `merge\n\
+     --from-checkpoint` folds a journal's records into one report.\n\
+     A panicking or timed-out (--timeout-secs) scenario is isolated and\n\
+     recorded as a status:\"failed\" report cell; the run exits with the\n\
+     documented code for the first failure (see docs/ARCHITECTURE.md).\n\
      `report` renders report files (or directories of them; default:\n\
-     results/) into a static HTML dashboard under <out-dir>."
+     results/) into a static HTML dashboard under <out-dir>; --keep-going\n\
+     skips unreadable inputs with a warning and exits 9 if any were skipped."
 }
 
 /// Parse a `K/N` shard spec (1-based `K`, `1 <= K <= N`). Shared by the
@@ -221,6 +235,7 @@ struct RunFlags {
     baseline: PathBuf,
     tolerance: f64,
     shard: Option<(usize, usize)>,
+    checkpoint: Option<PathBuf>,
 }
 
 fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
@@ -233,6 +248,7 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
         baseline: PathBuf::from("BENCH_pipeline.json"),
         tolerance: 0.30,
         shard: None,
+        checkpoint: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -269,6 +285,14 @@ fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
             }
             "--out" => flags.out_dir = PathBuf::from(value_of("--out")?),
             "--shard" => flags.shard = Some(parse_shard(&value_of("--shard")?)?),
+            "--checkpoint" => flags.checkpoint = Some(PathBuf::from(value_of("--checkpoint")?)),
+            "--timeout-secs" => {
+                let v = value_of("--timeout-secs")?;
+                let secs: u64 = v.parse().ok().filter(|&s| s > 0).ok_or_else(|| {
+                    format!("--timeout-secs expects a positive integer, got {v:?}")
+                })?;
+                flags.opts.timeout_secs = Some(secs);
+            }
             "--baseline" => flags.baseline = PathBuf::from(value_of("--baseline")?),
             "--tolerance" => {
                 let v = value_of("--tolerance")?;
@@ -288,83 +312,176 @@ fn unknown_scenario(name: &str) -> String {
     format!("unknown scenario {name:?}; available: {}", names.join(", "))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let flags = parse_run_flags(args)?;
+fn run(args: &[String]) -> Result<Outcome, LabError> {
+    let flags = parse_run_flags(args).map_err(LabError::usage)?;
     let mut selected: Vec<Scenario> = if flags.all {
         if !flags.names.is_empty() {
-            return Err("pass scenario names or --all, not both".into());
+            return Err(LabError::usage("pass scenario names or --all, not both"));
         }
         registry()
     } else if flags.names.is_empty() {
-        return Err("run: pass at least one scenario name, or --all".into());
+        return Err(LabError::usage(
+            "run: pass at least one scenario name, or --all",
+        ));
     } else {
         flags
             .names
             .iter()
-            .map(|n| crate::registry::find(n).ok_or_else(|| unknown_scenario(n)))
+            .map(|n| crate::registry::find(n).ok_or_else(|| LabError::usage(unknown_scenario(n))))
             .collect::<Result<_, _>>()?
     };
     if let Some((k, n)) = flags.shard {
         selected = shard_select(selected, k, n);
         if selected.is_empty() {
             println!("# shard {k}/{n} selects no scenarios");
-            return Ok(());
+            return Ok(Outcome::Ok);
+        }
+    }
+    let opts = &flags.opts;
+
+    // Fail fast on bad parameters for *any* selected scenario before any
+    // compute starts: a typo'd --set aborts the sweep up front (exit 5)
+    // instead of after minutes of sibling work.
+    let resolved: Vec<crate::params::ResolvedParams> = selected
+        .iter()
+        .map(|sc| resolve_params(sc, opts))
+        .collect::<Result<_, _>>()?;
+
+    // Open the checkpoint journal and replay already-completed units.
+    // A journaled record whose key disagrees with this invocation is a
+    // conflict (exit 8) — resuming under different parameters would mix
+    // two experiments into one output directory.
+    let ckpt = match &flags.checkpoint {
+        Some(dir) => Some(Checkpoint::open(dir)?),
+        None => None,
+    };
+    let keys: Vec<String> = selected
+        .iter()
+        .zip(&resolved)
+        .map(|(sc, params)| {
+            crate::checkpoint::identity_key(
+                sc.name,
+                opts.scale,
+                opts.seed.unwrap_or(sc.seed),
+                params,
+            )
+        })
+        .collect();
+    let mut journaled: Vec<Option<Value>> = vec![None; selected.len()];
+    if let Some(ckpt) = &ckpt {
+        for (i, sc) in selected.iter().enumerate() {
+            journaled[i] = ckpt.load(sc.name, &keys[i])?;
         }
     }
 
-    // Each scenario is an independent simulation: fan out across host
-    // cores. Reports come back in input order, so output stays stable.
-    let opts = &flags.opts;
-    let reports: Vec<Result<Report, String>> =
-        racer_cpu::batch::par_map(&selected, |sc| run_scenario(sc, opts));
+    // Each remaining scenario is an independent simulation: fan out
+    // across host cores through the crash-isolated driver. Results come
+    // back in input order, so output stays stable. A panicking trial is
+    // caught twice over (run_scenario's boundary, then try_par_map's) and
+    // becomes a labelled failed cell; siblings are unaffected. Completed
+    // units are journaled before anything is printed, so a crash loses at
+    // most the in-flight scenarios.
+    let work: Vec<(usize, &Scenario)> = selected
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| journaled[*i].is_none())
+        .collect();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // failures are reported as cells below
+    let outcomes = racer_cpu::batch::try_par_map(&work, |&(i, sc)| -> Result<Report, LabError> {
+        let report = run_scenario(sc, opts)?;
+        if let Some(ckpt) = &ckpt {
+            ckpt.record(sc.name, &keys[i], &report.json)?;
+        }
+        Ok(report)
+    });
+    std::panic::set_hook(prev_hook);
+    let outcomes: Vec<(usize, Result<Report, LabError>)> = work
+        .iter()
+        .zip(outcomes)
+        .map(|(&(i, sc), r)| {
+            let flat = match r {
+                Ok(inner) => inner,
+                // A panic that escaped run_scenario's own boundary
+                // (envelope assembly, journaling) still only costs its
+                // own cell.
+                Err(panic_msg) => Err(LabError::scenario_panic(sc.name, panic_msg)),
+            };
+            (i, flat)
+        })
+        .collect();
 
-    let mut failures = Vec::new();
-    for report in reports {
-        match report {
+    let mut results: Vec<Option<Result<Report, LabError>>> =
+        (0..selected.len()).map(|_| None).collect();
+    for (i, r) in outcomes {
+        results[i] = Some(r);
+    }
+
+    let mut failures: Vec<LabError> = Vec::new();
+    for (i, sc) in selected.iter().enumerate() {
+        if let Some(doc) = &journaled[i] {
+            let path = flags.out_dir.join(format!("{}.json", sc.name));
+            crate::fsio::write_atomic(&path, &doc.to_pretty())?;
+            println!(
+                "# resumed {} from checkpoint record, wrote {}",
+                sc.name,
+                path.display()
+            );
+            continue;
+        }
+        match results[i].take().expect("every non-journaled unit ran") {
             Ok(report) => {
-                let path = report
-                    .write(&flags.out_dir)
-                    .map_err(|e| format!("writing {}: {e}", report.name))?;
+                let path = report.write(&flags.out_dir)?;
                 if !flags.quiet {
                     println!("{}", report.text.trim_end());
                 }
                 println!("# wrote {}", path.display());
             }
-            Err(e) => failures.push(e),
+            Err(e) => {
+                // The failure is preserved twice: a machine-readable
+                // failed cell in the output directory and a stderr note.
+                // Failed cells are never journaled — a resume re-attempts
+                // them.
+                let report = failed_report(sc, opts, &e);
+                let path = report.write(&flags.out_dir)?;
+                eprintln!("# {}: failed ({}): {}", sc.name, e.kind(), e.message());
+                println!("# wrote {} (failed cell)", path.display());
+                failures.push(e);
+            }
         }
     }
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(failures.join("\n"))
+    match failures.into_iter().next() {
+        // Exit with the first failure's documented code; every sibling
+        // report and failed cell above is already on disk.
+        Some(first) => Err(first),
+        None => Ok(Outcome::Ok),
     }
 }
 
 /// `racer-lab merge <out.json> <shard.json>...`: fold trial-axis shard
 /// reports of one scenario into a single report (see [`crate::merge`]).
-fn merge(args: &[String]) -> Result<(), String> {
+/// `merge <out.json> --from-checkpoint <dir>` folds the completed records
+/// of a (possibly partial) checkpoint journal instead, stamping
+/// `provenance.resumed` lineage on the result.
+fn merge(args: &[String]) -> Result<(), LabError> {
+    if args.iter().any(|a| a == "--from-checkpoint") {
+        return merge_from_checkpoint(args);
+    }
     let (out, shards) = match args {
         [] | [_] | [_, _] => {
-            return Err("merge: expected <out.json> and at least two shard files".into())
+            return Err(LabError::usage(
+                "merge: expected <out.json> and at least two shard files \
+                 (or <out.json> --from-checkpoint <dir>)",
+            ))
         }
         [out, shards @ ..] => (PathBuf::from(out), shards),
     };
     let docs: Vec<(String, Value)> = shards
         .iter()
-        .map(|path| {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let doc = Value::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-            Ok((path.clone(), doc))
-        })
-        .collect::<Result<_, String>>()?;
-    let merged = crate::merge::merge_reports(&docs)?;
-    if let Some(dir) = out.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-    }
-    std::fs::write(&out, merged.to_pretty())
-        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        .map(|path| Ok((path.clone(), crate::fsio::parse_json(Path::new(path))?)))
+        .collect::<Result<_, LabError>>()?;
+    let merged = crate::merge::merge_reports(&docs).map_err(LabError::usage)?;
+    crate::fsio::write_atomic(&out, &merged.to_pretty())?;
     println!(
         "# merged {} shard report(s) into {}",
         docs.len(),
@@ -373,22 +490,64 @@ fn merge(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `racer-lab report <out-dir> [results...]`: render report files (or
-/// directories of them — each scanned one level deep for `*.json`,
-/// sorted by file name) into a static HTML dashboard under `<out-dir>`.
-/// With no inputs, `results/` is rendered. Parsing is strict
+fn merge_from_checkpoint(args: &[String]) -> Result<(), LabError> {
+    let (out, dir) = match args {
+        [out, flag, dir] if flag == "--from-checkpoint" => (PathBuf::from(out), PathBuf::from(dir)),
+        _ => {
+            return Err(LabError::usage(
+                "merge: expected <out.json> --from-checkpoint <dir>",
+            ))
+        }
+    };
+    if !dir.is_dir() {
+        return Err(LabError::io(
+            format!("reading checkpoint dir {}", dir.display()),
+            "not a directory",
+        ));
+    }
+    let ckpt = Checkpoint::open(&dir)?;
+    let records = ckpt.records()?;
+    let merged = crate::merge::merge_checkpoint(&dir.display().to_string(), &records)
+        .map_err(LabError::usage)?;
+    crate::fsio::write_atomic(&out, &merged.to_pretty())?;
+    println!(
+        "# merged {} checkpoint record(s) into {}",
+        records.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `racer-lab report <out-dir> [results...] [--keep-going]`: render
+/// report files (or directories of them — each scanned one level deep for
+/// `*.json`, sorted by file name) into a static HTML dashboard under
+/// `<out-dir>`. With no inputs, `results/` is rendered. Parsing is strict
 /// (`racer-results` + the `racer-lab/v1` envelope checks in
-/// `racer-report`); any unreadable, unparseable or non-report input is a
-/// usage error, as is an empty input set. The registry supplies page
-/// order, titles and descriptions for every scenario it knows.
-fn report(args: &[String]) -> Result<(), String> {
-    let (out_dir, inputs) = match args {
-        [] => return Err("report: missing <out-dir>".into()),
+/// `racer-report`); an unreadable input is an IO error (exit 3), an
+/// unparseable or non-report input a parse error (exit 4), an empty input
+/// set a usage error (exit 2). With `--keep-going`, bad inputs are
+/// skipped with a stderr warning instead and the command exits 9 when
+/// anything was skipped (2 if nothing usable remains). The registry
+/// supplies page order, titles and descriptions for every scenario it
+/// knows.
+fn report(args: &[String]) -> Result<Outcome, LabError> {
+    let mut keep_going = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--keep-going" => keep_going = true,
+            flag if flag.starts_with('-') => {
+                return Err(LabError::usage(format!(
+                    "report takes no flags except --keep-going, got {flag:?}"
+                )))
+            }
+            p => positional.push(p.to_string()),
+        }
+    }
+    let (out_dir, inputs) = match &positional[..] {
+        [] => return Err(LabError::usage("report: missing <out-dir>")),
         [out, inputs @ ..] => (PathBuf::from(out), inputs),
     };
-    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
-        return Err(format!("report takes no flags, got {flag:?}"));
-    }
     let default_inputs = [String::from("results")];
     let inputs = if inputs.is_empty() {
         &default_inputs[..]
@@ -396,14 +555,30 @@ fn report(args: &[String]) -> Result<(), String> {
         inputs
     };
 
+    let mut skipped = 0usize;
+    let mut skip_or = |err: LabError| -> Result<(), LabError> {
+        if keep_going {
+            eprintln!("# warning: skipping input: {err}");
+            skipped += 1;
+            Ok(())
+        } else {
+            Err(err)
+        }
+    };
+
     let mut files: Vec<PathBuf> = Vec::new();
     for input in inputs {
         let path = PathBuf::from(input);
-        let meta =
-            std::fs::metadata(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let meta = match std::fs::metadata(&path) {
+            Ok(meta) => meta,
+            Err(e) => {
+                skip_or(LabError::io(format!("reading {}", path.display()), e))?;
+                continue;
+            }
+        };
         if meta.is_dir() {
             let mut entries: Vec<PathBuf> = std::fs::read_dir(&path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?
+                .map_err(|e| LabError::io(format!("reading {}", path.display()), e))?
                 .filter_map(|entry| entry.ok().map(|e| e.path()))
                 .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
                 .collect();
@@ -415,26 +590,40 @@ fn report(args: &[String]) -> Result<(), String> {
             files.push(path);
         }
     }
-    if files.is_empty() {
-        return Err(format!(
+    if files.is_empty() && !keep_going {
+        return Err(LabError::usage(format!(
             "report: no .json report files found under {}",
             inputs.join(", ")
-        ));
+        )));
     }
 
-    let reports: Vec<racer_report::InputReport> = files
-        .iter()
-        .map(|path| {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            let doc =
-                Value::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
-            Ok(racer_report::InputReport {
-                label: path.display().to_string(),
-                doc,
-            })
-        })
-        .collect::<Result<_, String>>()?;
+    let mut reports: Vec<racer_report::InputReport> = Vec::new();
+    for path in &files {
+        let doc = match crate::fsio::parse_json(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                skip_or(e)?;
+                continue;
+            }
+        };
+        let input = racer_report::InputReport {
+            label: path.display().to_string(),
+            doc,
+        };
+        // Envelope validation up front, so --keep-going can skip a
+        // structurally invalid report instead of failing the render.
+        if let Err(e) = racer_report::check_input(&input) {
+            skip_or(LabError::parse(path.display().to_string(), e))?;
+            continue;
+        }
+        reports.push(input);
+    }
+    if reports.is_empty() {
+        return Err(LabError::usage(format!(
+            "report: no usable report files under {} ({skipped} skipped)",
+            inputs.join(", ")
+        )));
+    }
 
     let meta: Vec<racer_report::ScenarioMeta> = registry()
         .iter()
@@ -446,15 +635,12 @@ fn report(args: &[String]) -> Result<(), String> {
             order,
         })
         .collect();
-    let pages = racer_report::render_dashboard(&reports, &meta).map_err(|e| e.to_string())?;
+    let pages = racer_report::render_dashboard(&reports, &meta)
+        .map_err(|e| LabError::parse("dashboard inputs", e))?;
 
     for page in &pages {
         let path = out_dir.join(&page.path);
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-        std::fs::write(&path, &page.content)
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        crate::fsio::write_atomic(&path, &page.content)?;
     }
     println!(
         "# rendered {} report(s) into {} ({} page(s), open {})",
@@ -463,7 +649,11 @@ fn report(args: &[String]) -> Result<(), String> {
         pages.len(),
         out_dir.join("index.html").display()
     );
-    Ok(())
+    if skipped > 0 {
+        println!("# {skipped} input(s) skipped (--keep-going); exit 9 signals partial success");
+        return Ok(Outcome::Partial);
+    }
+    Ok(Outcome::Ok)
 }
 
 /// The CI perf gate: run the throughput baseline and compare per-workload
@@ -475,13 +665,20 @@ fn report(args: &[String]) -> Result<(), String> {
 /// taking the max filters noise without masking real regressions.
 /// Workloads present in only one side are reported but do not fail the
 /// gate.
-fn perf_check(args: &[String]) -> Result<Outcome, String> {
-    let mut flags = parse_run_flags(args)?;
+fn perf_check(args: &[String]) -> Result<Outcome, LabError> {
+    let mut flags = parse_run_flags(args).map_err(LabError::usage)?;
     if !flags.names.is_empty() {
-        return Err("perf-check takes no scenario names".into());
+        return Err(LabError::usage("perf-check takes no scenario names"));
     }
     if flags.shard.is_some() {
-        return Err("perf-check runs a single scenario; --shard does not apply".into());
+        return Err(LabError::usage(
+            "perf-check runs a single scenario; --shard does not apply",
+        ));
+    }
+    if flags.checkpoint.is_some() {
+        return Err(LabError::usage(
+            "perf-check re-measures every time; --checkpoint does not apply",
+        ));
     }
     // The gate defaults to quick scale: throughput is scale-independent
     // enough for a 30% gate, and CI minutes are not free.
@@ -490,12 +687,9 @@ fn perf_check(args: &[String]) -> Result<Outcome, String> {
     }
 
     let sc = crate::registry::find("perf_baseline").expect("perf_baseline is registered");
-    let baseline_text = std::fs::read_to_string(&flags.baseline)
-        .map_err(|e| format!("reading {}: {e}", flags.baseline.display()))?;
-    let baseline = Value::parse(&baseline_text)
-        .map_err(|e| format!("parsing {}: {e}", flags.baseline.display()))?;
+    let baseline = crate::fsio::parse_json(&flags.baseline)?;
 
-    let measure = || -> Result<Value, String> {
+    let measure = || -> Result<Value, LabError> {
         let report = run_scenario(&sc, &flags.opts)?;
         Ok(report
             .json
@@ -503,12 +697,16 @@ fn perf_check(args: &[String]) -> Result<Outcome, String> {
             .expect("report has results")
             .clone())
     };
+    let compare = |measured: &Value| {
+        compare_throughput(&baseline, measured, flags.tolerance)
+            .map_err(|e| LabError::parse(flags.baseline.display().to_string(), e))
+    };
     let mut measured = measure()?;
-    let mut verdicts = compare_throughput(&baseline, &measured, flags.tolerance)?;
+    let mut verdicts = compare(&measured)?;
     if verdicts.iter().any(|v| v.regressed) {
         println!("# first measurement regressed; re-measuring once (best of 2 counts)");
         measured = best_of(&measured, &measure()?);
-        verdicts = compare_throughput(&baseline, &measured, flags.tolerance)?;
+        verdicts = compare(&measured)?;
     }
     print!("{}", render_verdicts(&verdicts, flags.tolerance));
     // Surface the comparison on the workflow-run summary page when CI
@@ -734,7 +932,7 @@ pub fn shim(name: &str) -> Report {
         .unwrap_or_else(|| panic!("shim for unregistered scenario {name}"));
     let report = run_scenario(&sc, &opts).unwrap_or_else(|e| {
         eprintln!("error: {e}");
-        std::process::exit(2);
+        std::process::exit(e.exit_code());
     });
     println!("{}", report.text.trim_end());
     match report.write(Path::new("results")) {
@@ -904,5 +1102,17 @@ mod tests {
         );
         assert!(parse_run_flags(&["--set".to_string(), "novalue".to_string()]).is_err());
         assert!(parse_run_flags(&["--bogus".to_string()]).is_err());
+
+        let args: Vec<String> = ["--checkpoint", "ckpt-dir", "--timeout-secs", "30"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_run_flags(&args).unwrap();
+        assert_eq!(f.checkpoint, Some(PathBuf::from("ckpt-dir")));
+        assert_eq!(f.opts.timeout_secs, Some(30));
+        assert!(
+            parse_run_flags(&["--timeout-secs".to_string(), "0".to_string()]).is_err(),
+            "a zero timeout would fail every scenario"
+        );
     }
 }

@@ -1,0 +1,213 @@
+//! Deterministic fault injection for the robustness test-suite.
+//!
+//! The fault-tolerance invariants (no corrupt JSON on disk, resume
+//! converges to the fault-free report, failed cells are labelled) are only
+//! worth anything if they are *proved* under injected failure. This module
+//! is the injection side: a [`FaultPlan`] parsed once from the
+//! `RACER_FAULT_PLAN` environment variable, consulted at a handful of
+//! named sites in the pipeline. With the variable unset (every production
+//! run) the plan is empty and every hook is a branch on an empty slice.
+//!
+//! Plan grammar — comma-separated directives, each `action@site[=arg]`:
+//!
+//! | directive | effect at the named site |
+//! |---|---|
+//! | `panic@<site>` | panic with a deterministic message |
+//! | `io@<site>` | the write fails with an injected IO error |
+//! | `trunc@<site>` | half the bytes land in the `.tmp` file, then the write fails (simulated crash mid-write; the final file is never touched) |
+//! | `sleep@<site>=<ms>` | sleep `ms` milliseconds (drives `--timeout-secs` trials) |
+//! | `kill@<site>` | abort the process on the spot (simulated SIGKILL) |
+//!
+//! Sites fired today: `scenario:<name>` (inside the crash-isolation
+//! boundary, before the scenario body), `write:<file-name>` (inside
+//! [`crate::fsio::write_atomic`]), and `checkpoint:<scenario>` (before a
+//! journal record is written). Unknown sites are legal in a plan — they
+//! simply never fire — so one plan can target any future site.
+
+use std::sync::OnceLock;
+
+/// One parsed directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// What to do when the site fires.
+    pub action: Action,
+    /// The site this directive arms.
+    pub site: String,
+}
+
+/// The failure a directive injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a deterministic message.
+    Panic,
+    /// Fail the write with an injected IO error.
+    Io,
+    /// Write a truncated `.tmp` file, then fail (crash mid-write).
+    Truncate,
+    /// Sleep for the given number of milliseconds.
+    Sleep(u64),
+    /// Abort the process (simulated SIGKILL).
+    Kill,
+}
+
+/// A set of armed directives.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    directives: Vec<Directive>,
+}
+
+impl FaultPlan {
+    /// Parse a plan string (the `RACER_FAULT_PLAN` format). Empty input
+    /// is the empty plan.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut directives = Vec::new();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (action, site) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault directive {part:?} is not action@site"))?;
+            let (site, arg) = match site.split_once('=') {
+                Some((s, a)) => (s, Some(a)),
+                None => (site, None),
+            };
+            if site.is_empty() {
+                return Err(format!("fault directive {part:?} has an empty site"));
+            }
+            let action = match (action, arg) {
+                ("panic", None) => Action::Panic,
+                ("io", None) => Action::Io,
+                ("trunc", None) => Action::Truncate,
+                ("kill", None) => Action::Kill,
+                ("sleep", Some(ms)) => Action::Sleep(
+                    ms.parse()
+                        .map_err(|_| format!("sleep argument {ms:?} is not a millisecond count"))?,
+                ),
+                ("sleep", None) => return Err("sleep@<site> needs =<ms>".to_string()),
+                (other, _) => return Err(format!("unknown fault action {other:?}")),
+            };
+            directives.push(Directive {
+                action,
+                site: site.to_string(),
+            });
+        }
+        Ok(FaultPlan { directives })
+    }
+
+    /// Whether the plan has no directives (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// All directives armed for `site`.
+    fn at<'a>(&'a self, site: &'a str) -> impl Iterator<Item = &'a Directive> {
+        self.directives.iter().filter(move |d| d.site == site)
+    }
+}
+
+/// The process-wide plan, parsed from `RACER_FAULT_PLAN` on first use.
+/// A malformed plan is a hard error: silently running fault-free when the
+/// harness asked for faults would make the whole suite vacuous.
+pub fn plan() -> &'static FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(|| match std::env::var("RACER_FAULT_PLAN") {
+        Ok(text) => match FaultPlan::parse(&text) {
+            Ok(plan) => plan,
+            Err(e) => panic!("RACER_FAULT_PLAN: {e}"),
+        },
+        Err(_) => FaultPlan::default(),
+    })
+}
+
+/// Fire a non-write site: may sleep, abort, or panic (in that order of
+/// precedence so `sleep` + `panic` plans sleep first). IO/truncate
+/// directives are ignored here — they only make sense inside a write.
+pub fn hit_point(site: &str) {
+    let plan = plan();
+    if plan.is_empty() {
+        return;
+    }
+    for d in plan.at(site) {
+        match d.action {
+            Action::Sleep(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            Action::Kill => {
+                eprintln!("# fault injection: kill at {site}");
+                std::process::abort();
+            }
+            Action::Panic => panic!("injected panic at {site}"),
+            Action::Io | Action::Truncate => {}
+        }
+    }
+}
+
+/// The write-shaped fault armed for `site`, if any: consulted by
+/// [`crate::fsio::write_atomic`] once per write. `Panic`/`Kill`/`Sleep`
+/// directives on a write site also take effect (via [`hit_point`]
+/// semantics) before the write fault is reported.
+pub fn write_fault(site: &str) -> Option<Action> {
+    let plan = plan();
+    if plan.is_empty() {
+        return None;
+    }
+    hit_point(site);
+    plan.at(site)
+        .map(|d| d.action)
+        .find(|a| matches!(a, Action::Io | Action::Truncate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_action() {
+        let p = FaultPlan::parse(
+            "panic@scenario:x, io@write:y.json,trunc@write:z.json,sleep@scenario:w=250,kill@checkpoint:v",
+        )
+        .unwrap();
+        let actions: Vec<Action> = p.directives.iter().map(|d| d.action).collect();
+        assert_eq!(
+            actions,
+            [
+                Action::Panic,
+                Action::Io,
+                Action::Truncate,
+                Action::Sleep(250),
+                Action::Kill,
+            ]
+        );
+        assert_eq!(p.directives[0].site, "scenario:x");
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        for bad in [
+            "panic",
+            "panic@",
+            "sleep@x",
+            "sleep@x=soon",
+            "explode@x",
+            "io@w=arg-not-allowed@", // unknown action once split
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn sites_select_directives() {
+        let p = FaultPlan::parse("io@write:a.json,trunc@write:b.json").unwrap();
+        assert_eq!(
+            p.at("write:a.json").map(|d| d.action).collect::<Vec<_>>(),
+            [Action::Io]
+        );
+        assert!(p.at("write:c.json").next().is_none());
+    }
+
+    #[test]
+    fn empty_plan_hooks_are_inert() {
+        // `plan()` reads the environment once; in the test process the
+        // variable is unset, so the hooks must be no-ops.
+        hit_point("scenario:anything");
+        assert_eq!(write_fault("write:anything"), None);
+    }
+}

@@ -32,8 +32,19 @@
 //!
 //! The legacy `racer-bench` binaries survive as one-line [`shim`]s over
 //! this registry, so existing plotting workflows keep working.
+//!
+//! The pipeline is fault-tolerant end to end: every failure is a typed
+//! [`error::LabError`] with a documented exit code, panicking trials are
+//! crash-isolated into labelled failed cells ([`runner`]), all artefacts
+//! are written atomically ([`fsio`]), interrupted sweeps resume from a
+//! [`checkpoint`] journal, and the whole story is proved under injected
+//! failure by the [`fault`] harness (`RACER_FAULT_PLAN`).
 
+pub mod checkpoint;
 pub mod cli;
+pub mod error;
+pub mod fault;
+pub mod fsio;
 pub mod merge;
 pub mod params;
 pub mod provenance;
@@ -41,7 +52,10 @@ pub mod registry;
 pub mod runner;
 pub mod scenarios;
 
+pub use checkpoint::Checkpoint;
 pub use cli::{shard_select, shim};
+pub use error::LabError;
+pub use fsio::write_atomic;
 pub use params::{ParamSpec, ParamValue, Scale};
 pub use registry::{find, registry, RunContext, Scenario, ScenarioOutput};
 pub use runner::{run_scenario, Report, RunOptions};

@@ -45,24 +45,37 @@ pub fn merge_reports(docs: &[(String, Value)]) -> Result<Value, String> {
         }
     }
 
-    // Same-sweep guards: a duplicate shard spec double-counts one slice
-    // of the trial axis, and shards run with different sweep parameters
-    // produce cells that silently fail to fold — both would merge into a
-    // wrong but plausible-looking report.
-    let mut seen_specs: Vec<(&str, &String)> = Vec::new();
+    // Same-sweep guards: a duplicate shard index double-counts one slice
+    // of the trial axis, disagreeing shard counts mean the slices are not
+    // slices of the same sweep, and shards run with different sweep
+    // parameters produce cells that silently fail to fold — all would
+    // merge into a wrong but plausible-looking report. Specs are compared
+    // numerically ("1/2" and "01/2" are the same slice), which is why
+    // they are parsed rather than string-matched.
+    let mut seen_specs: Vec<((usize, usize), &String)> = Vec::new();
     for (label, doc) in docs {
         let spec = doc
             .get("config")
             .and_then(|c| c.get("shard"))
             .and_then(Value::as_str)
             .unwrap_or("1/1");
-        if let Some((_, other)) = seen_specs.iter().find(|(s, _)| *s == spec) {
+        let (k, n) = crate::cli::parse_shard(spec)
+            .map_err(|e| format!("{label}: invalid shard spec in config: {e}"))?;
+        if let Some(((_, expect_n), other)) = seen_specs.first() {
+            if n != *expect_n {
+                return Err(format!(
+                    "{label}: shard count {n} disagrees with {other}'s {expect_n} — \
+                     these are not slices of the same sweep"
+                ));
+            }
+        }
+        if let Some((_, other)) = seen_specs.iter().find(|((sk, _), _)| *sk == k) {
             return Err(format!(
                 "{label}: shard {spec:?} already merged from {other} — \
                  the same trial-axis slice cannot be counted twice"
             ));
         }
-        seen_specs.push((spec, label));
+        seen_specs.push(((k, n), label));
     }
     let config_minus_shard = |doc: &Value| -> Value {
         match doc.get("config") {
@@ -157,6 +170,65 @@ pub fn merge_reports(docs: &[(String, Value)]) -> Result<Value, String> {
         merged.insert(key, rebuilt);
     }
     Ok(merged)
+}
+
+/// Fold the completed records of a checkpoint journal (see
+/// [`crate::checkpoint`]) into one report with `provenance.resumed`
+/// lineage. All records must belong to one scenario (a sharded sweep's
+/// slices); a single record passes through with lineage only, two or
+/// more fold through [`merge_reports`]. An empty journal is an error —
+/// there is nothing to resume.
+pub fn merge_checkpoint(
+    checkpoint: &str,
+    records: &[(String, String, Value)],
+) -> Result<Value, String> {
+    if records.is_empty() {
+        return Err(format!(
+            "checkpoint {checkpoint} holds no completed records — nothing to merge"
+        ));
+    }
+    let scenario0 = &records[0].1;
+    if let Some((file, scenario, _)) = records.iter().find(|(_, s, _)| s != scenario0) {
+        return Err(format!(
+            "checkpoint {checkpoint} mixes scenarios ({scenario0:?} and {scenario:?} in {file}); \
+             merge folds one scenario's shards"
+        ));
+    }
+    let sources: Vec<String> = records.iter().map(|(f, _, _)| f.clone()).collect();
+    let merged = if records.len() == 1 {
+        records[0].2.clone()
+    } else {
+        let docs: Vec<(String, Value)> = records
+            .iter()
+            .map(|(f, _, doc)| (f.clone(), doc.clone()))
+            .collect();
+        merge_reports(&docs)?
+    };
+    Ok(add_resumed(merged, checkpoint, &sources))
+}
+
+/// Stamp `provenance.resumed { checkpoint, records }` onto a report.
+fn add_resumed(doc: Value, checkpoint: &str, sources: &[String]) -> Value {
+    let Value::Object(members) = &doc else {
+        return doc;
+    };
+    let mut out = Value::object();
+    for (key, value) in members {
+        if key == "provenance" {
+            out.insert(
+                "provenance",
+                value.clone().with(
+                    "resumed",
+                    Value::object()
+                        .with("checkpoint", checkpoint)
+                        .with("records", Value::from(sources.to_vec())),
+                ),
+            );
+        } else {
+            out.insert(key, value.clone());
+        }
+    }
+    out
 }
 
 /// Group points by every member except `accuracy`/`trials`; combine each
@@ -353,6 +425,91 @@ mod tests {
         let b = report("1/2", vec![point("5us", 500, 0.8, 1)]);
         let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
         assert!(err.contains("counted twice"), "{err}");
+        // Numerically equal specs are duplicates even when the strings
+        // differ — the old string comparison let "01/2" slip past "1/2".
+        let a = report("1/2", vec![point("5us", 500, 1.0, 1)]);
+        let b = report("01/2", vec![point("5us", 500, 0.8, 1)]);
+        let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("counted twice"), "{err}");
+    }
+
+    #[test]
+    fn malformed_and_inconsistent_shard_specs_are_rejected() {
+        let a = report("1/oops", vec![point("5us", 500, 1.0, 1)]);
+        let b = report("2/2", vec![point("5us", 500, 0.8, 1)]);
+        let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("invalid shard spec"), "{err}");
+        // 1/2 and 2/3 are disjoint as strings but slices of different
+        // sweep shapes; folding them silently drops a third of the trials.
+        let a = report("1/2", vec![point("5us", 500, 1.0, 1)]);
+        let b = report("2/3", vec![point("5us", 500, 0.8, 1)]);
+        let err = merge_reports(&[("a".into(), a), ("b".into(), b)]).unwrap_err();
+        assert!(err.contains("shard count"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_fold_stamps_resumed_lineage() {
+        let a = report("1/2", vec![point("5us", 500, 1.0, 2)]);
+        let b = report("2/2", vec![point("5us", 500, 0.5, 2)]);
+        let records = vec![
+            (
+                "sc-aaaa.json".to_string(),
+                "timer_mitigations_eval".to_string(),
+                a,
+            ),
+            (
+                "sc-bbbb.json".to_string(),
+                "timer_mitigations_eval".to_string(),
+                b,
+            ),
+        ];
+        let merged = merge_checkpoint("ckpt", &records).unwrap();
+        let resumed = merged.get("provenance").unwrap().get("resumed").unwrap();
+        assert_eq!(
+            resumed.get("checkpoint").and_then(Value::as_str),
+            Some("ckpt")
+        );
+        let files = resumed.get("records").and_then(Value::as_array).unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].as_str(), Some("sc-aaaa.json"));
+        let acc = merged
+            .get("results")
+            .and_then(|r| r.get("points"))
+            .and_then(Value::as_array)
+            .unwrap()[0]
+            .get("accuracy")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((acc - 0.75).abs() < 1e-12, "trial-weighted fold");
+    }
+
+    #[test]
+    fn checkpoint_fold_handles_single_and_degenerate_journals() {
+        let a = report("1/1", vec![point("5us", 500, 1.0, 2)]);
+        let one = vec![(
+            "sc-aaaa.json".to_string(),
+            "timer_mitigations_eval".to_string(),
+            a.clone(),
+        )];
+        let merged = merge_checkpoint("ckpt", &one).unwrap();
+        // Single record: the report passes through untouched except for
+        // the lineage stamp.
+        assert_eq!(merged.get("results"), a.get("results"));
+        assert!(merged.get("provenance").unwrap().get("resumed").is_some());
+
+        let err = merge_checkpoint("ckpt", &[]).unwrap_err();
+        assert!(err.contains("no completed records"), "{err}");
+
+        let mixed = vec![
+            one[0].clone(),
+            (
+                "other-bbbb.json".to_string(),
+                "noise_sensitivity_eval".to_string(),
+                report("2/2", vec![point("5us", 500, 0.5, 2)]),
+            ),
+        ];
+        let err = merge_checkpoint("ckpt", &mixed).unwrap_err();
+        assert!(err.contains("mixes scenarios"), "{err}");
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! human-readable text the old per-figure binaries printed. The registry
 //! is the single enumeration CI, the CLI and the golden tests all share.
 
+use crate::error::LabError;
 use crate::params::{ParamSpec, ResolvedParams, Scale};
 use racer_results::Value;
+
+/// A scenario body: produces structured results + text, or a typed
+/// [`LabError`] for recoverable problems (invalid parameter combinations
+/// and the like). Panics raised inside the body do not abort the run —
+/// the runner catches them at the isolation boundary and records a
+/// `status: "failed"` cell instead.
+pub type RunFn = fn(&RunContext) -> Result<ScenarioOutput, LabError>;
 
 /// What one scenario run produces.
 pub struct ScenarioOutput {
@@ -48,7 +56,7 @@ pub struct Scenario {
     /// the golden tests enforce this flag.
     pub deterministic: bool,
     /// The experiment body.
-    pub run: fn(&RunContext) -> ScenarioOutput,
+    pub run: RunFn,
 }
 
 /// All registered scenarios, in presentation order (figures, tables,

@@ -3,6 +3,7 @@
 //! (noise sensitivity, timer mitigations, window ablation).
 
 use super::header;
+use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use hacky_racers::experiments::{
@@ -25,7 +26,7 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
-fn spectre_run(ctx: &RunContext) -> ScenarioOutput {
+fn spectre_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let secret = ctx.params.str("secret").as_bytes().to_vec();
     let resolution = ctx.params.f64("timer_resolution_ns");
     let eval = spectre_eval::evaluate(&secret, resolution, ctx.seed);
@@ -43,10 +44,10 @@ fn spectre_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "#  the shape — kbit/s-scale with high accuracy — is what reproduces.)"
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: eval.to_value(),
         text,
-    }
+    })
 }
 
 fn spectre_back_eval() -> Scenario {
@@ -74,7 +75,7 @@ fn spectre_back_eval() -> Scenario {
     }
 }
 
-fn ev_run(ctx: &RunContext) -> ScenarioOutput {
+fn ev_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let (trials, pool_pages) = (ctx.params.usize("trials"), ctx.params.usize("pool_pages"));
     let eval = ev_eval::evaluate(trials, pool_pages);
     let mut text = header("§7.4", "LLC eviction-set generation success rate");
@@ -83,10 +84,10 @@ fn ev_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# paper: 100% success after replacing the SharedArrayBuffer timer."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: eval.to_value(),
         text,
-    }
+    })
 }
 
 fn eviction_set_eval() -> Scenario {
@@ -104,7 +105,7 @@ fn eviction_set_eval() -> Scenario {
     }
 }
 
-fn countermeasures_run(_ctx: &RunContext) -> ScenarioOutput {
+fn countermeasures_run(_ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let rows = countermeasures::countermeasure_matrix();
     let mut text = header("§8", "countermeasure matrix: gadget vs defence");
     let _ = writeln!(text, "{}", countermeasures::render(&rows));
@@ -116,10 +117,10 @@ fn countermeasures_run(_ctx: &RunContext) -> ScenarioOutput {
         text,
         "# the branch-free reorder race requires actual in-order execution."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("matrix", countermeasures::to_value(&rows)),
         text,
-    }
+    })
 }
 
 fn countermeasures_eval() -> Scenario {
@@ -134,7 +135,7 @@ fn countermeasures_eval() -> Scenario {
     }
 }
 
-fn detection_run(_ctx: &RunContext) -> ScenarioOutput {
+fn detection_run(_ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let profiles = detection::profile_suite();
     let mut text = header(
         "§8 detection",
@@ -153,10 +154,10 @@ fn detection_run(_ctx: &RunContext) -> ScenarioOutput {
         text,
         "# gadget has no cache signature and needs a backend-bound detector."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("profiles", detection::to_value(&profiles)),
         text,
-    }
+    })
 }
 
 fn detection_eval() -> Scenario {
@@ -171,7 +172,7 @@ fn detection_eval() -> Scenario {
     }
 }
 
-fn noise_run(ctx: &RunContext) -> ScenarioOutput {
+fn noise_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let secret = ctx.params.str("secret").as_bytes().to_vec();
     let levels = ctx.params.u64_list("jitter_levels");
     let points = noise_sensitivity::sweep(&secret, &levels);
@@ -188,10 +189,10 @@ fn noise_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# is visible here as jitter grows past realistic levels."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("points", noise_sensitivity::to_value(&points)),
         text,
-    }
+    })
 }
 
 fn noise_sensitivity_eval() -> Scenario {
@@ -214,13 +215,17 @@ fn noise_sensitivity_eval() -> Scenario {
     }
 }
 
-fn mitigations_run(ctx: &RunContext) -> ScenarioOutput {
+fn mitigations_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let timers = ctx.params.str_list("timers");
     let timer_refs: Vec<&str> = timers.iter().map(String::as_str).collect();
     let rounds = ctx.params.usize_list("rounds");
     let trials = ctx.params.usize("trials");
-    let (shard_k, shard_n) = crate::cli::parse_shard(ctx.params.str("shard"))
-        .unwrap_or_else(|e| panic!("parameter \"shard\": {e}"));
+    let (shard_k, shard_n) = crate::cli::parse_shard(ctx.params.str("shard")).map_err(|e| {
+        LabError::param(
+            "timer_mitigations_eval",
+            format!("parameter \"shard\": {e}"),
+        )
+    })?;
     let points = timer_mitigations::sweep_sharded(&timer_refs, &rounds, trials, shard_k, shard_n);
     let mut text = header(
         "timer mitigations",
@@ -242,10 +247,10 @@ fn mitigations_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# for every finite resolution there is a round count that restores accuracy."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("points", timer_mitigations::to_value(&points)),
         text,
-    }
+    })
 }
 
 fn timer_mitigations_eval() -> Scenario {
@@ -280,7 +285,7 @@ fn timer_mitigations_eval() -> Scenario {
     }
 }
 
-fn window_run(ctx: &RunContext) -> ScenarioOutput {
+fn window_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let sizes = ctx.params.usize_list("rs_sizes");
     let max_probe = ctx.params.usize("max_probe");
     let points = window_ablation::window_sweep(&sizes, max_probe);
@@ -297,10 +302,10 @@ fn window_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# which in turn limits the largest execution time that we can time\"."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("points", window_ablation::to_value(&points)),
         text,
-    }
+    })
 }
 
 fn window_ablation_eval() -> Scenario {

@@ -2,6 +2,7 @@
 //! (reorder distributions), 11–12 (magnifier sweeps).
 
 use super::header;
+use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use hacky_racers::experiments::{distribution, granularity, magnifier_sweeps, repetition_figure};
@@ -21,7 +22,7 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
-fn fig07_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig07_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let iterations = ctx.params.usize("iterations");
     let mut text = header(
         "Figure 7",
@@ -33,7 +34,7 @@ fn fig07_run(ctx: &RunContext) -> ScenarioOutput {
         let _ = write!(text, "\n{}", fig.render());
         data.insert(if racing { "racing" } else { "bare" }, fig.to_value());
     }
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
 fn fig07_repetition() -> Scenario {
@@ -58,7 +59,7 @@ fn granularity_output(
     figure: fn(usize, usize, usize) -> Vec<granularity::GranularitySeries>,
     ctx: &RunContext,
     head: String,
-) -> ScenarioOutput {
+) -> Result<ScenarioOutput, LabError> {
     let series = figure(
         ctx.params.usize("max_target"),
         ctx.params.usize("step"),
@@ -72,10 +73,10 @@ fn granularity_output(
         "series",
         Value::Array(series.iter().map(|s| s.to_value()).collect()),
     );
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
-fn fig08_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig08_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     granularity_output(
         granularity::figure8,
         ctx,
@@ -99,7 +100,7 @@ fn fig08_granularity_add() -> Scenario {
     }
 }
 
-fn fig09_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig09_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     granularity_output(
         granularity::figure9,
         ctx,
@@ -123,7 +124,7 @@ fn fig09_granularity_mul() -> Scenario {
     }
 }
 
-fn fig10_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig10_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let (trials, rounds) = (ctx.params.usize("trials"), ctx.params.usize("rounds"));
     let r = distribution::figure10(trials, rounds);
     let mut text = header(
@@ -157,10 +158,10 @@ fn fig10_run(ctx: &RunContext) -> ScenarioOutput {
         Histogram::from_samples(&r.transmit1_ms, lo, width, 20).render(40)
     );
 
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: r.to_value(),
         text,
-    }
+    })
 }
 
 fn fig10_reorder_distribution() -> Scenario {
@@ -178,7 +179,7 @@ fn fig10_reorder_distribution() -> Scenario {
     }
 }
 
-fn fig11_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig11_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let points = ctx.params.usize_list("points");
     let delay = ctx.params.usize("delay");
     let series = magnifier_sweeps::figure11(&points, delay);
@@ -193,7 +194,7 @@ fn fig11_run(ctx: &RunContext) -> ScenarioOutput {
         "series",
         Value::Array(series.iter().map(|s| s.to_value()).collect()),
     );
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
 fn fig11_arbitrary_replacement() -> Scenario {
@@ -216,7 +217,7 @@ fn fig11_arbitrary_replacement() -> Scenario {
     }
 }
 
-fn fig12_run(ctx: &RunContext) -> ScenarioOutput {
+fn fig12_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let points = ctx.params.usize_list("points");
     let delay = ctx.params.usize("delay");
     let interrupt = match ctx.params.u64("interrupt_cycles") {
@@ -236,7 +237,7 @@ fn fig12_run(ctx: &RunContext) -> ScenarioOutput {
     let data = Value::object()
         .with("bounded", bounded.to_value())
         .with("unbounded_reference", unbounded.to_value());
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
 fn fig12_arithmetic() -> Scenario {

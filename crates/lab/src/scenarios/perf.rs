@@ -7,13 +7,14 @@
 //! baseline and `racer-lab perf-check` can diff against it.
 
 use super::header;
+use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use racer_cpu::workloads::{measure_workload, standard_suite};
 use racer_results::Value;
 use std::fmt::Write as _;
 
-fn run(ctx: &RunContext) -> ScenarioOutput {
+fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let iters = ctx.params.i64("iters");
     let reps = ctx.params.usize("reps");
     let mut text = header("perf baseline", "pipeline scheduler throughput");
@@ -74,7 +75,7 @@ fn run(ctx: &RunContext) -> ScenarioOutput {
             "racer_cpu::reference (scan-based seed scheduler)",
         )
         .with("workloads", Value::Array(rows));
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
 fn round2(v: f64) -> f64 {

@@ -2,6 +2,7 @@
 //! step — eviction candidate, hit/miss and set contents per access.
 
 use super::header;
+use crate::error::LabError;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use racer_mem::{CacheSet, LineAddr, ReplacementKind};
 use racer_results::Value;
@@ -143,7 +144,7 @@ fn walk_figure(
     (data, w.text)
 }
 
-fn run(ctx: &RunContext) -> ScenarioOutput {
+fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let rounds = ctx.params.usize("rounds");
     let mut text = header(
         "Figures 3 & 4",
@@ -170,10 +171,10 @@ fn run(ctx: &RunContext) -> ScenarioOutput {
     );
     text.push_str(&t4);
 
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("figure3", fig3).with("figure4", fig4),
         text,
-    }
+    })
 }
 
 /// Registration for the Figures 3–4 state walk.

@@ -30,6 +30,7 @@
 //! phase axis (`trials`) shifts the racer's dispatch alignment against
 //! the contender loop by prepended no-ops.
 
+use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use racer_cpu::workloads::{alu_saturate, div_hog, memory_stream, timer_race_phased};
@@ -277,7 +278,7 @@ fn evaluate_mix(
     }
 }
 
-fn run(ctx: &RunContext) -> ScenarioOutput {
+fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let mixes = ctx.params.str_list("mixes");
     let targets = ctx.params.usize_list("targets");
     let clock_max = ctx.params.usize("clock_max");
@@ -373,7 +374,7 @@ fn run(ctx: &RunContext) -> ScenarioOutput {
                     .collect(),
             ),
         );
-    ScenarioOutput { data, text }
+    Ok(ScenarioOutput { data, text })
 }
 
 /// Registration for the SMT port-contention evaluation.

@@ -2,6 +2,7 @@
 //! eviction-probability grid.
 
 use super::header;
+use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use hacky_racers::experiments::{granularity, par_seq};
@@ -13,7 +14,7 @@ pub fn all() -> Vec<Scenario> {
     vec![table_granularity(), table_par_seq()]
 }
 
-fn granularity_run(ctx: &RunContext) -> ScenarioOutput {
+fn granularity_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let mut series = granularity::figure8(
         ctx.params.usize("fig8_max_target"),
         ctx.params.usize("fig8_step"),
@@ -35,10 +36,10 @@ fn granularity_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# reach limited by the instruction window (~54 ADD-cycles / ~140 via MUL)."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: table.to_value(),
         text,
-    }
+    })
 }
 
 fn table_granularity() -> Scenario {
@@ -60,7 +61,7 @@ fn table_granularity() -> Scenario {
     }
 }
 
-fn par_seq_run(ctx: &RunContext) -> ScenarioOutput {
+fn par_seq_run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let (ways, trials) = (ctx.params.usize("ways"), ctx.params.usize("trials"));
     let points = par_seq::par_seq_table(ways, trials);
     let mut text = header(
@@ -72,10 +73,10 @@ fn par_seq_run(ctx: &RunContext) -> ScenarioOutput {
         text,
         "# paper: SEQ=6, PAR=5 gives >=1 miss with ~96% probability."
     );
-    ScenarioOutput {
+    Ok(ScenarioOutput {
         data: Value::object().with("points", par_seq::to_value(&points)),
         text,
-    }
+    })
 }
 
 fn table_par_seq() -> Scenario {

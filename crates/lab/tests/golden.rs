@@ -67,6 +67,7 @@ fn every_deterministic_scenario_is_byte_identical_across_runs() {
             scale: Scale::Quick,
             overrides: tiny_overrides(sc.name),
             seed: None,
+            timeout_secs: None,
         };
         let a = run_scenario(sc, &opts).expect("first run");
         let b = run_scenario(sc, &opts).expect("second run");
@@ -190,7 +191,9 @@ fn cli_rejects_unknown_scenarios_and_bad_overrides() {
         ])
         .output()
         .unwrap();
-    assert_eq!(bad.status.code(), Some(2));
+    // An invalid parameter value is a param error (exit 5), not a
+    // generic usage error — see the taxonomy in racer_lab::error.
+    assert_eq!(bad.status.code(), Some(5));
 }
 
 #[test]
@@ -331,7 +334,8 @@ fn trial_shards_merge_into_one_report() {
         .expect("shard provenance");
     let specs: Vec<&str> = shards.iter().filter_map(Value::as_str).collect();
     assert_eq!(specs, ["1/2", "2/2"]);
-    // Usage errors exit 2: too few inputs, unreadable input.
+    // Too few inputs is a usage error (exit 2); an unreadable input is
+    // an IO error (exit 3) — see the taxonomy in racer_lab::error.
     let bad = Command::new(bin)
         .args(["merge", "just-one.json"])
         .output()
@@ -343,7 +347,7 @@ fn trial_shards_merge_into_one_report() {
         .args(["no-such-a.json", "no-such-b.json"])
         .output()
         .unwrap();
-    assert_eq!(missing.status.code(), Some(2));
+    assert_eq!(missing.status.code(), Some(3));
     std::fs::remove_dir_all(&tmp).ok();
 }
 

@@ -163,22 +163,23 @@ fn report_exit_codes_cover_the_failure_surface() {
     assert_eq!(out.status.code(), Some(2), "empty input set must exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("no .json report files"));
 
-    // Nonexistent input path.
+    // Nonexistent input path: an IO failure, exit 3.
     let out = run(&[
         os("report"),
         root.join("site").as_os_str(),
         root.join("no-such-dir").as_os_str(),
     ]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3), "unreadable input must exit 3");
 
-    // Malformed JSON.
+    // Malformed JSON: a parse failure, exit 4.
     let bad = root.join("bad.json");
     std::fs::write(&bad, "{ not json").expect("write");
     let out = run(&[os("report"), root.join("site").as_os_str(), bad.as_os_str()]);
-    assert_eq!(out.status.code(), Some(2), "malformed JSON must exit 2");
+    assert_eq!(out.status.code(), Some(4), "malformed JSON must exit 4");
     assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
 
-    // Valid JSON that is not a racer-lab/v1 report.
+    // Valid JSON that is not a racer-lab/v1 report: also a parse
+    // failure (the envelope check), exit 4.
     let wrong = root.join("wrong.json");
     std::fs::write(&wrong, "{\"schema\": \"other/v9\"}\n").expect("write");
     let out = run(&[
@@ -186,7 +187,7 @@ fn report_exit_codes_cover_the_failure_surface() {
         root.join("site").as_os_str(),
         wrong.as_os_str(),
     ]);
-    assert_eq!(out.status.code(), Some(2), "wrong schema must exit 2");
+    assert_eq!(out.status.code(), Some(4), "wrong schema must exit 4");
     assert!(String::from_utf8_lossy(&out.stderr).contains("racer-lab/v1"));
 
     // Flags are rejected (the subcommand takes only paths).
@@ -195,6 +196,81 @@ fn report_exit_codes_cover_the_failure_surface() {
 
     // Nothing was written for any failure.
     assert!(!root.join("site").exists(), "failed renders must not write");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn keep_going_skips_bad_inputs_and_signals_partial_success() {
+    let root = tmp("keep-going");
+    let inputs = root.join("inputs");
+    std::fs::create_dir_all(&inputs).expect("mkdir");
+
+    // One structurally valid report (hand-built: the envelope is all the
+    // renderer needs), one malformed file, one wrong-schema file.
+    let good = Value::object()
+        .with("schema", "racer-lab/v1")
+        .with("scenario", "hand_built_eval")
+        .with("scale", "quick")
+        .with(
+            "results",
+            Value::object().with("accuracy", 0.875).with("trials", 8),
+        );
+    std::fs::write(inputs.join("good.json"), good.to_pretty()).expect("write");
+    std::fs::write(inputs.join("bad.json"), "{ not json").expect("write");
+    std::fs::write(inputs.join("wrong.json"), "{\"schema\": \"other/v9\"}\n").expect("write");
+
+    let site = root.join("site");
+    let out = Command::new(bin())
+        .arg("report")
+        .arg(&site)
+        .arg(&inputs)
+        .arg("--keep-going")
+        .output()
+        .expect("spawn racer-lab report --keep-going");
+    assert_eq!(
+        out.status.code(),
+        Some(9),
+        "skipped inputs must signal partial success: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipping input") && stderr.contains("bad.json"),
+        "each skip must be warned on stderr: {stderr}"
+    );
+    assert!(stderr.contains("wrong.json"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rendered 1 report(s)"));
+    assert!(stdout.contains("2 input(s) skipped"));
+    let index = std::fs::read_to_string(site.join("index.html")).expect("index rendered");
+    assert!(index.contains("hand_built_eval"));
+
+    // Without --keep-going the same input set fails hard on the first
+    // bad file and writes nothing.
+    let site2 = root.join("site2");
+    let out = Command::new(bin())
+        .arg("report")
+        .arg(&site2)
+        .arg(&inputs)
+        .output()
+        .expect("spawn racer-lab report");
+    assert_eq!(out.status.code(), Some(4));
+    assert!(!site2.exists(), "failed renders must not write");
+
+    // Nothing usable at all: exit 2 even under --keep-going.
+    let out = Command::new(bin())
+        .args(["report"])
+        .arg(root.join("site3"))
+        .arg(inputs.join("bad.json"))
+        .arg("--keep-going")
+        .output()
+        .expect("spawn racer-lab report");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "an empty usable set is a usage error even with --keep-going"
+    );
 
     std::fs::remove_dir_all(&root).ok();
 }

@@ -118,10 +118,19 @@ struct Parsed<'a> {
     scale: &'a str,
     title: &'a str,
     description: &'a str,
+    /// `Some((kind, message))` for a crash-isolated failed cell
+    /// (`status: "failed"` with an `error` object); `None` for a
+    /// successful report.
+    failed: Option<(&'a str, &'a str)>,
 }
 
 /// Strict envelope validation: root object, `schema == "racer-lab/v1"`,
 /// non-empty `scenario`, a `scale` string and a `results` member.
+///
+/// Crash-isolated failed cells (`status: "failed"` with a `null`
+/// `results` and an `error` object) pass validation — the dashboard
+/// renders them as visible failure banners rather than rejecting the
+/// whole report set.
 fn validate(report: &InputReport) -> Result<Parsed<'_>, ReportError> {
     let label = || report.label.clone();
     if report.doc.members().is_none() {
@@ -163,6 +172,19 @@ fn validate(report: &InputReport) -> Result<Parsed<'_>, ReportError> {
             field: "results",
         });
     }
+    let failed = if report.doc.get("status").and_then(Value::as_str) == Some("failed") {
+        let err = report.doc.get("error");
+        Some((
+            err.and_then(|e| e.get("kind"))
+                .and_then(Value::as_str)
+                .unwrap_or("error"),
+            err.and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("no error message recorded"),
+        ))
+    } else {
+        None
+    };
     Ok(Parsed {
         label: &report.label,
         doc: &report.doc,
@@ -178,7 +200,18 @@ fn validate(report: &InputReport) -> Result<Parsed<'_>, ReportError> {
             .get("description")
             .and_then(Value::as_str)
             .unwrap_or(""),
+        failed,
     })
+}
+
+/// Validate one report's `racer-lab/v1` envelope without rendering.
+///
+/// This is the same strict check [`render_dashboard`] applies to every
+/// input; callers that want to *skip* structurally invalid files instead
+/// of failing the whole render (`racer-lab report --keep-going`) probe
+/// each input here first.
+pub fn check_input(report: &InputReport) -> Result<(), ReportError> {
+    validate(report).map(|_| ())
 }
 
 /// Preset presentation order: quick before paper before anything else.
@@ -369,6 +402,13 @@ fn index_page(
             if let Some(shards) = merged {
                 let _ = write!(cell, " &middot; merged {}", escape(&shards));
             }
+            if let Some((kind, _)) = p.failed {
+                let _ = write!(
+                    cell,
+                    " &middot; <span class=\"failed-tag\">failed ({})</span>",
+                    escape(kind)
+                );
+            }
             cells.push(cell);
         }
         let _ = writeln!(
@@ -407,14 +447,30 @@ fn scenario_page(name: &str, members: &[&Parsed<'_>], meta: &[ScenarioMeta]) -> 
     }
     for p in members {
         let _ = writeln!(body, "<h2>{} preset</h2>", escape(p.scale));
+        if let Some((kind, message)) = p.failed {
+            let _ = writeln!(
+                body,
+                "<p class=\"failed\"><span class=\"failed-tag\">failed ({})</span> \
+                 &mdash; {}</p>",
+                escape(kind),
+                escape(message)
+            );
+            body.push_str(&provenance_block(p));
+            continue;
+        }
         body.push_str(&provenance_block(p));
         if let Some(results) = p.doc.get("results") {
             render_value(&mut body, results, 3);
         }
     }
-    // Quick-vs-paper deltas when both presets are present.
-    let quick = members.iter().find(|p| p.scale == "quick");
-    let paper = members.iter().find(|p| p.scale == "paper");
+    // Quick-vs-paper deltas when both presets are present (failed cells
+    // have no results to compare).
+    let quick = members
+        .iter()
+        .find(|p| p.scale == "quick" && p.failed.is_none());
+    let paper = members
+        .iter()
+        .find(|p| p.scale == "paper" && p.failed.is_none());
     if let (Some(q), Some(p)) = (quick, paper) {
         body.push_str(&delta_section(q, p));
     }
@@ -1465,6 +1521,52 @@ mod tests {
         );
         let files = render_dashboard(&[report("weird", "quick", results)], &[]).unwrap();
         assert!(files[1].content.contains("<table"));
+    }
+
+    #[test]
+    fn failed_cells_render_a_banner_and_an_index_marker() {
+        let mut failed = report("eval", "paper", Value::Null);
+        failed.doc = failed.doc.with("status", "failed").with(
+            "error",
+            Value::object()
+                .with("kind", "scenario-panic")
+                .with("message", "index out of bounds"),
+        );
+        let ok = report("eval", "quick", sweep_results());
+        let files = render_dashboard(&[ok, failed], &[]).unwrap();
+        let index = &files[0].content;
+        assert!(
+            index.contains("failed (scenario-panic)"),
+            "index must mark the failed cell"
+        );
+        let pg = &files[1].content;
+        assert!(
+            pg.contains("class=\"failed\"") && pg.contains("index out of bounds"),
+            "scenario page must carry a visible failure banner with the message"
+        );
+        assert!(
+            !pg.contains("quick vs paper"),
+            "a failed preset contributes no delta rows"
+        );
+    }
+
+    #[test]
+    fn check_input_mirrors_render_validation() {
+        assert!(check_input(&report("eval", "quick", sweep_results())).is_ok());
+        let mut failed = report("eval", "quick", Value::Null);
+        failed.doc = failed.doc.with("status", "failed").with(
+            "error",
+            Value::object().with("kind", "timeout").with("message", "m"),
+        );
+        assert!(check_input(&failed).is_ok(), "failed cells are valid input");
+        let wrong = InputReport {
+            label: "w.json".to_string(),
+            doc: Value::object().with("schema", "other/v2"),
+        };
+        assert!(matches!(
+            check_input(&wrong),
+            Err(ReportError::WrongSchema { .. })
+        ));
     }
 
     #[test]

@@ -84,7 +84,10 @@ svg .dot.s7{fill:var(--s7);}svg .dot.s8{fill:var(--s8);}\n\
 svg .bar{fill:var(--s1);}\n\
 details{margin:8px 0;}summary{cursor:pointer;color:var(--ink2);font-size:13px;}\n\
 .note{color:var(--muted);font-size:12px;margin:4px 0;}\n\
-.crumb{font-size:13px;margin-bottom:16px;}\n";
+.crumb{font-size:13px;margin-bottom:16px;}\n\
+p.failed{background:rgba(227,73,72,0.10);border:1px solid var(--s8);\
+border-radius:6px;padding:8px 12px;margin:8px 0;}\n\
+.failed-tag{color:var(--s8);font-weight:600;}\n";
 
 /// Wrap `body` in the full page shell with the shared stylesheet.
 pub(crate) fn page(title: &str, body: &str) -> String {

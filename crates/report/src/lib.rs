@@ -53,4 +53,6 @@ mod dashboard;
 mod html;
 mod svg;
 
-pub use dashboard::{render_dashboard, InputReport, OutputFile, ReportError, ScenarioMeta};
+pub use dashboard::{
+    check_input, render_dashboard, InputReport, OutputFile, ReportError, ScenarioMeta,
+};

@@ -1,0 +1,129 @@
+//! Fuzz-style property tests for the strict JSON parser.
+//!
+//! The fault-tolerant pipeline leans on one invariant: feeding the parser
+//! *anything* — kill-orphaned temp files, truncated downloads, random
+//! bytes — yields a typed `ParseError`, never a panic and never a bogus
+//! `Ok`. These properties drive the parser with arbitrary byte strings,
+//! truncations of a valid report, and single-byte mutations of a valid
+//! report, and assert totality plus strictness.
+
+use proptest::prelude::*;
+use racer_results::Value;
+
+/// A representative `racer-lab/v1`-shaped document exercising every value
+/// kind the pipeline writes: nested objects, row tables, strings with
+/// escapes, ints, floats, bools and null.
+fn valid_report() -> Value {
+    Value::object()
+        .with("schema", "racer-lab/v1")
+        .with("scenario", "fuzz_eval")
+        .with("title", "§fuzz \"quoted\" \\ back")
+        .with("scale", "quick")
+        .with("seed", -12345)
+        .with("deterministic", true)
+        .with(
+            "config",
+            Value::object()
+                .with("trials", 3)
+                .with("threshold", 0.625)
+                .with("note", Value::Null),
+        )
+        .with(
+            "results",
+            Value::object().with(
+                "points",
+                Value::Array(vec![
+                    Value::object().with("x", 1).with("y", 0.5),
+                    Value::object().with("x", 2).with("y", 1.0e-3),
+                ]),
+            ),
+        )
+}
+
+proptest! {
+    /// The parser is total over arbitrary byte strings: whatever the
+    /// input (lossily decoded, like a real corrupt file read), it returns
+    /// `Ok` or a positioned `ParseError` — it never panics, and it is
+    /// deterministic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let first = Value::parse(&text);
+        let second = Value::parse(&text);
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.to_compact(), b.to_compact()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "parse must be deterministic"),
+        }
+        if let Err(e) = first {
+            prop_assert!(e.offset <= text.len(), "error offset stays in bounds");
+        }
+    }
+
+    /// Every strict prefix of a valid pretty-printed report fails to
+    /// parse (the final byte is `\n`, so a cut anywhere before the last
+    /// two bytes removes structure, not just trailing whitespace) — and
+    /// never panics. A truncated write can therefore never be mistaken
+    /// for a complete report.
+    #[test]
+    fn truncations_of_a_valid_report_are_rejected(cut_seed in any::<u64>()) {
+        let text = valid_report().to_pretty();
+        let cut = (cut_seed as usize) % text.len();
+        let mut end = cut;
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        let prefix = &text[..end];
+        let parsed = Value::parse(prefix);
+        if end < text.len() - 1 {
+            prop_assert!(
+                parsed.is_err(),
+                "prefix of {end}/{} bytes must not parse",
+                text.len()
+            );
+        }
+    }
+
+    /// Flipping one byte of a valid report never panics the parser, and
+    /// whenever the mutation still parses (e.g. a digit swapped inside a
+    /// number or a letter inside a string), the result round-trips
+    /// cleanly — the parser never returns a value it cannot re-serialize.
+    #[test]
+    fn single_byte_mutations_never_panic(pos_seed in any::<u64>(), byte in any::<u8>()) {
+        let mut bytes = valid_report().to_pretty().into_bytes();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(v) = Value::parse(&text) {
+            let reparsed = Value::parse(&v.to_pretty());
+            prop_assert!(reparsed.is_ok(), "accepted values must round-trip");
+            prop_assert_eq!(reparsed.unwrap().to_compact(), v.to_compact());
+        }
+    }
+
+    /// Valid documents round-trip byte-for-byte through pretty printing:
+    /// parse(to_pretty(v)) == v for randomized report-shaped values.
+    #[test]
+    fn randomized_reports_round_trip(
+        seed in any::<i64>(),
+        acc in any::<f64>(),
+        n in 0usize..20,
+        flag in any::<bool>(),
+    ) {
+        let rows: Vec<Value> = (0..n)
+            .map(|i| {
+                Value::object()
+                    .with("idx", i as i64)
+                    .with("measure", acc + i as f64)
+            })
+            .collect();
+        let doc = valid_report()
+            .with("extra_seed", seed)
+            .with("extra_flag", flag)
+            .with("rows", Value::Array(rows));
+        let pretty = doc.to_pretty();
+        let parsed = Value::parse(&pretty);
+        prop_assert!(parsed.is_ok(), "emitted documents always parse");
+        prop_assert_eq!(parsed.unwrap().to_pretty(), pretty);
+    }
+}
