@@ -1,0 +1,64 @@
+//! Batch-engine scaling benchmarks: lockstep lanes vs whole-machine forks.
+//!
+//! The interesting axis is lane count — the batch engine amortises decode,
+//! scheduling-structure allocation and (in sweep use) warmup across lanes,
+//! so committed-instructions-per-second should hold roughly flat from 1 to
+//! 64 lanes while the per-machine baseline pays the fixed costs per lane.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use racer_cpu::workloads::alu_chain;
+use racer_cpu::{Backend, Cpu, CpuConfig, MachineBatch};
+use racer_mem::HierarchyConfig;
+use std::hint::black_box;
+
+const LANE_COUNTS: [usize; 3] = [1, 8, 64];
+
+fn warmed() -> (racer_cpu::Snapshot, racer_isa::Program) {
+    let prog = alu_chain(500);
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    cpu.run_one(&prog, Backend::EventDriven);
+    (cpu.snapshot(), prog)
+}
+
+/// Lockstep lanes inside one reusable `MachineBatch`.
+fn bench_lockstep_lanes(c: &mut Criterion) {
+    let (snap, prog) = warmed();
+    let dyn_instrs = snap.fork().run_one(&prog, Backend::EventDriven).committed;
+    let mut group = c.benchmark_group("batch");
+    for lanes in LANE_COUNTS {
+        group.throughput(Throughput::Elements(dyn_instrs * lanes as u64));
+        group.bench_function(format!("lockstep_{lanes}_lanes"), |b| {
+            let mut batch = MachineBatch::from_snapshot(&snap);
+            b.iter(|| {
+                for _ in 0..lanes {
+                    batch.push(&prog);
+                }
+                black_box(batch.run().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The per-machine baseline: one whole-machine fork per lane.
+fn bench_forked_machines(c: &mut Criterion) {
+    let (snap, prog) = warmed();
+    let dyn_instrs = snap.fork().run_one(&prog, Backend::EventDriven).committed;
+    let mut group = c.benchmark_group("batch");
+    for lanes in LANE_COUNTS {
+        group.throughput(Throughput::Elements(dyn_instrs * lanes as u64));
+        group.bench_function(format!("forked_machines_{lanes}_lanes"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..lanes {
+                    total += snap.fork().run_one(&prog, Backend::EventDriven).committed;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(batch, bench_lockstep_lanes, bench_forked_machines);
+criterion_main!(batch);

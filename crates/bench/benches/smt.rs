@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use racer_cpu::workloads::{alu_saturate, div_race};
-use racer_cpu::{Cpu, CpuConfig, SmtPolicy};
+use racer_cpu::{Backend, Cpu, CpuConfig, SmtPolicy};
 use racer_mem::HierarchyConfig;
 use std::hint::black_box;
 
@@ -34,7 +34,10 @@ fn bench_arbitration_policies(c: &mut Criterion) {
     let b = alu_saturate(ITERS, 8);
     let committed: u64 = {
         let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
-        cpu.execute_smt(&[&a, &b]).iter().map(|r| r.committed).sum()
+        cpu.run(&[&a, &b], Backend::EventDriven)
+            .iter()
+            .map(|r| r.committed)
+            .sum()
     };
     group.throughput(Throughput::Elements(committed));
     for policy in [SmtPolicy::RoundRobin, SmtPolicy::Icount] {
@@ -42,7 +45,7 @@ fn bench_arbitration_policies(c: &mut Criterion) {
             format!("issue_arbitration_{policy}_alu_sat_pair"),
             |bench| {
                 let mut cpu = smt_cpu(policy);
-                bench.iter(|| black_box(cpu.execute_smt(&[&a, &b])))
+                bench.iter(|| black_box(cpu.run(&[&a, &b], Backend::EventDriven)))
             },
         );
     }
@@ -57,7 +60,7 @@ fn bench_mixed_coschedule(c: &mut Criterion) {
     let contender = alu_saturate(ITERS, 8);
     let committed: u64 = {
         let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
-        cpu.execute_smt(&[&racer, &contender])
+        cpu.run(&[&racer, &contender], Backend::EventDriven)
             .iter()
             .map(|r| r.committed)
             .sum()
@@ -65,7 +68,7 @@ fn bench_mixed_coschedule(c: &mut Criterion) {
     group.throughput(Throughput::Elements(committed));
     group.bench_function("issue_arbitration_round-robin_div_vs_alu", |bench| {
         let mut cpu = smt_cpu(SmtPolicy::RoundRobin);
-        bench.iter(|| black_box(cpu.execute_smt(&[&racer, &contender])))
+        bench.iter(|| black_box(cpu.run(&[&racer, &contender], Backend::EventDriven)))
     });
     group.finish();
 }
@@ -77,12 +80,12 @@ fn bench_single_thread_baseline(c: &mut Criterion) {
     let prog = alu_saturate(ITERS, 8);
     let committed = {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        cpu.execute(&prog).committed
+        cpu.run_one(&prog, Backend::EventDriven).committed
     };
     group.throughput(Throughput::Elements(committed));
     group.bench_function("single_thread_alu_sat_baseline", |bench| {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        bench.iter(|| black_box(cpu.execute(&prog)))
+        bench.iter(|| black_box(cpu.run_one(&prog, Backend::EventDriven)))
     });
     group.finish();
 }

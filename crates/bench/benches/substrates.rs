@@ -3,7 +3,7 @@
 //! tracking of the simulation core.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use racer_cpu::{Cpu, CpuConfig};
+use racer_cpu::{Backend, Cpu, CpuConfig};
 use racer_isa::{Asm, Cond, MemOperand};
 use racer_mem::{Addr, Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementKind};
 use std::hint::black_box;
@@ -24,7 +24,7 @@ fn bench_cpu_loop(c: &mut Criterion) {
     group.throughput(Throughput::Elements(6_000)); // ~dynamic instructions
     group.bench_function("ooo_core_loop_6k_instructions", |b| {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        b.iter(|| black_box(cpu.execute(&prog).cycles))
+        b.iter(|| black_box(cpu.run_one(&prog, Backend::EventDriven).cycles))
     });
     group.finish();
 }
@@ -42,7 +42,7 @@ fn bench_cpu_memory_traffic(c: &mut Criterion) {
     group.throughput(Throughput::Elements(256));
     group.bench_function("ooo_core_256_independent_loads", |b| {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        b.iter(|| black_box(cpu.execute(&prog).cycles))
+        b.iter(|| black_box(cpu.run_one(&prog, Backend::EventDriven).cycles))
     });
     group.finish();
 }

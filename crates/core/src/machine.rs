@@ -2,7 +2,7 @@
 //! timer plumbing the experiments share.
 
 use crate::layout::Layout;
-use racer_cpu::{Countermeasure, Cpu, CpuConfig, RunResult};
+use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, RunResult, Snapshot};
 use racer_isa::Program;
 use racer_mem::{Addr, CacheConfig, HierarchyConfig, ReplacementKind};
 use racer_time::Timer;
@@ -113,11 +113,37 @@ impl Machine {
         &mut self.cpu
     }
 
-    /// Run a program, advancing the machine's wall clock.
+    /// Run a program on the event-driven backend, advancing the machine's
+    /// wall clock.
     pub fn run(&mut self, prog: &Program) -> RunResult {
-        let r = self.cpu.execute(prog);
+        self.run_with(prog, Backend::EventDriven)
+    }
+
+    /// Run a program with an explicit [`Backend`], advancing the machine's
+    /// wall clock by the program's simulated duration.
+    pub fn run_with(&mut self, prog: &Program, backend: Backend) -> RunResult {
+        let r = self.cpu.run_one(prog, backend);
         self.elapsed_ns += self.cpu.config().cycles_to_ns(r.cycles);
         r
+    }
+
+    /// Capture the machine's persistent state (caches, memory, trained
+    /// predictor) as a shareable [`Snapshot`]; [`Machine::from_snapshot`]
+    /// stamps out independent machines from it, so a sweep warms one
+    /// machine and forks it per point.
+    pub fn snapshot(&self) -> Snapshot {
+        self.cpu.snapshot()
+    }
+
+    /// Fork an independent machine from a [`Snapshot`] (the wall clock
+    /// starts at zero; the layout is the standard one every constructor
+    /// uses).
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        Machine {
+            cpu: snap.fork(),
+            layout: Layout::default(),
+            elapsed_ns: 0.0,
+        }
     }
 
     /// Run a program and return just its cycle count.
@@ -130,7 +156,7 @@ impl Machine {
     /// duration in nanoseconds.
     pub fn run_timed(&mut self, prog: &Program, timer: &mut dyn Timer) -> f64 {
         let start = self.elapsed_ns;
-        let r = self.cpu.execute(prog);
+        let r = self.cpu.run_one(prog, Backend::EventDriven);
         self.elapsed_ns += self.cpu.config().cycles_to_ns(r.cycles);
         timer.measure(start, self.elapsed_ns)
     }
@@ -208,7 +234,7 @@ mod tests {
         }
         asm.halt();
         let prog = asm.assemble().unwrap();
-        let cycles = m.cpu_mut().execute(&prog).cycles;
+        let cycles = m.cpu_mut().run_one(&prog, Backend::EventDriven).cycles;
         let observed = m.run_timed(&prog, &mut PerfectTimer);
         assert!((observed - cycles as f64 * 0.5).abs() < 1.0);
     }

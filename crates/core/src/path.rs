@@ -208,7 +208,7 @@ impl PathSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use racer_cpu::{Cpu, CpuConfig};
+    use racer_cpu::{Backend, Cpu, CpuConfig};
     use racer_isa::Asm;
     use racer_mem::HierarchyConfig;
 
@@ -237,7 +237,7 @@ mod tests {
             let mut c = cpu();
             c.mem_mut().write(0x100, 0xDEAD_BEEF); // sync value is masked away
             c.mem_mut().write(0x9000, 42);
-            c.execute(&prog);
+            c.run_one(&prog, Backend::EventDriven);
             assert_eq!(c.mem().read(0x8), 0, "terminator of {spec:?} must be 0");
         }
     }
@@ -258,13 +258,15 @@ mod tests {
                 let _ = spec.emit(&mut asm, seed);
                 asm.halt();
                 let mut c = cpu();
-                c.execute(&asm.assemble().unwrap()).cycles
+                c.run_one(&asm.assemble().unwrap(), Backend::EventDriven)
+                    .cycles
             };
             let base = {
                 let mut asm = Asm::new();
                 asm.halt();
                 let mut c = cpu();
-                c.execute(&asm.assemble().unwrap()).cycles
+                c.run_one(&asm.assemble().unwrap(), Backend::EventDriven)
+                    .cycles
             };
             let measured = measure(&spec) - base;
             let ideal = spec.ideal_latency(&lat, 4);
@@ -292,7 +294,7 @@ mod tests {
         asm.add(join, a, b);
         asm.halt();
         let prog = asm.assemble().unwrap();
-        let r = c.execute(&prog);
+        let r = c.run_one(&prog, Backend::EventDriven);
 
         let head = r
             .loads
@@ -337,7 +339,8 @@ mod tests {
             }
             asm.halt();
             let mut c = cpu();
-            c.execute(&asm.assemble().unwrap()).cycles
+            c.run_one(&asm.assemble().unwrap(), Backend::EventDriven)
+                .cycles
         };
         let one = run(false);
         let two = run(true);

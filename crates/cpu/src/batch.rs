@@ -6,20 +6,22 @@
 //! deterministic, so fanning the *configurations* out across host cores
 //! scales linearly without perturbing any simulated timing.
 //!
-//! [`par_map`] is the core API: order-preserving, panic-propagating, and
+//! [`try_par_map`] is the one implementation: order-preserving,
 //! work-stealing over a shared index so uneven per-item costs (short vs.
-//! long targets) balance automatically. It is built on `std::thread::scope`
-//! rather than rayon so the workspace keeps building with no external
+//! long targets) balance automatically, and crash-isolated — each item
+//! runs under `catch_unwind`, so one panicking simulation comes back as
+//! `Err(panic message)` in its slot instead of poisoning the pool and
+//! aborting every sibling. `racer-lab` fans scenario trials out through
+//! it so a single bad trial becomes a labelled failed cell in the report
+//! rather than a lost run. It is built on `std::thread::scope` rather
+//! than rayon so the workspace keeps building with no external
 //! dependencies; the signature matches rayon's
 //! `par_iter().map().collect()` shape closely enough that swapping the
 //! implementation later is local to this file.
 //!
-//! [`try_par_map`] is the crash-isolated variant: each item runs under
-//! `catch_unwind`, so one panicking simulation comes back as
-//! `Err(panic message)` in its slot instead of poisoning the pool and
-//! aborting every sibling. `racer-lab` fans scenario trials out through
-//! it so a single bad trial becomes a labelled failed cell in the report
-//! rather than a lost run.
+//! [`par_map`] is the infallible convenience wrapper: same pool, same
+//! ordering, but the first caught panic is re-raised on the caller's
+//! thread once every sibling item has finished.
 //!
 //! ```
 //! use racer_cpu::batch;
@@ -31,32 +33,39 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Apply `f` to every item on a pool of host threads, returning results in
-/// input order. Uses up to [`max_threads`] workers (capped by the item
-/// count); with one item or one available core it degrades to a plain map
-/// with no thread spawn.
+/// Apply `f` to every item on a pool of host threads, catching panics per
+/// item and returning `Result`s in input order. A panicking item yields
+/// `Err(message)` (the stringified panic payload) in its slot; all other
+/// items still run to completion on the same pool — the worker that
+/// caught the panic keeps claiming work.
 ///
-/// # Panics
-///
-/// Propagates the first panic raised by `f`.
-pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+/// Uses up to [`max_threads`] workers (capped by the item count); with
+/// one item or one available core it degrades to a plain map with no
+/// thread spawn. This is the single implementation; [`par_map`] is the
+/// infallible wrapper over it.
+pub fn try_par_map<I, O, F>(items: &[I], f: F) -> Vec<Result<O, String>>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    let attempt = |item: &I| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    };
     let threads = max_threads().min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(attempt).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<O, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let out = f(item);
+                let out = attempt(item);
                 *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -71,22 +80,23 @@ where
         .collect()
 }
 
-/// Crash-isolated [`par_map`]: apply `f` to every item on a pool of host
-/// threads, catching panics per item. A panicking item yields
-/// `Err(message)` (the stringified panic payload) in its input-order
-/// slot; all other items still run to completion on the same pool. The
-/// panic does not propagate and the worker that caught it keeps claiming
-/// work, so wall-clock cost and result order match [`par_map`] exactly.
-pub fn try_par_map<I, O, F>(items: &[I], f: F) -> Vec<Result<O, String>>
+/// Infallible [`try_par_map`]: apply `f` to every item on a pool of host
+/// threads, returning plain results in input order.
+///
+/// # Panics
+///
+/// Re-raises the first (by input order) panic caught by the pool, after
+/// every other item has finished.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    par_map(items, |item| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
-            .map_err(|payload| panic_message(payload.as_ref()))
-    })
+    try_par_map(items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
+        .collect()
 }
 
 /// Best-effort panic payload rendering: `&str` and `String` payloads (the

@@ -55,6 +55,53 @@ impl std::fmt::Display for Countermeasure {
     }
 }
 
+/// Execution backend: which simulation engine runs the program(s) handed
+/// to [`Cpu::run`](crate::Cpu::run).
+///
+/// All backends are cycle-exact against each other (pinned by the
+/// differential suites); they differ only in host-side execution strategy
+/// and therefore in throughput:
+///
+/// * [`EventDriven`](Backend::EventDriven) — the production scheduler
+///   (tag-broadcast wakeup, completion time wheel). Fastest for a single
+///   machine; the default.
+/// * [`Reference`](Backend::Reference) — the retained scan-based seed
+///   scheduler. Slow but structurally simple; kept as the differential
+///   oracle.
+/// * [`Batched`](Backend::Batched) — the lockstep multi-machine engine
+///   ([`MachineBatch`](crate::MachineBatch)): the N programs are treated
+///   as N *independent single-thread lanes* forked from the calling
+///   machine's current state (caches, memory, predictor), stepped in
+///   lockstep with a shared decoded µop table. Requires
+///   `cfg.threads == 1`; the calling machine's own state is left
+///   untouched.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Event-driven scheduler (the production engine).
+    #[default]
+    EventDriven,
+    /// Retained scan-based reference scheduler (the differential oracle).
+    Reference,
+    /// Structure-of-arrays lockstep batch engine; programs are independent
+    /// lanes forked from the current machine state.
+    Batched,
+}
+
+impl Backend {
+    /// All backends, for differential tests that iterate every engine.
+    pub const ALL: [Backend; 3] = [Backend::EventDriven, Backend::Reference, Backend::Batched];
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::EventDriven => "event-driven",
+            Backend::Reference => "reference",
+            Backend::Batched => "batched",
+        })
+    }
+}
+
 /// SMT issue-arbitration policy: which hardware thread gets first claim on
 /// the shared issue bandwidth and functional-unit ports each cycle.
 ///

@@ -98,7 +98,7 @@
 //!   arbitration allocates two small per-cycle vectors, but only when
 //!   `threads > 1`.)
 
-use crate::config::{Countermeasure, CpuConfig};
+use crate::config::{Backend, Countermeasure, CpuConfig};
 use crate::predictor::{self, Predictor};
 use crate::stats::{LoadEvent, RunResult};
 use racer_isa::{
@@ -316,7 +316,7 @@ pub(crate) struct ThreadCtx {
 }
 
 impl ThreadCtx {
-    fn reset(&mut self, rob_size: usize) {
+    pub(crate) fn reset(&mut self, rob_size: usize) {
         if self.slots.len() != rob_size {
             self.slots.clear();
             self.slots.resize_with(rob_size, Slot::empty);
@@ -410,6 +410,85 @@ impl ThreadCtx {
     fn alloc_slot(&self) -> usize {
         self.wrap(self.head + self.len)
     }
+
+    /// Assemble this context's finished run into a [`RunResult`], moving
+    /// the recorded event vectors out. `mem_stats` is the hierarchy delta
+    /// the caller attributes to the run. Shared by the SMT driver and the
+    /// batch engine so the result shape can never drift between backends.
+    pub(crate) fn take_result(&mut self, mem_stats: racer_mem::HierarchyStats) -> RunResult {
+        RunResult {
+            cycles: self.end_cycle,
+            committed: self.committed,
+            halted: self.halted,
+            limit_hit: self.limit_hit,
+            mispredicts: self.mispredicts,
+            squashed_instrs: self.squashed,
+            interrupts: self.interrupts,
+            regs: self.arch_regs.clone(),
+            mem_stats,
+            loads: std::mem::take(&mut self.loads),
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+}
+
+/// The hierarchy-stats delta since `before` — the `mem_stats` a run
+/// reports. One function used by every backend, so attribution can never
+/// drift between them.
+pub(crate) fn mem_stats_since(
+    hier: &Hierarchy,
+    before: &racer_mem::HierarchyStats,
+) -> racer_mem::HierarchyStats {
+    let mut s = hier.stats();
+    s.l1d = s.l1d.since(&before.l1d);
+    s.l2 = s.l2.since(&before.l2);
+    s.l3 = s.l3.since(&before.l3);
+    s.memory_accesses -= before.memory_accesses;
+    s.flushes -= before.flushes;
+    s.prefetches -= before.prefetches;
+    s
+}
+
+/// Step one single-thread lane for at most `budget` cycle-loop iterations,
+/// resuming from `cycle`. Returns the updated cycle counter and whether
+/// the lane finished (its `done`/`end_cycle`/`limit_hit` are then already
+/// recorded in the context).
+///
+/// This is the batch engine's inner loop: it builds the *same*
+/// [`Pipeline`] view [`SmtRun`] builds and drives the same
+/// `step_single` body `run_single` loops over, so a lane stepped in
+/// slices is bit-identical to a machine run to completion in one call —
+/// there is exactly one copy of the cycle semantics to agree with.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_lane(
+    cfg: &CpuConfig,
+    hier: &mut Hierarchy,
+    mem: &mut DataMemory,
+    predictor: &mut dyn Predictor,
+    prog: &Program,
+    dec: &[DecodedInstr],
+    s: &mut ThreadCtx,
+    sh: &mut Shared,
+    cycle: u64,
+    budget: u64,
+) -> (u64, bool) {
+    let mut p = Pipeline {
+        cfg,
+        hier,
+        mem,
+        predictor,
+        prog,
+        dec,
+        s,
+        sh,
+        cycle,
+    };
+    for _ in 0..budget {
+        if p.step_single() {
+            return (p.cycle, true);
+        }
+    }
+    (p.cycle, false)
 }
 
 /// Structural resources shared by every hardware thread: the divider
@@ -418,7 +497,7 @@ impl ThreadCtx {
 /// and bandwidth are also shared, but live as per-cycle counters in the
 /// driver loop.
 #[derive(Debug)]
-struct Shared {
+pub(crate) struct Shared {
     /// Outstanding L1 miss lines → data-arrival cycle (MSHR model; at most
     /// `mshrs` entries, so linear scans beat hashing). Shared across
     /// threads, like a real L1's MSHR file: one thread's misses consume
@@ -431,7 +510,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(div_ports: usize, nthreads: usize) -> Self {
+    pub(crate) fn new(div_ports: usize, nthreads: usize) -> Self {
         Shared {
             inflight: Vec::new(),
             div_busy_until: vec![0; div_ports],
@@ -459,12 +538,12 @@ impl Shared {
 }
 
 /// The simulated core, owning its memory hierarchy, data memory and branch
-/// predictors. All of those persist across [`Cpu::execute`] calls — caches
+/// predictors. All of those persist across [`Cpu::run`] calls — caches
 /// stay warm and the predictors stay trained, exactly like the machine a
 /// JavaScript attacker repeatedly invokes functions on.
 ///
 /// ```
-/// use racer_cpu::{Cpu, CpuConfig};
+/// use racer_cpu::{Backend, Cpu, CpuConfig};
 /// use racer_isa::Asm;
 /// use racer_mem::HierarchyConfig;
 ///
@@ -475,28 +554,28 @@ impl Shared {
 /// asm.add(r, r, r);
 /// asm.halt();
 /// let prog = asm.assemble()?;
-/// let result = cpu.execute(&prog);
+/// let result = cpu.run_one(&prog, Backend::EventDriven);
 /// assert!(result.halted);
 /// assert_eq!(result.regs[r.index()], 42);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct Cpu {
-    cfg: CpuConfig,
-    hier: Hierarchy,
-    mem: DataMemory,
+    pub(crate) cfg: CpuConfig,
+    pub(crate) hier: Hierarchy,
+    pub(crate) mem: DataMemory,
     /// One predictor per hardware thread (real SMT designs partition or
     /// tag predictor state per context; sharing it would also be a
     /// cross-thread channel this model deliberately does not open).
     /// Index 0 is the classic single-thread predictor; all persist across
-    /// `execute` calls.
-    predictors: Vec<Box<dyn Predictor>>,
+    /// `run` calls.
+    pub(crate) predictors: Vec<Box<dyn Predictor>>,
     /// One scheduling context per hardware thread, grown on demand.
-    ctxs: Vec<ThreadCtx>,
+    pub(crate) ctxs: Vec<ThreadCtx>,
     /// Reusable µop-table buffers, one per thread: each run decodes the
     /// programs' static instructions once into them (capacity persists
     /// across calls).
-    decoded: Vec<Vec<DecodedInstr>>,
+    pub(crate) decoded: Vec<Vec<DecodedInstr>>,
 }
 
 impl Cpu {
@@ -570,38 +649,106 @@ impl Cpu {
     }
 
     /// Run `prog` to completion (committed `halt`, program end, or the
-    /// configured cycle limit) on a single hardware thread, returning
-    /// timing and event data.
+    /// configured cycle limit) on a single hardware thread with the chosen
+    /// [`Backend`], returning timing and event data.
     ///
     /// Pipeline state is fresh per call; caches, data memory and predictor
-    /// state persist from previous calls. Always runs exactly one context
-    /// regardless of [`CpuConfig::threads`] — use [`Cpu::execute_smt`] for
+    /// state persist from previous calls — except under
+    /// [`Backend::Batched`], which runs the program on a one-lane fork of
+    /// the current machine state and leaves this machine untouched.
+    /// Always runs exactly one context regardless of
+    /// [`CpuConfig::threads`](crate::CpuConfig) — use [`Cpu::run`] for
     /// co-scheduled programs.
-    pub fn execute(&mut self, prog: &Program) -> RunResult {
-        self.run_event_driven(&[prog])
-            .pop()
-            .expect("one program, one result")
+    pub fn run_one(&mut self, prog: &Program, backend: Backend) -> RunResult {
+        let results = match backend {
+            Backend::EventDriven => self.run_event_driven(&[prog]),
+            Backend::Reference => self.run_reference(&[prog]),
+            Backend::Batched => self.run_batched(std::slice::from_ref(&prog)),
+        };
+        results.into_iter().next().expect("one program, one result")
     }
 
-    /// Co-schedule one program per configured hardware thread and run them
-    /// to completion on the SMT core, returning one [`RunResult`] per
-    /// thread (index-matched to `progs`).
+    /// The single execution entry point: run `progs` with the chosen
+    /// [`Backend`], returning one [`RunResult`] per program
+    /// (index-matched).
     ///
-    /// Each thread's `cycles` is the cycle *that thread* finished at; a
-    /// thread that finishes early leaves the machine to the survivors, so
-    /// contention is strongest while both run. `mem_stats` is the shared
-    /// hierarchy's delta for the whole co-run (the caches are shared, so
-    /// per-thread attribution does not exist in hardware either).
+    /// * [`Backend::EventDriven`] / [`Backend::Reference`] **co-schedule**
+    ///   the programs, one per configured hardware thread
+    ///   (`progs.len()` must equal
+    ///   [`CpuConfig::threads`](crate::CpuConfig)). Each thread's `cycles`
+    ///   is the cycle *that thread* finished at; a thread that finishes
+    ///   early leaves the machine to the survivors, so contention is
+    ///   strongest while both run. `mem_stats` is the shared hierarchy's
+    ///   delta for the whole co-run (the caches are shared, so per-thread
+    ///   attribution does not exist in hardware either).
+    /// * [`Backend::Batched`] treats the programs as **independent
+    ///   single-thread lanes**: every lane is forked from this machine's
+    ///   current state (caches, data memory, trained predictor) and run in
+    ///   lockstep by a [`MachineBatch`](crate::MachineBatch); this
+    ///   machine's own state is left untouched. Requires a
+    ///   single-thread config. Each result is bit-identical to cloning
+    ///   this machine and running that one program on
+    ///   [`Backend::EventDriven`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count violates the chosen backend's contract
+    /// above.
+    pub fn run(&mut self, progs: &[&Program], backend: Backend) -> Vec<RunResult> {
+        match backend {
+            Backend::EventDriven => {
+                self.assert_one_per_thread(progs.len(), backend);
+                self.run_event_driven(progs)
+            }
+            Backend::Reference => {
+                self.assert_one_per_thread(progs.len(), backend);
+                self.run_reference(progs)
+            }
+            Backend::Batched => self.run_batched(progs),
+        }
+    }
+
+    fn assert_one_per_thread(&self, n: usize, backend: Backend) {
+        assert_eq!(
+            n, self.cfg.threads,
+            "the {backend} backend co-schedules one program per configured hardware thread"
+        );
+    }
+
+    /// Capture this machine's persistent state (config, caches, data
+    /// memory, trained predictor) as a shareable [`Snapshot`] that
+    /// [`Snapshot::fork`] can stamp out independent machines from.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless this is a single-thread config (forked lanes are
+    /// single-thread machines).
+    pub fn snapshot(&self) -> crate::engine::Snapshot {
+        crate::engine::Snapshot::capture(self)
+    }
+
+    fn run_batched(&mut self, progs: &[&Program]) -> Vec<RunResult> {
+        let mut batch = crate::engine::MachineBatch::from_snapshot(&self.snapshot());
+        for prog in progs {
+            batch.push(prog);
+        }
+        batch.run()
+    }
+
+    /// Deprecated alias for [`Cpu::run_one`] with [`Backend::EventDriven`].
+    #[deprecated(note = "use `run_one(prog, Backend::EventDriven)`")]
+    pub fn execute(&mut self, prog: &Program) -> RunResult {
+        self.run_one(prog, Backend::EventDriven)
+    }
+
+    /// Deprecated alias for [`Cpu::run`] with [`Backend::EventDriven`].
     ///
     /// # Panics
     ///
     /// Panics unless `progs.len() == self.config().threads`.
+    #[deprecated(note = "use `run(progs, Backend::EventDriven)`")]
     pub fn execute_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
-        assert_eq!(
-            progs.len(),
-            self.cfg.threads,
-            "execute_smt expects one program per configured hardware thread"
-        );
+        self.assert_one_per_thread(progs.len(), Backend::EventDriven);
         self.run_event_driven(progs)
     }
 
@@ -626,28 +773,20 @@ impl Cpu {
         .run()
     }
 
-    /// Run `prog` on the retained scan-based **reference scheduler**
-    /// ([`crate::reference`]), which the event-driven scheduler must match
-    /// cycle-exactly. Orders of magnitude slower; exists for differential
-    /// testing and as the `perf_baseline` speedup denominator.
+    /// Deprecated alias for [`Cpu::run_one`] with [`Backend::Reference`].
+    #[deprecated(note = "use `run_one(prog, Backend::Reference)`")]
     pub fn execute_reference(&mut self, prog: &Program) -> RunResult {
-        self.run_reference(&[prog])
-            .pop()
-            .expect("one program, one result")
+        self.run_one(prog, Backend::Reference)
     }
 
-    /// [`Cpu::execute_smt`], but on the reference scheduler: the
-    /// cross-check for SMT co-schedules.
+    /// Deprecated alias for [`Cpu::run`] with [`Backend::Reference`].
     ///
     /// # Panics
     ///
     /// Panics unless `progs.len() == self.config().threads`.
+    #[deprecated(note = "use `run(progs, Backend::Reference)`")]
     pub fn execute_reference_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
-        assert_eq!(
-            progs.len(),
-            self.cfg.threads,
-            "execute_reference_smt expects one program per configured hardware thread"
-        );
+        self.assert_one_per_thread(progs.len(), Backend::Reference);
         self.run_reference(progs)
     }
 
@@ -721,28 +860,10 @@ impl SmtRun<'_> {
         } else {
             self.run_multi(n);
         }
-        let mut mem_stats = self.hier.stats();
-        mem_stats.l1d = mem_stats.l1d.since(&stats_before.l1d);
-        mem_stats.l2 = mem_stats.l2.since(&stats_before.l2);
-        mem_stats.l3 = mem_stats.l3.since(&stats_before.l3);
-        mem_stats.memory_accesses -= stats_before.memory_accesses;
-        mem_stats.flushes -= stats_before.flushes;
-        mem_stats.prefetches -= stats_before.prefetches;
+        let mem_stats = mem_stats_since(self.hier, &stats_before);
         self.ctxs
             .iter_mut()
-            .map(|c| RunResult {
-                cycles: c.end_cycle,
-                committed: c.committed,
-                halted: c.halted,
-                limit_hit: c.limit_hit,
-                mispredicts: c.mispredicts,
-                squashed_instrs: c.squashed,
-                interrupts: c.interrupts,
-                regs: c.arch_regs.clone(),
-                mem_stats,
-                loads: std::mem::take(&mut c.loads),
-                trace: std::mem::take(&mut c.trace),
-            })
+            .map(|c| c.take_result(mem_stats))
             .collect()
     }
 
@@ -842,36 +963,53 @@ impl<'a> Pipeline<'a> {
     /// per-cycle driver cost. Leaves the context's `done`/`end_cycle`/
     /// `limit_hit` set for the shared result assembly.
     fn run_single(&mut self) {
-        let mut limit_hit = false;
-        loop {
-            self.writeback();
-            self.commit();
-            if self.s.halted {
-                break;
-            }
-            let mut used = [0usize; NUM_CLASSES];
-            let mut issued = 0usize;
-            self.issue(&mut used, &mut issued);
-            self.dispatch();
-            self.fetch();
-            if self.finished() {
-                break;
-            }
-            self.cycle += 1;
-            if let Some(interval) = self.cfg.interrupt_interval {
-                if self.cycle.is_multiple_of(interval) && !self.s.draining {
-                    self.s.draining = true;
-                    self.s.interrupts += 1;
-                }
-            }
-            if self.s.draining && self.s.len == 0 {
-                self.s.draining = false;
-            }
-            if self.cycle >= self.cfg.max_run_cycles {
-                limit_hit = true;
-                break;
+        while !self.step_single() {}
+    }
+
+    /// One iteration of the single-thread cycle loop: all five stages in
+    /// the fixed stage order, then the end-of-cycle bookkeeping (interrupt
+    /// drain, cycle limit). Returns `true` when the run finished — by
+    /// committed `halt`, pipeline drain, or the cycle limit — with the
+    /// context's `done`/`end_cycle`/`limit_hit` already recorded via
+    /// [`Pipeline::finish`]. Factored out of [`Pipeline::run_single`] so
+    /// the batch engine can drive the *same* loop body one slice at a
+    /// time: lockstep stepping is cycle-exact by construction because
+    /// there is exactly one copy of the cycle semantics.
+    fn step_single(&mut self) -> bool {
+        self.writeback();
+        self.commit();
+        if self.s.halted {
+            self.finish(false);
+            return true;
+        }
+        let mut used = [0usize; NUM_CLASSES];
+        let mut issued = 0usize;
+        self.issue(&mut used, &mut issued);
+        self.dispatch();
+        self.fetch();
+        if self.finished() {
+            self.finish(false);
+            return true;
+        }
+        self.cycle += 1;
+        if let Some(interval) = self.cfg.interrupt_interval {
+            if self.cycle.is_multiple_of(interval) && !self.s.draining {
+                self.s.draining = true;
+                self.s.interrupts += 1;
             }
         }
+        if self.s.draining && self.s.len == 0 {
+            self.s.draining = false;
+        }
+        if self.cycle >= self.cfg.max_run_cycles {
+            self.finish(true);
+            return true;
+        }
+        false
+    }
+
+    /// Record this context as finished at the current cycle.
+    fn finish(&mut self, limit_hit: bool) {
         self.s.done = true;
         self.s.end_cycle = self.cycle;
         self.s.limit_hit = limit_hit;

@@ -1,0 +1,308 @@
+//! The batched lockstep simulation engine: many single-thread machines,
+//! one driver loop.
+//!
+//! Sweeps are the repo's dominant workload shape: run N program *variants*
+//! (target lengths, repeat counts, magnifier settings) on machines that
+//! share a [`CpuConfig`] and usually a warmed-up starting state. Spawning
+//! one fresh [`Cpu`] per variant pays the warmup run and the scheduling-
+//! structure allocation N times; [`MachineBatch`] pays them once:
+//!
+//! * **Snapshots** ([`Snapshot`]): one deep capture of a machine's
+//!   persistent state — caches (replacement state included), data memory,
+//!   trained branch predictor — behind an [`Arc`], shared copy-on-fork
+//!   across lanes and across host threads
+//!   ([`batch::par_map`](crate::batch::par_map) workers can all fork from
+//!   the same snapshot). A sweep warms one machine, snapshots it, and
+//!   forks it per point instead of re-running warmup per point.
+//! * **Shared µop tables**: each *distinct* program pushed into a batch is
+//!   decoded once ([`DecodedProgram`]); every lane running that program
+//!   indexes the same table. A countermeasure or repeat-count sweep that
+//!   pushes the same gadget N times decodes it once.
+//! * **Structure-of-arrays lanes**: per-lane state (ROB ring, RAT, ready
+//!   heaps, stall pool, cache hierarchy, store queue) lives contiguously
+//!   in the batch's lane vector, stepped in lockstep slices of
+//!   [`SLICE`] cycles per round — and lane [`ThreadCtx`] allocations are
+//!   recycled across [`MachineBatch::run`] rounds, so a long-running
+//!   sweep driver stops touching the allocator entirely.
+//!
+//! # Cycle exactness
+//!
+//! Lanes are *independent machines*: they share no simulated state, only
+//! host-side tables and allocations. Each lane is driven by
+//! [`core::step_lane`], which executes the **same** cycle-loop body
+//! `Cpu::run` uses for a single thread — there is exactly one copy of the
+//! cycle semantics, so a lane stepped in lockstep slices is bit-identical
+//! (cycles, committed state, timer readings, cache stats) to forking a
+//! whole machine and running it to completion, in any lane order. The
+//! differential suites pin this against both retained schedulers.
+//!
+//! ```
+//! use racer_cpu::{Backend, Cpu, CpuConfig, MachineBatch};
+//! use racer_isa::Asm;
+//! use racer_mem::HierarchyConfig;
+//!
+//! let mut asm = Asm::new();
+//! let r = asm.reg();
+//! asm.mov_imm(r, 21);
+//! asm.add(r, r, r);
+//! asm.halt();
+//! let prog = asm.assemble()?;
+//!
+//! // Warm a machine, snapshot it, fork the snapshot into a batch.
+//! let mut cpu = Cpu::new(CpuConfig::default(), HierarchyConfig::coffee_lake());
+//! cpu.run_one(&prog, Backend::EventDriven); // warmup
+//! let mut batch = MachineBatch::from_snapshot(&cpu.snapshot());
+//! for _ in 0..8 {
+//!     batch.push(&prog);
+//! }
+//! let results = batch.run();
+//! assert_eq!(results.len(), 8);
+//! // Every lane forked the same warmed state: identical results.
+//! assert!(results.iter().all(|r| r.cycles == results[0].cycles));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::config::CpuConfig;
+use crate::core::{self, Cpu, Shared, ThreadCtx};
+use crate::predictor::Predictor;
+use crate::stats::RunResult;
+use racer_isa::{DataMemory, DecodedInstr, DecodedProgram, Program};
+use racer_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+use std::sync::Arc;
+
+/// Cycles each live lane advances per lockstep round. Large enough to
+/// amortise the per-lane switch (cache-warm scheduling structures), small
+/// enough that lanes stay interleaved rather than running serially.
+/// Correctness does not depend on the value: lanes share no simulated
+/// state.
+const SLICE: u64 = 64;
+
+/// An immutable capture of a machine's persistent state — config, cache
+/// hierarchy (replacement and stats state included), data memory and
+/// trained branch predictor — shared behind an [`Arc`].
+///
+/// Cloning a `Snapshot` is O(1); [`Snapshot::fork`] stamps out a fresh
+/// independent [`Cpu`] whose first run behaves exactly as the captured
+/// machine's next run would have. `Snapshot` is `Send + Sync`, so one
+/// warmed snapshot can seed forks on every
+/// [`batch::par_map`](crate::batch::par_map) worker at once.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<SnapshotState>,
+}
+
+#[derive(Debug)]
+struct SnapshotState {
+    cfg: CpuConfig,
+    hier: Hierarchy,
+    mem: DataMemory,
+    predictor: Box<dyn Predictor>,
+}
+
+impl Snapshot {
+    /// Capture `cpu`'s persistent state. One deep copy; subsequent clones
+    /// and forks share it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cpu` is a single-thread config (forked lanes are
+    /// single-thread machines).
+    pub(crate) fn capture(cpu: &Cpu) -> Self {
+        assert_eq!(
+            cpu.cfg.threads, 1,
+            "snapshots capture single-thread machines"
+        );
+        Snapshot {
+            inner: Arc::new(SnapshotState {
+                cfg: cpu.cfg,
+                hier: cpu.hier.clone(),
+                mem: cpu.mem.clone(),
+                predictor: cpu.predictors[0].clone_box(),
+            }),
+        }
+    }
+
+    /// A snapshot of a *cold* machine: fresh caches, empty memory,
+    /// untrained predictor. The batch equivalent of [`Cpu::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or is not single-thread.
+    pub fn cold(cfg: CpuConfig, hier_cfg: HierarchyConfig) -> Self {
+        Self::capture(&Cpu::new(cfg, hier_cfg))
+    }
+
+    /// The captured core configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.inner.cfg
+    }
+
+    /// Stamp out an independent machine starting from the captured state.
+    /// The fork owns its own copies: nothing it does is visible to the
+    /// snapshot or to sibling forks.
+    pub fn fork(&self) -> Cpu {
+        Cpu {
+            cfg: self.inner.cfg,
+            hier: self.inner.hier.clone(),
+            mem: self.inner.mem.clone(),
+            predictors: vec![self.inner.predictor.clone_box()],
+            ctxs: vec![ThreadCtx::default()],
+            decoded: vec![Vec::new()],
+        }
+    }
+}
+
+/// One lane: an independent single-thread machine forked from the batch's
+/// snapshot, plus its resumable cycle position.
+#[derive(Debug)]
+struct Lane {
+    /// Index into the batch's shared `programs` / `decoded` tables.
+    prog: usize,
+    hier: Hierarchy,
+    mem: DataMemory,
+    predictor: Box<dyn Predictor>,
+    ctx: ThreadCtx,
+    shared: Shared,
+    /// Hierarchy stats at fork time (the lane's `mem_stats` baseline).
+    stats_before: HierarchyStats,
+    /// Resumable cycle counter (`Pipeline::cycle` between slices).
+    cycle: u64,
+    done: bool,
+}
+
+/// A structure-of-arrays batch of independent single-thread machines
+/// stepped in lockstep.
+///
+/// Push one program per lane ([`MachineBatch::push`]; lanes running equal
+/// programs share one decoded µop table), then [`MachineBatch::run`] to
+/// step every lane to completion and collect one [`RunResult`] per lane
+/// in push order. The batch is reusable: after `run` the lanes are
+/// cleared but their scheduling-structure allocations are pooled for the
+/// next round of pushes.
+///
+/// This is the engine behind [`Backend::Batched`](crate::Backend); see
+/// the [module docs](self) for the layout and the cycle-exactness
+/// argument.
+#[derive(Debug)]
+pub struct MachineBatch {
+    snap: Snapshot,
+    /// Distinct programs pushed so far, in first-push order.
+    programs: Vec<Program>,
+    /// Shared decoded µop table, parallel to `programs`.
+    decoded: Vec<Vec<DecodedInstr>>,
+    lanes: Vec<Lane>,
+    /// Retired lane contexts: ROB ring / heap / wheel allocations recycled
+    /// by later pushes.
+    spare: Vec<ThreadCtx>,
+}
+
+impl MachineBatch {
+    /// A batch whose lanes fork from `snap`.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        MachineBatch {
+            snap: snap.clone(),
+            programs: Vec::new(),
+            decoded: Vec::new(),
+            lanes: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// A batch whose lanes fork from a cold machine (the batch equivalent
+    /// of running each program on a fresh [`Cpu`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or is not single-thread.
+    pub fn cold(cfg: CpuConfig, hier_cfg: HierarchyConfig) -> Self {
+        Self::from_snapshot(&Snapshot::cold(cfg, hier_cfg))
+    }
+
+    /// The snapshot this batch forks lanes from.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// Number of lanes queued for the next [`MachineBatch::run`].
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether no lanes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Add a lane that runs `prog` from a fork of the batch snapshot.
+    /// Programs equal to an already-pushed one share its decoded µop
+    /// table.
+    pub fn push(&mut self, prog: &Program) {
+        let idx = match self.programs.iter().position(|p| p == prog) {
+            Some(i) => i,
+            None => {
+                let mut dec = Vec::new();
+                DecodedProgram::decode_into(prog, &mut dec);
+                self.programs.push(prog.clone());
+                self.decoded.push(dec);
+                self.programs.len() - 1
+            }
+        };
+        let st = &self.snap.inner;
+        let mut ctx = self.spare.pop().unwrap_or_default();
+        ctx.reset(st.cfg.rob_size);
+        let hier = st.hier.clone();
+        self.lanes.push(Lane {
+            prog: idx,
+            stats_before: hier.stats(),
+            hier,
+            mem: st.mem.clone(),
+            predictor: st.predictor.clone_box(),
+            ctx,
+            shared: Shared::new(st.cfg.div_ports, 1),
+            cycle: 0,
+            done: false,
+        });
+    }
+
+    /// Step every queued lane to completion in lockstep ([`SLICE`]-cycle
+    /// slices, round-robin over live lanes) and return one [`RunResult`]
+    /// per lane, in push order. Clears the lanes; the batch can be
+    /// refilled and run again, reusing the retired lanes' allocations.
+    pub fn run(&mut self) -> Vec<RunResult> {
+        let cfg = self.snap.inner.cfg;
+        loop {
+            let mut live = false;
+            for lane in &mut self.lanes {
+                if lane.done {
+                    continue;
+                }
+                live = true;
+                let (cycle, done) = core::step_lane(
+                    &cfg,
+                    &mut lane.hier,
+                    &mut lane.mem,
+                    lane.predictor.as_mut(),
+                    &self.programs[lane.prog],
+                    &self.decoded[lane.prog],
+                    &mut lane.ctx,
+                    &mut lane.shared,
+                    lane.cycle,
+                    SLICE,
+                );
+                lane.cycle = cycle;
+                lane.done = done;
+            }
+            if !live {
+                break;
+            }
+        }
+        let lanes = std::mem::take(&mut self.lanes);
+        let mut results = Vec::with_capacity(lanes.len());
+        for mut lane in lanes {
+            let mem_stats = core::mem_stats_since(&lane.hier, &lane.stats_before);
+            results.push(lane.ctx.take_result(mem_stats));
+            self.spare.push(lane.ctx);
+        }
+        results
+    }
+}

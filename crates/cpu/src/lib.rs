@@ -27,27 +27,31 @@
 //! each own a private front end, ROB and rename state, while issue
 //! bandwidth, functional-unit ports, divider units, MSHRs and the cache
 //! hierarchy are shared, arbitrated per cycle by an [`SmtPolicy`]
-//! (round-robin or ICOUNT). [`Cpu::execute_smt`] co-schedules one program
+//! (round-robin or ICOUNT). [`Cpu::run`] co-schedules one program
 //! per thread — the substrate for the paper's §9 "other shared resources"
 //! observation that racing-gadget timers read *any* contended shared
 //! resource, SMT port contention included. [`workloads`] provides
 //! port-pressure contender kernels, and the `smt_contention_eval` lab
 //! scenario measures timer resolution against them.
 //!
-//! ## Throughput
+//! ## Execution backends and throughput
 //!
-//! Scheduling is event-driven ([`core`]) and allocation-free in steady
-//! state; the original scan-based scheduler survives as the
-//! cycle-exact golden model in [`mod@reference`] (see
-//! [`Cpu::execute_reference`]). [`RecordLevel`] controls how much event
-//! data a run records, and [`batch::par_map`] fans independent
-//! simulations out across host cores. `BENCH_pipeline.json` at the repo
-//! root records measured throughput for both schedulers.
+//! Every run goes through one entry point — [`Cpu::run`] (or the
+//! single-program [`Cpu::run_one`]) — parameterised by a [`Backend`]:
+//! the event-driven production scheduler ([`core`], allocation-free in
+//! steady state), the retained scan-based golden model in
+//! [`mod@reference`], or the lockstep multi-machine batch engine in
+//! [`engine`] ([`MachineBatch`], fed by copy-on-fork [`Snapshot`]s). All
+//! three are cycle-exact against each other, pinned by the differential
+//! suites. [`RecordLevel`] controls how much event data a run records,
+//! and [`batch::par_map`] fans independent simulations out across host
+//! cores. `BENCH_pipeline.json` at the repo root records measured
+//! throughput for the schedulers and the batch engine.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use racer_cpu::{Cpu, CpuConfig};
+//! use racer_cpu::{Backend, Cpu, CpuConfig};
 //! use racer_isa::{Asm, MemOperand};
 //! use racer_mem::HierarchyConfig;
 //!
@@ -60,8 +64,8 @@
 //! asm.halt();
 //! let prog = asm.assemble()?;
 //!
-//! let cold = cpu.execute(&prog);
-//! let warm = cpu.execute(&prog);
+//! let cold = cpu.run_one(&prog, Backend::EventDriven);
+//! let warm = cpu.run_one(&prog, Backend::EventDriven);
 //! assert_eq!(cold.regs[r.index()], 7);
 //! assert!(warm.cycles < cold.cycles, "second run hits the warm cache");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -70,13 +74,17 @@
 pub mod batch;
 pub mod config;
 pub mod core;
+pub mod engine;
 pub mod predictor;
 pub mod reference;
 pub mod stats;
 pub mod trace;
 pub mod workloads;
 
-pub use config::{Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel, SmtPolicy};
+pub use config::{
+    Backend, Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel, SmtPolicy,
+};
 pub use core::Cpu;
+pub use engine::{MachineBatch, Snapshot};
 pub use stats::{LoadEvent, RunResult};
 pub use trace::{render_pipeline, TraceRecord};

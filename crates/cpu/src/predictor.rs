@@ -14,13 +14,23 @@ use crate::config::PredictorKind;
 /// Predictor state persists across [`Cpu::execute`](crate::Cpu::execute)
 /// calls — training in one run carries into the next, exactly like real
 /// hardware observed by a JavaScript attacker re-invoking a function.
-pub trait Predictor: std::fmt::Debug + Send {
+pub trait Predictor: std::fmt::Debug + Send + Sync {
     /// Predict the direction of the branch at `pc`.
     fn predict(&self, pc: usize) -> bool;
     /// Record the resolved direction of the branch at `pc`.
     fn train(&mut self, pc: usize, taken: bool);
     /// Forget all history.
     fn reset(&mut self);
+    /// Clone this predictor, trained state included, behind a fresh box.
+    /// Snapshot forking ([`Snapshot::fork`](crate::Snapshot::fork)) uses
+    /// this to give every lane an independent copy of the warmed predictor.
+    fn clone_box(&self) -> Box<dyn Predictor>;
+}
+
+impl Clone for Box<dyn Predictor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Build the predictor selected by `kind`.
@@ -94,6 +104,10 @@ impl Predictor for TwoBit {
     fn reset(&mut self) {
         self.table.iter_mut().for_each(|c| *c = 1);
     }
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(self.clone())
+    }
 }
 
 /// Statically predicts one direction, ignoring history.
@@ -110,6 +124,10 @@ impl Predictor for Static {
     fn train(&mut self, _pc: usize, _taken: bool) {}
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Predictor> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! the racing-gadget timer program whose resolution the
 //! `smt_contention_eval` scenario measures under each contender.
 
-use crate::{Cpu, CpuConfig, RunResult};
+use crate::{Backend, Cpu, CpuConfig, MachineBatch, RunResult};
 use racer_isa::{AluOp, Asm, Cond, Instr, MemOperand, Operand, Program};
 use racer_mem::HierarchyConfig;
 use std::time::Instant;
@@ -331,30 +331,26 @@ pub struct Throughput {
     pub result: RunResult,
 }
 
-/// Time `reps` fresh executions of `prog` on a Coffee-Lake-shaped machine,
-/// with the event-driven scheduler or (`reference = true`) the retained
-/// scan-based seed scheduler. Caches and predictor are warmed by one
-/// untimed run first so both schedulers see identical state.
+/// Time `reps` fresh executions of `prog` on a Coffee-Lake-shaped machine
+/// with the chosen [`Backend`]. Caches and predictor are warmed by one
+/// untimed run first so every backend sees identical state. (Under
+/// [`Backend::Batched`] each call forks the machine and leaves it
+/// untouched, so the "warmup" run measures engine overhead against the
+/// same cold state every rep — the fork-amortised sweep shape lives in
+/// [`measure_sweep`].)
 ///
 /// # Panics
 ///
 /// Panics if the workload does not run to completion (hits the safety
 /// cycle limit) — benchmark programs must halt.
-pub fn measure_throughput(prog: &Program, reps: usize, reference: bool) -> Throughput {
+pub fn measure_throughput(prog: &Program, reps: usize, backend: Backend) -> Throughput {
     let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-    let run = |cpu: &mut Cpu| {
-        if reference {
-            cpu.execute_reference(prog)
-        } else {
-            cpu.execute(prog)
-        }
-    };
-    let _ = run(&mut cpu);
+    let _ = cpu.run_one(prog, backend);
     let start = Instant::now();
     let mut committed = 0u64;
     let mut last = None;
     for _ in 0..reps {
-        let r = run(&mut cpu);
+        let r = cpu.run_one(prog, backend);
         assert!(r.halted && !r.limit_hit, "workload must run to completion");
         committed += r.committed;
         last = Some(r);
@@ -366,6 +362,77 @@ pub fn measure_throughput(prog: &Program, reps: usize, reference: bool) -> Throu
     }
 }
 
+/// Time a K-point *sweep* of `prog` — the repo's dominant experiment
+/// shape: every point needs a machine warmed by `warmup` untimed
+/// executions, then runs the program once, timed.
+///
+/// The backend selects the sweep strategy:
+///
+/// * [`Backend::EventDriven`] / [`Backend::Reference`] model the classic
+///   per-machine sweep: each of the `points` points builds a **fresh
+///   machine and re-runs the warmup** before its timed execution.
+/// * [`Backend::Batched`] warms **one** machine (with the event-driven
+///   scheduler), snapshots it, and forks the snapshot into a
+///   [`MachineBatch`] lane per point — warmup is paid once for the whole
+///   sweep.
+///
+/// Every point's result is bit-identical across strategies (a forked lane
+/// is exactly the warmed machine). `instrs_per_sec` counts only the timed
+/// (post-warmup) executions over the whole sweep's wall time, warmup
+/// included — which is precisely why fork-based sweeps are faster.
+///
+/// # Panics
+///
+/// Panics if the workload does not run to completion, or if `points`
+/// is zero.
+pub fn measure_sweep(prog: &Program, warmup: usize, points: usize, backend: Backend) -> Throughput {
+    assert!(points > 0, "a sweep needs at least one point");
+    let cfg = CpuConfig::coffee_lake();
+    let hier = HierarchyConfig::coffee_lake();
+    let check = |r: &RunResult| {
+        assert!(r.halted && !r.limit_hit, "workload must run to completion");
+    };
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let result = match backend {
+        Backend::Batched => {
+            let mut cpu = Cpu::new(cfg, hier);
+            for _ in 0..warmup {
+                check(&cpu.run_one(prog, Backend::EventDriven));
+            }
+            let mut batch = MachineBatch::from_snapshot(&cpu.snapshot());
+            for _ in 0..points {
+                batch.push(prog);
+            }
+            let mut results = batch.run();
+            for r in &results {
+                check(r);
+                committed += r.committed;
+            }
+            results.swap_remove(0)
+        }
+        per_machine => {
+            let mut last = None;
+            for _ in 0..points {
+                let mut cpu = Cpu::new(cfg, hier);
+                for _ in 0..warmup {
+                    check(&cpu.run_one(prog, per_machine));
+                }
+                let r = cpu.run_one(prog, per_machine);
+                check(&r);
+                committed += r.committed;
+                last = Some(r);
+            }
+            last.expect("points >= 1")
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+    Throughput {
+        instrs_per_sec: committed as f64 / secs,
+        result,
+    }
+}
+
 /// Time a [`Workload`], dispatching on its shape: plain workloads go
 /// through [`measure_throughput`]; workloads with a [`Workload::contender`]
 /// run as a two-thread SMT co-schedule on a round-robin-arbitrated
@@ -374,10 +441,12 @@ pub fn measure_throughput(prog: &Program, reps: usize, reference: bool) -> Throu
 ///
 /// # Panics
 ///
-/// Panics if any thread of the workload fails to run to completion.
-pub fn measure_workload(w: &Workload, reference: bool) -> Throughput {
+/// Panics if any thread of the workload fails to run to completion, or if
+/// an SMT workload is timed with [`Backend::Batched`] (the batch engine
+/// runs independent single-thread lanes, not co-schedules).
+pub fn measure_workload(w: &Workload, backend: Backend) -> Throughput {
     let Some(contender) = &w.contender else {
-        return measure_throughput(&w.prog, w.reps, reference);
+        return measure_throughput(&w.prog, w.reps, backend);
     };
     let cfg = CpuConfig {
         threads: 2,
@@ -385,13 +454,7 @@ pub fn measure_workload(w: &Workload, reference: bool) -> Throughput {
     };
     let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let progs = [&w.prog, contender];
-    let run = |cpu: &mut Cpu| {
-        if reference {
-            cpu.execute_reference_smt(&progs)
-        } else {
-            cpu.execute_smt(&progs)
-        }
-    };
+    let run = |cpu: &mut Cpu| cpu.run(&progs, backend);
     let _ = run(&mut cpu);
     let start = Instant::now();
     let mut committed = 0u64;
@@ -435,8 +498,8 @@ mod tests {
     #[test]
     fn every_workload_halts_on_both_schedulers_with_identical_state() {
         for w in standard_suite(60, 1) {
-            let fast = measure_workload(&w, false);
-            let reference = measure_workload(&w, true);
+            let fast = measure_workload(&w, Backend::EventDriven);
+            let reference = measure_workload(&w, Backend::Reference);
             assert!(fast.instrs_per_sec > 0.0);
             assert_eq!(
                 (fast.result.cycles, fast.result.committed, &fast.result.regs),
@@ -460,13 +523,13 @@ mod tests {
             HierarchyConfig::coffee_lake(),
         );
         let short = timer_race(1, 60);
-        let r = cpu.execute(&short.prog);
+        let r = cpu.run_one(&short.prog, Backend::EventDriven);
         assert!(r.halted);
         let (m, c) = short.tail_completions(&r);
         assert!(m < c, "1 div (~13 cycles) beats 60 serial adds: {m} vs {c}");
 
         let long = timer_race(4, 5);
-        let r = cpu.execute(&long.prog);
+        let r = cpu.run_one(&long.prog, Backend::EventDriven);
         let (m, c) = long.tail_completions(&r);
         assert!(
             m > c,
@@ -482,7 +545,7 @@ mod tests {
         );
         for (divs, adds) in [(0, 0), (0, 8), (3, 0)] {
             let race = timer_race(divs, adds);
-            let r = cpu.execute(&race.prog);
+            let r = cpu.run_one(&race.prog, Backend::EventDriven);
             assert!(r.halted, "race ({divs}, {adds}) must halt");
             let (m, c) = race.tail_completions(&r);
             assert!(m > 0 && c > 0);
@@ -492,12 +555,12 @@ mod tests {
     #[test]
     fn contender_kernels_halt_and_stress_their_ports() {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        let alu = cpu.execute(&alu_saturate(50, 8));
+        let alu = cpu.run_one(&alu_saturate(50, 8), Backend::EventDriven);
         assert!(alu.halted);
         // 8 chains × 4 unroll + loop overhead at 4 ALU ports: IPC should
         // pin near the 4-wide commit limit.
         assert!(alu.ipc() > 3.0, "alu_saturate IPC {:.2}", alu.ipc());
-        let div = cpu.execute(&div_hog(50));
+        let div = cpu.run_one(&div_hog(50), Backend::EventDriven);
         assert!(div.halted);
         // Two parallel dependent divide chains: each iteration takes about
         // one divide latency (the chains overlap), so the divider stays
@@ -511,8 +574,8 @@ mod tests {
 
     #[test]
     fn branchy_mask_controls_mispredict_rate() {
-        let easy = measure_throughput(&branchy(400, 7), 1, false);
-        let storm = measure_throughput(&branchy(400, 1), 1, false);
+        let easy = measure_throughput(&branchy(400, 7), 1, Backend::EventDriven);
+        let storm = measure_throughput(&branchy(400, 1), 1, Backend::EventDriven);
         assert!(
             storm.result.mispredicts > easy.result.mispredicts * 2,
             "mask=1 should mispredict far more: {} vs {}",

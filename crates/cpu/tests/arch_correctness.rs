@@ -6,7 +6,7 @@
 //! leakage").
 
 use proptest::prelude::*;
-use racer_cpu::{Cpu, CpuConfig, PredictorKind};
+use racer_cpu::{Backend, Cpu, CpuConfig, PredictorKind};
 use racer_isa::{interp, Asm, Cond, DataMemory, Instr, MemOperand, Operand, Program, Reg};
 use racer_mem::HierarchyConfig;
 
@@ -22,7 +22,7 @@ fn differential(prog: &Program, init_mem: &DataMemory) {
 
     let mut cpu = fresh_cpu();
     *cpu.mem_mut() = init_mem.clone();
-    let result = cpu.execute(prog);
+    let result = cpu.run_one(prog, Backend::EventDriven);
     assert!(!result.limit_hit, "core hit its cycle limit");
 
     assert_eq!(result.regs, reference.regs, "register files diverge");
@@ -131,14 +131,14 @@ fn wrong_path_stores_never_commit() {
     // Train: x != 0 so the store executes architecturally several times.
     cpu.mem_mut().write(0x10, 1);
     for _ in 0..4 {
-        cpu.execute(&prog);
+        cpu.run_one(&prog, Backend::EventDriven);
     }
     assert_eq!(cpu.mem().read(0x999), 0xDEAD);
     // Reset the canary, flip the condition: predictor now expects the
     // not-taken (store) path, so the store executes transiently…
     cpu.mem_mut().write(0x999, 0);
     cpu.mem_mut().write(0x10, 0);
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.mispredicts >= 1, "the flipped branch must mispredict");
     assert_eq!(
         cpu.mem().read(0x999),
@@ -182,7 +182,7 @@ fn all_predictors_preserve_architecture() {
             ..CpuConfig::coffee_lake()
         };
         let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
-        let r = cpu.execute(&prog);
+        let r = cpu.run_one(&prog, Backend::EventDriven);
         assert_eq!(r.regs, reference.regs, "{kind:?} diverged");
         assert_eq!(r.committed, reference.steps);
     }
@@ -280,7 +280,7 @@ proptest! {
 
         let mut cpu = fresh_cpu();
         *cpu.mem_mut() = mem;
-        let result = cpu.execute(&prog);
+        let result = cpu.run_one(&prog, Backend::EventDriven);
         prop_assert!(!result.limit_hit);
         prop_assert_eq!(&result.regs, &reference.regs);
         prop_assert_eq!(cpu.mem(), &ref_mem);

@@ -1,7 +1,9 @@
-//! Differential validation of the event-driven scheduler against the
-//! retained scan-based reference scheduler (`racer_cpu::reference`).
+//! Differential validation of every execution backend against the
+//! retained scan-based reference scheduler (`racer_cpu::reference`): the
+//! event-driven production scheduler and the lockstep batch engine
+//! (`racer_cpu::engine`) both run every program.
 //!
-//! The two implementations must be **cycle-exact** equivalents: for any
+//! The implementations must be **cycle-exact** equivalents: for any
 //! program and configuration, every observable of [`RunResult`] — total
 //! cycles, commit counts, squash/mispredict/interrupt counters, final
 //! registers, the full per-load event stream, the pipeline trace and the
@@ -11,7 +13,7 @@
 //! under every countermeasure mode, on machine state that deliberately
 //! accumulates (warm caches, trained predictors) across programs.
 
-use racer_cpu::{Countermeasure, Cpu, CpuConfig, RecordLevel, RunResult};
+use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, RecordLevel, RunResult};
 use racer_isa::{AluOp, Cond, Instr, MemOperand, Operand, Program, Reg};
 use racer_mem::HierarchyConfig;
 
@@ -221,9 +223,17 @@ fn assert_equivalent(tag: &str, fast: &RunResult, slow: &RunResult) {
     }
 }
 
-/// Run `count` random programs through both schedulers on a persistent pair
-/// of machines (warm caches + trained predictors accumulate identically).
-/// Every third program wraps its body in a counted backward-branch loop.
+/// Run `count` random programs through every [`Backend`] on a persistent
+/// pair of machines (warm caches + trained predictors accumulate
+/// identically). Every third program wraps its body in a counted
+/// backward-branch loop.
+///
+/// The batched backend forks a one-lane [`racer_cpu::MachineBatch`] from
+/// the fast machine's *current* state without mutating it; the
+/// event-driven run that follows starts from that same state, so the two
+/// must be bit-identical — which pins the batch engine against the
+/// production scheduler on every program, countermeasure and accumulated
+/// warm state the suite covers.
 fn run_differential(cfg: CpuConfig, seed: u64, count: usize, len: usize) {
     let mut fast_cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let mut slow_cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
@@ -235,10 +245,12 @@ fn run_differential(cfg: CpuConfig, seed: u64, count: usize, len: usize) {
             None
         };
         let prog = random_program(&mut rng, len, trips);
-        let fast = fast_cpu.execute(&prog);
-        let slow = slow_cpu.execute_reference(&prog);
+        let batched = fast_cpu.run_one(&prog, Backend::Batched);
+        let fast = fast_cpu.run_one(&prog, Backend::EventDriven);
+        let slow = slow_cpu.run_one(&prog, Backend::Reference);
         let tag = format!("cm={} program #{i}", cfg.countermeasure);
-        assert_equivalent(&tag, &fast, &slow);
+        assert_equivalent(&format!("{tag} [event-driven vs reference]"), &fast, &slow);
+        assert_equivalent(&format!("{tag} [batched vs event-driven]"), &batched, &fast);
         assert_eq!(
             fast_cpu.mem(),
             slow_cpu.mem(),

@@ -1,0 +1,317 @@
+//! Property tests for the batched lockstep engine (`racer_cpu::engine`).
+//!
+//! The engine's contract is bit-identity: a lane stepped inside a
+//! [`MachineBatch`] must produce exactly the [`RunResult`] that forking a
+//! whole machine from the same [`Snapshot`] and running it to completion
+//! would — cycles, registers, load events, traces and cache statistics —
+//! in any lane order, with any mix of divergent programs, under every
+//! countermeasure. These tests exercise that property on randomized
+//! program populations, plus the fork semantics the sweep drivers rely
+//! on: forks are isolated from the snapshot and from each other, and a
+//! batch is deterministic and reusable across rounds.
+
+use racer_cpu::workloads::{alu_chain, memory_stream};
+use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, MachineBatch, RunResult, Snapshot};
+use racer_isa::{AluOp, Cond, Instr, MemOperand, Operand, Program, Reg};
+use racer_mem::HierarchyConfig;
+
+const ALL_COUNTERMEASURES: [Countermeasure; 6] = [
+    Countermeasure::None,
+    Countermeasure::InOrder,
+    Countermeasure::DelayOnMiss,
+    Countermeasure::InvisibleSpec,
+    Countermeasure::GhostMinion,
+    Countermeasure::CleanupSpec,
+];
+
+/// xorshift64* — deterministic, dependency-free. Seed must be non-zero.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random terminating gadget: ALU chains with multiplies and divides,
+/// aliased loads/stores, strided-line loads, prefetch/flush, fences and
+/// forward branches — optionally wrapped in a counted backward-branch
+/// loop (register 7 holds the trip counter, never written by the body).
+fn random_gadget(rng: &mut Xs, len: usize, loop_trips: Option<u64>) -> Program {
+    let reg = |i: u64| Reg::new(i as usize);
+    let mut instrs: Vec<Instr> = Vec::with_capacity(len + 12);
+    for i in 0..7u64 {
+        instrs.push(Instr::Alu {
+            op: AluOp::Add,
+            dst: reg(i),
+            a: Operand::Imm(1 + rng.below(50) as i64),
+            b: Operand::Imm(0),
+        });
+    }
+    if let Some(trips) = loop_trips {
+        instrs.push(Instr::Alu {
+            op: AluOp::Add,
+            dst: reg(7),
+            a: Operand::Imm(trips as i64),
+            b: Operand::Imm(0),
+        });
+    }
+    let body_start = instrs.len();
+    let end = body_start + len;
+    for at in body_start..end {
+        let d = reg(rng.below(7));
+        let a = reg(rng.below(7));
+        let b = reg(rng.below(7));
+        let pool = 0x200 + rng.below(8) * 8;
+        let line = 0x8000 + rng.below(32) * 64;
+        let fwd = (at as u64 + 1 + rng.below((end - at) as u64)).min(end as u64) as usize;
+        instrs.push(match rng.below(16) {
+            0..=3 => Instr::Alu {
+                op: match rng.below(4) {
+                    0 => AluOp::Add,
+                    1 => AluOp::Sub,
+                    2 => AluOp::Xor,
+                    _ => AluOp::And,
+                },
+                dst: d,
+                a: Operand::Reg(a),
+                b: Operand::Reg(b),
+            },
+            4 => Instr::Alu {
+                op: AluOp::Mul,
+                dst: d,
+                a: Operand::Reg(a),
+                b: Operand::Imm(5),
+            },
+            5 => Instr::Alu {
+                op: AluOp::Div,
+                dst: d,
+                a: Operand::Reg(a),
+                b: Operand::Reg(b),
+            },
+            6..=8 => Instr::Load {
+                dst: d,
+                mem: MemOperand::abs(if rng.below(2) == 0 { pool } else { line }),
+            },
+            9 | 10 => Instr::Store {
+                src: Operand::Reg(a),
+                mem: MemOperand::abs(pool),
+            },
+            11 => Instr::Prefetch {
+                mem: MemOperand::abs(line),
+                nta: rng.below(2) == 0,
+            },
+            12 => Instr::Flush {
+                mem: MemOperand::abs(line),
+            },
+            13 | 14 => Instr::Branch {
+                cond: if rng.below(2) == 0 {
+                    Cond::Lt
+                } else {
+                    Cond::Ne
+                },
+                a,
+                b: Operand::Imm(rng.below(40) as i64),
+                target: fwd,
+            },
+            _ => Instr::Fence,
+        });
+    }
+    if loop_trips.is_some() {
+        instrs.push(Instr::Alu {
+            op: AluOp::Sub,
+            dst: reg(7),
+            a: Operand::Reg(reg(7)),
+            b: Operand::Imm(1),
+        });
+        instrs.push(Instr::Branch {
+            cond: Cond::Ne,
+            a: reg(7),
+            b: Operand::Imm(0),
+            target: body_start,
+        });
+    }
+    instrs.push(Instr::Halt);
+    Program::from_instrs(instrs).expect("generated gadget is valid")
+}
+
+/// A population of random gadgets: every third one loops, lengths vary so
+/// lanes finish in different lockstep rounds.
+fn gadget_population(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = Xs(seed);
+    (0..count)
+        .map(|i| {
+            let len = 30 + (rng.below(41) as usize);
+            let trips = (i % 3 == 2).then(|| 2 + rng.below(3));
+            random_gadget(&mut rng, len, trips)
+        })
+        .collect()
+}
+
+/// Bit-identity over every observable: the named fields give readable
+/// failures, the Debug rendering closes over everything else (load
+/// events, traces, cache statistics).
+fn assert_bit_identical(tag: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.cycles, b.cycles, "{tag}: cycles diverge");
+    assert_eq!(a.committed, b.committed, "{tag}: commit counts diverge");
+    assert_eq!(a.regs, b.regs, "{tag}: registers diverge");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "{tag}: full results diverge"
+    );
+}
+
+/// A snapshot of a machine warmed on the standard kernels (trained
+/// predictor, populated caches — the state a sweep would fork from).
+fn warmed_snapshot(cfg: CpuConfig) -> Snapshot {
+    let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+    cpu.run_one(&alu_chain(200), Backend::EventDriven);
+    cpu.run_one(&memory_stream(200), Backend::EventDriven);
+    cpu.snapshot()
+}
+
+#[test]
+fn lockstep_matches_per_machine_forks_under_every_countermeasure() {
+    for cm in ALL_COUNTERMEASURES {
+        let cfg = CpuConfig::coffee_lake()
+            .with_countermeasure(cm)
+            .with_load_recording();
+        let snap = warmed_snapshot(cfg);
+        let progs = gadget_population(0xC0FFEE ^ cm as u64, 12);
+        let mut batch = MachineBatch::from_snapshot(&snap);
+        for p in &progs {
+            batch.push(p);
+        }
+        let batched = batch.run();
+        assert_eq!(batched.len(), progs.len());
+        for (i, (prog, got)) in progs.iter().zip(&batched).enumerate() {
+            let want = snap.fork().run_one(prog, Backend::EventDriven);
+            assert_bit_identical(&format!("cm={cm} gadget #{i}"), got, &want);
+        }
+    }
+}
+
+#[test]
+fn lockstep_matches_per_machine_forks_with_full_traces() {
+    let cfg = CpuConfig::coffee_lake().with_record_level(racer_cpu::RecordLevel::Trace);
+    let snap = warmed_snapshot(cfg);
+    let progs = gadget_population(0x7_1CE5, 8);
+    let mut batch = MachineBatch::from_snapshot(&snap);
+    for p in &progs {
+        batch.push(p);
+    }
+    for (i, (prog, got)) in progs.iter().zip(&batch.run()).enumerate() {
+        let want = snap.fork().run_one(prog, Backend::EventDriven);
+        assert_bit_identical(&format!("traced gadget #{i}"), got, &want);
+    }
+}
+
+#[test]
+fn lane_order_never_changes_results() {
+    let snap = warmed_snapshot(CpuConfig::coffee_lake().with_load_recording());
+    let progs = gadget_population(0x0D0E_0D0E, 10);
+    let run_in_order = |order: &[usize]| -> Vec<RunResult> {
+        let mut batch = MachineBatch::from_snapshot(&snap);
+        for &i in order {
+            batch.push(&progs[i]);
+        }
+        batch.run()
+    };
+    let forward: Vec<usize> = (0..progs.len()).collect();
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    // Interleave from both ends: 0, 9, 1, 8, ...
+    let interleaved: Vec<usize> = forward
+        .iter()
+        .zip(reversed.iter())
+        .flat_map(|(&a, &b)| [a, b])
+        .take(progs.len())
+        .collect();
+    let base = run_in_order(&forward);
+    for (name, order) in [("reversed", &reversed), ("interleaved", &interleaved)] {
+        let permuted = run_in_order(order);
+        for (slot, &i) in order.iter().enumerate() {
+            assert_bit_identical(
+                &format!("{name} order, gadget #{i}"),
+                &permuted[slot],
+                &base[i],
+            );
+        }
+    }
+}
+
+#[test]
+fn forks_are_deterministic_and_isolated() {
+    let snap = warmed_snapshot(CpuConfig::coffee_lake().with_load_recording());
+    let prog = gadget_population(0xF0_4E5, 1).remove(0);
+
+    // N forks of the same snapshot all see the same starting state, no
+    // matter how many siblings ran (and dirtied their caches) before them.
+    let mut batch = MachineBatch::from_snapshot(&snap);
+    for _ in 0..8 {
+        batch.push(&prog);
+    }
+    let lanes = batch.run();
+    let solo = snap.fork().run_one(&prog, Backend::EventDriven);
+    for (i, lane) in lanes.iter().enumerate() {
+        assert_bit_identical(&format!("sibling lane #{i}"), lane, &solo);
+    }
+
+    // Whole-machine forks are equally isolated: running one fork (stores,
+    // cache fills, predictor training) must not leak into the snapshot.
+    let first = snap.fork().run_one(&prog, Backend::EventDriven);
+    let second = snap.fork().run_one(&prog, Backend::EventDriven);
+    assert_bit_identical("fork isolation", &first, &second);
+}
+
+#[test]
+fn batch_is_reusable_across_rounds() {
+    let snap = warmed_snapshot(CpuConfig::coffee_lake().with_load_recording());
+    let progs = gadget_population(0xA5A5_A5A5, 6);
+    let mut batch = MachineBatch::from_snapshot(&snap);
+    let mut rounds = Vec::new();
+    for _ in 0..3 {
+        for p in &progs {
+            batch.push(p);
+        }
+        assert_eq!(batch.lanes(), progs.len());
+        rounds.push(batch.run());
+        assert!(batch.is_empty(), "run() drains the lanes");
+    }
+    // Every round forks the same snapshot: identical results, even though
+    // later rounds recycle the first round's lane allocations.
+    for (r, round) in rounds.iter().enumerate().skip(1) {
+        for (i, got) in round.iter().enumerate() {
+            assert_bit_identical(&format!("round {r}, gadget #{i}"), got, &rounds[0][i]);
+        }
+    }
+}
+
+#[test]
+fn run_one_batched_leaves_the_parent_machine_untouched() {
+    let mut cpu = Cpu::new(
+        CpuConfig::coffee_lake().with_load_recording(),
+        HierarchyConfig::coffee_lake(),
+    );
+    cpu.run_one(&alu_chain(200), Backend::EventDriven); // warm the parent
+    let prog = gadget_population(0x5EED_5EED, 1).remove(0);
+
+    // Batched runs fork the parent's current state without advancing it:
+    // repeated calls keep observing the same state, and the event-driven
+    // run that follows starts exactly where the forks did.
+    let b1 = cpu.run_one(&prog, Backend::Batched);
+    let b2 = cpu.run_one(&prog, Backend::Batched);
+    let direct = cpu.run_one(&prog, Backend::EventDriven);
+    assert_bit_identical("repeated batched runs", &b1, &b2);
+    assert_bit_identical("batched vs event-driven", &b1, &direct);
+}

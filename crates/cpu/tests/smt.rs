@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use racer_cpu::workloads::{alu_saturate, div_hog, div_race, timer_race};
-use racer_cpu::{Countermeasure, Cpu, CpuConfig, RunResult, SmtPolicy};
+use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, RunResult, SmtPolicy};
 use racer_isa::{AluOp, Cond, Instr, MemOperand, Operand, Program, Reg};
 use racer_mem::HierarchyConfig;
 
@@ -167,8 +167,8 @@ fn run_smt_differential(cfg: CpuConfig, seed: u64, count: usize, len: usize) {
         let len_b = len / 2 + rng.below(len as u64) as usize;
         let prog_a = random_program(&mut rng, len, 0x100);
         let prog_b = random_program(&mut rng, len_b, 0x2_0100);
-        let fast = fast_cpu.execute_smt(&[&prog_a, &prog_b]);
-        let slow = slow_cpu.execute_reference_smt(&[&prog_a, &prog_b]);
+        let fast = fast_cpu.run(&[&prog_a, &prog_b], Backend::EventDriven);
+        let slow = slow_cpu.run(&[&prog_a, &prog_b], Backend::Reference);
         for tid in 0..2 {
             let tag = format!(
                 "policy={:?} cm={} co-schedule #{i} thread {tid}",
@@ -266,8 +266,8 @@ proptest! {
         let prog = random_program(&mut Rng(seed), len, 0x100);
         let mut fast = Cpu::new(cfg, HierarchyConfig::coffee_lake());
         let mut slow = Cpu::new(cfg, HierarchyConfig::coffee_lake());
-        let f = fast.execute(&prog);
-        let s = slow.execute_reference(&prog);
+        let f = fast.run_one(&prog, Backend::EventDriven);
+        let s = slow.run_one(&prog, Backend::Reference);
         assert_equivalent(&format!("proptest cm={cm}"), &f, &s);
         prop_assert_eq!(f.cycles, s.cycles);
     }
@@ -311,7 +311,7 @@ fn two_independent_divs() -> Program {
 
 fn issue_cycles_of_divs(cfg: CpuConfig) -> Vec<u64> {
     let mut cpu = Cpu::new(cfg.with_trace(), HierarchyConfig::coffee_lake());
-    let r = cpu.execute(&two_independent_divs());
+    let r = cpu.run_one(&two_independent_divs(), Backend::EventDriven);
     assert!(r.halted);
     r.trace
         .iter()
@@ -353,7 +353,7 @@ fn two_divider_units_overlap_independent_divides() {
 #[test]
 fn one_port_div_race_cycles_are_pinned() {
     let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-    let r = cpu.execute(&div_race(64));
+    let r = cpu.run_one(&div_race(64), Backend::EventDriven);
     assert!(r.halted);
     assert_eq!(
         r.cycles, PINNED_DIV_RACE_CYCLES,
@@ -386,7 +386,7 @@ fn second_divider_unit_speeds_up_independent_divide_bursts() {
     };
     let one = {
         let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        cpu.execute(&burst).cycles
+        cpu.run_one(&burst, Backend::EventDriven).cycles
     };
     let two = {
         let cfg = CpuConfig {
@@ -394,7 +394,7 @@ fn second_divider_unit_speeds_up_independent_divide_bursts() {
             ..CpuConfig::coffee_lake()
         };
         let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
-        cpu.execute(&burst).cycles
+        cpu.run_one(&burst, Backend::EventDriven).cycles
     };
     assert!(
         two * 3 < one * 2,
@@ -410,7 +410,7 @@ fn timer_cycles_against(contender: &Program) -> u64 {
     let cfg = CpuConfig::coffee_lake().with_threads(2);
     let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let race = timer_race(3, 40);
-    let results = cpu.execute_smt(&[&race.prog, contender]);
+    let results = cpu.run(&[&race.prog, contender], Backend::EventDriven);
     assert!(results[0].halted && results[1].halted);
     results[0].cycles
 }
@@ -443,7 +443,9 @@ fn smt_policies_both_make_progress_under_saturation() {
     // last must have absorbed it, and nobody may starve outright.
     let solo = {
         let mut solo_cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-        solo_cpu.execute(&alu_saturate(200, 8)).cycles
+        solo_cpu
+            .run_one(&alu_saturate(200, 8), Backend::EventDriven)
+            .cycles
     };
     for policy in [SmtPolicy::RoundRobin, SmtPolicy::Icount] {
         let cfg = CpuConfig::coffee_lake()
@@ -452,7 +454,7 @@ fn smt_policies_both_make_progress_under_saturation() {
         let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
         let a = alu_saturate(200, 8);
         let b = alu_saturate(200, 8);
-        let results = cpu.execute_smt(&[&a, &b]);
+        let results = cpu.run(&[&a, &b], Backend::EventDriven);
         assert!(
             results[0].halted && results[1].halted,
             "{policy}: both halt"
@@ -477,6 +479,8 @@ fn execute_smt_requires_matching_thread_count() {
     let cfg = CpuConfig::coffee_lake().with_threads(2);
     let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let p = Program::from_instrs(vec![Instr::Halt]).expect("valid");
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cpu.execute_smt(&[&p])));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cpu.run(&[&p], Backend::EventDriven)
+    }));
     assert!(result.is_err(), "1 program on a 2-thread config must panic");
 }

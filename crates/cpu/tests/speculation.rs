@@ -6,7 +6,7 @@
 //! change cache state before the squash, and only some defences remove that
 //! trace.
 
-use racer_cpu::{Countermeasure, Cpu, CpuConfig};
+use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig};
 use racer_isa::{Asm, Cond, MemOperand, Program};
 use racer_mem::{Addr, HierarchyConfig, HitLevel};
 
@@ -61,7 +61,7 @@ fn spectre_like_delayed(body_delay: usize) -> Program {
 fn train(cpu: &mut Cpu, prog: &Program, runs: usize) {
     cpu.mem_mut().write(X_ADDR, 0);
     for _ in 0..runs {
-        cpu.execute(prog);
+        cpu.run_one(prog, Backend::EventDriven);
     }
 }
 
@@ -70,8 +70,8 @@ fn two_bit_training_eliminates_mispredicts() {
     let mut cpu = cpu_with(Countermeasure::None);
     let prog = spectre_like();
     cpu.mem_mut().write(X_ADDR, 0);
-    cpu.execute(&prog); // first run may mispredict
-    let trained = cpu.execute(&prog);
+    cpu.run_one(&prog, Backend::EventDriven); // first run may mispredict
+    let trained = cpu.run_one(&prog, Backend::EventDriven);
     assert_eq!(
         trained.mispredicts, 0,
         "trained branch must predict correctly"
@@ -89,7 +89,7 @@ fn mistrained_branch_leaves_transient_cache_trace() {
     cpu.mem_mut().write(X_ADDR, 1);
     cpu.hierarchy_mut().flush(Addr(X_ADDR));
     cpu.hierarchy_mut().flush(Addr(PROBE));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
 
     assert_eq!(
         r.mispredicts, 1,
@@ -119,7 +119,7 @@ fn resolved_fast_branch_squashes_before_the_body_load_issues() {
     cpu.mem_mut().write(X_ADDR, 1);
     // x stays cached (no flush): branch resolves at ~L1 speed.
     cpu.hierarchy_mut().flush(Addr(PROBE));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
 
     assert_eq!(r.mispredicts, 1);
     assert!(
@@ -138,7 +138,7 @@ fn delay_on_miss_blocks_speculative_miss_trace() {
     cpu.mem_mut().write(X_ADDR, 1);
     cpu.hierarchy_mut().flush(Addr(X_ADDR));
     cpu.hierarchy_mut().flush(Addr(PROBE));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
 
     assert_eq!(r.mispredicts, 1);
     assert!(
@@ -162,7 +162,7 @@ fn delay_on_miss_still_allows_speculative_l1_hits() {
     cpu.hierarchy_mut().flush(Addr(X_ADDR));
     // PROBE is L1-resident: DoM lets the speculative hit proceed.
     cpu.hierarchy_mut().load(Addr(PROBE));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(
         r.transient_touched(PROBE),
         "DoM only delays misses; speculative L1 hits proceed"
@@ -179,7 +179,7 @@ fn invisible_speculation_leaves_no_trace() {
         cpu.mem_mut().write(X_ADDR, 1);
         cpu.hierarchy_mut().flush(Addr(X_ADDR));
         cpu.hierarchy_mut().flush(Addr(PROBE));
-        let r = cpu.execute(&prog);
+        let r = cpu.run_one(&prog, Backend::EventDriven);
 
         assert_eq!(r.mispredicts, 1);
         // The load may *issue* (timing side), but its fill must never land.
@@ -205,8 +205,8 @@ fn invisible_speculation_applies_fill_at_commit_for_correct_paths() {
     asm.halt();
     let prog = asm.assemble().unwrap();
     cpu.mem_mut().write(X_ADDR, 0);
-    cpu.execute(&prog);
-    cpu.execute(&prog);
+    cpu.run_one(&prog, Backend::EventDriven);
+    cpu.run_one(&prog, Backend::EventDriven);
     assert_eq!(
         cpu.hierarchy().probe(Addr(PROBE)),
         HitLevel::L1,
@@ -233,8 +233,8 @@ fn in_order_mode_serializes_independent_chains() {
     };
     let mut ooo = cpu_with(Countermeasure::None);
     let mut ino = cpu_with(Countermeasure::InOrder);
-    let ooo_cycles = ooo.execute(&build()).cycles;
-    let ino_cycles = ino.execute(&build()).cycles;
+    let ooo_cycles = ooo.run_one(&build(), Backend::EventDriven).cycles;
+    let ino_cycles = ino.run_one(&build(), Backend::EventDriven).cycles;
     assert!(
         ino_cycles >= ooo_cycles + 25,
         "in-order issue must destroy the overlap: ooo={ooo_cycles} inorder={ino_cycles}"
@@ -253,7 +253,7 @@ fn in_order_mode_preserves_architectural_results() {
     asm.halt();
     let prog = asm.assemble().unwrap();
     let mut cpu = cpu_with(Countermeasure::InOrder);
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert_eq!(r.regs[acc.index()], (1..=9).sum::<u64>());
 }
 
@@ -280,7 +280,8 @@ fn fence_serializes_execution() {
             prev2 = n;
         }
         asm.halt();
-        cpu.execute(&asm.assemble().unwrap()).cycles
+        cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven)
+            .cycles
     };
     let without = measure(false);
     let with = measure(true);
@@ -304,7 +305,7 @@ fn interrupt_drain_counts_and_preserves_results() {
     asm.br(Cond::Ne, i, 0, top);
     asm.halt();
     let prog = asm.assemble().unwrap();
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(
         r.interrupts >= 2,
         "a long run must cross several interrupt boundaries"
@@ -312,7 +313,7 @@ fn interrupt_drain_counts_and_preserves_results() {
     assert_eq!(r.regs[acc.index()], (1..=900).sum::<u64>());
 
     let mut quiet = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
-    let fast = quiet.execute(&prog);
+    let fast = quiet.run_one(&prog, Backend::EventDriven);
     assert!(r.cycles > fast.cycles, "drains must cost cycles");
 }
 
@@ -340,7 +341,7 @@ fn nested_misspeculation_recovers_to_the_oldest_branch() {
     cpu.mem_mut().write(X_ADDR, 0);
     cpu.mem_mut().write(X_ADDR + 8, 0);
     for _ in 0..4 {
-        let r = cpu.execute(&prog);
+        let r = cpu.run_one(&prog, Backend::EventDriven);
         assert_eq!(r.regs[acc.index()], 110);
     }
     // Flip both; flush both conditions so resolution is slow.
@@ -348,7 +349,7 @@ fn nested_misspeculation_recovers_to_the_oldest_branch() {
     cpu.mem_mut().write(X_ADDR + 8, 1);
     cpu.hierarchy_mut().flush(Addr(X_ADDR));
     cpu.hierarchy_mut().flush(Addr(X_ADDR + 8));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert_eq!(r.regs[acc.index()], 0, "both additions were wrong-path");
     assert!(r.mispredicts >= 1);
 }
@@ -360,6 +361,6 @@ fn squashed_instructions_are_counted() {
     train(&mut cpu, &prog, 4);
     cpu.mem_mut().write(X_ADDR, 1);
     cpu.hierarchy_mut().flush(Addr(X_ADDR));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.squashed_instrs >= 1, "wrong-path body must be squashed");
 }

@@ -4,7 +4,7 @@
 //! latencies must match the configured values, the divider must be
 //! non-fully-pipelined, and cache hit/miss latencies must show through.
 
-use racer_cpu::{Cpu, CpuConfig};
+use racer_cpu::{Backend, Cpu, CpuConfig};
 use racer_isa::{Asm, MemOperand, Reg};
 use racer_mem::HierarchyConfig;
 
@@ -18,7 +18,7 @@ fn run_cycles(cpu: &mut Cpu, build: impl FnOnce(&mut Asm)) -> u64 {
     build(&mut asm);
     asm.halt();
     let prog = asm.assemble().expect("valid program");
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.halted && !r.limit_hit);
     r.cycles
 }
@@ -269,8 +269,8 @@ fn warm_cache_speeds_up_reruns() {
     }
     asm.halt();
     let prog = asm.assemble().unwrap();
-    let cold = c.execute(&prog).cycles;
-    let warm = c.execute(&prog).cycles;
+    let cold = c.run_one(&prog, Backend::EventDriven).cycles;
+    let warm = c.run_one(&prog, Backend::EventDriven).cycles;
     assert!(
         warm < cold / 2,
         "warm rerun ({warm}) should be far cheaper than cold ({cold})"
@@ -289,7 +289,7 @@ fn ipc_is_sane_on_wide_independent_code() {
     }
     asm.halt();
     let prog = asm.assemble().unwrap();
-    let r = c.execute(&prog);
+    let r = c.run_one(&prog, Backend::EventDriven);
     let ipc = r.ipc();
     assert!(
         ipc > 2.0,
@@ -305,9 +305,9 @@ fn run_result_memory_stats_are_deltas() {
     asm.load(d, MemOperand::abs(0xA000));
     asm.halt();
     let prog = asm.assemble().unwrap();
-    let first = c.execute(&prog);
+    let first = c.run_one(&prog, Backend::EventDriven);
     assert_eq!(first.mem_stats.l1d.misses, 1);
-    let second = c.execute(&prog);
+    let second = c.run_one(&prog, Backend::EventDriven);
     assert_eq!(
         second.mem_stats.l1d.misses, 0,
         "stats must be per-run deltas"

@@ -1,7 +1,7 @@
 //! Pipeline-trace tests: the trace must reflect the schedule the timing
 //! model actually produced, including wrong-path (squashed) work.
 
-use racer_cpu::{render_pipeline, Cpu, CpuConfig};
+use racer_cpu::{render_pipeline, Backend, Cpu, CpuConfig};
 use racer_isa::{Asm, Cond, MemOperand};
 use racer_mem::{Addr, HierarchyConfig};
 
@@ -21,7 +21,7 @@ fn trace_covers_every_committed_instruction_in_order() {
     asm.mul(b, a, a);
     asm.add(b, b, a);
     asm.halt();
-    let r = cpu.execute(&asm.assemble().unwrap());
+    let r = cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven);
     assert_eq!(r.trace.len(), 4);
     for (i, rec) in r.trace.iter().enumerate() {
         assert_eq!(rec.seq, i as u64, "dispatch order is sequence order");
@@ -45,7 +45,7 @@ fn trace_timestamps_reflect_dataflow() {
     asm.addi(b, a, 1); // dependent: must issue after the load completes
     asm.mov_imm(c, 7); // independent: issues immediately
     asm.halt();
-    let r = cpu.execute(&asm.assemble().unwrap());
+    let r = cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven);
     let load = &r.trace[0];
     let dep = &r.trace[1];
     let indep = &r.trace[2];
@@ -75,11 +75,11 @@ fn squashed_wrong_path_work_appears_in_the_trace() {
     // Train not-taken, then flip.
     cpu.mem_mut().write(0x100, 0);
     for _ in 0..4 {
-        cpu.execute(&prog);
+        cpu.run_one(&prog, Backend::EventDriven);
     }
     cpu.mem_mut().write(0x100, 1);
     cpu.hierarchy_mut().flush(Addr(0x100));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.mispredicts >= 1);
     let squashed: Vec<_> = r.trace.iter().filter(|t| t.squashed()).collect();
     assert!(
@@ -96,7 +96,7 @@ fn trace_is_empty_unless_enabled() {
     let mut asm = Asm::new();
     asm.nop();
     asm.halt();
-    let r = cpu.execute(&asm.assemble().unwrap());
+    let r = cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven);
     assert!(r.trace.is_empty());
 }
 
@@ -119,7 +119,7 @@ fn race_winners_are_visible_in_the_trace() {
         asm.add(long, long, 1i64);
     }
     asm.halt();
-    let r = cpu.execute(&asm.assemble().unwrap());
+    let r = cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven);
     // Terminal ops: last add of each chain.
     let short_end = r.trace.iter().rfind(|t| t.pc <= 6 && t.pc >= 2).unwrap();
     let long_end = r

@@ -1,7 +1,7 @@
 //! Structural-limit tests: scheduler, ROB, MSHRs, ports and widths must
 //! bound performance exactly the way the gadget analyses assume.
 
-use racer_cpu::{Cpu, CpuConfig};
+use racer_cpu::{Backend, Cpu, CpuConfig};
 use racer_isa::{Asm, Cond, MemOperand};
 use racer_mem::HierarchyConfig;
 
@@ -32,8 +32,12 @@ fn scheduler_size_bounds_racing_window() {
         asm.halt();
         asm.assemble().unwrap()
     };
-    let wide = cpu_with(|c| c.rs_size = 120).execute(&build()).cycles;
-    let narrow = cpu_with(|c| c.rs_size = 16).execute(&build()).cycles;
+    let wide = cpu_with(|c| c.rs_size = 120)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
+    let narrow = cpu_with(|c| c.rs_size = 16)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
     assert!(
         narrow > wide + 10,
         "a 16-entry scheduler cannot hold both 40-op chains: wide={wide} narrow={narrow}"
@@ -53,8 +57,12 @@ fn mshr_count_bounds_memory_parallelism() {
         asm.halt();
         asm.assemble().unwrap()
     };
-    let many = cpu_with(|c| c.mshrs = 10).execute(&build()).cycles;
-    let few = cpu_with(|c| c.mshrs = 2).execute(&build()).cycles;
+    let many = cpu_with(|c| c.mshrs = 10)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
+    let few = cpu_with(|c| c.mshrs = 2)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
     assert!(
         few > many + 400,
         "2 MSHRs must serialize 8 cold loads into ~4 rounds: many={many} few={few}"
@@ -81,8 +89,8 @@ fn load_ports_bound_hit_bandwidth() {
     };
     let measure = |ports: usize| {
         let mut cpu = cpu_with(|c| c.load_ports = ports);
-        cpu.execute(&storm(64, 1)); // warm the 64 lines
-        cpu.execute(&storm(64, 4)).cycles // 256 pure hits
+        cpu.run_one(&storm(64, 1), Backend::EventDriven); // warm the 64 lines
+        cpu.run_one(&storm(64, 4), Backend::EventDriven).cycles // 256 pure hits
     };
     let two = measure(2);
     let one = measure(1);
@@ -105,12 +113,14 @@ fn dispatch_width_bounds_frontend() {
         asm.halt();
         asm.assemble().unwrap()
     };
-    let four = cpu_with(|c| c.dispatch_width = 4).execute(&build()).cycles;
+    let four = cpu_with(|c| c.dispatch_width = 4)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
     let one = cpu_with(|c| {
         c.dispatch_width = 1;
         c.fetch_width = 1;
     })
-    .execute(&build())
+    .run_one(&build(), Backend::EventDriven)
     .cycles;
     assert!(
         one as f64 > four as f64 * 2.5,
@@ -133,8 +143,12 @@ fn commit_width_bounds_retirement() {
         asm.halt();
         asm.assemble().unwrap()
     };
-    let wide = cpu_with(|c| c.commit_width = 8).execute(&build()).cycles;
-    let narrow = cpu_with(|c| c.commit_width = 1).execute(&build()).cycles;
+    let wide = cpu_with(|c| c.commit_width = 8)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
+    let narrow = cpu_with(|c| c.commit_width = 1)
+        .run_one(&build(), Backend::EventDriven)
+        .cycles;
     assert!(
         narrow > wide + 100,
         "1-wide commit must drain 160 completed adds slowly: wide={wide} narrow={narrow}"
@@ -162,12 +176,12 @@ fn fence_blocks_transient_dispatch() {
 
     cpu.mem_mut().write(0x100, 0);
     for _ in 0..4 {
-        cpu.execute(&prog); // train not-taken (fence path is architectural)
+        cpu.run_one(&prog, Backend::EventDriven); // train not-taken (fence path is architectural)
     }
     cpu.mem_mut().write(0x100, 1);
     cpu.hierarchy_mut().flush(racer_mem::Addr(0x100));
     cpu.hierarchy_mut().flush(racer_mem::Addr(0x5_0000));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.mispredicts >= 1);
     assert!(
         !r.loads.iter().any(|l| l.addr == 0x5_0000),
@@ -198,7 +212,7 @@ fn wrong_path_loop_recovers() {
                                    // actually loop forever architecturally. Instead rely on the default
                                    // not-taken prediction of a cold 2-bit counter.
     cpu.hierarchy_mut().flush(racer_mem::Addr(0x100));
-    let r = cpu.execute(&prog);
+    let r = cpu.run_one(&prog, Backend::EventDriven);
     assert!(r.halted, "core must recover from wrong-path spinning");
     assert!(r.mispredicts >= 1);
     assert!(!r.limit_hit);
@@ -213,7 +227,7 @@ fn run_limit_bounds_infinite_loops() {
     let mut asm = Asm::new();
     let spin = asm.here();
     asm.jump(spin);
-    let r = cpu.execute(&asm.assemble().unwrap());
+    let r = cpu.run_one(&asm.assemble().unwrap(), Backend::EventDriven);
     assert!(r.limit_hit);
     assert!(!r.halted);
 }
@@ -239,7 +253,7 @@ fn per_pc_predictor_state_is_independent() {
     let prog = asm.assemble().unwrap();
     let mut last = 0;
     for _ in 0..6 {
-        last = cpu.execute(&prog).mispredicts;
+        last = cpu.run_one(&prog, Backend::EventDriven).mispredicts;
     }
     assert_eq!(last, 0, "both branches must end up correctly predicted");
 }

@@ -1,22 +1,42 @@
 //! Simulator-throughput baseline: committed instructions per host second
 //! for the event-driven scheduler vs. the retained scan-based reference
-//! scheduler, across the standard workload suite.
+//! scheduler, across the standard workload suite — plus sweep-throughput
+//! rows comparing the fork-based batch engine against the classic
+//! fresh-machine-per-point sweep.
 //!
 //! The payload (`results`) is exactly the committed `BENCH_pipeline.json`
 //! document, so the legacy `perf_baseline` binary can keep refreshing the
-//! baseline and `racer-lab perf-check` can diff against it.
+//! baseline and `racer-lab perf-check` can diff against it. Sweep rows
+//! reuse the same column names (`event_driven_instrs_per_sec` holds the
+//! batched engine, `reference_instrs_per_sec` the per-machine sweep), so
+//! the existing perf gate covers them with no schema change.
 
 use super::header;
 use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
-use racer_cpu::workloads::{measure_workload, standard_suite};
+use racer_cpu::workloads::{
+    alu_chain, measure_sweep, measure_workload, memory_stream, standard_suite,
+};
+use racer_cpu::Backend;
 use racer_results::Value;
 use std::fmt::Write as _;
+
+/// Untimed warmup executions each sweep point needs before its timed run.
+/// Per-machine sweeps pay this per point; the batch engine pays it once
+/// and forks — which is exactly the gap the sweep rows measure.
+const SWEEP_WARMUP: usize = 16;
+
+/// Loop iterations for the sweep-row programs. Fixed (not scaled by
+/// `iters`) so the sweep rows measure identical work under both presets
+/// and the perf gate's quick re-measurement is comparable to the
+/// paper-scale baseline.
+const SWEEP_ITERS: i64 = 2_000;
 
 fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let iters = ctx.params.i64("iters");
     let reps = ctx.params.usize("reps");
+    let sweep_points = ctx.params.usize("sweep_points");
     let mut text = header("perf baseline", "pipeline scheduler throughput");
     let _ = writeln!(
         text,
@@ -28,8 +48,8 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     );
     let mut rows = Vec::new();
     for w in &standard_suite(iters, reps) {
-        let fast = measure_workload(w, false);
-        let reference = measure_workload(w, true);
+        let fast = measure_workload(w, Backend::EventDriven);
+        let reference = measure_workload(w, Backend::Reference);
         assert_eq!(
             (fast.result.cycles, fast.result.committed, &fast.result.regs),
             (
@@ -65,6 +85,71 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
                 .with("speedup", round2(speedup)),
         );
     }
+    let _ = writeln!(
+        text,
+        "# sweep throughput ({sweep_points} warmed points, {SWEEP_WARMUP} warmup runs each):"
+    );
+    let _ = writeln!(
+        text,
+        "# workload            batch-forked   per-machine  speedup"
+    );
+    let sweeps = [
+        (
+            "sweep-alu-chain",
+            "warmed sweep: batch-engine forks (event-driven col) vs fresh machine per point",
+            alu_chain(SWEEP_ITERS),
+        ),
+        (
+            "sweep-memory-stream",
+            "warmed cache-heavy sweep: batch-engine forks vs fresh machine per point",
+            memory_stream(SWEEP_ITERS),
+        ),
+    ];
+    for (name, description, prog) in &sweeps {
+        let batched = measure_sweep(prog, SWEEP_WARMUP, sweep_points, Backend::Batched);
+        let per_machine = measure_sweep(prog, SWEEP_WARMUP, sweep_points, Backend::EventDriven);
+        assert_eq!(
+            (
+                batched.result.cycles,
+                batched.result.committed,
+                &batched.result.regs
+            ),
+            (
+                per_machine.result.cycles,
+                per_machine.result.committed,
+                &per_machine.result.regs
+            ),
+            "sweep strategies diverged on {name}"
+        );
+        let speedup = batched.instrs_per_sec / per_machine.instrs_per_sec;
+        let _ = writeln!(
+            text,
+            "{:<21} {:>10.2}M {:>10.2}M {:>8.1}x",
+            name,
+            batched.instrs_per_sec / 1e6,
+            per_machine.instrs_per_sec / 1e6,
+            speedup,
+        );
+        rows.push(
+            Value::object()
+                .with("workload", *name)
+                .with("description", *description)
+                .with("dyn_instrs_per_run", batched.result.committed)
+                .with("cycles_per_run", batched.result.cycles)
+                .with("mispredicts_per_run", batched.result.mispredicts)
+                .with("squashed_per_run", batched.result.squashed_instrs)
+                .with("ipc", round3(batched.result.ipc()))
+                .with(
+                    "event_driven_instrs_per_sec",
+                    batched.instrs_per_sec.round(),
+                )
+                .with(
+                    "reference_instrs_per_sec",
+                    per_machine.instrs_per_sec.round(),
+                )
+                .with("speedup", round2(speedup)),
+        );
+    }
     let data = Value::object()
         .with("bench", "pipeline-scheduler-throughput")
         .with("unit", "committed instructions per host second")
@@ -72,7 +157,7 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
         .with("config", "coffee_lake (224-entry ROB, 6-wide issue)")
         .with(
             "reference",
-            "racer_cpu::reference (scan-based seed scheduler)",
+            "racer_cpu::reference (scan-based seed scheduler); sweep rows: per-machine sweep",
         )
         .with("workloads", Value::Array(rows));
     Ok(ScenarioOutput { data, text })
@@ -96,6 +181,11 @@ pub fn perf_baseline() -> Scenario {
         params: vec![
             ParamSpec::int("iters", "loop iterations per workload", 2_000, 12_000),
             ParamSpec::int("reps", "timed executions per workload", 2, 4),
+            // Identical under both presets: the sweep metric's timed
+            // fraction is points/(warmup+points), so the perf gate's
+            // quick re-measurement only compares against a paper-scale
+            // baseline if the point count matches.
+            ParamSpec::int("sweep_points", "points per sweep-throughput row", 32, 32),
         ],
         seed: 0,
         deterministic: false,

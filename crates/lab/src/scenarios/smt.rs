@@ -34,7 +34,7 @@ use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use racer_cpu::workloads::{alu_saturate, div_hog, memory_stream, timer_race_phased};
-use racer_cpu::{Cpu, CpuConfig, SmtPolicy};
+use racer_cpu::{Backend, Cpu, CpuConfig, SmtPolicy};
 use racer_isa::Program;
 use racer_mem::HierarchyConfig;
 use racer_results::Value;
@@ -131,7 +131,7 @@ fn race(
         .with_trace();
     let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let r = timer_race_phased(measured_divs, clock_adds, phase);
-    let results = cpu.execute_smt(&[&r.prog, contender]);
+    let results = cpu.run(&[&r.prog, contender], Backend::EventDriven);
     assert!(
         results[0].halted && results[1].halted,
         "race and contender must run to completion"

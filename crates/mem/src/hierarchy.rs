@@ -137,7 +137,7 @@ impl HierarchyConfig {
 /// h.flush(a);
 /// assert_eq!(h.load(a).level, HitLevel::Memory);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
     l1d: Cache,

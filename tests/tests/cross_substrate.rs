@@ -9,7 +9,7 @@ use hacky_racers::magnify::{ArithmeticMagnifier, PlruInput, PlruMagnifier};
 use hacky_racers::path::PathSpec;
 use hacky_racers::racing::{ReorderRace, TransientPaRace};
 use proptest::prelude::*;
-use racer_cpu::{Cpu, CpuConfig};
+use racer_cpu::{Backend, Cpu, CpuConfig};
 use racer_isa::{interp, AluOp, Program};
 use racer_mem::{Addr, HierarchyConfig};
 
@@ -19,7 +19,7 @@ fn assert_architecturally_exact(prog: &Program, x: u64) {
     cpu.mem_mut().write(Layout::default().x_flag.0, x);
     let mut ref_mem = cpu.mem().clone();
     let reference = interp::run(prog, &mut ref_mem, 10_000_000).expect("terminates");
-    let run = cpu.execute(prog);
+    let run = cpu.run_one(prog, Backend::EventDriven);
     assert!(!run.limit_hit);
     assert_eq!(run.regs, reference.regs, "register divergence");
     assert_eq!(
@@ -91,7 +91,7 @@ proptest! {
         cpu.mem_mut().write(Layout::default().x_flag.0, x);
         let mut ref_mem = cpu.mem().clone();
         let reference = interp::run(&prog, &mut ref_mem, 1_000_000).expect("terminates");
-        let run = cpu.execute(&prog);
+        let run = cpu.run_one(&prog, Backend::EventDriven);
         prop_assert_eq!(&run.regs, &reference.regs);
         prop_assert_eq!(run.committed, reference.steps);
     }
