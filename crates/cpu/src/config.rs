@@ -291,8 +291,7 @@ pub struct CpuConfig {
     /// end, ROB, rename state and retire port; issue bandwidth,
     /// functional-unit ports, divider units, MSHRs and the cache hierarchy
     /// are shared. `1` (the default) is the classic single-threaded core;
-    /// [`Cpu::execute_smt`](crate::Cpu::execute_smt) expects one program
-    /// per context.
+    /// [`Cpu::run`](crate::Cpu::run) expects one program per context.
     pub threads: usize,
     /// SMT issue-arbitration policy (ignored when `threads == 1`).
     pub smt_policy: SmtPolicy,

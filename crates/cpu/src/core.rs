@@ -735,23 +735,6 @@ impl Cpu {
         batch.run()
     }
 
-    /// Deprecated alias for [`Cpu::run_one`] with [`Backend::EventDriven`].
-    #[deprecated(note = "use `run_one(prog, Backend::EventDriven)`")]
-    pub fn execute(&mut self, prog: &Program) -> RunResult {
-        self.run_one(prog, Backend::EventDriven)
-    }
-
-    /// Deprecated alias for [`Cpu::run`] with [`Backend::EventDriven`].
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `progs.len() == self.config().threads`.
-    #[deprecated(note = "use `run(progs, Backend::EventDriven)`")]
-    pub fn execute_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
-        self.assert_one_per_thread(progs.len(), Backend::EventDriven);
-        self.run_event_driven(progs)
-    }
-
     fn run_event_driven(&mut self, progs: &[&Program]) -> Vec<RunResult> {
         let n = progs.len();
         self.ensure_threads(n);
@@ -771,23 +754,6 @@ impl Cpu {
             cycle: 0,
         }
         .run()
-    }
-
-    /// Deprecated alias for [`Cpu::run_one`] with [`Backend::Reference`].
-    #[deprecated(note = "use `run_one(prog, Backend::Reference)`")]
-    pub fn execute_reference(&mut self, prog: &Program) -> RunResult {
-        self.run_one(prog, Backend::Reference)
-    }
-
-    /// Deprecated alias for [`Cpu::run`] with [`Backend::Reference`].
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `progs.len() == self.config().threads`.
-    #[deprecated(note = "use `run(progs, Backend::Reference)`")]
-    pub fn execute_reference_smt(&mut self, progs: &[&Program]) -> Vec<RunResult> {
-        self.assert_one_per_thread(progs.len(), Backend::Reference);
-        self.run_reference(progs)
     }
 
     fn run_reference(&mut self, progs: &[&Program]) -> Vec<RunResult> {

@@ -18,10 +18,23 @@
 //!   decoded once ([`DecodedProgram`]); every lane running that program
 //!   indexes the same table. A countermeasure or repeat-count sweep that
 //!   pushes the same gadget N times decodes it once.
-//! * **Structure-of-arrays lanes**: per-lane state (ROB ring, RAT, ready
-//!   heaps, stall pool, cache hierarchy, store queue) lives contiguously
-//!   in the batch's lane vector, stepped in lockstep slices of
-//!   [`SLICE`] cycles per round — and lane [`ThreadCtx`] allocations are
+//! * **Copy-on-write lane memory**: forking a lane clones the snapshot's
+//!   [`Hierarchy`], which shares cache storage in `Arc`-backed chunks and
+//!   only materialises the chunks the lane actually writes (see
+//!   `racer_mem`'s COW docs). Sixty-four lanes of a warmed snapshot share
+//!   one L2/L3 image instead of thrashing the host cache with 64 private
+//!   megabyte-scale copies — the change that makes lockstep win at high
+//!   lane counts.
+//! * **Structure-of-arrays lanes, adaptive lockstep slices**: per-lane
+//!   state (ROB ring, RAT, ready heaps, stall pool, cache hierarchy,
+//!   store queue) lives contiguously in the batch's lane vector. Hot
+//!   scheduling state — the resumable cycle counter and the live-lane
+//!   index list — is packed separately, so the round-robin driver never
+//!   touches finished lanes' cold state. Each round advances every live
+//!   lane by a slice chosen by [`schedule_slice`] from the live-lane
+//!   count and the lanes' measured private footprints (bigger slices as
+//!   aggregate working sets outgrow the host cache, up to running each
+//!   lane effectively serially). Lane [`ThreadCtx`] allocations are
 //!   recycled across [`MachineBatch::run`] rounds, so a long-running
 //!   sweep driver stops touching the allocator entirely.
 //!
@@ -70,12 +83,69 @@ use racer_isa::{DataMemory, DecodedInstr, DecodedProgram, Program};
 use racer_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use std::sync::Arc;
 
-/// Cycles each live lane advances per lockstep round. Large enough to
-/// amortise the per-lane switch (cache-warm scheduling structures), small
-/// enough that lanes stay interleaved rather than running serially.
-/// Correctness does not depend on the value: lanes share no simulated
-/// state.
-const SLICE: u64 = 64;
+/// Smallest lockstep slice: enough cycles to amortise the per-lane switch
+/// when every lane's working set fits the host cache together.
+const SLICE_MIN: u64 = 64;
+
+/// Largest lockstep slice. At this size a lane typically runs a whole
+/// short program within one round — the schedule's answer when aggregate
+/// lane footprints dwarf the host cache and interleaving only thrashes.
+const SLICE_MAX: u64 = 32_768;
+
+/// Host-cache budget the slice schedule aims to keep resident across a
+/// round, approximating a desktop L2+LLC share. Only the *ratio* of
+/// aggregate lane footprint to this matters, so precision is not required.
+const HOST_CACHE_BUDGET: usize = 2 * 1024 * 1024;
+
+/// Host bytes of a lane's scheduling structures (ROB ring, ready heaps,
+/// stall pool, store queue, RAT) — the COW hierarchy's private chunks and
+/// the data memory are measured, this fixed part is estimated.
+const LANE_CTX_BYTES: usize = 32 * 1024;
+
+/// Pick the cycles each live lane advances per lockstep round.
+///
+/// Switching the driver to another lane costs real host time: the next
+/// lane's private working set (ROB ring, heaps, materialised COW chunks)
+/// has to stream back into the host cache, ~5 µs for a typical ~32 KB
+/// lane against ~65 ns of simulation per cycle. The slice must be large
+/// enough to amortise that, and the pressure grows with both axes the
+/// schedule reads:
+///
+/// * **lane count** — more live lanes means more aggregate working set
+///   cycling through the host cache per round, so the floor scales as
+///   `SLICE_MIN × live_lanes` (64 lanes ⇒ 4096-cycle slices);
+/// * **measured footprint** — `private_bytes` is the lanes' aggregate
+///   *measured* private state: COW cache chunks each lane has actually
+///   materialised ([`Hierarchy::private_bytes_vs`] against the batch
+///   snapshot) plus data memory and fixed per-lane structures. Once it
+///   overflows [`HOST_CACHE_BUDGET`], every switch pays a per-lane
+///   reload, so the slice also scales with per-lane bytes (~1 cycle per
+///   32 private bytes ≈ 20× reload amortisation).
+///
+/// A single live lane always runs at [`SLICE_MAX`]: interleaving has
+/// nothing left to interleave with.
+///
+/// Correctness never depends on the slice: lanes share no simulated
+/// state, so any schedule produces bit-identical results (pinned by the
+/// engine property tests).
+fn schedule_slice(live_lanes: usize, private_bytes: usize) -> u64 {
+    if live_lanes <= 1 {
+        return SLICE_MAX;
+    }
+    let floor = SLICE_MIN * live_lanes as u64;
+    let amortise = if private_bytes > HOST_CACHE_BUDGET {
+        // Over budget, every round pays a full per-lane reload: scale the
+        // slice with per-lane bytes AND lane count so big batches converge
+        // on one-round (effectively serial) completion.
+        (private_bytes / 32) as u64
+    } else {
+        0
+    };
+    floor
+        .max(amortise)
+        .next_power_of_two()
+        .clamp(SLICE_MIN, SLICE_MAX)
+}
 
 /// An immutable capture of a machine's persistent state — config, cache
 /// hierarchy (replacement and stats state included), data memory and
@@ -153,7 +223,10 @@ impl Snapshot {
 }
 
 /// One lane: an independent single-thread machine forked from the batch's
-/// snapshot, plus its resumable cycle position.
+/// snapshot. Hot scheduling state (the resumable cycle counter, liveness)
+/// is *not* here — it lives in [`MachineBatch`]'s packed `cycles` / live
+/// lists so the lockstep driver never pulls a cold lane's cache lines in
+/// just to decide whether to step it.
 #[derive(Debug)]
 struct Lane {
     /// Index into the batch's shared `programs` / `decoded` tables.
@@ -165,9 +238,16 @@ struct Lane {
     shared: Shared,
     /// Hierarchy stats at fork time (the lane's `mem_stats` baseline).
     stats_before: HierarchyStats,
-    /// Resumable cycle counter (`Pipeline::cycle` between slices).
-    cycle: u64,
-    done: bool,
+}
+
+impl Lane {
+    /// Approximate host bytes this lane's private state occupies beyond
+    /// the shared snapshot `base`: materialised COW cache chunks, sparse
+    /// data-memory entries (hash-map entry ≈ key + value + bucket
+    /// overhead) and the fixed scheduling structures.
+    fn private_bytes_vs(&self, base: &Hierarchy) -> usize {
+        self.hier.private_bytes_vs(base) + self.mem.len() * 48 + LANE_CTX_BYTES
+    }
 }
 
 /// A structure-of-arrays batch of independent single-thread machines
@@ -190,7 +270,20 @@ pub struct MachineBatch {
     programs: Vec<Program>,
     /// Shared decoded µop table, parallel to `programs`.
     decoded: Vec<Vec<DecodedInstr>>,
+    /// Program index per pushed lane. Lane state itself materialises
+    /// *lazily*, on a lane's first lockstep step: forking at push time
+    /// would walk every lane's fresh state twice (once to create, again —
+    /// cold by then — to step), where the per-machine baseline creates and
+    /// runs each machine back to back. Deferring the fork restores that
+    /// locality and keeps the batch's decode-sharing and pooling wins.
+    queued: Vec<usize>,
+    /// Materialised lanes, in push order; grows during the first round of
+    /// [`MachineBatch::run`].
     lanes: Vec<Lane>,
+    /// Packed hot state, parallel to `lanes`: each lane's resumable cycle
+    /// counter (`Pipeline::cycle` between slices). The lockstep driver
+    /// reads/writes only this array and the live-index list per round.
+    cycles: Vec<u64>,
     /// Retired lane contexts: ROB ring / heap / wheel allocations recycled
     /// by later pushes.
     spare: Vec<ThreadCtx>,
@@ -203,7 +296,9 @@ impl MachineBatch {
             snap: snap.clone(),
             programs: Vec::new(),
             decoded: Vec::new(),
+            queued: Vec::new(),
             lanes: Vec::new(),
+            cycles: Vec::new(),
             spare: Vec::new(),
         }
     }
@@ -225,17 +320,18 @@ impl MachineBatch {
 
     /// Number of lanes queued for the next [`MachineBatch::run`].
     pub fn lanes(&self) -> usize {
-        self.lanes.len()
+        self.queued.len()
     }
 
     /// Whether no lanes are queued.
     pub fn is_empty(&self) -> bool {
-        self.lanes.is_empty()
+        self.queued.is_empty()
     }
 
     /// Add a lane that runs `prog` from a fork of the batch snapshot.
     /// Programs equal to an already-pushed one share its decoded µop
-    /// table.
+    /// table. The fork itself is deferred to the lane's first step inside
+    /// [`MachineBatch::run`].
     pub fn push(&mut self, prog: &Program) {
         let idx = match self.programs.iter().position(|p| p == prog) {
             Some(i) => i,
@@ -247,56 +343,91 @@ impl MachineBatch {
                 self.programs.len() - 1
             }
         };
-        let st = &self.snap.inner;
-        let mut ctx = self.spare.pop().unwrap_or_default();
-        ctx.reset(st.cfg.rob_size);
-        let hier = st.hier.clone();
-        self.lanes.push(Lane {
-            prog: idx,
-            stats_before: hier.stats(),
-            hier,
-            mem: st.mem.clone(),
-            predictor: st.predictor.clone_box(),
-            ctx,
-            shared: Shared::new(st.cfg.div_ports, 1),
-            cycle: 0,
-            done: false,
-        });
+        self.queued.push(idx);
     }
 
-    /// Step every queued lane to completion in lockstep ([`SLICE`]-cycle
-    /// slices, round-robin over live lanes) and return one [`RunResult`]
-    /// per lane, in push order. Clears the lanes; the batch can be
-    /// refilled and run again, reusing the retired lanes' allocations.
+    /// Aggregate measured private footprint of the lanes in `live`
+    /// (COW-materialised cache chunks + data memory + fixed structures) —
+    /// the input to [`schedule_slice`].
+    fn live_private_bytes(&self, live: &[u32]) -> usize {
+        let base = &self.snap.inner.hier;
+        live.iter()
+            .map(|&i| self.lanes[i as usize].private_bytes_vs(base))
+            .sum()
+    }
+
+    /// Step every queued lane to completion in lockstep (round-robin over
+    /// the live-lane list, slices from [`schedule_slice`]) and return one
+    /// [`RunResult`] per lane, in push order. Clears the lanes; the batch
+    /// can be refilled and run again, reusing the retired lanes'
+    /// allocations.
     pub fn run(&mut self) -> Vec<RunResult> {
         let cfg = self.snap.inner.cfg;
-        loop {
-            let mut live = false;
-            for lane in &mut self.lanes {
-                if lane.done {
-                    continue;
+        let st = &self.snap.inner;
+        let n = self.queued.len();
+        let mut live: Vec<u32> = (0..n as u32).collect();
+        // First-round slice from the fork-time footprint (shared COW
+        // chunks are free; data memory and fixed structures are not).
+        let fork_bytes = st.mem.len() * 48 + LANE_CTX_BYTES;
+        let mut slice = schedule_slice(n, n * fork_bytes);
+        let mut round: u64 = 0;
+        self.lanes.reserve(n);
+        self.cycles.reserve(n);
+        while !live.is_empty() {
+            // Re-measure footprints (lanes materialise COW chunks as they
+            // run) on power-of-two round numbers: O(log rounds) scans of
+            // the Arc-sharing maps instead of one per round.
+            round += 1;
+            if round.is_power_of_two() && round > 1 {
+                slice = schedule_slice(live.len(), self.live_private_bytes(&live));
+            }
+            let (lanes, cycles) = (&mut self.lanes, &mut self.cycles);
+            let (programs, decoded) = (&self.programs, &self.decoded);
+            let (queued, spare) = (&self.queued, &mut self.spare);
+            live.retain(|&i| {
+                let i = i as usize;
+                if i == lanes.len() {
+                    // First visit (round 1 reaches lanes in push order):
+                    // fork the lane now, step it immediately while its
+                    // state is hot — the create-then-run locality the
+                    // per-machine baseline gets for free.
+                    let mut ctx = spare.pop().unwrap_or_default();
+                    ctx.reset(st.cfg.rob_size);
+                    // COW fork: chunk-pointer copies of the snapshot
+                    // hierarchy — the lane materialises private chunks
+                    // only where it writes.
+                    let hier = st.hier.clone();
+                    lanes.push(Lane {
+                        prog: queued[i],
+                        stats_before: hier.stats(),
+                        hier,
+                        mem: st.mem.clone(),
+                        predictor: st.predictor.clone_box(),
+                        ctx,
+                        shared: Shared::new(st.cfg.div_ports, 1),
+                    });
+                    cycles.push(0);
                 }
-                live = true;
+                let lane = &mut lanes[i];
                 let (cycle, done) = core::step_lane(
                     &cfg,
                     &mut lane.hier,
                     &mut lane.mem,
                     lane.predictor.as_mut(),
-                    &self.programs[lane.prog],
-                    &self.decoded[lane.prog],
+                    &programs[lane.prog],
+                    &decoded[lane.prog],
                     &mut lane.ctx,
                     &mut lane.shared,
-                    lane.cycle,
-                    SLICE,
+                    cycles[i],
+                    slice,
                 );
-                lane.cycle = cycle;
-                lane.done = done;
-            }
-            if !live {
-                break;
-            }
+                cycles[i] = cycle;
+                !done
+            });
         }
+        self.queued.clear();
         let lanes = std::mem::take(&mut self.lanes);
+        self.cycles.clear();
         let mut results = Vec::with_capacity(lanes.len());
         for mut lane in lanes {
             let mem_stats = core::mem_stats_since(&lane.hier, &lane.stats_before);

@@ -433,6 +433,67 @@ pub fn measure_sweep(prog: &Program, warmup: usize, points: usize, backend: Back
     }
 }
 
+/// Time `lanes` executions of `prog`, all forked from one warmed
+/// snapshot: either stepped together in lockstep by a [`MachineBatch`]
+/// ([`Backend::Batched`]) or run to completion one whole forked machine
+/// at a time (any other backend).
+///
+/// Unlike [`measure_sweep`], warmup happens *outside* the timed region on
+/// both sides, so the comparison isolates the engine's lane-stepping
+/// throughput itself — no warmup amortisation in the ratio. This is the
+/// shape behind `benches/batch.rs` and the gated `lockstep-64lane` perf
+/// row: lockstep must at least match whole-machine forks at high lane
+/// counts now that lanes share the snapshot hierarchy copy-on-write.
+///
+/// # Panics
+///
+/// Panics if the workload does not run to completion, or if `lanes`
+/// is zero.
+pub fn measure_lockstep(prog: &Program, lanes: usize, backend: Backend) -> Throughput {
+    assert!(lanes > 0, "need at least one lane");
+    let mut cpu = Cpu::new(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let warm = cpu.run_one(prog, Backend::EventDriven);
+    assert!(
+        warm.halted && !warm.limit_hit,
+        "workload must run to completion"
+    );
+    let snap = cpu.snapshot();
+    let check = |r: &RunResult| {
+        assert!(r.halted && !r.limit_hit, "workload must run to completion");
+    };
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let result = match backend {
+        Backend::Batched => {
+            let mut batch = MachineBatch::from_snapshot(&snap);
+            for _ in 0..lanes {
+                batch.push(prog);
+            }
+            let mut results = batch.run();
+            for r in &results {
+                check(r);
+                committed += r.committed;
+            }
+            results.swap_remove(0)
+        }
+        per_machine => {
+            let mut last = None;
+            for _ in 0..lanes {
+                let r = snap.fork().run_one(prog, per_machine);
+                check(&r);
+                committed += r.committed;
+                last = Some(r);
+            }
+            last.expect("lanes >= 1")
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+    Throughput {
+        instrs_per_sec: committed as f64 / secs,
+        result,
+    }
+}
+
 /// Time a [`Workload`], dispatching on its shape: plain workloads go
 /// through [`measure_throughput`]; workloads with a [`Workload::contender`]
 /// run as a two-thread SMT co-schedule on a round-robin-arbitrated

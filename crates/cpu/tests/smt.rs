@@ -475,7 +475,7 @@ fn smt_policies_both_make_progress_under_saturation() {
 }
 
 #[test]
-fn execute_smt_requires_matching_thread_count() {
+fn run_requires_matching_thread_count() {
     let cfg = CpuConfig::coffee_lake().with_threads(2);
     let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
     let p = Program::from_instrs(vec![Instr::Halt]).expect("valid");

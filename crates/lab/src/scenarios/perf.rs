@@ -16,7 +16,7 @@ use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use racer_cpu::workloads::{
-    alu_chain, measure_sweep, measure_workload, memory_stream, standard_suite,
+    alu_chain, measure_lockstep, measure_sweep, measure_workload, memory_stream, standard_suite,
 };
 use racer_cpu::Backend;
 use racer_results::Value;
@@ -150,6 +150,56 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
                 .with("speedup", round2(speedup)),
         );
     }
+    // Lane-scaling row: 64 lockstep lanes vs 64 whole-machine forks from
+    // the same warmed snapshot, warmup *outside* the timed region on both
+    // sides — the engine's stepping throughput itself, with no warmup
+    // amortisation in the ratio. Guards the COW-lane + adaptive-slice
+    // scaling fix: lockstep must at least match forks at 64 lanes.
+    const LOCKSTEP_LANES: usize = 64;
+    let prog = memory_stream(SWEEP_ITERS);
+    let lockstep = measure_lockstep(&prog, LOCKSTEP_LANES, Backend::Batched);
+    let forked = measure_lockstep(&prog, LOCKSTEP_LANES, Backend::EventDriven);
+    assert_eq!(
+        (
+            lockstep.result.cycles,
+            lockstep.result.committed,
+            &lockstep.result.regs
+        ),
+        (
+            forked.result.cycles,
+            forked.result.committed,
+            &forked.result.regs
+        ),
+        "lockstep diverged from whole-machine forks"
+    );
+    let ratio = lockstep.instrs_per_sec / forked.instrs_per_sec;
+    let _ = writeln!(
+        text,
+        "# lane scaling ({LOCKSTEP_LANES} lanes, warmup untimed): lockstep vs forked machines"
+    );
+    let _ = writeln!(
+        text,
+        "lockstep-64lane       {:>10.2}M {:>10.2}M {:>8.2}x",
+        lockstep.instrs_per_sec / 1e6,
+        forked.instrs_per_sec / 1e6,
+        ratio,
+    );
+    rows.push(
+        Value::object()
+            .with("workload", "lockstep-64lane")
+            .with(
+                "description",
+                "64-lane lockstep stepping (event-driven col) vs 64 whole-machine forks, warmup untimed",
+            )
+            .with("dyn_instrs_per_run", lockstep.result.committed)
+            .with("cycles_per_run", lockstep.result.cycles)
+            .with("mispredicts_per_run", lockstep.result.mispredicts)
+            .with("squashed_per_run", lockstep.result.squashed_instrs)
+            .with("ipc", round3(lockstep.result.ipc()))
+            .with("event_driven_instrs_per_sec", lockstep.instrs_per_sec.round())
+            .with("reference_instrs_per_sec", forked.instrs_per_sec.round())
+            .with("speedup", round2(ratio)),
+    );
     let data = Value::object()
         .with("bench", "pipeline-scheduler-throughput")
         .with("unit", "committed instructions per host second")

@@ -1,19 +1,40 @@
-//! A single set-associative cache level, stored struct-of-arrays.
+//! A single set-associative cache level, stored struct-of-arrays in
+//! copy-on-write chunks.
 //!
-//! Tags and valid bits live in contiguous per-level arrays (way-major
-//! within each set) and replacement state is packed per level in a
+//! Tags and valid bits live in contiguous per-chunk arrays (way-major
+//! within each set) and replacement state is packed per chunk in a
 //! [`PackedPolicy`](crate::replacement) enum — no per-set allocations, no
 //! `Box<dyn ReplacementPolicy>` virtual dispatch, and a single tag scan per
-//! access via [`Cache::lookup`] whose result the hit path reuses. The boxed
-//! per-set implementation ([`CacheSet`](crate::CacheSet)) is retained as
-//! the reference model; the differential proptest in
-//! `crates/mem/tests/differential.rs` pins the two bit-identical.
+//! access via [`Cache::lookup`] whose result the hit path reuses.
+//!
+//! Each chunk covers [`SETS_PER_CHUNK`] consecutive sets and sits behind an
+//! [`Arc`]: cloning a `Cache` copies chunk *pointers* only, and a clone
+//! materialises a private copy of a chunk the first time it mutates a set
+//! inside it (`Arc::make_mut`). Sixty-four batch lanes forked from one
+//! warmed snapshot therefore share a single L2/L3 image until their access
+//! streams actually diverge — and pay copy costs proportional to the sets
+//! they touch, not the level's size. Value semantics are unchanged: a clone
+//! is observationally an independent deep copy.
+//!
+//! The boxed per-set implementation ([`CacheSet`](crate::CacheSet)) is
+//! retained as the reference model; the differential proptest in
+//! `crates/mem/tests/differential.rs` pins the two bit-identical, and
+//! `crates/mem/tests/cow.rs` pins forked (chunk-sharing) clones against
+//! eagerly materialised ones.
 
 use crate::addr::LineAddr;
 use crate::replacement::{PackedPolicy, ReplacementKind};
 use crate::set::FillOutcome;
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Sets per copy-on-write chunk. 64 keeps a Coffee-Lake L1D (64 sets) in
+/// one chunk while splitting the L2 into 16 and the L3 into 128
+/// independently materialisable blocks (~9 KB each for the L3) — fine
+/// enough that a lane touching a few hundred lines copies kilobytes, not
+/// the megabyte-scale level.
+const SETS_PER_CHUNK: usize = 64;
 
 /// Geometry and policy of one cache level.
 #[derive(Copy, Clone, Debug, Eq, PartialEq, Serialize, Deserialize)]
@@ -75,8 +96,32 @@ impl CacheConfig {
     }
 }
 
+/// One copy-on-write block of consecutive sets: their tags, valid masks and
+/// packed replacement state. Sized so materialising a block on first write
+/// copies kilobytes.
+#[derive(Clone, Debug)]
+struct Chunk {
+    /// Line addresses, `chunk_sets * ways` entries, way-major within each
+    /// set. Entries are only meaningful where the set's valid bit is set.
+    tags: Vec<u64>,
+    /// Per-set occupancy bitmask (bit `w` set ⇔ way `w` holds a line).
+    valid: Vec<u64>,
+    /// Replacement state for the chunk's sets (local indices; random
+    /// per-set seeds still derive from the global set index).
+    policy: PackedPolicy,
+}
+
+impl Chunk {
+    /// Heap bytes a private copy of this chunk costs.
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.tags.as_slice())
+            + std::mem::size_of_val(self.valid.as_slice())
+            + self.policy.heap_bytes()
+    }
+}
+
 /// A single cache level: flattened tag arrays, packed per-set replacement
-/// state and counters.
+/// state and counters, chunked copy-on-write (see the [module docs](self)).
 ///
 /// ```
 /// use racer_mem::{Cache, CacheConfig, LineAddr};
@@ -85,17 +130,22 @@ impl CacheConfig {
 /// assert!(!l1.access(line));      // cold miss
 /// l1.fill(line);
 /// assert!(l1.access(line));       // now hits
+///
+/// // Clones share storage until written: a fork costs pointer copies.
+/// let fork = l1.clone();
+/// assert_eq!(fork.shared_chunks_with(&l1), l1.num_chunks());
 /// ```
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: usize,
-    /// Line addresses, `sets * ways` entries, way-major within each set.
-    /// Entries are only meaningful where the set's valid bit is set.
-    tags: Vec<u64>,
-    /// Per-set occupancy bitmask (bit `w` set ⇔ way `w` holds a line).
-    valid: Vec<u64>,
-    policy: PackedPolicy,
+    /// `log2(sets per chunk)` — shift a set index right by this for its
+    /// chunk index.
+    chunk_shift: u32,
+    /// `sets per chunk - 1` — mask a set index by this for its local index.
+    chunk_mask: usize,
+    /// The level's sets in consecutive copy-on-write chunks.
+    chunks: Vec<Arc<Chunk>>,
     stats: CacheStats,
 }
 
@@ -112,11 +162,27 @@ impl Cache {
             "set count must be a power of two"
         );
         assert!(cfg.ways >= 1, "need at least one way");
+        let chunk_sets = cfg.sets.min(SETS_PER_CHUNK);
+        let chunks = (0..cfg.sets / chunk_sets)
+            .map(|c| {
+                Arc::new(Chunk {
+                    tags: vec![0; chunk_sets * cfg.ways],
+                    valid: vec![0; chunk_sets],
+                    policy: PackedPolicy::new_at_offset(
+                        cfg.replacement,
+                        chunk_sets,
+                        cfg.ways,
+                        cfg.seed,
+                        c * chunk_sets,
+                    ),
+                })
+            })
+            .collect();
         Cache {
             ways: cfg.ways,
-            tags: vec![0; cfg.sets * cfg.ways],
-            valid: vec![0; cfg.sets],
-            policy: PackedPolicy::new(cfg.replacement, cfg.sets, cfg.ways, cfg.seed),
+            chunk_shift: chunk_sets.trailing_zeros(),
+            chunk_mask: chunk_sets - 1,
+            chunks,
             cfg,
             stats: CacheStats::default(),
         }
@@ -138,6 +204,26 @@ impl Cache {
         line.set_index(self.cfg.sets)
     }
 
+    /// The chunk holding `set`, plus the set's local index inside it
+    /// (read path: shared storage is fine).
+    #[inline]
+    fn chunk(&self, set: usize) -> (&Chunk, usize) {
+        (
+            &self.chunks[set >> self.chunk_shift],
+            set & self.chunk_mask,
+        )
+    }
+
+    /// Mutable access to the chunk holding `set` — materialises a private
+    /// copy if the chunk is still shared with a clone (copy-on-write).
+    #[inline]
+    fn chunk_mut(&mut self, set: usize) -> (&mut Chunk, usize) {
+        (
+            Arc::make_mut(&mut self.chunks[set >> self.chunk_shift]),
+            set & self.chunk_mask,
+        )
+    }
+
     /// The full-set occupancy mask for this associativity.
     #[inline]
     fn full_mask(&self) -> u64 {
@@ -155,10 +241,10 @@ impl Cache {
     /// pattern walked the tags twice).
     #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_index(line);
-        let vmask = self.valid[set];
-        let base = set * self.ways;
-        let tags = &self.tags[base..base + self.ways];
+        let (chunk, local) = self.chunk(self.set_index(line));
+        let vmask = chunk.valid[local];
+        let base = local * self.ways;
+        let tags = &chunk.tags[base..base + self.ways];
         for (w, &t) in tags.iter().enumerate() {
             if t == line.0 && (vmask >> w) & 1 == 1 {
                 return Some(w);
@@ -179,7 +265,8 @@ impl Cache {
     #[inline]
     pub fn record_hit(&mut self, line: LineAddr, way: usize) {
         debug_assert_eq!(self.lookup(line), Some(way), "record_hit on a stale way");
-        self.policy.on_hit(self.set_index(line), way);
+        let (chunk, local) = self.chunk_mut(self.set_index(line));
+        chunk.policy.on_hit(local, way);
         self.stats.hits += 1;
     }
 
@@ -218,29 +305,32 @@ impl Cache {
     }
 
     fn fill_inner(&mut self, line: LineAddr, low_priority: bool) -> FillOutcome {
-        let set = self.set_index(line);
-        let out = if let Some(way) = self.lookup(line) {
+        let resident = self.lookup(line);
+        let ways = self.ways;
+        let full = self.full_mask();
+        let (chunk, local) = self.chunk_mut(self.set_index(line));
+        let out = if let Some(way) = resident {
             // Already resident: degenerates to a touch (hardware never
             // double-fills a line).
-            self.policy.on_hit(set, way);
+            chunk.policy.on_hit(local, way);
             FillOutcome { way, evicted: None }
         } else {
-            let base = set * self.ways;
-            let vmask = self.valid[set];
+            let base = local * ways;
+            let vmask = chunk.valid[local];
             // Prefer the lowest-index empty way; only a full set consults
             // the policy for a victim.
-            let (way, evicted) = if vmask != self.full_mask() {
+            let (way, evicted) = if vmask != full {
                 ((!vmask).trailing_zeros() as usize, None)
             } else {
-                let victim = self.policy.victim(set);
-                (victim, Some(LineAddr(self.tags[base + victim])))
+                let victim = chunk.policy.victim(local);
+                (victim, Some(LineAddr(chunk.tags[base + victim])))
             };
-            self.tags[base + way] = line.0;
-            self.valid[set] = vmask | (1 << way);
+            chunk.tags[base + way] = line.0;
+            chunk.valid[local] = vmask | (1 << way);
             if low_priority {
-                self.policy.on_fill_low_priority(set, way);
+                chunk.policy.on_fill_low_priority(local, way);
             } else {
-                self.policy.on_fill(set, way);
+                chunk.policy.on_fill(local, way);
             }
             FillOutcome { way, evicted }
         };
@@ -255,9 +345,9 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         match self.lookup(line) {
             Some(way) => {
-                let set = self.set_index(line);
-                self.valid[set] &= !(1u64 << way);
-                self.policy.on_invalidate(set, way);
+                let (chunk, local) = self.chunk_mut(self.set_index(line));
+                chunk.valid[local] &= !(1u64 << way);
+                chunk.policy.on_invalidate(local, way);
                 self.stats.invalidations += 1;
                 true
             }
@@ -279,6 +369,52 @@ impl Cache {
         self.cfg.sets
     }
 
+    /// Number of copy-on-write chunks backing this level.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// How many of this cache's chunks are still *physically shared* with
+    /// `other` (same allocation — neither side has written into them since
+    /// the clone). Two independently built caches share nothing; a fresh
+    /// clone shares everything.
+    pub fn shared_chunks_with(&self, other: &Cache) -> usize {
+        if self.chunks.len() != other.chunks.len() {
+            return 0;
+        }
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Heap bytes of the chunks this cache does **not** share with `base` —
+    /// the private, already-materialised part of a copy-on-write clone.
+    /// Against the snapshot it forked from, this is the clone's real memory
+    /// footprint (the batch engine sizes its lockstep slices from it).
+    pub fn private_bytes_vs(&self, base: &Cache) -> usize {
+        if self.chunks.len() != base.chunks.len() {
+            return self.chunks.iter().map(|c| c.heap_bytes()).sum();
+        }
+        self.chunks
+            .iter()
+            .zip(&base.chunks)
+            .filter(|(a, b)| !Arc::ptr_eq(a, b))
+            .map(|(a, _)| a.heap_bytes())
+            .sum()
+    }
+
+    /// Materialise a private copy of every still-shared chunk, making this
+    /// cache's storage fully independent of any clone — the eager
+    /// deep-clone the copy-on-write representation otherwise avoids.
+    /// Observable state is unchanged.
+    pub fn unshare(&mut self) {
+        for chunk in &mut self.chunks {
+            let _ = Arc::make_mut(chunk);
+        }
+    }
+
     /// Event counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
@@ -293,8 +429,11 @@ impl Cache {
     /// replacement keeps its RNG streams, as hardware randomness does not
     /// rewind).
     pub fn clear(&mut self) {
-        self.valid.fill(0);
-        self.policy.reset();
+        for chunk in &mut self.chunks {
+            let chunk = Arc::make_mut(chunk);
+            chunk.valid.fill(0);
+            chunk.policy.reset();
+        }
         self.stats.reset();
     }
 }
@@ -315,9 +454,10 @@ impl<'a> SetView<'a> {
 
     /// Way currently holding `line`, if resident in this set.
     pub fn way_of(&self, line: LineAddr) -> Option<usize> {
-        let vmask = self.cache.valid[self.set];
-        let base = self.set * self.cache.ways;
-        (0..self.cache.ways).find(|&w| (vmask >> w) & 1 == 1 && self.cache.tags[base + w] == line.0)
+        let (chunk, local) = self.cache.chunk(self.set);
+        let vmask = chunk.valid[local];
+        let base = local * self.cache.ways;
+        (0..self.cache.ways).find(|&w| (vmask >> w) & 1 == 1 && chunk.tags[base + w] == line.0)
     }
 
     /// Whether `line` is resident in this set.
@@ -327,14 +467,16 @@ impl<'a> SetView<'a> {
 
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.cache.valid[self.set].count_ones() as usize
+        let (chunk, local) = self.cache.chunk(self.set);
+        chunk.valid[local].count_ones() as usize
     }
 
     /// The resident lines, in way order.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + 'a {
-        let vmask = self.cache.valid[self.set];
-        let base = self.set * self.cache.ways;
-        let tags = &self.cache.tags[base..base + self.cache.ways];
+        let (chunk, local) = self.cache.chunk(self.set);
+        let vmask = chunk.valid[local];
+        let base = local * self.cache.ways;
+        let tags = &chunk.tags[base..base + self.cache.ways];
         tags.iter()
             .enumerate()
             .filter(move |&(w, _)| (vmask >> w) & 1 == 1)
@@ -347,8 +489,9 @@ impl<'a> SetView<'a> {
         if self.occupancy() < self.cache.ways {
             return None;
         }
-        let way = self.cache.policy.peek_victim(self.set);
-        Some(LineAddr(self.cache.tags[self.set * self.cache.ways + way]))
+        let (chunk, local) = self.cache.chunk(self.set);
+        let way = chunk.policy.peek_victim(local);
+        Some(LineAddr(chunk.tags[local * self.cache.ways + way]))
     }
 }
 
@@ -461,5 +604,51 @@ mod tests {
             vec![LineAddr(3), LineAddr(3 + 64)]
         );
         assert_eq!(view.eviction_candidate(), None, "set not full yet");
+    }
+
+    #[test]
+    fn clones_share_chunks_until_written() {
+        let mut base = Cache::new(CacheConfig::l2_coffee_lake());
+        for i in 0..256u64 {
+            base.fill(LineAddr(i));
+        }
+        let mut fork = base.clone();
+        assert_eq!(fork.num_chunks(), 16, "1024 sets / 64 per chunk");
+        assert_eq!(fork.shared_chunks_with(&base), 16);
+        assert_eq!(fork.private_bytes_vs(&base), 0);
+
+        // Reads (lookup/probe/set views) never materialise.
+        assert!(fork.probe(LineAddr(7)));
+        let _ = fork.set(0).eviction_candidate();
+        assert_eq!(fork.shared_chunks_with(&base), 16);
+
+        // A write splits exactly the chunk it lands in…
+        fork.fill(LineAddr(4096));
+        assert_eq!(fork.shared_chunks_with(&base), 15);
+        assert!(fork.private_bytes_vs(&base) > 0);
+        // …without becoming visible to the original.
+        assert!(!base.probe(LineAddr(4096)));
+        assert!(fork.probe(LineAddr(4096)));
+    }
+
+    #[test]
+    fn unshare_materialises_everything_without_observable_change() {
+        let mut base = Cache::new(CacheConfig::l1d_coffee_lake());
+        for i in 0..100u64 {
+            base.fill(LineAddr(i * 3));
+        }
+        let mut fork = base.clone();
+        fork.unshare();
+        assert_eq!(fork.shared_chunks_with(&base), 0);
+        for set in 0..base.num_sets() {
+            assert_eq!(
+                fork.set(set).resident_lines().collect::<Vec<_>>(),
+                base.set(set).resident_lines().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                fork.set(set).eviction_candidate(),
+                base.set(set).eviction_candidate()
+            );
+        }
     }
 }

@@ -54,7 +54,23 @@ impl PackedPolicy {
     /// Panics if `ways` is zero, exceeds 64 (the packed layouts use
     /// byte-indexed ways and one `u64` bit-word per set), or — for
     /// tree-PLRU — is not a power of two.
+    #[cfg(test)]
     pub(crate) fn new(kind: ReplacementKind, sets: usize, ways: usize, base_seed: u64) -> Self {
+        Self::new_at_offset(kind, sets, ways, base_seed, 0)
+    }
+
+    /// [`PackedPolicy::new`] for a *chunk* of a level: state for `sets`
+    /// sets whose global indices start at `set_offset`. Local set index 0
+    /// here is global set `set_offset`, so random-replacement per-set
+    /// seeds — derived from the global index — match a monolithic level
+    /// bit-for-bit when chunks are laid side by side.
+    pub(crate) fn new_at_offset(
+        kind: ReplacementKind,
+        sets: usize,
+        ways: usize,
+        base_seed: u64,
+        set_offset: usize,
+    ) -> Self {
         assert!(ways >= 1, "need at least one way");
         assert!(
             ways <= 64,
@@ -86,7 +102,7 @@ impl PackedPolicy {
             ReplacementKind::Random => {
                 let mut rngs = Vec::with_capacity(sets);
                 let mut next = Vec::with_capacity(sets);
-                for set in 0..sets {
+                for set in set_offset..set_offset + sets {
                     let seed = base_seed
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add(set as u64);
@@ -192,6 +208,21 @@ impl PackedPolicy {
                 rrpv.iter().position(|&v| v == max).expect("max exists")
             }
             PackedPolicy::Random { next, .. } => next[set] as usize,
+        }
+    }
+
+    /// Approximate heap bytes this policy state occupies — the cost of
+    /// materialising a private copy, used by copy-on-write footprint
+    /// accounting.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            PackedPolicy::TreePlru { bits, .. } => std::mem::size_of_val(bits.as_slice()),
+            PackedPolicy::Lru { order, .. } => order.len(),
+            PackedPolicy::Fifo { queue, .. } => queue.len(),
+            PackedPolicy::Srrip { rrpv, .. } => rrpv.len(),
+            PackedPolicy::Random { rngs, next, .. } => {
+                std::mem::size_of_val(rngs.as_slice()) + next.len()
+            }
         }
     }
 
@@ -374,6 +405,56 @@ mod tests {
                 for (set, b) in boxed.iter().enumerate() {
                     assert_eq!(packed.peek_victim(set), b.peek_victim());
                 }
+            }
+        }
+    }
+
+    /// Chunked construction (local indices + global set offset) must give
+    /// every set exactly the state a monolithic level gives it — in
+    /// particular the random policy's global-index-derived seed streams.
+    #[test]
+    fn offset_chunks_match_monolithic_level() {
+        for kind in [
+            ReplacementKind::TreePlru,
+            ReplacementKind::Lru,
+            ReplacementKind::Random,
+            ReplacementKind::Fifo,
+            ReplacementKind::Srrip,
+        ] {
+            let (sets, ways, chunk, seed) = (16usize, 4usize, 4usize, 0xBEEF);
+            let mut whole = PackedPolicy::new(kind, sets, ways, seed);
+            let mut chunks: Vec<PackedPolicy> = (0..sets / chunk)
+                .map(|c| PackedPolicy::new_at_offset(kind, chunk, ways, seed, c * chunk))
+                .collect();
+            let mut x = 99usize;
+            for _ in 0..2000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let set = (x >> 33) % sets;
+                let way = (x >> 13) % ways;
+                let local = set % chunk;
+                let part = &mut chunks[set / chunk];
+                match x % 5 {
+                    0 => {
+                        whole.on_hit(set, way);
+                        part.on_hit(local, way);
+                    }
+                    1 => {
+                        whole.on_fill(set, way);
+                        part.on_fill(local, way);
+                    }
+                    2 => {
+                        whole.on_fill_low_priority(set, way);
+                        part.on_fill_low_priority(local, way);
+                    }
+                    3 => {
+                        whole.on_invalidate(set, way);
+                        part.on_invalidate(local, way);
+                    }
+                    _ => assert_eq!(whole.victim(set), part.victim(local), "{kind:?}"),
+                }
+                assert_eq!(whole.peek_victim(set), part.peek_victim(local), "{kind:?}");
             }
         }
     }

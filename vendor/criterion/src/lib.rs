@@ -7,7 +7,18 @@
 //! mean per-iteration time is printed — enough for coarse regression
 //! tracking without the real crate's statistics.
 
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Whether the harness was invoked with `--test` (e.g.
+/// `cargo bench --bench batch -- --test`): run every benchmark body once
+/// with no warm-up and no timing claims — a smoke mode so CI can prove
+/// bench targets still *run* without paying measurement time, mirroring
+/// real criterion's `--test` flag.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Work-unit annotation for throughput reporting.
 #[derive(Copy, Clone, Debug)]
@@ -21,13 +32,15 @@ pub enum Throughput {
 /// Per-iteration timing driver handed to bench closures.
 pub struct Bencher {
     iters: u64,
+    warmup: u64,
     mean_ns: f64,
 }
 
 impl Bencher {
     /// Time `f`, first warming up, then averaging over the measurement runs.
+    /// In [`smoke_mode`] the body runs exactly once, untimed.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        for _ in 0..3 {
+        for _ in 0..self.warmup {
             std::hint::black_box(f());
         }
         let start = Instant::now();
@@ -110,8 +123,19 @@ fn run_one<F: FnMut(&mut Bencher)>(
     iters: u64,
     mut f: F,
 ) {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            warmup: 0,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("test bench {name} ... ok (smoke, untimed)");
+        return;
+    }
     let mut b = Bencher {
         iters,
+        warmup: 3,
         mean_ns: 0.0,
     };
     f(&mut b);
