@@ -58,84 +58,94 @@ pub fn backend_bound_detector(profile: &CounterProfile) -> bool {
 
 /// Profile the workload suite: the three gadget families plus two benign
 /// programs (a pointer-chasing list traversal and a compute loop).
+///
+/// The five profiles are independent — each prepares its own machine
+/// (forked from the process-wide snapshot cache by
+/// [`Machine::baseline`]) — so they fan out across host cores, in
+/// declaration order.
 pub fn profile_suite() -> Vec<CounterProfile> {
-    let mut out = Vec::new();
+    let profiles: [fn() -> CounterProfile; 5] = [
+        profile_plru_magnifier,
+        profile_arithmetic_magnifier,
+        profile_racing_gadget,
+        profile_benign_list_traversal,
+        profile_benign_compute_loop,
+    ];
+    racer_cpu::batch::par_map(&profiles, |f| f())
+}
 
-    // PLRU magnifier in its miss-heavy (transmit-1) state.
-    {
-        let mut m = Machine::baseline();
-        let mag = PlruMagnifier::with(m.layout(), 5, 500);
-        mag.prepare(&mut m);
-        let a = mag.line_a(&m);
-        m.warm(a);
-        let prog = mag.program(&m, PlruInput::PresenceAbsence);
-        let r = m.run(&prog);
-        out.push(CounterProfile::from_run("plru-magnifier", &r));
+/// PLRU magnifier in its miss-heavy (transmit-1) state.
+fn profile_plru_magnifier() -> CounterProfile {
+    let mut m = Machine::baseline();
+    let mag = PlruMagnifier::with(m.layout(), 5, 500);
+    mag.prepare(&mut m);
+    let a = mag.line_a(&m);
+    m.warm(a);
+    let prog = mag.program(&m, PlruInput::PresenceAbsence);
+    let r = m.run(&prog);
+    CounterProfile::from_run("plru-magnifier", &r)
+}
+
+/// Arithmetic magnifier (misaligned state).
+fn profile_arithmetic_magnifier() -> CounterProfile {
+    let mut m = Machine::baseline();
+    let mut mag = ArithmeticMagnifier::new(Layout::default());
+    mag.stages = 60;
+    m.flush(m.layout().sync);
+    let prog = mag.program(20);
+    let r = m.run(&prog);
+    CounterProfile::from_run("arithmetic-magnifier", &r)
+}
+
+/// A single racing gadget (detection phase).
+fn profile_racing_gadget() -> CounterProfile {
+    let mut m = Machine::baseline();
+    let race = TransientPaRace::new(m.layout());
+    let prog = race.program(
+        &PathSpec::op_chain(racer_isa::AluOp::Add, 30),
+        &PathSpec::op_chain(racer_isa::AluOp::Mul, 5),
+    );
+    race.train(&mut m, &prog);
+    let layout = m.layout();
+    m.cpu_mut().mem_mut().write(layout.x_flag.0, 1);
+    m.flush(layout.sync);
+    let r = m.run(&prog);
+    CounterProfile::from_run("racing-gadget", &r)
+}
+
+/// Benign: linked-list traversal (high L1 miss rate, no attack).
+fn profile_benign_list_traversal() -> CounterProfile {
+    let mut m = Machine::baseline();
+    for i in 0..256u64 {
+        let here = 0x0900_0000 + i * 4096;
+        let next = 0x0900_0000 + (i + 1) * 4096;
+        m.cpu_mut().mem_mut().write(here, next);
     }
-
-    // Arithmetic magnifier (misaligned state).
-    {
-        let mut m = Machine::baseline();
-        let mut mag = ArithmeticMagnifier::new(Layout::default());
-        mag.stages = 60;
-        m.flush(m.layout().sync);
-        let prog = mag.program(20);
-        let r = m.run(&prog);
-        out.push(CounterProfile::from_run("arithmetic-magnifier", &r));
+    let mut asm = Asm::new();
+    let p = asm.reg();
+    asm.mov_imm(p, 0x0900_0000);
+    for _ in 0..256 {
+        asm.load(p, MemOperand::base_disp(p, 0));
     }
+    asm.halt();
+    let r = m.run(&asm.assemble().expect("benign chase assembles"));
+    CounterProfile::from_run("benign-list-traversal", &r)
+}
 
-    // A single racing gadget (detection phase).
-    {
-        let mut m = Machine::baseline();
-        let race = TransientPaRace::new(m.layout());
-        let prog = race.program(
-            &PathSpec::op_chain(racer_isa::AluOp::Add, 30),
-            &PathSpec::op_chain(racer_isa::AluOp::Mul, 5),
-        );
-        race.train(&mut m, &prog);
-        let layout = m.layout();
-        m.cpu_mut().mem_mut().write(layout.x_flag.0, 1);
-        m.flush(layout.sync);
-        let r = m.run(&prog);
-        out.push(CounterProfile::from_run("racing-gadget", &r));
-    }
-
-    // Benign: linked-list traversal (high L1 miss rate, no attack).
-    {
-        let mut m = Machine::baseline();
-        for i in 0..256u64 {
-            let here = 0x0900_0000 + i * 4096;
-            let next = 0x0900_0000 + (i + 1) * 4096;
-            m.cpu_mut().mem_mut().write(here, next);
-        }
-        let mut asm = Asm::new();
-        let p = asm.reg();
-        asm.mov_imm(p, 0x0900_0000);
-        for _ in 0..256 {
-            asm.load(p, MemOperand::base_disp(p, 0));
-        }
-        asm.halt();
-        let r = m.run(&asm.assemble().expect("benign chase assembles"));
-        out.push(CounterProfile::from_run("benign-list-traversal", &r));
-    }
-
-    // Benign: a compute loop (mul/add mix with a loop branch).
-    {
-        let mut m = Machine::baseline();
-        let mut asm = Asm::new();
-        let (i, acc, t) = (asm.reg(), asm.reg(), asm.reg());
-        asm.mov_imm(i, 400);
-        let top = asm.here();
-        asm.mul(t, i, 3i64);
-        asm.add(acc, acc, t);
-        asm.subi(i, i, 1);
-        asm.br(Cond::Ne, i, 0i64, top);
-        asm.halt();
-        let r = m.run(&asm.assemble().expect("benign compute assembles"));
-        out.push(CounterProfile::from_run("benign-compute-loop", &r));
-    }
-
-    out
+/// Benign: a compute loop (mul/add mix with a loop branch).
+fn profile_benign_compute_loop() -> CounterProfile {
+    let mut m = Machine::baseline();
+    let mut asm = Asm::new();
+    let (i, acc, t) = (asm.reg(), asm.reg(), asm.reg());
+    asm.mov_imm(i, 400);
+    let top = asm.here();
+    asm.mul(t, i, 3i64);
+    asm.add(acc, acc, t);
+    asm.subi(i, i, 1);
+    asm.br(Cond::Ne, i, 0i64, top);
+    asm.halt();
+    let r = m.run(&asm.assemble().expect("benign compute assembles"));
+    CounterProfile::from_run("benign-compute-loop", &r)
 }
 
 /// Render the profiles and both detectors' verdicts.

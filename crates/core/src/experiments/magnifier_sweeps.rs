@@ -82,6 +82,9 @@ pub fn figure11(repeat_points: &[usize], delay: usize) -> Vec<SweepSeries> {
     };
     // Each point runs on a fresh machine, so the sweep parallelizes across
     // host cores with bit-identical results (see `racer_cpu::batch`).
+    // Deliberately *not* snapshot-cached: every point's hierarchy has a
+    // distinct replacement seed (`0x5EED + repeats`), so no two points
+    // could ever share a cache entry.
     let run = |kind: ReplacementKind, prefetch: usize, label: &str| {
         let points = racer_cpu::batch::par_map(repeat_points, |&repeats| {
             let mut mag = ArbitraryReplacementMagnifier::new(Layout::default());
@@ -116,11 +119,14 @@ pub fn figure12(
     delay: usize,
     interrupt_cycles: Option<u64>,
 ) -> SweepSeries {
-    // Independent per-stage machines: fan out across host cores.
+    // Independent per-stage machines: fan out across host cores. Every
+    // point shares one (config, hierarchy) pair, so the machines fork
+    // the process-wide snapshot cache — built once, bit-identical to
+    // from-scratch construction.
     let points = racer_cpu::batch::par_map(repeat_points, |&stages| {
         let mut cfg = CpuConfig::coffee_lake();
         cfg.interrupt_interval = interrupt_cycles;
-        let mut m = Machine::with(cfg, HierarchyConfig::small_plru());
+        let mut m = Machine::with_cached(cfg, HierarchyConfig::small_plru());
         let mut mag = ArithmeticMagnifier::new(Layout::default());
         mag.stages = stages;
         let amp = mag.amplification(&mut m, delay).max(0);

@@ -23,30 +23,32 @@ pub struct NoisePoint {
 }
 
 /// Leak `secret` at each jitter level; report accuracy.
+///
+/// The jitter levels are independent full attacks on independent
+/// machines, so they fan out across host cores in input order; each
+/// level's machine forks the process-wide snapshot cache (one distinct
+/// hierarchy config per level, so repeated sweeps rebuild nothing).
 pub fn sweep(secret: &[u8], jitter_levels: &[u64]) -> Vec<NoisePoint> {
-    jitter_levels
-        .iter()
-        .map(|&jitter| {
-            let mut hier = HierarchyConfig::small_plru();
-            hier.memory_jitter = jitter;
-            hier.seed = 0xA11CE ^ jitter;
-            let mut m = Machine::with(CpuConfig::coffee_lake().with_load_recording(), hier);
-            let atk = SpectreBack::new(m.layout());
-            atk.plant_secret(&mut m, secret);
-            let mut timer = CoarseTimer::browser_5us();
-            let report = atk.leak_bytes(&mut m, secret.len(), &mut timer);
-            let correct: u32 = report
-                .recovered
-                .iter()
-                .zip(secret)
-                .map(|(a, b)| 8 - (a ^ b).count_ones())
-                .sum();
-            NoisePoint {
-                jitter_cycles: jitter,
-                accuracy: correct as f64 / (secret.len() * 8) as f64,
-            }
-        })
-        .collect()
+    racer_cpu::batch::par_map(jitter_levels, |&jitter| {
+        let mut hier = HierarchyConfig::small_plru();
+        hier.memory_jitter = jitter;
+        hier.seed = 0xA11CE ^ jitter;
+        let mut m = Machine::with_cached(CpuConfig::coffee_lake().with_load_recording(), hier);
+        let atk = SpectreBack::new(m.layout());
+        atk.plant_secret(&mut m, secret);
+        let mut timer = CoarseTimer::browser_5us();
+        let report = atk.leak_bytes(&mut m, secret.len(), &mut timer);
+        let correct: u32 = report
+            .recovered
+            .iter()
+            .zip(secret)
+            .map(|(a, b)| 8 - (a ^ b).count_ones())
+            .sum();
+        NoisePoint {
+            jitter_cycles: jitter,
+            accuracy: correct as f64 / (secret.len() * 8) as f64,
+        }
+    })
 }
 
 /// Render the sweep.

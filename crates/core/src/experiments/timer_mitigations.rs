@@ -9,8 +9,10 @@
 //! classification accuracy. Because PLRU magnification is unbounded, there
 //! is a round count that defeats *every* finite resolution.
 
+use crate::experiments::{run_lanes_batched, TrialPath};
 use crate::machine::Machine;
 use crate::magnify::{PlruInput, PlruMagnifier};
+use racer_isa::Program;
 use racer_time::{stats, CoarseTimer, FuzzyTimer, Timer};
 use serde::{Deserialize, Serialize};
 
@@ -65,10 +67,51 @@ pub fn sweep_sharded(
     shard_k: usize,
     shard_n: usize,
 ) -> Vec<MitigationPoint> {
+    sweep_sharded_on(
+        timers,
+        round_counts,
+        trials,
+        shard_k,
+        shard_n,
+        TrialPath::Batched,
+    )
+    .0
+}
+
+/// [`sweep_sharded`] with an explicit [`TrialPath`], additionally
+/// returning the total instructions the chosen path committed in heavy
+/// magnifier runs — the work metric the `scenario-e2e` perf rows
+/// normalise wall-clock by. Both paths return bit-identical points; the
+/// batched path commits `1/timers.len()` of the per-machine path's
+/// instructions (see the cell-grid note inside).
+pub fn sweep_sharded_on(
+    timers: &[&str],
+    round_counts: &[usize],
+    trials: usize,
+    shard_k: usize,
+    shard_n: usize,
+    path: TrialPath,
+) -> (Vec<MitigationPoint>, u64) {
     assert!(
         shard_k >= 1 && shard_k <= shard_n,
         "shard must satisfy 1 <= K <= N, got {shard_k}/{shard_n}"
     );
+    match path {
+        TrialPath::PerMachine => sweep_per_machine(timers, round_counts, trials, shard_k, shard_n),
+        TrialPath::Batched => sweep_batched(timers, round_counts, trials, shard_k, shard_n),
+    }
+}
+
+/// The pre-batch pipeline: one fresh machine and one heavy magnifier run
+/// per (timer, rounds, trial, bit) cell.
+fn sweep_per_machine(
+    timers: &[&str],
+    round_counts: &[usize],
+    trials: usize,
+    shard_k: usize,
+    shard_n: usize,
+) -> (Vec<MitigationPoint>, u64) {
+    let mut committed = 0u64;
     let mut out = Vec::new();
     for &tname in timers {
         for &rounds in round_counts {
@@ -83,18 +126,13 @@ pub fn sweep_sharded(
                 // be trial-decomposable.
                 let mut timer = build_timer(tname, 0xBEEF ^ (t as u64).wrapping_mul(0x9E37));
                 for bit in [false, true] {
-                    let mut m = Machine::noisy(t as u64 * 31 + u64::from(bit));
+                    let mut m = prepared_machine(t, bit, rounds);
                     let mag = PlruMagnifier::with(m.layout(), 5, rounds);
-                    mag.prepare(&mut m);
-                    let (a, b) = (mag.line_a(&m), mag.line_b(&m));
-                    if bit {
-                        m.warm(a);
-                        m.warm(b);
-                    } else {
-                        m.warm(b);
-                        m.warm(a);
-                    }
-                    let obs = m.run_timed(&mag.program(&m, PlruInput::Reorder), timer.as_mut());
+                    let prog = mag.program(&m, PlruInput::Reorder);
+                    let start = m.elapsed_ns();
+                    let r = m.run(&prog);
+                    committed += r.committed;
+                    let obs = timer.measure(start, m.elapsed_ns());
                     if bit {
                         ones.push(obs);
                     } else {
@@ -102,23 +140,121 @@ pub fn sweep_sharded(
                     }
                 }
             }
-            // A shard can own zero trials of a cell (more shards than
-            // trials): record chance accuracy at weight zero so the merge
-            // ignores it.
-            let accuracy = if scored == 0 {
-                0.5
-            } else {
-                stats::best_threshold(&zeros, &ones).1
-            };
-            out.push(MitigationPoint {
-                timer: tname.to_string(),
-                rounds,
-                accuracy,
-                trials: scored,
-            });
+            out.push(score_cell(tname, rounds, scored, &zeros, &ones));
         }
     }
-    out
+    (out, committed)
+}
+
+/// The batch-first pipeline. The heavy magnifier run of a
+/// (trial, bit, rounds) cell is *timer-independent*: `prepare` and the
+/// bit-ordered warms poke caches without running programs, so the
+/// machine's clock is zero when the magnifier runs and every observation
+/// a timer scores is `timer.measure(0, cycles_to_ns(cycles))` of the
+/// same cycle count. This path therefore runs the
+/// rounds × trial × bit cell grid exactly once through the lockstep
+/// engine — one shared program per rounds value (the magnifier program
+/// depends only on rounds and L1 geometry), lanes chunked across host
+/// cores — and scores the cached cycles under every timer, where the
+/// per-machine plan re-runs the whole grid per timer.
+fn sweep_batched(
+    timers: &[&str],
+    round_counts: &[usize],
+    trials: usize,
+    shard_k: usize,
+    shard_n: usize,
+) -> (Vec<MitigationPoint>, u64) {
+    let scored: Vec<usize> = (0..trials).filter(|t| t % shard_n == shard_k - 1).collect();
+    // Prepared machines in (rounds, trial, bit) order, then one shared
+    // program per rounds value.
+    let mut cells: Vec<(Machine, usize)> =
+        Vec::with_capacity(round_counts.len() * scored.len() * 2);
+    for (ri, &rounds) in round_counts.iter().enumerate() {
+        for &t in &scored {
+            for bit in [false, true] {
+                cells.push((prepared_machine(t, bit, rounds), ri));
+            }
+        }
+    }
+    let results = if cells.is_empty() {
+        Vec::new()
+    } else {
+        let progs: Vec<Program> = round_counts
+            .iter()
+            .map(|&rounds| {
+                let mag = PlruMagnifier::with(cells[0].0.layout(), 5, rounds);
+                mag.program(&cells[0].0, PlruInput::Reorder)
+            })
+            .collect();
+        let lanes: Vec<(Machine, &Program)> =
+            cells.into_iter().map(|(m, ri)| (m, &progs[ri])).collect();
+        run_lanes_batched(&lanes)
+    };
+    let committed = results.iter().map(|r| r.committed).sum();
+    let cfg = racer_cpu::CpuConfig::coffee_lake().with_load_recording();
+    let mut out = Vec::new();
+    for &tname in timers {
+        for (ri, &rounds) in round_counts.iter().enumerate() {
+            let mut zeros = Vec::new();
+            let mut ones = Vec::new();
+            for (ti, &t) in scored.iter().enumerate() {
+                let mut timer = build_timer(tname, 0xBEEF ^ (t as u64).wrapping_mul(0x9E37));
+                for bit in [false, true] {
+                    let idx = (ri * scored.len() + ti) * 2 + usize::from(bit);
+                    // Exactly `run_timed` on a zero-clock machine.
+                    let obs = timer.measure(0.0, cfg.cycles_to_ns(results[idx].cycles));
+                    if bit {
+                        ones.push(obs);
+                    } else {
+                        zeros.push(obs);
+                    }
+                }
+            }
+            out.push(score_cell(tname, rounds, scored.len(), &zeros, &ones));
+        }
+    }
+    (out, committed)
+}
+
+/// The fresh noisy machine of a (trial, bit, rounds) cell, with the
+/// Figure 3.1 set state prepared and the raced lines warmed in bit order.
+/// Pokes only — the machine's clock stays at zero.
+fn prepared_machine(t: usize, bit: bool, rounds: usize) -> Machine {
+    let mut m = Machine::noisy(t as u64 * 31 + u64::from(bit));
+    let mag = PlruMagnifier::with(m.layout(), 5, rounds);
+    mag.prepare(&mut m);
+    let (a, b) = (mag.line_a(&m), mag.line_b(&m));
+    if bit {
+        m.warm(a);
+        m.warm(b);
+    } else {
+        m.warm(b);
+        m.warm(a);
+    }
+    m
+}
+
+/// Fold one (timer, rounds) cell's observations into a point. A shard
+/// can own zero trials of a cell (more shards than trials): record
+/// chance accuracy at weight zero so the merge ignores it.
+fn score_cell(
+    tname: &str,
+    rounds: usize,
+    scored: usize,
+    zeros: &[f64],
+    ones: &[f64],
+) -> MitigationPoint {
+    let accuracy = if scored == 0 {
+        0.5
+    } else {
+        stats::best_threshold(zeros, ones).1
+    };
+    MitigationPoint {
+        timer: tname.to_string(),
+        rounds,
+        accuracy,
+        trials: scored,
+    }
 }
 
 /// Render the sweep as a table (rows = timers, columns = round counts).
@@ -253,5 +389,43 @@ mod tests {
     #[should_panic(expected = "shard must satisfy")]
     fn invalid_shard_is_rejected() {
         let _ = sweep_sharded(&["5us"], &[500], 2, 3, 2);
+    }
+
+    #[test]
+    fn batched_and_per_machine_paths_agree_exactly() {
+        let timers = ["5us", "5us+jitter", "fuzzy-5us"];
+        let rounds = [400, 1000];
+        let (b, bc) = sweep_sharded_on(&timers, &rounds, 3, 1, 1, TrialPath::Batched);
+        let (p, pc) = sweep_sharded_on(&timers, &rounds, 3, 1, 1, TrialPath::PerMachine);
+        assert_eq!(b.len(), p.len());
+        for (x, y) in b.iter().zip(&p) {
+            assert_eq!(
+                (x.timer.as_str(), x.rounds, x.trials),
+                (y.timer.as_str(), y.rounds, y.trials)
+            );
+            assert_eq!(
+                x.accuracy.to_bits(),
+                y.accuracy.to_bits(),
+                "cell ({}, {}) accuracies must be bit-identical",
+                x.timer,
+                x.rounds
+            );
+        }
+        // The batched path runs the timer-independent cell grid once; the
+        // per-machine plan re-runs it for every timer.
+        assert!(bc > 0);
+        assert_eq!(pc, bc * timers.len() as u64);
+    }
+
+    #[test]
+    fn batched_shards_still_partition_the_trial_axis() {
+        // Sharding applies before the grid is built: a shard's batched
+        // grid covers exactly its own trials.
+        let full = sweep(&["5us+jitter"], &[800], 4);
+        let folded: Vec<_> = (1..=2)
+            .map(|k| sweep_sharded(&["5us+jitter"], &[800], 4, k, 2))
+            .collect();
+        let total: usize = folded.iter().map(|s| s[0].trials).sum();
+        assert_eq!(total, full[0].trials);
     }
 }

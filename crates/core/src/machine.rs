@@ -2,7 +2,9 @@
 //! timer plumbing the experiments share.
 
 use crate::layout::Layout;
-use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, RunResult, Snapshot};
+use racer_cpu::{
+    Backend, Countermeasure, Cpu, CpuConfig, MachineBatch, RunResult, Snapshot, SnapshotCache,
+};
 use racer_isa::Program;
 use racer_mem::{Addr, CacheConfig, HierarchyConfig, ReplacementKind};
 use racer_time::Timer;
@@ -29,6 +31,9 @@ pub struct Machine {
     /// Simulated nanoseconds accumulated over every program run, used as
     /// the wall clock that coarse timers observe.
     elapsed_ns: f64,
+    /// Instructions committed by every clock-advancing run on this
+    /// machine — the work metric of the `scenario-e2e` perf rows.
+    committed: u64,
 }
 
 impl Machine {
@@ -38,18 +43,43 @@ impl Machine {
             cpu: Cpu::new(cpu_cfg, hier_cfg),
             layout: Layout::default(),
             elapsed_ns: 0.0,
+            committed: 0,
         }
     }
 
-    /// Tree-PLRU 4-way L1 machine (the default attack target).
+    /// Like [`Machine::with`], but forking the process-wide
+    /// [`SnapshotCache`] instead of constructing the core and hierarchy
+    /// from scratch: the first call per `(cpu_cfg, hier_cfg)` pair builds
+    /// and caches a cold snapshot, every later call pays only a
+    /// copy-on-write fork. Forks are bit-identical to a fresh
+    /// construction, so this is a pure wall-clock optimisation for
+    /// experiments that stamp out many machines of one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_cfg` fails validation or is not single-thread
+    /// (snapshots capture single-thread machines — use [`Machine::with`]
+    /// for SMT configurations).
+    pub fn with_cached(cpu_cfg: CpuConfig, hier_cfg: HierarchyConfig) -> Self {
+        Self::from_snapshot(&SnapshotCache::global().cold(cpu_cfg, hier_cfg))
+    }
+
+    /// Tree-PLRU 4-way L1 machine (the default attack target). Forked
+    /// from the process-wide [`SnapshotCache`] — bit-identical to a
+    /// from-scratch construction, built once per process.
     pub fn baseline() -> Self {
-        Self::with(
+        Self::with_cached(
             CpuConfig::coffee_lake().with_load_recording(),
             HierarchyConfig::small_plru(),
         )
     }
 
     /// Baseline machine with DRAM jitter for noisy-distribution experiments.
+    ///
+    /// Deliberately *not* routed through the [`SnapshotCache`]: every
+    /// trial uses a distinct `seed`, so each call is a distinct cache key
+    /// — caching would only churn the LRU. (Same for
+    /// [`Machine::random_l1`].)
     pub fn noisy(seed: u64) -> Self {
         let mut hier = HierarchyConfig::small_plru();
         hier.memory_jitter = 30;
@@ -90,7 +120,7 @@ impl Machine {
             replacement: ReplacementKind::TreePlru,
             seed: 0x78,
         };
-        Self::with(CpuConfig::coffee_lake().with_load_recording(), hier)
+        Self::with_cached(CpuConfig::coffee_lake().with_load_recording(), hier)
     }
 
     /// Change the modelled countermeasure.
@@ -124,6 +154,7 @@ impl Machine {
     pub fn run_with(&mut self, prog: &Program, backend: Backend) -> RunResult {
         let r = self.cpu.run_one(prog, backend);
         self.elapsed_ns += self.cpu.config().cycles_to_ns(r.cycles);
+        self.committed += r.committed;
         r
     }
 
@@ -143,7 +174,55 @@ impl Machine {
             cpu: snap.fork(),
             layout: Layout::default(),
             elapsed_ns: 0.0,
+            committed: 0,
         }
+    }
+
+    /// Run each of `progs` on an independent fork of this machine's
+    /// *current* state — parallel universes, not a sequence: every lane
+    /// observes the same caches/predictor, no lane sees another's
+    /// effects, and the machine itself (state and wall clock) is
+    /// untouched. Results come back in input order, bit-identical to
+    /// cloning the machine per program and calling [`Machine::run`] on
+    /// each clone. One snapshot capture + the lockstep engine's shared
+    /// decode tables make this the cheap way to fan a trial grid out
+    /// from one prepared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-thread (SMT) configuration.
+    pub fn batch(&self, progs: &[Program]) -> Vec<RunResult> {
+        self.snapshot().run_many(progs)
+    }
+
+    /// Run a heterogeneous sweep: each `(machine, program)` lane forks
+    /// its machine's current state, all lanes share one lockstep driver
+    /// and one decode table per distinct program. Results in input
+    /// order, bit-identical to calling [`Machine::run`] per lane; the
+    /// machines themselves are untouched. This is the batch-first
+    /// backbone for experiments whose trial points each *prepare* a
+    /// different machine (planted secrets, jitter seeds, warmed sets)
+    /// but run from a shared program pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machines' [`CpuConfig`]s differ (one lockstep
+    /// driver steps every lane) or are multi-thread.
+    pub fn sweep<'a, I>(lanes: I) -> Vec<RunResult>
+    where
+        I: IntoIterator<Item = (&'a Machine, &'a Program)>,
+    {
+        let mut iter = lanes.into_iter();
+        let Some((first_machine, first_prog)) = iter.next() else {
+            return Vec::new();
+        };
+        let snap = first_machine.snapshot();
+        let mut batch = MachineBatch::from_snapshot(&snap);
+        batch.push(first_prog);
+        for (machine, prog) in iter {
+            batch.push_from(&machine.snapshot(), prog);
+        }
+        batch.run()
     }
 
     /// Run a program and return just its cycle count.
@@ -158,12 +237,22 @@ impl Machine {
         let start = self.elapsed_ns;
         let r = self.cpu.run_one(prog, Backend::EventDriven);
         self.elapsed_ns += self.cpu.config().cycles_to_ns(r.cycles);
+        self.committed += r.committed;
         timer.measure(start, self.elapsed_ns)
     }
 
     /// Total simulated nanoseconds elapsed on this machine.
     pub fn elapsed_ns(&self) -> f64 {
         self.elapsed_ns
+    }
+
+    /// Total instructions committed by clock-advancing runs on this
+    /// machine ([`Machine::run`]/[`Machine::run_with`]/
+    /// [`Machine::run_timed`]; [`Machine::batch`]/[`Machine::sweep`] fork
+    /// and leave the machine untouched). The `scenario-e2e` perf rows use
+    /// this as their backend-independent work metric.
+    pub fn committed_total(&self) -> u64 {
+        self.committed
     }
 
     /// Host-level cache-line flush (used for experiment setup; the gadgets
@@ -257,5 +346,71 @@ mod tests {
         let _ = Machine::noisy(3);
         let _ = Machine::random_l1(4);
         let _ = Machine::small_llc();
+    }
+
+    /// A short load-heavy probe whose timing is state-sensitive.
+    fn probe(touch: u64) -> Program {
+        let mut asm = Asm::new();
+        let r = asm.reg();
+        for i in 0..touch {
+            asm.load(r, racer_isa::MemOperand::abs(0x8000 + i * 64));
+        }
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn cached_baseline_matches_from_scratch_construction() {
+        let mut cached = Machine::baseline();
+        let mut direct = Machine::with(
+            CpuConfig::coffee_lake().with_load_recording(),
+            HierarchyConfig::small_plru(),
+        );
+        let p = probe(16);
+        let a = cached.run(&p);
+        let b = direct.run(&p);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn batch_matches_sequential_forks_and_preserves_the_machine() {
+        let mut m = Machine::baseline();
+        m.run(&probe(24)); // dirty the caches so state matters
+        let clock = m.elapsed_ns();
+        let progs: Vec<Program> = (1..=6).map(|i| probe(i * 4)).collect();
+        let batched = m.batch(&progs);
+        assert_eq!(m.elapsed_ns(), clock, "batch must not advance the clock");
+        for (i, (p, got)) in progs.iter().zip(&batched).enumerate() {
+            let want = Machine::from_snapshot(&m.snapshot()).run(p);
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "batch lane #{i} diverges from a per-machine fork"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_machine_runs_over_heterogeneous_states() {
+        // Three differently-prepared machines × two programs.
+        let mut machines: Vec<Machine> = (0..3).map(|_| Machine::baseline()).collect();
+        machines[1].run(&probe(16));
+        machines[2].run(&probe(40));
+        let progs = [probe(8), probe(20)];
+        let lanes: Vec<(&Machine, &Program)> = machines
+            .iter()
+            .flat_map(|m| progs.iter().map(move |p| (m, p)))
+            .collect();
+        let got = Machine::sweep(lanes.iter().copied());
+        assert_eq!(got.len(), machines.len() * progs.len());
+        for (i, ((m, p), got)) in lanes.iter().zip(&got).enumerate() {
+            let want = Machine::from_snapshot(&m.snapshot()).run(p);
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "sweep lane #{i} diverges from a per-machine run"
+            );
+        }
+        assert!(Machine::sweep(std::iter::empty()).is_empty());
     }
 }

@@ -308,7 +308,7 @@ pub struct CpuConfig {
     /// interrupt that bounds the stateless arithmetic magnifier (§7.5: "the
     /// total run-time approaches the interval of timer interrupts (4ms)").
     pub interrupt_interval: Option<u64>,
-    /// Safety valve: a single `execute` aborts after this many cycles.
+    /// Safety valve: a single program run aborts after this many cycles.
     pub max_run_cycles: u64,
     /// Event-recording level for run results (see [`RecordLevel`]).
     pub record: RecordLevel,

@@ -90,7 +90,7 @@
 //!   reference scheduler does anyway.
 //! * **No steady-state allocation.** All scheduling structures live in
 //!   the per-thread [`ThreadCtx`] structs, owned by [`Cpu`] and reused
-//!   across `execute` calls;
+//!   across [`Cpu::run`] calls;
 //!   sources use inline `[Src; 3]` storage (no instruction has more than
 //!   three; the register names live in the decoded table), and the
 //!   `loads`/`trace` vectors are only touched when
@@ -225,7 +225,7 @@ struct FetchedInstr {
 /// reusable scheduling structures (ROB ring, RAT, ready heaps, completion
 /// wheel, stall pool, front-end queue) *and* the per-run state (fetch PC,
 /// fence/drain flags, result counters, event vectors). Owned by [`Cpu`] so
-/// consecutive [`Cpu::execute`] calls (the shape of every sweep) run
+/// consecutive [`Cpu::run`] calls (the shape of every sweep) run
 /// allocation-free once capacities have warmed up.
 #[derive(Debug, Default)]
 pub(crate) struct ThreadCtx {

@@ -75,13 +75,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::config::CpuConfig;
+use crate::config::{Backend, CpuConfig};
 use crate::core::{self, Cpu, Shared, ThreadCtx};
 use crate::predictor::Predictor;
 use crate::stats::RunResult;
 use racer_isa::{DataMemory, DecodedInstr, DecodedProgram, Program};
 use racer_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Smallest lockstep slice: enough cycles to amortise the per-lane switch
 /// when every lane's working set fits the host cache together.
@@ -220,6 +221,32 @@ impl Snapshot {
             decoded: vec![Vec::new()],
         }
     }
+
+    /// Run each of `progs` on an independent fork of this snapshot and
+    /// return one [`RunResult`] per program, in input order — the
+    /// convenience form of building a [`MachineBatch`] by hand. Lanes with
+    /// equal programs share one decoded µop table; results are
+    /// bit-identical to `self.fork().run_one(prog, Backend::EventDriven)`
+    /// per program.
+    pub fn run_many(&self, progs: &[Program]) -> Vec<RunResult> {
+        let mut batch = MachineBatch::from_snapshot(self);
+        for p in progs {
+            batch.push(p);
+        }
+        batch.run()
+    }
+}
+
+/// A pushed-but-not-yet-materialised lane: which program it runs and
+/// which snapshot it forks from (`None` ⇒ the batch snapshot).
+#[derive(Debug)]
+struct QueuedLane {
+    /// Index into the batch's shared `programs` / `decoded` tables.
+    prog: usize,
+    /// Fork source for heterogeneous-state batches
+    /// ([`MachineBatch::push_from`]); `None` forks the batch snapshot.
+    /// O(1) to hold — snapshots are `Arc`-backed.
+    src: Option<Snapshot>,
 }
 
 /// One lane: an independent single-thread machine forked from the batch's
@@ -270,13 +297,14 @@ pub struct MachineBatch {
     programs: Vec<Program>,
     /// Shared decoded µop table, parallel to `programs`.
     decoded: Vec<Vec<DecodedInstr>>,
-    /// Program index per pushed lane. Lane state itself materialises
-    /// *lazily*, on a lane's first lockstep step: forking at push time
-    /// would walk every lane's fresh state twice (once to create, again —
-    /// cold by then — to step), where the per-machine baseline creates and
-    /// runs each machine back to back. Deferring the fork restores that
-    /// locality and keeps the batch's decode-sharing and pooling wins.
-    queued: Vec<usize>,
+    /// Program index (and optional per-lane fork source) per pushed lane.
+    /// Lane state itself materialises *lazily*, on a lane's first lockstep
+    /// step: forking at push time would walk every lane's fresh state
+    /// twice (once to create, again — cold by then — to step), where the
+    /// per-machine baseline creates and runs each machine back to back.
+    /// Deferring the fork restores that locality and keeps the batch's
+    /// decode-sharing and pooling wins.
+    queued: Vec<QueuedLane>,
     /// Materialised lanes, in push order; grows during the first round of
     /// [`MachineBatch::run`].
     lanes: Vec<Lane>,
@@ -333,7 +361,43 @@ impl MachineBatch {
     /// table. The fork itself is deferred to the lane's first step inside
     /// [`MachineBatch::run`].
     pub fn push(&mut self, prog: &Program) {
-        let idx = match self.programs.iter().position(|p| p == prog) {
+        let idx = self.intern(prog);
+        self.queued.push(QueuedLane {
+            prog: idx,
+            src: None,
+        });
+    }
+
+    /// Add a lane that runs `prog` from a fork of `src` instead of the
+    /// batch snapshot: the heterogeneous-state form of
+    /// [`MachineBatch::push`], for sweeps whose trial points each prepare
+    /// a *different* machine (distinct cache layouts, jitter seeds,
+    /// planted secrets) but still want shared decode tables, pooled lane
+    /// allocations and one lockstep driver. Decode sharing is unchanged —
+    /// equal programs share one µop table regardless of fork source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` was captured under a different [`CpuConfig`] than
+    /// the batch snapshot: the lockstep driver steps every lane with the
+    /// batch's config. (Hierarchy configs may differ freely — each lane
+    /// forks its own source's caches and memory.)
+    pub fn push_from(&mut self, src: &Snapshot, prog: &Program) {
+        assert_eq!(
+            src.config(),
+            self.snap.config(),
+            "push_from lane snapshot must share the batch CpuConfig"
+        );
+        let idx = self.intern(prog);
+        self.queued.push(QueuedLane {
+            prog: idx,
+            src: Some(src.clone()),
+        });
+    }
+
+    /// Index of `prog` in the shared decode tables, decoding on first use.
+    fn intern(&mut self, prog: &Program) -> usize {
+        match self.programs.iter().position(|p| p == prog) {
             Some(i) => i,
             None => {
                 let mut dec = Vec::new();
@@ -342,17 +406,24 @@ impl MachineBatch {
                 self.decoded.push(dec);
                 self.programs.len() - 1
             }
-        };
-        self.queued.push(idx);
+        }
     }
 
     /// Aggregate measured private footprint of the lanes in `live`
     /// (COW-materialised cache chunks + data memory + fixed structures) —
-    /// the input to [`schedule_slice`].
+    /// the input to [`schedule_slice`]. Each lane is measured against the
+    /// snapshot it actually forked, so `push_from` lanes don't count their
+    /// source's whole image as private.
     fn live_private_bytes(&self, live: &[u32]) -> usize {
-        let base = &self.snap.inner.hier;
         live.iter()
-            .map(|&i| self.lanes[i as usize].private_bytes_vs(base))
+            .map(|&i| {
+                let i = i as usize;
+                let base = match &self.queued[i].src {
+                    Some(src) => &src.inner.hier,
+                    None => &self.snap.inner.hier,
+                };
+                self.lanes[i].private_bytes_vs(base)
+            })
             .sum()
     }
 
@@ -393,16 +464,21 @@ impl MachineBatch {
                     // per-machine baseline gets for free.
                     let mut ctx = spare.pop().unwrap_or_default();
                     ctx.reset(st.cfg.rob_size);
-                    // COW fork: chunk-pointer copies of the snapshot
+                    // COW fork: chunk-pointer copies of the source
                     // hierarchy — the lane materialises private chunks
-                    // only where it writes.
-                    let hier = st.hier.clone();
+                    // only where it writes. `push_from` lanes fork their
+                    // own source snapshot instead of the batch's.
+                    let src: &SnapshotState = match &queued[i].src {
+                        Some(s) => &s.inner,
+                        None => st,
+                    };
+                    let hier = src.hier.clone();
                     lanes.push(Lane {
-                        prog: queued[i],
+                        prog: queued[i].prog,
                         stats_before: hier.stats(),
                         hier,
-                        mem: st.mem.clone(),
-                        predictor: st.predictor.clone_box(),
+                        mem: src.mem.clone(),
+                        predictor: src.predictor.clone_box(),
                         ctx,
                         shared: Shared::new(st.cfg.div_ports, 1),
                     });
@@ -436,4 +512,216 @@ impl MachineBatch {
         }
         results
     }
+}
+
+/// Hit/miss counters for a [`SnapshotCache`], read via
+/// [`SnapshotCache::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotCacheCounters {
+    /// Lookups answered by an existing entry.
+    pub hits: u64,
+    /// Lookups that had to build (and warm) a machine.
+    pub misses: u64,
+}
+
+/// One cached warm snapshot: the exact key it was built from plus its
+/// fingerprint (a fast pre-filter — equality is always confirmed on the
+/// full key, so fingerprint collisions cost a comparison, never
+/// correctness).
+#[derive(Debug)]
+struct CacheEntry {
+    fingerprint: u64,
+    cfg: CpuConfig,
+    hier_cfg: HierarchyConfig,
+    warmup: Option<(Program, usize)>,
+    snap: Snapshot,
+    /// Logical access time for LRU eviction.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    clock: u64,
+}
+
+/// A process-wide cache of warm [`Snapshot`]s, keyed by *(core config,
+/// hierarchy config, warmup program × run count)*.
+///
+/// Scenarios stamp out hundreds of machines that share a [`CpuConfig`]
+/// and a [`HierarchyConfig`]; each construction re-allocates the cache
+/// hierarchy and (for warmed sweeps) re-runs the warmup program. The
+/// cache builds each distinct configuration **once per process** and
+/// hands every later request an O(1) [`Snapshot`] clone whose forks are
+/// bit-identical to a freshly constructed (and identically warmed)
+/// machine — the byte-identity argument the batch-first experiment
+/// pipeline rests on.
+///
+/// Keying is exact: a lookup matches only when the configs and the warmup
+/// program compare equal (`Eq`), with an FNV-64 fingerprint of the key as
+/// a cheap pre-filter. Distinct configurations therefore *never* share an
+/// entry, no matter how similar. The cache is bounded ([`Self::new`]'s
+/// `cap`) with least-recently-used eviction, and exposes hit/miss
+/// counters. Misses build the machine while holding the cache lock, so
+/// concurrent [`batch::par_map`](crate::batch::par_map) workers racing
+/// for one key block briefly and then all hit the single built entry —
+/// "warm exactly once per process" holds under parallelism too.
+///
+/// [`SnapshotCache::global`] is the shared instance the experiment
+/// pipeline uses; independent instances can be built for tests.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    cap: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SnapshotCache {
+    /// An empty cache holding at most `cap` snapshots (LRU-evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "snapshot cache capacity must be non-zero");
+        SnapshotCache {
+            cap,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache instance. Sized generously (64 entries):
+    /// the whole scenario suite uses about a dozen distinct
+    /// configurations, so in practice nothing is ever evicted.
+    pub fn global() -> &'static SnapshotCache {
+        static GLOBAL: OnceLock<SnapshotCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| SnapshotCache::new(64))
+    }
+
+    /// A snapshot of a cold machine under `(cfg, hier_cfg)` — cached
+    /// [`Snapshot::cold`]. Forks are bit-identical to
+    /// `Cpu::new(cfg, hier_cfg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or is not single-thread.
+    pub fn cold(&self, cfg: CpuConfig, hier_cfg: HierarchyConfig) -> Snapshot {
+        self.warmed(cfg, hier_cfg, None)
+    }
+
+    /// A snapshot of a machine under `(cfg, hier_cfg)` warmed by running
+    /// `warmup`'s program the given number of times on the event-driven
+    /// backend (`None` ⇒ cold). Forks are bit-identical to constructing
+    /// and warming a fresh machine the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or is not single-thread.
+    pub fn warmed(
+        &self,
+        cfg: CpuConfig,
+        hier_cfg: HierarchyConfig,
+        warmup: Option<(&Program, usize)>,
+    ) -> Snapshot {
+        let fp = fingerprint(&cfg, &hier_cfg, warmup);
+        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(entry) = inner.entries.iter_mut().find(|e| {
+            e.fingerprint == fp
+                && e.cfg == cfg
+                && e.hier_cfg == hier_cfg
+                && e.warmup.as_ref().map(|(p, runs)| (p, *runs)) == warmup
+        }) {
+            entry.stamp = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.snap.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build under the lock: racing callers for the same key block
+        // here and then hit, so each configuration warms exactly once.
+        let mut cpu = Cpu::new(cfg, hier_cfg);
+        if let Some((prog, runs)) = warmup {
+            for _ in 0..runs {
+                cpu.run_one(prog, Backend::EventDriven);
+            }
+        }
+        let snap = cpu.snapshot();
+        if inner.entries.len() >= self.cap {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cap > 0 ⇒ non-empty at eviction");
+            inner.entries.swap_remove(lru);
+        }
+        inner.entries.push(CacheEntry {
+            fingerprint: fp,
+            cfg,
+            hier_cfg,
+            warmup: warmup.map(|(p, runs)| (p.clone(), runs)),
+            snap: snap.clone(),
+            stamp,
+        });
+        snap
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn counters(&self) -> SnapshotCacheCounters {
+        SnapshotCacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached snapshots.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("snapshot cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached snapshot (counters are kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("snapshot cache poisoned")
+            .entries
+            .clear();
+    }
+}
+
+/// FNV-1a over the `Debug` rendering of the cache key — stable within a
+/// process (all the cache needs), allocation-free via `fmt::Write`.
+fn fingerprint(
+    cfg: &CpuConfig,
+    hier_cfg: &HierarchyConfig,
+    warmup: Option<(&Program, usize)>,
+) -> u64 {
+    use std::fmt::Write as _;
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for &b in s.as_bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = write!(h, "{cfg:?}|{hier_cfg:?}|{warmup:?}");
+    h.0
 }

@@ -85,6 +85,6 @@ pub use config::{
     Backend, Countermeasure, CpuConfig, Latencies, PredictorKind, RecordLevel, SmtPolicy,
 };
 pub use core::Cpu;
-pub use engine::{MachineBatch, Snapshot};
+pub use engine::{MachineBatch, Snapshot, SnapshotCache, SnapshotCacheCounters};
 pub use stats::{LoadEvent, RunResult};
 pub use trace::{render_pipeline, TraceRecord};

@@ -11,9 +11,9 @@ use crate::config::PredictorKind;
 
 /// A direction predictor for conditional branches.
 ///
-/// Predictor state persists across [`Cpu::execute`](crate::Cpu::execute)
-/// calls — training in one run carries into the next, exactly like real
-/// hardware observed by a JavaScript attacker re-invoking a function.
+/// Predictor state persists across [`Cpu::run`](crate::Cpu::run) calls —
+/// training in one run carries into the next, exactly like real hardware
+/// observed by a JavaScript attacker re-invoking a function.
 pub trait Predictor: std::fmt::Debug + Send + Sync {
     /// Predict the direction of the branch at `pc`.
     fn predict(&self, pc: usize) -> bool;

@@ -11,7 +11,9 @@
 //! batch is deterministic and reusable across rounds.
 
 use racer_cpu::workloads::{alu_chain, memory_stream};
-use racer_cpu::{Backend, Countermeasure, Cpu, CpuConfig, MachineBatch, RunResult, Snapshot};
+use racer_cpu::{
+    Backend, Countermeasure, Cpu, CpuConfig, MachineBatch, RunResult, Snapshot, SnapshotCache,
+};
 use racer_isa::{AluOp, Cond, Instr, MemOperand, Operand, Program, Reg};
 use racer_mem::HierarchyConfig;
 
@@ -295,6 +297,151 @@ fn batch_is_reusable_across_rounds() {
             assert_bit_identical(&format!("round {r}, gadget #{i}"), got, &rounds[0][i]);
         }
     }
+}
+
+#[test]
+fn run_many_matches_individual_forks_in_input_order() {
+    let snap = warmed_snapshot(CpuConfig::coffee_lake().with_load_recording());
+    let progs = gadget_population(0x0BA7_C4ED, 9);
+    let got = snap.run_many(&progs);
+    assert_eq!(got.len(), progs.len());
+    for (i, (prog, got)) in progs.iter().zip(&got).enumerate() {
+        let want = snap.fork().run_one(prog, Backend::EventDriven);
+        assert_bit_identical(&format!("run_many gadget #{i}"), got, &want);
+    }
+}
+
+#[test]
+fn push_from_mixes_heterogeneous_fork_sources() {
+    // Three snapshots with visibly different state: cold, warmed on the
+    // ALU kernel, warmed on the streaming kernel. One batch, lanes
+    // alternating sources — including the same program under different
+    // sources, which must share a decode table yet diverge in timing.
+    let cfg = CpuConfig::coffee_lake().with_load_recording();
+    let cold = Snapshot::cold(cfg, HierarchyConfig::coffee_lake());
+    let warm_alu = {
+        let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+        cpu.run_one(&alu_chain(200), Backend::EventDriven);
+        cpu.snapshot()
+    };
+    let warm_stream = {
+        let mut cpu = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+        cpu.run_one(&memory_stream(200), Backend::EventDriven);
+        cpu.snapshot()
+    };
+    let sources = [&cold, &warm_alu, &warm_stream];
+    let progs = gadget_population(0x9E37_79B9, 4);
+
+    let mut batch = MachineBatch::from_snapshot(&cold);
+    let mut expect = Vec::new();
+    for (i, prog) in progs.iter().enumerate() {
+        for src in sources {
+            batch.push_from(src, prog);
+            expect.push((i, src.fork().run_one(prog, Backend::EventDriven)));
+        }
+    }
+    let got = batch.run();
+    assert_eq!(got.len(), expect.len());
+    for (slot, ((i, want), got)) in expect.iter().zip(&got).enumerate() {
+        assert_bit_identical(&format!("push_from slot {slot} (gadget #{i})"), got, want);
+    }
+    // The warmed sources genuinely differ from cold for the streaming
+    // kernel — otherwise this test proves nothing about heterogeneity.
+    let cold_run = cold
+        .fork()
+        .run_one(&memory_stream(200), Backend::EventDriven);
+    let warm_run = warm_stream
+        .fork()
+        .run_one(&memory_stream(200), Backend::EventDriven);
+    assert_ne!(
+        cold_run.cycles, warm_run.cycles,
+        "sources indistinguishable"
+    );
+}
+
+#[test]
+#[should_panic(expected = "push_from lane snapshot must share the batch CpuConfig")]
+fn push_from_rejects_mismatched_cpu_configs() {
+    let base = Snapshot::cold(CpuConfig::coffee_lake(), HierarchyConfig::coffee_lake());
+    let other = Snapshot::cold(
+        CpuConfig::coffee_lake().with_countermeasure(Countermeasure::InOrder),
+        HierarchyConfig::coffee_lake(),
+    );
+    let mut batch = MachineBatch::from_snapshot(&base);
+    batch.push_from(&other, &alu_chain(10));
+}
+
+#[test]
+fn snapshot_cache_distinct_configs_never_share() {
+    let cache = SnapshotCache::new(16);
+    let cfg = CpuConfig::coffee_lake();
+    let warmup = alu_chain(100);
+    // Four keys differing in exactly one component each.
+    type Key<'a> = (CpuConfig, HierarchyConfig, Option<(&'a Program, usize)>);
+    let keys: [Key; 4] = [
+        (cfg, HierarchyConfig::coffee_lake(), None),
+        (
+            cfg.with_countermeasure(Countermeasure::DelayOnMiss),
+            HierarchyConfig::coffee_lake(),
+            None,
+        ),
+        (cfg, HierarchyConfig::small_plru(), None),
+        (cfg, HierarchyConfig::coffee_lake(), Some((&warmup, 2))),
+    ];
+    for (cfg, hier, warm) in &keys {
+        cache.warmed(*cfg, *hier, *warm);
+    }
+    assert_eq!(cache.len(), keys.len(), "each distinct key owns an entry");
+    let c = cache.counters();
+    assert_eq!((c.hits, c.misses), (0, keys.len() as u64));
+    // Same warmup program but a different run count is a different key.
+    cache.warmed(cfg, HierarchyConfig::coffee_lake(), Some((&warmup, 3)));
+    assert_eq!(cache.len(), keys.len() + 1);
+    assert_eq!(cache.counters().hits, 0);
+}
+
+#[test]
+fn snapshot_cache_hits_return_identical_forks() {
+    let cache = SnapshotCache::new(16);
+    let cfg = CpuConfig::coffee_lake().with_load_recording();
+    let warmup = memory_stream(200);
+    let probe = gadget_population(0xCAC4E, 1).remove(0);
+
+    let first = cache.warmed(cfg, HierarchyConfig::coffee_lake(), Some((&warmup, 2)));
+    let second = cache.warmed(cfg, HierarchyConfig::coffee_lake(), Some((&warmup, 2)));
+    let c = cache.counters();
+    assert_eq!((c.hits, c.misses), (1, 1), "second lookup hits");
+
+    // A cached hit's fork, a first-build fork, and a hand-warmed fresh
+    // machine all run the probe bit-identically.
+    let mut by_hand = Cpu::new(cfg, HierarchyConfig::coffee_lake());
+    by_hand.run_one(&warmup, Backend::EventDriven);
+    by_hand.run_one(&warmup, Backend::EventDriven);
+    let want = by_hand.run_one(&probe, Backend::EventDriven);
+    let from_first = first.fork().run_one(&probe, Backend::EventDriven);
+    let from_second = second.fork().run_one(&probe, Backend::EventDriven);
+    assert_bit_identical("miss-built fork vs hand-warmed", &from_first, &want);
+    assert_bit_identical("hit fork vs hand-warmed", &from_second, &want);
+}
+
+#[test]
+fn snapshot_cache_evicts_least_recently_used_at_capacity() {
+    let cache = SnapshotCache::new(2);
+    let cfg = CpuConfig::coffee_lake();
+    let a = HierarchyConfig::coffee_lake();
+    let b = HierarchyConfig::small_plru();
+    let c = HierarchyConfig::coffee_lake_noisy(7);
+    cache.cold(cfg, a); // miss
+    cache.cold(cfg, b); // miss
+    cache.cold(cfg, a); // hit — refreshes a, making b the LRU
+    cache.cold(cfg, c); // miss — evicts b
+    assert_eq!(cache.len(), 2);
+    cache.cold(cfg, a); // still cached
+    let before = cache.counters();
+    cache.cold(cfg, b); // evicted: must rebuild
+    let after = cache.counters();
+    assert_eq!(after.hits, before.hits);
+    assert_eq!(after.misses, before.misses + 1);
 }
 
 #[test]

@@ -2,7 +2,8 @@
 //! for the event-driven scheduler vs. the retained scan-based reference
 //! scheduler, across the standard workload suite — plus sweep-throughput
 //! rows comparing the fork-based batch engine against the classic
-//! fresh-machine-per-point sweep.
+//! fresh-machine-per-point sweep, and `scenario-e2e` rows timing whole
+//! experiments under the batched vs per-machine trial paths.
 //!
 //! The payload (`results`) is exactly the committed `BENCH_pipeline.json`
 //! document, so the legacy `perf_baseline` binary can keep refreshing the
@@ -15,23 +16,52 @@ use super::header;
 use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
+use hacky_racers::experiments::{spectre_eval, timer_mitigations, TrialPath};
 use racer_cpu::workloads::{
     alu_chain, measure_lockstep, measure_sweep, measure_workload, memory_stream, standard_suite,
 };
 use racer_cpu::Backend;
 use racer_results::Value;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Untimed warmup executions each sweep point needs before its timed run.
 /// Per-machine sweeps pay this per point; the batch engine pays it once
 /// and forks — which is exactly the gap the sweep rows measure.
-const SWEEP_WARMUP: usize = 16;
+const SWEEP_WARMUP: usize = 24;
 
 /// Loop iterations for the sweep-row programs. Fixed (not scaled by
 /// `iters`) so the sweep rows measure identical work under both presets
 /// and the perf gate's quick re-measurement is comparable to the
 /// paper-scale baseline.
 const SWEEP_ITERS: i64 = 2_000;
+
+/// Timer models for the `e2e-timer-mitigations` row. The heavy magnifier
+/// runs are timer-independent, so the batched trial path runs the
+/// (rounds × trial × bit) grid once and scores it under every timer,
+/// while the per-machine path re-runs the grid per timer — a structural
+/// ~`E2E_TIMERS.len()`× collapse on top of lockstep batching.
+const E2E_TIMERS: [&str; 5] = ["5us", "100us", "5us+jitter", "fuzzy-5us", "1ms"];
+
+/// Magnifier round counts for the `e2e-timer-mitigations` row. Fixed
+/// across presets (like [`SWEEP_ITERS`]) so the perf gate's quick
+/// re-measurement runs the same work as the paper-scale baseline.
+const E2E_ROUNDS: [usize; 2] = [192, 768];
+
+/// Transmissions per (timer, rounds) cell for `e2e-timer-mitigations`.
+const E2E_TRIALS: usize = 6;
+
+/// Browser-timer resolutions for the `e2e-spectre-resolutions` row. The
+/// SpectreBack machine run is timer-independent, so the batched path runs
+/// the attack once and replays its recorded measurement windows through
+/// each resolution — a structural `len()`× collapse.
+const E2E_SPECTRE_RESOLUTIONS: [f64; 4] = [1_000.0, 5_000.0, 25_000.0, 100_000.0];
+
+/// Secret each `e2e-spectre-resolutions` arm leaks.
+const E2E_SPECTRE_SECRET: &[u8] = b"ASPLOS";
+
+/// DRAM-jitter seed for the `e2e-spectre-resolutions` machines.
+const E2E_SPECTRE_SEED: u64 = 42;
 
 fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
     let iters = ctx.params.i64("iters");
@@ -200,6 +230,128 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
             .with("reference_instrs_per_sec", forked.instrs_per_sec.round())
             .with("speedup", round2(ratio)),
     );
+    // Scenario-e2e rows: whole-experiment wall clock, batched trial path
+    // (TrialPath::Batched, the default) vs the pre-port per-machine shape.
+    // Both columns divide the *per-machine* arm's committed instructions
+    // by each arm's wall time — the batched path may structurally skip
+    // redundant heavy runs (the timer-axis collapse), so its own commit
+    // count would understate the win; with a shared work numerator,
+    // `speedup` is the pure wall-clock ratio.
+    let _ = writeln!(
+        text,
+        "# scenario e2e (whole experiment, batched vs per-machine trial path):"
+    );
+    let _ = writeln!(
+        text,
+        "# scenario              batched   per-machine  speedup"
+    );
+    let e2e_row = |text: &mut String,
+                   rows: &mut Vec<Value>,
+                   name: &str,
+                   description: &str,
+                   work: u64,
+                   batched_secs: f64,
+                   per_machine_secs: f64| {
+        let batched_ips = work as f64 / batched_secs;
+        let per_machine_ips = work as f64 / per_machine_secs;
+        let speedup = per_machine_secs / batched_secs;
+        let _ = writeln!(
+            text,
+            "{:<21} {:>10.2}M {:>10.2}M {:>8.2}x",
+            name,
+            batched_ips / 1e6,
+            per_machine_ips / 1e6,
+            speedup,
+        );
+        rows.push(
+            Value::object()
+                .with("workload", name)
+                .with("description", description)
+                .with("dyn_instrs_per_run", work)
+                .with("event_driven_instrs_per_sec", batched_ips.round())
+                .with("reference_instrs_per_sec", per_machine_ips.round())
+                .with("speedup", round2(speedup)),
+        );
+    };
+    {
+        let start = Instant::now();
+        let (bp, _) = timer_mitigations::sweep_sharded_on(
+            &E2E_TIMERS,
+            &E2E_ROUNDS,
+            E2E_TRIALS,
+            1,
+            1,
+            TrialPath::Batched,
+        );
+        let batched_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let (pp, pc) = timer_mitigations::sweep_sharded_on(
+            &E2E_TIMERS,
+            &E2E_ROUNDS,
+            E2E_TRIALS,
+            1,
+            1,
+            TrialPath::PerMachine,
+        );
+        let per_machine_secs = start.elapsed().as_secs_f64();
+        assert_eq!(bp.len(), pp.len(), "e2e trial paths diverged");
+        for (b, p) in bp.iter().zip(&pp) {
+            assert!(
+                b.timer == p.timer
+                    && b.rounds == p.rounds
+                    && b.accuracy.to_bits() == p.accuracy.to_bits()
+                    && b.trials == p.trials,
+                "e2e trial paths diverged on timer_mitigations ({}, {})",
+                b.timer,
+                b.rounds
+            );
+        }
+        e2e_row(
+            &mut text,
+            &mut rows,
+            "e2e-timer-mitigations",
+            "timer_mitigations sweep, batched trial path (shared heavy runs scored under every timer) vs per-machine",
+            pc,
+            batched_secs,
+            per_machine_secs,
+        );
+    }
+    {
+        let start = Instant::now();
+        let (bp, _) = spectre_eval::resolution_sweep_on(
+            E2E_SPECTRE_SECRET,
+            &E2E_SPECTRE_RESOLUTIONS,
+            E2E_SPECTRE_SEED,
+            TrialPath::Batched,
+        );
+        let batched_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let (pp, pc) = spectre_eval::resolution_sweep_on(
+            E2E_SPECTRE_SECRET,
+            &E2E_SPECTRE_RESOLUTIONS,
+            E2E_SPECTRE_SEED,
+            TrialPath::PerMachine,
+        );
+        let per_machine_secs = start.elapsed().as_secs_f64();
+        assert_eq!(bp.len(), pp.len(), "e2e trial paths diverged");
+        for (b, p) in bp.iter().zip(&pp) {
+            assert!(
+                b.recovered == p.recovered
+                    && b.accuracy.to_bits() == p.accuracy.to_bits()
+                    && b.kbps.to_bits() == p.kbps.to_bits(),
+                "e2e trial paths diverged on spectre_eval"
+            );
+        }
+        e2e_row(
+            &mut text,
+            &mut rows,
+            "e2e-spectre-resolutions",
+            "SpectreBack leak scored at every timer resolution: one recorded attack replayed per timer vs one attack run per resolution",
+            pc,
+            batched_secs,
+            per_machine_secs,
+        );
+    }
     let data = Value::object()
         .with("bench", "pipeline-scheduler-throughput")
         .with("unit", "committed instructions per host second")

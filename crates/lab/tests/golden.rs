@@ -108,8 +108,19 @@ fn golden_path(name: &str) -> PathBuf {
 /// committed snapshot exactly. After confirming a behavior change is
 /// intended, regenerate with `UPDATE_GOLDEN=1 cargo test -p racer-lab`.
 fn assert_matches_snapshot(name: &str) {
+    assert_matches_snapshot_with(name, Vec::new());
+}
+
+/// [`assert_matches_snapshot`] at explicit parameter overrides (used to
+/// shrink heavy sweep axes so the snapshot runs stay in debug-test
+/// budget; the overrides still exercise the quick-preset code paths).
+fn assert_matches_snapshot_with(name: &str, overrides: Vec<(String, String)>) {
     let sc = racer_lab::find(name).expect("registered");
-    let report = run_scenario(&sc, &RunOptions::quick()).expect("runs");
+    let opts = RunOptions {
+        overrides,
+        ..RunOptions::quick()
+    };
+    let report = run_scenario(&sc, &opts).expect("runs");
     let results = report.json.get("results").expect("has results").to_pretty();
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -142,6 +153,31 @@ fn plru_walk_matches_committed_snapshot() {
 #[test]
 fn smt_contention_eval_matches_committed_snapshot() {
     assert_matches_snapshot("smt_contention_eval");
+}
+
+/// Every scenario whose trial fan-out is routed through the batch engine
+/// (fork-from-snapshot lanes and/or the warm-snapshot cache) is pinned to
+/// a snapshot committed *before* the port: the batched path must be a
+/// pure wall-clock change, byte-identical to the per-machine trial loop.
+/// Heavy axes reuse the determinism sweep's tiny overrides so the debug
+/// test build stays fast; the snapshots still cross every ported path.
+#[test]
+fn batched_routed_scenarios_match_pre_port_snapshots() {
+    let routed = [
+        "fig08_granularity_add",
+        "fig09_granularity_mul",
+        "table_granularity",
+        "fig10_reorder_distribution",
+        "fig11_arbitrary_replacement",
+        "fig12_arithmetic",
+        "noise_sensitivity_eval",
+        "timer_mitigations_eval",
+        "detection_eval",
+    ];
+    // Independent scenarios: fan the snapshot checks across host cores.
+    racer_cpu::batch::par_map(&routed, |name| {
+        assert_matches_snapshot_with(name, tiny_overrides(name));
+    });
 }
 
 #[test]

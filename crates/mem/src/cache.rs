@@ -208,10 +208,7 @@ impl Cache {
     /// (read path: shared storage is fine).
     #[inline]
     fn chunk(&self, set: usize) -> (&Chunk, usize) {
-        (
-            &self.chunks[set >> self.chunk_shift],
-            set & self.chunk_mask,
-        )
+        (&self.chunks[set >> self.chunk_shift], set & self.chunk_mask)
     }
 
     /// Mutable access to the chunk holding `set` — materialises a private
