@@ -32,7 +32,11 @@ pub struct CounterProfile {
 }
 
 impl CounterProfile {
-    fn from_run(name: &str, r: &RunResult) -> Self {
+    /// Derive the counter features a hardware detector could observe from
+    /// one finished run. Crate-visible so the gadget-search fitness
+    /// function scores candidates against the same classifiers this
+    /// module evaluates.
+    pub(crate) fn from_run(name: &str, r: &RunResult) -> Self {
         let ki = (r.committed as f64 / 1000.0).max(1e-9);
         CounterProfile {
             name: name.to_string(),

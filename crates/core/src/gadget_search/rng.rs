@@ -1,0 +1,100 @@
+//! Seeded sampling for reproducible candidate generation.
+//!
+//! SplitMix64 (Steele et al., the JDK `SplittableRandom` finalizer): a
+//! 64-bit counter state pushed through a fixed avalanche. Two properties
+//! matter here and both are structural: the sequence is a pure function
+//! of the seed (every candidate in a search is reproducible from
+//! `(config, seed)`), and the whole generator state is one `u64`, so a
+//! checkpoint record captures it losslessly and a resumed search draws
+//! the exact sequence an uninterrupted run would have.
+
+/// Deterministic 64-bit generator with single-word state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed` (any value, including 0, is fine —
+    /// the increment is odd, so the state never cycles short).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Rebuild a generator from a checkpointed [`state`](Self::state).
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The raw state word; serialize this to resume the exact sequence.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` via the multiply-shift reduction (no
+    /// modulo bias spike at small `n`, branch-free, deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_reproducible_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_sequence() {
+        let mut a = SplitMix64::new(7);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers_it() {
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws should cover 0..7");
+    }
+
+    #[test]
+    fn known_vector_pins_the_algorithm() {
+        // First outputs for seed 0 — pins the exact avalanche constants
+        // so a refactor cannot silently change every committed search.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    }
+}

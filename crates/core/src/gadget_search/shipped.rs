@@ -1,0 +1,187 @@
+//! The hand-written oracle gadgets and the shipped search discoveries.
+//!
+//! Two hand-written templates anchor the fitness scale:
+//!
+//! * [`hand_written_baseline`] — the paper's racer transcribed into the
+//!   grammar: a serial DIV measured chain interleaved with a serial ADD
+//!   clock, plus cover-traffic chains so the counter profile does not
+//!   look backend-bound. This is the "best hand-written racer" the
+//!   acceptance bar compares discovered gadgets against.
+//! * [`fenced_dud`] — the anti-gadget: the measured chain fully fenced
+//!   and the clock emitted first, so serialization destroys the race.
+//!   Every fitness term must rank it strictly below the baseline
+//!   (pinned in `fitness::tests`).
+//!
+//! [`shipped_gadgets`] are the top candidates from the committed search
+//! run (`gadget_search_eval` quick preset, seed 9), each with full
+//! provenance and the exact fitness the committed simulator assigns it.
+//! `crates/core/tests/gadget_search_determinism.rs` re-evaluates each
+//! one and asserts bit-equality — a simulator change that moves any
+//! shipped number is visible in review, like a golden file.
+
+use super::fitness::{evaluate, Fitness, FitnessConfig};
+use super::template::{ArmLayout, ChainOp, GadgetTemplate};
+
+/// The paper racer in template form (see module docs).
+pub fn hand_written_baseline() -> GadgetTemplate {
+    GadgetTemplate {
+        measured_op: ChainOp::Div,
+        measured_scale: 2,
+        clock_op: ChainOp::Add,
+        layout: ArmLayout::Interleaved,
+        fences: 0,
+        pad_nops: 0,
+        noise_chains: 2,
+        rounds: 1,
+    }
+}
+
+/// The serialized anti-gadget (see module docs).
+pub fn fenced_dud() -> GadgetTemplate {
+    GadgetTemplate {
+        measured_op: ChainOp::Div,
+        measured_scale: 1,
+        clock_op: ChainOp::Add,
+        layout: ArmLayout::ClockFirst,
+        fences: 2,
+        pad_nops: 0,
+        noise_chains: 0,
+        rounds: 1,
+    }
+}
+
+/// Fitness floor the quick-preset search must clear in CI
+/// (`gadget-search-smoke`): the committed quick run's best score, rounded
+/// down — a search or simulator regression that loses the good gadgets
+/// trips the job.
+pub const QUICK_FITNESS_FLOOR: f64 = 2.4;
+
+/// A discovered gadget shipped with provenance.
+#[derive(Clone, Debug)]
+pub struct ShippedGadget {
+    /// Stable name (report key).
+    pub name: &'static str,
+    /// Search seed it was discovered under.
+    pub seed: u64,
+    /// Generation it entered the archive.
+    pub generation: u32,
+    /// Birth id within the search.
+    pub id: u64,
+    /// The genome.
+    pub template: GadgetTemplate,
+    /// Exact fitness under [`FitnessConfig::default`] on the committed
+    /// simulator (regression-pinned).
+    pub expected: ExpectedFitness,
+}
+
+/// The pinned fitness numbers of a shipped gadget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpectedFitness {
+    /// Cycles per clock tick.
+    pub resolution_cycles_per_tick: f64,
+    /// Adjacent-pair monotonicity error rate.
+    pub monotonicity_error_rate: f64,
+    /// Stealth term.
+    pub stealth: f64,
+    /// Total score.
+    pub score: f64,
+}
+
+impl ExpectedFitness {
+    /// The pinned subset of a full [`Fitness`].
+    pub fn of(f: &Fitness) -> ExpectedFitness {
+        ExpectedFitness {
+            resolution_cycles_per_tick: f.resolution_cycles_per_tick,
+            monotonicity_error_rate: f.monotonicity_error_rate,
+            stealth: f.stealth,
+            score: f.score,
+        }
+    }
+}
+
+impl ShippedGadget {
+    /// Re-evaluate this gadget under the default fitness config.
+    pub fn evaluate(&self) -> Fitness {
+        let cfg = FitnessConfig::default();
+        let snap = cfg.snapshot();
+        evaluate(&self.template, &cfg, &snap)
+    }
+}
+
+/// The committed discoveries: the top of the `gadget_search_eval` quick
+/// preset's final archive (seed 9, 8 generations × 256 candidates),
+/// chosen for FU diversity. All three are perfect cycle-resolution
+/// timers (duration tracks reading 1:1) that no detector flags — the
+/// search both rediscovers the paper's divide racer and finds shapes
+/// the paper never wrote down (a nested all-ADD racer).
+pub fn shipped_gadgets() -> Vec<ShippedGadget> {
+    let perfect = ExpectedFitness {
+        resolution_cycles_per_tick: 1.0,
+        monotonicity_error_rate: 0.0,
+        stealth: 1.0,
+        score: 2.5,
+    };
+    vec![
+        ShippedGadget {
+            // The search's overall best pick (earliest id at the top
+            // score): an all-ADD timer — measured chain, clock and
+            // noise on the same FU — nested two rounds. No divider
+            // pressure at all, which defeats any port-watching
+            // heuristic tuned for the paper's divide racer.
+            name: "discovered-add-nested",
+            seed: 9,
+            generation: 0,
+            id: 164,
+            template: GadgetTemplate {
+                measured_op: ChainOp::Add,
+                measured_scale: 1,
+                clock_op: ChainOp::Add,
+                layout: ArmLayout::Interleaved,
+                fences: 0,
+                pad_nops: 0,
+                noise_chains: 2,
+                rounds: 2,
+            },
+            expected: perfect,
+        },
+        ShippedGadget {
+            // The paper's racer, rediscovered from scratch: serial DIV
+            // measured chain against an interleaved ADD clock, one
+            // cover chain keeping IPC above the backend-bound bar.
+            name: "discovered-div-racer",
+            seed: 9,
+            generation: 3,
+            id: 978,
+            template: GadgetTemplate {
+                measured_op: ChainOp::Div,
+                measured_scale: 1,
+                clock_op: ChainOp::Add,
+                layout: ArmLayout::Interleaved,
+                fences: 0,
+                pad_nops: 0,
+                noise_chains: 1,
+                rounds: 1,
+            },
+            expected: perfect,
+        },
+        ShippedGadget {
+            // A pipelined-multiply measured chain (3-cycle latency per
+            // op) still read at cycle resolution by the ADD clock.
+            name: "discovered-mul-padded",
+            seed: 9,
+            generation: 6,
+            id: 1592,
+            template: GadgetTemplate {
+                measured_op: ChainOp::Mul,
+                measured_scale: 2,
+                clock_op: ChainOp::Add,
+                layout: ArmLayout::Interleaved,
+                fences: 0,
+                pad_nops: 4,
+                noise_chains: 2,
+                rounds: 1,
+            },
+            expected: perfect,
+        },
+    ]
+}

@@ -50,6 +50,7 @@
 
 pub mod attacks;
 pub mod experiments;
+pub mod gadget_search;
 pub mod layout;
 pub mod machine;
 pub mod magnify;

@@ -1,0 +1,86 @@
+//! Determinism and regression pins for the gadget-search loop.
+//!
+//! * Same `(config, seed)` ⇒ byte-identical serialized state (logs and
+//!   final population included) across 1/4/8 evaluation workers: the
+//!   parallel fan-out must not leak scheduling order into results.
+//! * Each shipped discovered gadget re-evaluates to *exactly* its
+//!   committed fitness — resolution, monotonicity, stealth and score are
+//!   compared with `==` on purpose. A simulator change that moves any of
+//!   these numbers must update `shipped.rs` visibly, like a golden file.
+
+use hacky_racers::gadget_search::{
+    evaluate, hand_written_baseline, run_search, shipped_gadgets, ExpectedFitness, FitnessConfig,
+    SearchConfig,
+};
+
+fn test_config(seed: u64, workers: usize) -> SearchConfig {
+    SearchConfig {
+        seed,
+        population: 24,
+        generations: 3,
+        fitness: FitnessConfig {
+            targets: vec![0, 1, 2, 3],
+            clock_len: 64,
+            cycle_budget: 50_000,
+            warmup_runs: 2,
+        },
+        workers,
+    }
+}
+
+#[test]
+fn search_state_is_byte_identical_across_worker_counts() {
+    let reference = run_search(&test_config(41, 1)).to_value().to_pretty();
+    for workers in [4, 8] {
+        let state = run_search(&test_config(41, workers)).to_value().to_pretty();
+        assert_eq!(
+            state, reference,
+            "worker count {workers} changed the serialized search state"
+        );
+    }
+}
+
+#[test]
+fn distinct_seeds_explore_distinct_populations() {
+    let a = run_search(&test_config(1, 0)).to_value().to_pretty();
+    let b = run_search(&test_config(2, 0)).to_value().to_pretty();
+    assert_ne!(a, b, "different seeds must not collapse to one search");
+}
+
+#[test]
+fn shipped_gadgets_pin_their_committed_fitness_exactly() {
+    let gadgets = shipped_gadgets();
+    assert_eq!(gadgets.len(), 3);
+    for g in &gadgets {
+        let f = g.evaluate();
+        assert!(f.valid, "{}: shipped gadget must run cleanly", g.name);
+        assert_eq!(
+            ExpectedFitness::of(&f),
+            g.expected,
+            "{}: fitness drifted from the committed values — if the \
+             simulator change is intentional, update shipped.rs",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn shipped_gadgets_match_the_hand_written_racer_resolution() {
+    // The acceptance bar, pinned at the unit level: every shipped
+    // discovery resolves at least as finely as half the hand-written
+    // racer (resolution ≤ 2× baseline).
+    let cfg = FitnessConfig::default();
+    let snap = cfg.snapshot();
+    let baseline = evaluate(&hand_written_baseline(), &cfg, &snap);
+    assert!(baseline.resolution_cycles_per_tick > 0.0);
+    for g in shipped_gadgets() {
+        let f = evaluate(&g.template, &cfg, &snap);
+        assert!(
+            f.resolution_cycles_per_tick <= 2.0 * baseline.resolution_cycles_per_tick,
+            "{}: resolution {} vs baseline {}",
+            g.name,
+            f.resolution_cycles_per_tick,
+            baseline.resolution_cycles_per_tick
+        );
+    }
+}

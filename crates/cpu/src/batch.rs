@@ -49,11 +49,27 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    try_par_map_workers(items, max_threads(), f)
+}
+
+/// [`try_par_map`] with an explicit worker-thread cap instead of the
+/// [`max_threads`] default. The output is identical for every `workers`
+/// value — ordering comes from the input index, not the schedule — which
+/// is what lets deterministic search loops fan out across a configurable
+/// pool and still produce byte-identical logs (pinned by the gadget-search
+/// determinism suite). `workers` is still capped by the item count, and
+/// `workers <= 1` degrades to a plain in-thread map.
+pub fn try_par_map_workers<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<Result<O, String>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     let attempt = |item: &I| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
             .map_err(|payload| panic_message(payload.as_ref()))
     };
-    let threads = max_threads().min(items.len());
+    let threads = workers.min(items.len());
     if threads <= 1 {
         return items.iter().map(attempt).collect();
     }
@@ -93,7 +109,23 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    try_par_map(items, f)
+    par_map_workers(items, max_threads(), f)
+}
+
+/// Infallible [`try_par_map_workers`]: same explicit worker cap, plain
+/// results in input order, first caught panic re-raised.
+///
+/// # Panics
+///
+/// Re-raises the first (by input order) panic caught by the pool, after
+/// every other item has finished.
+pub fn par_map_workers<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    try_par_map_workers(items, workers, f)
         .into_iter()
         .map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
         .collect()
@@ -156,6 +188,16 @@ mod tests {
         for (i, &(x, _)) in out.iter().enumerate() {
             assert_eq!(x, i as u64);
         }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let input: Vec<u64> = (0..97).collect();
+        let reference: Vec<u64> = input.iter().map(|x| x * x + 1).collect();
+        for workers in [1, 2, 4, 8, 64] {
+            assert_eq!(par_map_workers(&input, workers, |&x| x * x + 1), reference);
+        }
+        assert_eq!(par_map_workers(&[] as &[u64], 4, |&x| x), Vec::<u64>::new());
     }
 
     #[test]

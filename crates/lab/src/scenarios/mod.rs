@@ -13,10 +13,12 @@
 //! | §7.3 / §7.4 / §8 evaluations | `spectre_back_eval`, `eviction_set_eval`, `countermeasures_eval`, `detection_eval` |
 //! | Extension studies | `noise_sensitivity_eval`, `timer_mitigations_eval`, `window_ablation_eval` |
 //! | §9 SMT contention | `smt_contention_eval` |
+//! | Automated gadget discovery | `gadget_search_eval` |
 //! | Infrastructure benchmark | `perf_baseline` |
 
 mod evals;
 mod figures;
+mod gadget_search;
 mod perf;
 mod plru_walk;
 mod smt;
@@ -31,6 +33,7 @@ pub fn all() -> Vec<Scenario> {
     out.extend(tables::all());
     out.extend(evals::all());
     out.push(smt::smt_contention_eval());
+    out.push(gadget_search::gadget_search_eval());
     out.push(perf::perf_baseline());
     out
 }

@@ -17,10 +17,12 @@ use crate::error::LabError;
 use crate::params::ParamSpec;
 use crate::registry::{RunContext, Scenario, ScenarioOutput};
 use hacky_racers::experiments::{spectre_eval, timer_mitigations, TrialPath};
+use hacky_racers::gadget_search::{eval_cpu_config, FitnessConfig, GadgetTemplate, SplitMix64};
 use racer_cpu::workloads::{
     alu_chain, measure_lockstep, measure_sweep, measure_workload, memory_stream, standard_suite,
 };
-use racer_cpu::Backend;
+use racer_cpu::{Backend, Cpu};
+use racer_mem::HierarchyConfig;
 use racer_results::Value;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -59,6 +61,18 @@ const E2E_SPECTRE_RESOLUTIONS: [f64; 4] = [1_000.0, 5_000.0, 25_000.0, 100_000.0
 
 /// Secret each `e2e-spectre-resolutions` arm leaks.
 const E2E_SPECTRE_SECRET: &[u8] = b"ASPLOS";
+
+/// Sampled templates for the `search-throughput` row (each lowered at
+/// every [`SEARCH_TARGETS`] entry — one generation's worth of fitness
+/// batch, at the search's own traced evaluation config).
+const SEARCH_CANDIDATES: usize = 24;
+
+/// Target ladder the `search-throughput` candidates are lowered at.
+const SEARCH_TARGETS: [usize; 3] = [0, 2, 4];
+
+/// Warmup executions before candidate evaluation: the batched column
+/// pays these once per row, the per-machine column once per program.
+const SEARCH_WARMUP: usize = 16;
 
 /// DRAM-jitter seed for the `e2e-spectre-resolutions` machines.
 const E2E_SPECTRE_SEED: u64 = 42;
@@ -230,6 +244,84 @@ fn run(ctx: &RunContext) -> Result<ScenarioOutput, LabError> {
             .with("reference_instrs_per_sec", forked.instrs_per_sec.round())
             .with("speedup", round2(ratio)),
     );
+    // Search-throughput row: gadget-search candidate evaluation, the
+    // batched path (warm one machine, fan every lowered program through
+    // `Snapshot::run_many`) vs the pre-batching shape (fresh machine +
+    // full warmup per program). The snapshot is built inline — not via
+    // `SnapshotCache` — so the batched column pays its warmup inside the
+    // timed region too; the gap is warmup amortisation plus lockstep
+    // decode sharing, exactly what the search loop banks per generation.
+    {
+        let fit = FitnessConfig::default();
+        let cfg = eval_cpu_config(fit.cycle_budget);
+        let hier = HierarchyConfig::small_plru;
+        let warm = alu_chain(32);
+        let mut rng = SplitMix64::new(7);
+        let progs: Vec<_> = (0..SEARCH_CANDIDATES)
+            .map(|_| GadgetTemplate::sample(&mut rng))
+            .flat_map(|tpl| SEARCH_TARGETS.map(|target| tpl.lower(target, fit.clock_len).prog))
+            .collect();
+        let start = Instant::now();
+        let mut cpu = Cpu::new(cfg, hier());
+        for _ in 0..SEARCH_WARMUP {
+            cpu.run_one(&warm, Backend::EventDriven);
+        }
+        let batched_results = cpu.snapshot().run_many(&progs);
+        let batched_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut per_machine_results = Vec::with_capacity(progs.len());
+        for prog in &progs {
+            let mut cpu = Cpu::new(cfg, hier());
+            for _ in 0..SEARCH_WARMUP {
+                cpu.run_one(&warm, Backend::EventDriven);
+            }
+            per_machine_results.push(cpu.run_one(prog, Backend::EventDriven));
+        }
+        let per_machine_secs = start.elapsed().as_secs_f64();
+        let mut committed = 0u64;
+        for (b, p) in batched_results.iter().zip(&per_machine_results) {
+            assert!(b.halted && !b.limit_hit, "candidate must run to completion");
+            assert_eq!(
+                (b.cycles, b.committed, &b.regs),
+                (p.cycles, p.committed, &p.regs),
+                "search evaluation paths diverged"
+            );
+            committed += b.committed;
+        }
+        let batched_ips = committed as f64 / batched_secs;
+        let per_machine_ips = committed as f64 / per_machine_secs;
+        let speedup = per_machine_secs / batched_secs;
+        let _ = writeln!(
+            text,
+            "# search throughput ({} candidates x {} targets, {SEARCH_WARMUP} warmup runs):",
+            SEARCH_CANDIDATES,
+            SEARCH_TARGETS.len(),
+        );
+        let _ = writeln!(
+            text,
+            "search-throughput     {:>10.2}M {:>10.2}M {:>8.1}x",
+            batched_ips / 1e6,
+            per_machine_ips / 1e6,
+            speedup,
+        );
+        let sample = &batched_results[batched_results.len() - 1];
+        rows.push(
+            Value::object()
+                .with("workload", "search-throughput")
+                .with(
+                    "description",
+                    "gadget-search candidate evaluation: one warmed snapshot fanned via run_many (event-driven col) vs fresh machine + full warmup per program",
+                )
+                .with("dyn_instrs_per_run", committed)
+                .with("cycles_per_run", sample.cycles)
+                .with("mispredicts_per_run", sample.mispredicts)
+                .with("squashed_per_run", sample.squashed_instrs)
+                .with("ipc", round3(sample.ipc()))
+                .with("event_driven_instrs_per_sec", batched_ips.round())
+                .with("reference_instrs_per_sec", per_machine_ips.round())
+                .with("speedup", round2(speedup)),
+        );
+    }
     // Scenario-e2e rows: whole-experiment wall clock, batched trial path
     // (TrialPath::Batched, the default) vs the pre-port per-machine shape.
     // Both columns divide the *per-machine* arm's committed instructions

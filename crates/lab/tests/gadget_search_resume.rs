@@ -1,0 +1,142 @@
+//! Kill-and-resume determinism for the gadget search: a search killed
+//! mid-run via `RACER_FAULT_PLAN` and re-invoked against its
+//! per-generation checkpoint journal converges byte-for-byte with an
+//! uninterrupted run.
+//!
+//! The search journals its complete state after every generation at
+//! fault site `checkpoint:gadget_search_eval:gen<k>`, so
+//! `kill@checkpoint:gadget_search_eval:gen1` aborts the process while
+//! generation 1's record is being written — generation 0 is already on
+//! disk, generations 1+ are lost. The resumed run must reload generation
+//! 0's state (rng position included) and recompute the rest to exactly
+//! the fault-free bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_racer-lab")
+}
+
+fn tmp(stem: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("racer-lab-gsearch-{stem}-{}", std::process::id()))
+}
+
+/// Tiny debug-build-friendly search: 3 generations × 8 candidates.
+const OVERRIDES: [&str; 8] = [
+    "--set",
+    "generations=3",
+    "--set",
+    "population=8",
+    "--set",
+    "targets=0,1,2",
+    "--set",
+    "clock_len=48",
+];
+
+fn run_search(out: &Path, ckpt: &Path, plan: Option<&str>) -> std::process::Output {
+    let mut cmd = Command::new(bin());
+    cmd.arg("run")
+        .arg("gadget_search_eval")
+        .args(["--quick", "--out"])
+        .arg(out)
+        .args(OVERRIDES)
+        .arg("--set")
+        .arg(format!("checkpoint_dir={}", ckpt.display()))
+        .env_remove("RACER_FAULT_PLAN");
+    if let Some(plan) = plan {
+        cmd.env("RACER_FAULT_PLAN", plan);
+    }
+    cmd.output().expect("spawn racer-lab run")
+}
+
+fn report(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("gadget_search_eval.json")).expect("report exists")
+}
+
+#[test]
+fn killed_search_resumes_byte_identical_to_an_uninterrupted_run() {
+    let root = tmp("kill-resume");
+    let _ = std::fs::remove_dir_all(&root);
+    let golden_out = root.join("golden");
+    let out = root.join("out");
+    let ckpt = root.join("ckpt");
+
+    // Fault-free golden run. It must use the same journal path as the
+    // killed run — the resolved `checkpoint_dir` parameter is part of
+    // the report's config — so its journal is wiped before the faulted
+    // run starts from scratch.
+    let status = run_search(&golden_out, &ckpt, None);
+    assert!(status.status.success(), "golden run failed: {status:?}");
+    let golden = report(&golden_out);
+    std::fs::remove_dir_all(&ckpt).expect("discard the golden journal");
+
+    // Killed run: abort while journaling generation 1 (generation 0 is
+    // already committed to the journal).
+    let killed = run_search(&out, &ckpt, Some("kill@checkpoint:gadget_search_eval:gen1"));
+    assert!(!killed.status.success(), "the kill plan must abort the run");
+    let stderr = String::from_utf8_lossy(&killed.stderr);
+    assert!(
+        stderr.contains("kill at checkpoint:gadget_search_eval:gen1"),
+        "kill site must be announced: {stderr}"
+    );
+    assert!(ckpt
+        .join(
+            std::fs::read_dir(&ckpt)
+                .expect("journal dir exists")
+                .filter_map(Result::ok)
+                .find(|e| e
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("gadget_search_eval:gen0"))
+                .expect("generation 0 must be journaled before the kill")
+                .file_name()
+        )
+        .is_file());
+
+    // Resume: same command, no plan. Must converge to the golden bytes.
+    let resumed = run_search(&out, &ckpt, None);
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("resumed from checkpoint generation 0"),
+        "resume must pick up the journaled generation: {stdout}"
+    );
+    assert_eq!(
+        report(&out),
+        golden,
+        "resumed report diverges from fault-free bytes"
+    );
+
+    // A third run over the now-complete journal is pure replay — still
+    // byte-identical (the final generation's record carries the whole
+    // finished state).
+    let replay = run_search(&out, &ckpt, None);
+    assert!(replay.status.success());
+    assert_eq!(report(&out), golden);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn checkpoint_free_runs_are_byte_identical_across_invocations() {
+    let root = tmp("repeat");
+    let _ = std::fs::remove_dir_all(&root);
+    let a = root.join("a");
+    let b = root.join("b");
+    let mut outputs = Vec::new();
+    for dir in [&a, &b] {
+        let mut cmd = Command::new(bin());
+        cmd.arg("run")
+            .arg("gadget_search_eval")
+            .args(["--quick", "--quiet", "--out"])
+            .arg(dir)
+            .args(OVERRIDES)
+            .env_remove("RACER_FAULT_PLAN");
+        let out = cmd.output().expect("spawn racer-lab run");
+        assert!(out.status.success(), "run failed: {out:?}");
+        outputs.push(report(dir));
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    let _ = std::fs::remove_dir_all(&root);
+}

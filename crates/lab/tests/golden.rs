@@ -50,6 +50,12 @@ fn tiny_overrides(name: &str) -> Vec<(String, String)> {
             ("trials", "1"),
             ("clock_max", "48"),
         ]),
+        "gadget_search_eval" => kv(&[
+            ("generations", "2"),
+            ("population", "12"),
+            ("targets", "0,1,2"),
+            ("clock_len", "48"),
+        ]),
         _ => Vec::new(),
     }
 }
@@ -153,6 +159,18 @@ fn plru_walk_matches_committed_snapshot() {
 #[test]
 fn smt_contention_eval_matches_committed_snapshot() {
     assert_matches_snapshot("smt_contention_eval");
+}
+
+/// The gadget search is seeded and runs entirely inside the
+/// deterministic simulator, so its payload — archive, per-generation
+/// logs, discovered templates and fitness — is machine-independent and
+/// pins the whole template → lower → evaluate → breed loop at once.
+/// Shrunk axes keep the debug snapshot run fast; the shipped-gadget
+/// fitness numbers are additionally pinned at full config by
+/// `crates/core/tests/gadget_search_determinism.rs`.
+#[test]
+fn gadget_search_eval_matches_committed_snapshot() {
+    assert_matches_snapshot_with("gadget_search_eval", tiny_overrides("gadget_search_eval"));
 }
 
 /// Every scenario whose trial fan-out is routed through the batch engine
